@@ -1,0 +1,40 @@
+//! E1 — view construction and execution collapse latency vs spec size and
+//! hierarchy depth (Sec. 2: views are the access-control primitive, so the
+//! paper's design needs them cheap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppwf_bench::{deep_spec, sized_spec, SIZES};
+use ppwf_model::exec::{Executor, HashOracle};
+use ppwf_model::expand::SpecView;
+use ppwf_model::hierarchy::{ExpansionHierarchy, Prefix};
+use ppwf_views::exec_view::ExecView;
+
+fn bench_views(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_views");
+    group.sample_size(20);
+    for &n in &SIZES {
+        let spec = sized_spec(11, n);
+        let h = ExpansionHierarchy::of(&spec);
+        let exec = Executor::new(&spec).run(&mut HashOracle).unwrap();
+        group.bench_with_input(BenchmarkId::new("spec_view_full", n), &n, |b, _| {
+            b.iter(|| SpecView::build(&spec, &h, &Prefix::full(&h)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("execute", n), &n, |b, _| {
+            b.iter(|| Executor::new(&spec).run(&mut HashOracle).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("collapse_root", n), &n, |b, _| {
+            b.iter(|| ExecView::build(&spec, &h, &exec, &Prefix::root_only(&h)).unwrap())
+        });
+    }
+    for depth in [1u32, 2, 3, 4] {
+        let spec = deep_spec(13, depth);
+        let h = ExpansionHierarchy::of(&spec);
+        group.bench_with_input(BenchmarkId::new("spec_view_by_depth", depth), &depth, |b, _| {
+            b.iter(|| SpecView::build(&spec, &h, &Prefix::full(&h)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_views);
+criterion_main!(benches);

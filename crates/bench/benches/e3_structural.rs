@@ -1,0 +1,29 @@
+//! E3 — structural privacy mechanisms: min-cut edge deletion vs clustering
+//! (plus privacy-preserving repair) on the same hide requests (Sec. 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppwf_bench::{layered_dag, reachable_pair};
+use ppwf_core::structural::{hide_by_clustering, hide_by_clustering_repaired, hide_by_deletion, HideRequest};
+
+fn bench_structural(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_structural");
+    group.sample_size(10);
+    for &n in &[20usize, 40, 80] {
+        let (g, w) = layered_dag(31, n, 12);
+        let (u, v) = reachable_pair(&g).expect("pair");
+        let req = HideRequest::pair(u, v);
+        group.bench_with_input(BenchmarkId::new("deletion", n), &n, |b, _| {
+            b.iter(|| hide_by_deletion(&g, &w, &req))
+        });
+        group.bench_with_input(BenchmarkId::new("clustering", n), &n, |b, _| {
+            b.iter(|| hide_by_clustering(&g, &req))
+        });
+        group.bench_with_input(BenchmarkId::new("clustering_repaired", n), &n, |b, _| {
+            b.iter(|| hide_by_clustering_repaired(&g, &req))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_structural);
+criterion_main!(benches);

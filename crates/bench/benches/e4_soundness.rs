@@ -1,0 +1,24 @@
+//! E4 — unsound-view detection and repair scaling (Sec. 3, ref \[9\]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppwf_bench::parallel_chains;
+use ppwf_views::repair::repair;
+use ppwf_views::soundness::check_soundness;
+
+fn bench_soundness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_soundness");
+    group.sample_size(10);
+    for &n in &[20usize, 40, 80, 160] {
+        let (g, clustering) = parallel_chains(41, 4, n / 4, 6);
+        group.bench_with_input(BenchmarkId::new("check", n), &n, |b, _| {
+            b.iter(|| check_soundness(&g, &clustering))
+        });
+        group.bench_with_input(BenchmarkId::new("repair", n), &n, |b, _| {
+            b.iter(|| repair(&g, &clustering))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_soundness);
+criterion_main!(benches);

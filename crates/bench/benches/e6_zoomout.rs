@@ -1,0 +1,40 @@
+//! E6 — privacy-evaluation strategies: filter-then-search vs the paper's
+//! expensive search-then-zoom-out loop (Sec. 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppwf_bench::populated_repo;
+use ppwf_model::hierarchy::Prefix;
+use ppwf_query::keyword::KeywordQuery;
+use ppwf_query::privacy_exec::{filter_then_search, search_then_zoom_out, AccessMap};
+use ppwf_repo::keyword_index::KeywordIndex;
+
+fn bench_zoomout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_zoomout");
+    group.sample_size(10);
+    let repo = populated_repo(32, 0, 61);
+    let index = KeywordIndex::build(&repo);
+    let q = KeywordQuery::parse("kw0, kw1");
+    for (name, coarse) in [("full_access", false), ("root_access", true)] {
+        let access: AccessMap = repo
+            .entries()
+            .map(|(sid, e)| {
+                let p = if coarse {
+                    Prefix::root_only(&e.hierarchy)
+                } else {
+                    Prefix::full(&e.hierarchy)
+                };
+                (sid, p)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("filter_then_search", name), name, |b, _| {
+            b.iter(|| filter_then_search(&repo, &index, &q, &access))
+        });
+        group.bench_with_input(BenchmarkId::new("search_then_zoom_out", name), name, |b, _| {
+            b.iter(|| search_then_zoom_out(&repo, &index, &q, &access))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zoomout);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E7 — ranking modes: scoring cost of exact / bucketized / noisy /
+//! visible-only TF-IDF (Sec. 4's privacy-aware ranking challenge).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppwf_bench::populated_repo;
+use ppwf_model::hierarchy::Prefix;
+use ppwf_query::ranking::{evaluate_ranking, tf_profile, RankingMode};
+use ppwf_repo::keyword_index::KeywordIndex;
+
+fn bench_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_ranking");
+    group.sample_size(10);
+    let repo = populated_repo(40, 0, 71);
+    let index = KeywordIndex::build(&repo);
+    let terms = vec!["kw0".to_string(), "kw1".to_string()];
+    let profiles: Vec<_> = repo
+        .entries()
+        .map(|(sid, e)| tf_profile(&repo, sid, &Prefix::root_only(&e.hierarchy), &terms))
+        .collect();
+    for (name, mode) in [
+        ("exact", RankingMode::ExactFull),
+        ("visible_only", RankingMode::VisibleOnly),
+        ("bucketized", RankingMode::BucketizedFull { base: 4.0 }),
+        ("noisy", RankingMode::NoisyFull { epsilon: 1.0, seed: 3 }),
+    ] {
+        group.bench_with_input(BenchmarkId::new("evaluate", name), name, |b, _| {
+            b.iter(|| evaluate_ranking(&index, &terms, &profiles, mode))
+        });
+    }
+    group.bench_function("tf_profiles_40_specs", |b| {
+        b.iter(|| {
+            repo.entries()
+                .map(|(sid, e)| tf_profile(&repo, sid, &Prefix::root_only(&e.hierarchy), &terms))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranking);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E8 — the Laplace mechanism on provenance counting queries (Sec. 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppwf_core::dp::{evaluate_mechanism, LaplaceMechanism};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_dp");
+    group.sample_size(20);
+    let counts: Vec<u64> = (1..=50).collect();
+    for eps in [0.1f64, 1.0, 8.0] {
+        let mech = LaplaceMechanism::counting(eps);
+        group.bench_with_input(
+            BenchmarkId::new("evaluate_400_trials", format!("{eps}")),
+            &eps,
+            |b, _| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(81);
+                    evaluate_mechanism(&mech, &counts, 400, &mut rng)
+                })
+            },
+        );
+    }
+    group.bench_function("single_release", |b| {
+        let mech = LaplaceMechanism::counting(1.0);
+        let mut rng = StdRng::seed_from_u64(82);
+        b.iter(|| mech.noisy_count(42, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp);
+criterion_main!(benches);

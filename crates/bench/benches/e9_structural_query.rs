@@ -1,0 +1,40 @@
+//! E9 — structural pattern matching across view granularities (Sec. 4/5:
+//! τ vs dataflow edges cannot be ignored).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppwf_bench::{sized_spec, SIZES};
+use ppwf_model::expand::SpecView;
+use ppwf_model::hierarchy::{ExpansionHierarchy, Prefix};
+use ppwf_query::structural::{match_view, NodeMatcher, Pattern, PatternEdge};
+
+fn bench_structural_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_structural_query");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let spec = sized_spec(91, n);
+        let h = ExpansionHierarchy::of(&spec);
+        let full = SpecView::build(&spec, &h, &Prefix::full(&h)).unwrap();
+        let coarse = SpecView::build(&spec, &h, &Prefix::root_only(&h)).unwrap();
+        let before = Pattern::before(NodeMatcher::Any, NodeMatcher::Any);
+        let chain = Pattern {
+            nodes: vec![NodeMatcher::Any, NodeMatcher::Any, NodeMatcher::Any],
+            edges: vec![
+                PatternEdge { from: 0, to: 1, transitive: false },
+                PatternEdge { from: 1, to: 2, transitive: true },
+            ],
+        };
+        group.bench_with_input(BenchmarkId::new("before_full", n), &n, |b, _| {
+            b.iter(|| match_view(&spec, &full, &before))
+        });
+        group.bench_with_input(BenchmarkId::new("before_coarse", n), &n, |b, _| {
+            b.iter(|| match_view(&spec, &coarse, &before))
+        });
+        group.bench_with_input(BenchmarkId::new("chain_full", n), &n, |b, _| {
+            b.iter(|| match_view(&spec, &full, &chain))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_structural_query);
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! # ppwf-bench — shared workload setup for the experiment harnesses
+//!
+//! Every experiment (Criterion bench or the `experiments` table binary)
+//! builds its inputs through these helpers so the measured configurations
+//! are identical across harnesses and documented in one place. The
+//! experiment ids (E1–E9) and their mapping to paper claims live in
+//! DESIGN.md §3; EXPERIMENTS.md records the measured outcomes.
+
+use ppwf_core::policy::Policy;
+use ppwf_model::graph::DiGraph;
+use ppwf_model::spec::Specification;
+use ppwf_views::clustering::Clustering;
+use ppwf_repo::repository::Repository;
+use ppwf_workloads::genexec::generate_executions;
+use ppwf_workloads::genspec::{generate_spec, SpecParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Spec-size sweep points used by E1/E4/E5/E9 (approximate module counts).
+pub const SIZES: [usize; 4] = [25, 50, 100, 200];
+
+/// A specification of roughly `n` modules with deterministic seed.
+pub fn sized_spec(seed: u64, n: usize) -> Specification {
+    generate_spec(&SpecParams::sized(seed, n))
+}
+
+/// A specification shaped for deep hierarchies (E1's depth sweep).
+pub fn deep_spec(seed: u64, depth: u32) -> Specification {
+    generate_spec(&SpecParams {
+        seed,
+        modules_per_workflow: (3, 5),
+        composite_fraction: 0.5,
+        max_depth: depth,
+        max_workflows: (depth as usize + 1) * 4,
+        ..SpecParams::default()
+    })
+}
+
+/// A repository with `specs` synthetic specifications and `execs` runs each.
+pub fn populated_repo(specs: usize, execs: usize, seed: u64) -> Repository {
+    let mut repo = Repository::new();
+    for i in 0..specs as u64 {
+        let spec = generate_spec(&SpecParams { seed: seed + i, ..SpecParams::default() });
+        let runs = generate_executions(&spec, execs, seed + i);
+        let id = repo.insert_spec(spec, Policy::public()).expect("generated spec valid");
+        for r in runs {
+            repo.add_execution(id, r).expect("generated exec valid");
+        }
+    }
+    repo
+}
+
+/// A random layered DAG with `n` nodes and edge probability `p` (%), plus
+/// unit-ish random edge weights — the flat-graph substrate for E3/E4.
+pub fn layered_dag(seed: u64, n: usize, p_percent: u32) -> (DiGraph<u32, ()>, Vec<u64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g: DiGraph<u32, ()> = DiGraph::new();
+    for i in 0..n as u32 {
+        g.add_node(i);
+    }
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            if rng.gen_range(0..100) < p_percent {
+                g.add_edge(i, j, ());
+            }
+        }
+    }
+    // Ensure a spine so the graph is connected enough to be interesting.
+    for i in 1..n as u32 {
+        if g.in_degree(i) == 0 {
+            g.add_edge(i - 1, i, ());
+        }
+    }
+    let weights: Vec<u64> = (0..g.edge_count()).map(|_| rng.gen_range(1..=5)).collect();
+    (g, weights)
+}
+
+/// Parallel pipelines: `chains` independent chains of length `len`, plus a
+/// few forward cross links (`cross_percent`% of possible stage crossings),
+/// clustered so that every *odd* stage is merged into one composite across
+/// all chains while even-stage nodes stay singletons.
+///
+/// This is the paper's `{M11, M13}` example generalized: a merged stage
+/// mixes otherwise-independent pipelines, so the view claims paths from a
+/// chain-`c` singleton through the composite into a different chain —
+/// false paths in abundance, making the clustering reliably unsound and a
+/// real workout for detection and repair (E4).
+pub fn parallel_chains(
+    seed: u64,
+    chains: usize,
+    len: usize,
+    cross_percent: u32,
+) -> (DiGraph<u32, ()>, Clustering) {
+    assert!(chains >= 2 && len >= 3, "need parallelism and a middle stage");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g: DiGraph<u32, ()> = DiGraph::new();
+    let node = |c: usize, s: usize| (c * len + s) as u32;
+    for i in 0..(chains * len) as u32 {
+        g.add_node(i);
+    }
+    for c in 0..chains {
+        for s in 0..len - 1 {
+            g.add_edge(node(c, s), node(c, s + 1), ());
+        }
+    }
+    for c in 0..chains {
+        for c2 in 0..chains {
+            for s in 0..len - 1 {
+                if c != c2 && rng.gen_range(0..100) < cross_percent {
+                    g.add_edge(node(c, s), node(c2, s + 1), ());
+                }
+            }
+        }
+    }
+    // Merge odd stages across chains; even-stage nodes stay singletons.
+    let groups: Vec<Vec<u32>> = (0..len)
+        .filter(|s| s % 2 == 1)
+        .map(|s| (0..chains).map(|c| node(c, s)).collect())
+        .collect();
+    (g, Clustering::from_groups(chains * len, &groups))
+}
+
+/// A reachable `(u, v)` pair of the graph, far apart when possible.
+pub fn reachable_pair(g: &DiGraph<u32, ()>) -> Option<(u32, u32)> {
+    let n = g.node_count() as u32;
+    let mut best: Option<(u32, u32, usize)> = None;
+    for u in 0..n.min(16) {
+        let r = g.reachable_from(u);
+        for v in r.iter() {
+            if v as u32 != u {
+                let dist = v.saturating_sub(u as usize);
+                if best.map(|(_, _, d)| dist > d).unwrap_or(true) {
+                    best = Some((u, v as u32, dist));
+                }
+            }
+        }
+    }
+    best.map(|(u, v, _)| (u, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_specs_scale() {
+        let a = sized_spec(1, SIZES[0]);
+        let b = sized_spec(1, SIZES[3]);
+        assert!(b.module_count() > a.module_count());
+    }
+
+    #[test]
+    fn deep_specs_deepen() {
+        use ppwf_model::hierarchy::ExpansionHierarchy;
+        let shallow = ExpansionHierarchy::of(&deep_spec(3, 1)).max_depth();
+        let deep = ExpansionHierarchy::of(&deep_spec(3, 4)).max_depth();
+        assert!(deep >= shallow);
+    }
+
+    #[test]
+    fn repo_populates() {
+        let repo = populated_repo(3, 2, 9);
+        assert_eq!(repo.len(), 3);
+        assert_eq!(repo.execution_count(), 6);
+    }
+
+    #[test]
+    fn stage_clustering_is_unsound() {
+        use ppwf_views::soundness::check_soundness;
+        let (g, c) = parallel_chains(7, 3, 5, 5);
+        assert!(g.is_dag());
+        let report = check_soundness(&g, &c);
+        assert!(!report.sound, "stage clustering over parallel chains must mislead");
+    }
+
+    #[test]
+    fn dag_and_pair() {
+        let (g, w) = layered_dag(5, 30, 20);
+        assert!(g.is_dag());
+        assert_eq!(w.len(), g.edge_count());
+        let (u, v) = reachable_pair(&g).expect("connected enough");
+        assert!(g.reaches(u, v));
+    }
+}

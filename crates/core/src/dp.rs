@@ -1,0 +1,170 @@
+//! Differential privacy for provenance queries — the Sec. 5 discussion made
+//! measurable.
+//!
+//! The paper closes by asking whether differential privacy could apply to
+//! workflow provenance, and is skeptical: *"provenance in scientific
+//! workflows is used to ensure reproducibility of experiments, and adding
+//! random noise to provenance information may render it useless."* This
+//! module implements the standard Laplace mechanism over provenance
+//! **counting queries** (how many executions route data through module M?
+//! how many items derive from input d?) and the metric that quantifies the
+//! paper's concern: the *reproducibility failure rate* — how often the
+//! noisy answer, used the way a scientist would use it, differs from the
+//! truth.
+//!
+//! Experiment E8 sweeps ε and charts both relative error and failure rate.
+
+use rand::Rng;
+
+/// The Laplace mechanism for counting queries of sensitivity `sensitivity`.
+#[derive(Clone, Copy, Debug)]
+pub struct LaplaceMechanism {
+    /// Privacy budget ε (> 0); smaller is more private and noisier.
+    pub epsilon: f64,
+    /// L1 sensitivity of the query (1 for counting queries).
+    pub sensitivity: f64,
+}
+
+impl LaplaceMechanism {
+    /// Counting-query mechanism (sensitivity 1).
+    pub fn counting(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "ε must be positive");
+        LaplaceMechanism { epsilon, sensitivity: 1.0 }
+    }
+
+    /// The noise scale b = sensitivity / ε.
+    pub fn scale(&self) -> f64 {
+        self.sensitivity / self.epsilon
+    }
+
+    /// Draw one Laplace(0, b) sample via inverse CDF.
+    pub fn sample_noise(&self, rng: &mut impl Rng) -> f64 {
+        let u: f64 = rng.gen_range(-0.5..0.5);
+        let b = self.scale();
+        -b * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    /// A noisy release of `true_count`.
+    pub fn noisy_count(&self, true_count: u64, rng: &mut impl Rng) -> f64 {
+        true_count as f64 + self.sample_noise(rng)
+    }
+
+    /// A noisy release rounded and clamped the way a consumer would read a
+    /// count (non-negative integer).
+    pub fn noisy_count_rounded(&self, true_count: u64, rng: &mut impl Rng) -> u64 {
+        self.noisy_count(true_count, rng).round().max(0.0) as u64
+    }
+}
+
+/// Aggregate accuracy of the mechanism over a batch of true counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DpAccuracy {
+    /// Mean |noisy − true| / max(true, 1).
+    pub mean_relative_error: f64,
+    /// Fraction of releases whose rounded value differs from the truth —
+    /// the reproducibility failure rate of Sec. 5.
+    pub failure_rate: f64,
+}
+
+/// Evaluate the mechanism on `counts`, releasing each `trials` times.
+pub fn evaluate_mechanism(
+    mech: &LaplaceMechanism,
+    counts: &[u64],
+    trials: usize,
+    rng: &mut impl Rng,
+) -> DpAccuracy {
+    assert!(trials > 0 && !counts.is_empty());
+    let mut err_sum = 0.0;
+    let mut failures = 0usize;
+    let total = counts.len() * trials;
+    for &c in counts {
+        for _ in 0..trials {
+            let noisy = mech.noisy_count(c, rng);
+            err_sum += (noisy - c as f64).abs() / (c.max(1) as f64);
+            if noisy.round().max(0.0) as u64 != c {
+                failures += 1;
+            }
+        }
+    }
+    DpAccuracy {
+        mean_relative_error: err_sum / total as f64,
+        failure_rate: failures as f64 / total as f64,
+    }
+}
+
+/// Theoretical failure probability of a rounded Laplace release:
+/// `P(|noise| > 0.5) = exp(−ε/2)` for sensitivity-1 counting queries.
+pub fn theoretical_failure_rate(epsilon: f64) -> f64 {
+    (-epsilon * 0.5).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noise_is_centered_and_scaled() {
+        let mech = LaplaceMechanism::counting(1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| mech.sample_noise(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} should be ~0");
+        // Laplace(0, 1) has E|X| = b = 1.
+        let mad = samples.iter().map(|x| x.abs()).sum::<f64>() / n as f64;
+        assert!((mad - 1.0).abs() < 0.05, "mean abs dev {mad} should be ~1");
+    }
+
+    #[test]
+    fn smaller_epsilon_is_noisier() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let tight = LaplaceMechanism::counting(4.0);
+        let loose = LaplaceMechanism::counting(0.25);
+        let counts = [5u64, 10, 100];
+        let at = evaluate_mechanism(&tight, &counts, 2000, &mut rng);
+        let al = evaluate_mechanism(&loose, &counts, 2000, &mut rng);
+        assert!(al.mean_relative_error > at.mean_relative_error * 2.0);
+        assert!(al.failure_rate > at.failure_rate);
+    }
+
+    #[test]
+    fn failure_rate_matches_theory() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for eps in [0.5f64, 1.0, 2.0] {
+            let mech = LaplaceMechanism::counting(eps);
+            let acc = evaluate_mechanism(&mech, &[42], 30_000, &mut rng);
+            let theory = theoretical_failure_rate(eps);
+            assert!(
+                (acc.failure_rate - theory).abs() < 0.02,
+                "ε={eps}: measured {} vs theory {theory}",
+                acc.failure_rate
+            );
+        }
+    }
+
+    #[test]
+    fn supports_paper_skepticism_at_small_epsilon() {
+        // At strong privacy (ε = 0.1) virtually every provenance count is
+        // wrong after rounding — "render it useless".
+        assert!(theoretical_failure_rate(0.1) > 0.95);
+        // At weak privacy (ε = 10) counts are usually exact.
+        assert!(theoretical_failure_rate(10.0) < 0.01);
+    }
+
+    #[test]
+    fn rounded_release_clamps_at_zero() {
+        let mech = LaplaceMechanism::counting(0.01);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..100 {
+            let _ = mech.noisy_count_rounded(0, &mut rng); // must not underflow
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ε must be positive")]
+    fn zero_epsilon_rejected() {
+        LaplaceMechanism::counting(0.0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Privacy-controlled disclosure (Sec. 4 of the paper).
+//!
+//! Given an execution, a policy and a principal, [`disclose`] produces what
+//! that principal is allowed to see:
+//!
+//! 1. start from the principal's **access view** (the finest prefix they may
+//!    access, Sec. 2),
+//! 2. **mask** data values above their clearance on every edge
+//!    ([`crate::data_privacy`]),
+//! 3. **zoom out** — coarsen the prefix composite-by-composite — until no
+//!    active structural hide-pair is identifiable in the view (the paper's
+//!    *"gradually zoom-out the view ... until privacy is achieved"*),
+//! 4. audit the result before release.
+//!
+//! A hide-pair `(u, v)` counts as *revealed* when both modules are
+//! individually identifiable in the view (shown as themselves, not absorbed
+//! into some other composite) and the view graph connects them. Absorbing
+//! either endpoint into a coarser composite de-identifies it, which is
+//! exactly how prefix views hide structure.
+
+use crate::data_privacy::{audit_masking, mask_execution, MaskReport};
+use crate::policy::{Policy, Principal};
+use ppwf_model::exec::Execution;
+use ppwf_model::hierarchy::{ExpansionHierarchy, Prefix};
+use ppwf_model::ids::ModuleId;
+use ppwf_model::spec::Specification;
+use ppwf_model::{ModelError, Result};
+use ppwf_views::exec_view::{ExecView, ExecViewNode};
+use ppwf_views::zoom::zoom_out_until;
+
+/// What a principal receives for one execution.
+#[derive(Clone, Debug)]
+pub struct Disclosure {
+    /// The prefix actually used (≤ the principal's access view).
+    pub prefix: Prefix,
+    /// The collapsed execution view at that prefix.
+    pub view: ExecView,
+    /// The masked execution backing the view (values above clearance are
+    /// [`ppwf_model::value::Value::Masked`]).
+    pub execution: Execution,
+    /// Which data items were masked / visible.
+    pub mask: MaskReport,
+    /// Zoom-out steps taken to satisfy structural privacy.
+    pub zoom_steps: usize,
+}
+
+/// Whether view node `n` identifiably shows module `m`.
+fn identifies(view: &ExecView, exec: &Execution, n: u32, m: ModuleId) -> bool {
+    match view.graph().node(n) {
+        ExecViewNode::Kept(orig) => {
+            exec.graph().node(orig.index() as u32).kind.module() == Some(m)
+        }
+        ExecViewNode::Collapsed(_, mm) => *mm == m,
+        _ => false,
+    }
+}
+
+/// Whether the view reveals that `u` contributes to `v`.
+pub fn pair_revealed(view: &ExecView, exec: &Execution, u: ModuleId, v: ModuleId) -> bool {
+    let (Some(pu), Some(pv)) = (exec.proc_of(u), exec.proc_of(v)) else {
+        return false;
+    };
+    let (Some(nu), Some(nv)) = (view.node_of_proc(pu), view.node_of_proc(pv)) else {
+        return false;
+    };
+    nu != nv
+        && identifies(view, exec, nu, u)
+        && identifies(view, exec, nv, v)
+        && view.graph().reaches(nu, nv)
+}
+
+/// Disclose `exec` to `principal` under `policy`.
+///
+/// Errors if the policy is invalid for the specification, or if structural
+/// privacy cannot be satisfied even at the root-only view (in which case no
+/// prefix view of this execution may be released to this principal).
+pub fn disclose(
+    spec: &Specification,
+    h: &ExpansionHierarchy,
+    exec: &Execution,
+    policy: &Policy,
+    principal: &Principal,
+) -> Result<Disclosure> {
+    policy.validate(spec)?;
+    principal.access_view.validate(h)?;
+
+    let mut masked = exec.clone();
+    let mask = mask_execution(&mut masked, policy, principal.level);
+    audit_masking(&masked, policy, principal.level)?;
+
+    let active: Vec<(ModuleId, ModuleId)> = policy
+        .active_hide_pairs(principal.level)
+        .map(|hp| (hp.from, hp.to))
+        .collect();
+
+    let outcome = zoom_out_until(h, &principal.access_view, |p| {
+        let view = ExecView::build(spec, h, &masked, p).expect("valid prefix");
+        active.iter().all(|&(u, v)| !pair_revealed(&view, &masked, u, v))
+    });
+    let Some(prefix) = outcome.prefix else {
+        return Err(ModelError::invalid(format!(
+            "structural privacy for principal `{}` cannot be satisfied by any prefix view",
+            principal.name
+        )));
+    };
+    let view = ExecView::build(spec, h, &masked, &prefix)?;
+    Ok(Disclosure { prefix, view, execution: masked, mask, zoom_steps: outcome.steps })
+}
+
+/// Like [`disclose`], but maximizes utility exactly: instead of the greedy
+/// deepest-first zoom-out walk, search **all** prefixes under the access
+/// view for the finest one that satisfies structural privacy — the paper's
+/// *"maximizing utility with respect to provenance queries"* objective made
+/// literal. Exponential in hierarchy width in the worst case, fine at the
+/// hierarchy sizes real workflows have; the greedy [`disclose`] is the
+/// production path and this is its quality baseline (their gap is tested).
+pub fn disclose_exact(
+    spec: &Specification,
+    h: &ExpansionHierarchy,
+    exec: &Execution,
+    policy: &Policy,
+    principal: &Principal,
+) -> Result<Disclosure> {
+    policy.validate(spec)?;
+    principal.access_view.validate(h)?;
+
+    let mut masked = exec.clone();
+    let mask = mask_execution(&mut masked, policy, principal.level);
+    audit_masking(&masked, policy, principal.level)?;
+
+    let active: Vec<(ModuleId, ModuleId)> = policy
+        .active_hide_pairs(principal.level)
+        .map(|hp| (hp.from, hp.to))
+        .collect();
+
+    let best = ppwf_views::zoom::finest_satisfying(h, &principal.access_view, |p| {
+        let view = ExecView::build(spec, h, &masked, p).expect("valid prefix");
+        active.iter().all(|&(u, v)| !pair_revealed(&view, &masked, u, v))
+    });
+    let Some(prefix) = best else {
+        return Err(ModelError::invalid(format!(
+            "structural privacy for principal `{}` cannot be satisfied by any prefix view",
+            principal.name
+        )));
+    };
+    let view = ExecView::build(spec, h, &masked, &prefix)?;
+    Ok(Disclosure { prefix, view, execution: masked, mask, zoom_steps: 0 })
+}
+
+/// Post-release audit: re-verify every guarantee on a disclosure (defense
+/// in depth for the repository layer).
+pub fn audit_disclosure(
+    spec: &Specification,
+    policy: &Policy,
+    principal: &Principal,
+    d: &Disclosure,
+) -> Result<()> {
+    audit_masking(&d.execution, policy, principal.level)?;
+    if !d.prefix.coarser_or_equal(&principal.access_view) {
+        return Err(ModelError::invalid("disclosure prefix exceeds access view"));
+    }
+    for hp in policy.active_hide_pairs(principal.level) {
+        if pair_revealed(&d.view, &d.execution, hp.from, hp.to) {
+            return Err(ModelError::invalid(format!(
+                "structural leak: {} → {} visible",
+                spec.module(hp.from).code,
+                spec.module(hp.to).code
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AccessLevel;
+    use ppwf_model::fixtures;
+    use ppwf_model::ids::WorkflowId;
+
+    fn setup() -> (Specification, ExpansionHierarchy, Execution) {
+        let (spec, _) = fixtures::disease_susceptibility();
+        let h = ExpansionHierarchy::of(&spec);
+        let exec = fixtures::disease_susceptibility_execution(&spec);
+        (spec, h, exec)
+    }
+
+    #[test]
+    fn public_policy_full_access_needs_no_zoom() {
+        let (spec, h, exec) = setup();
+        let policy = Policy::public();
+        let admin = Principal::admin(&h);
+        let d = disclose(&spec, &h, &exec, &policy, &admin).unwrap();
+        assert_eq!(d.zoom_steps, 0);
+        assert!(d.mask.masked.is_empty());
+        assert_eq!(d.view.graph().node_count(), exec.graph().node_count());
+        audit_disclosure(&spec, &policy, &admin, &d).unwrap();
+    }
+
+    #[test]
+    fn data_masking_applies_at_disclosure() {
+        let (spec, h, exec) = setup();
+        let mut policy = Policy::public();
+        policy.protect_channel("disorders", AccessLevel(3));
+        let user = Principal::new("user", AccessLevel(1), Prefix::full(&h));
+        let d = disclose(&spec, &h, &exec, &policy, &user).unwrap();
+        assert_eq!(d.mask.masked.len(), 3, "d8, d9, d10 masked");
+        assert!(d.execution.data_items().filter(|x| x.channel == "disorders").all(|x| x.value.is_masked()));
+        audit_disclosure(&spec, &policy, &user, &d).unwrap();
+    }
+
+    #[test]
+    fn structural_zoom_hides_m13_m11() {
+        // The Sec. 3 example: hide that M13 (Reformat) feeds M11 (Update
+        // Private Datasets). Both live in W3; zooming W3 out collapses them
+        // into S8:M2, de-identifying the pair.
+        let (spec, h, exec) = setup();
+        let m = fixtures::handles(&spec);
+        let mut policy = Policy::public();
+        policy.hide_pair(m.m13, m.m11, AccessLevel(5));
+        let user = Principal::new("user", AccessLevel(1), Prefix::full(&h));
+        let d = disclose(&spec, &h, &exec, &policy, &user).unwrap();
+        assert!(d.zoom_steps > 0);
+        assert!(!d.prefix.contains(WorkflowId::new(2)), "W3 zoomed out");
+        assert!(d.prefix.contains(WorkflowId::new(0)));
+        assert!(!pair_revealed(&d.view, &d.execution, m.m13, m.m11));
+        audit_disclosure(&spec, &policy, &user, &d).unwrap();
+
+        // A cleared principal sees everything without zooming.
+        let boss = Principal::new("boss", AccessLevel(5), Prefix::full(&h));
+        let d2 = disclose(&spec, &h, &exec, &policy, &boss).unwrap();
+        assert_eq!(d2.zoom_steps, 0);
+        assert!(pair_revealed(&d2.view, &d2.execution, m.m13, m.m11));
+    }
+
+    #[test]
+    fn zoom_keeps_unrelated_detail_when_possible() {
+        // Hiding a W4-internal pair must not force W3 out of the view: the
+        // zoom policy peels deepest-first and stops as soon as privacy
+        // holds... W4 (deepest) goes first, W3 stays.
+        let (spec, h, exec) = setup();
+        let m = fixtures::handles(&spec);
+        let mut policy = Policy::public();
+        policy.hide_pair(m.m5, m.m6, AccessLevel(5));
+        let user = Principal::new("user", AccessLevel(0), Prefix::full(&h));
+        let d = disclose(&spec, &h, &exec, &policy, &user).unwrap();
+        assert!(!d.prefix.contains(WorkflowId::new(3)), "W4 removed");
+        assert!(d.prefix.contains(WorkflowId::new(2)), "W3 kept");
+        audit_disclosure(&spec, &policy, &user, &d).unwrap();
+    }
+
+    #[test]
+    fn top_level_pair_cannot_be_hidden_by_zoom() {
+        // M1 → M2 sits in the root workflow: no prefix hides it.
+        let (spec, h, exec) = setup();
+        let m = fixtures::handles(&spec);
+        let mut policy = Policy::public();
+        policy.hide_pair(m.m1, m.m2, AccessLevel(5));
+        let user = Principal::new("user", AccessLevel(0), Prefix::full(&h));
+        let err = disclose(&spec, &h, &exec, &policy, &user).unwrap_err();
+        assert!(err.to_string().contains("cannot be satisfied"));
+    }
+
+    #[test]
+    fn access_view_caps_disclosure() {
+        // Principal with a root-only access view never sees inside M1/M2,
+        // regardless of policy.
+        let (spec, h, exec) = setup();
+        let policy = Policy::public();
+        let user = Principal::new("user", AccessLevel(9), Prefix::root_only(&h));
+        let d = disclose(&spec, &h, &exec, &policy, &user).unwrap();
+        assert_eq!(d.view.graph().node_count(), 4, "I, S1:M1, S8:M2, O");
+        audit_disclosure(&spec, &policy, &user, &d).unwrap();
+    }
+
+    #[test]
+    fn exact_disclosure_dominates_greedy() {
+        // The greedy walk peels deepest-first and can discard unrelated
+        // detail; the exact search keeps the finest private prefix. For a
+        // hide-pair spanning W2's M8 and W3's M9, de-identifying *either*
+        // endpoint suffices: exact keeps 3 workflows, greedy keeps 2.
+        let (spec, h, exec) = setup();
+        let m = fixtures::handles(&spec);
+        let mut policy = Policy::public();
+        policy.hide_pair(m.m8, m.m9, AccessLevel(5));
+        let user = Principal::new("user", AccessLevel(0), Prefix::full(&h));
+        let greedy = disclose(&spec, &h, &exec, &policy, &user).unwrap();
+        let exact = disclose_exact(&spec, &h, &exec, &policy, &user).unwrap();
+        audit_disclosure(&spec, &policy, &user, &exact).unwrap();
+        assert!(
+            exact.prefix.len() >= greedy.prefix.len(),
+            "exact keeps at least as much detail"
+        );
+        assert_eq!(exact.prefix.len(), 3, "exact drops only W3 (or only W2)");
+        assert_eq!(greedy.prefix.len(), 2, "greedy also peeled W4 on the way");
+        assert!(!pair_revealed(&exact.view, &exact.execution, m.m8, m.m9));
+    }
+
+    #[test]
+    fn exact_disclosure_errors_when_unsatisfiable() {
+        let (spec, h, exec) = setup();
+        let m = fixtures::handles(&spec);
+        let mut policy = Policy::public();
+        policy.hide_pair(m.m1, m.m2, AccessLevel(5));
+        let user = Principal::new("user", AccessLevel(0), Prefix::full(&h));
+        assert!(disclose_exact(&spec, &h, &exec, &policy, &user).is_err());
+    }
+
+    #[test]
+    fn cross_composite_pair_zooms_until_deidentified() {
+        // Hide that M8 (in W2) contributes to M9 (in W3): collapsing either
+        // endpoint's workflow de-identifies that endpoint.
+        let (spec, h, exec) = setup();
+        let m = fixtures::handles(&spec);
+        let mut policy = Policy::public();
+        policy.hide_pair(m.m8, m.m9, AccessLevel(5));
+        let user = Principal::new("user", AccessLevel(0), Prefix::full(&h));
+        let d = disclose(&spec, &h, &exec, &policy, &user).unwrap();
+        assert!(!pair_revealed(&d.view, &d.execution, m.m8, m.m9));
+        // Deepest-first peeling removes W4 first (no help), then W3 —
+        // de-identifying M9 and stopping there.
+        assert!(!d.prefix.contains(WorkflowId::new(2)));
+        assert_eq!(d.zoom_steps, 2);
+        audit_disclosure(&spec, &policy, &user, &d).unwrap();
+    }
+}

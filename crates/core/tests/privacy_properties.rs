@@ -1,0 +1,151 @@
+//! Property tests for the privacy layer: masking totality and idempotence,
+//! Γ-privacy monotonicity in the hidden set, structural-privacy guarantees
+//! over random graphs, and Laplace symmetry.
+
+use ppwf_core::data_privacy::{audit_masking, masked_clone};
+use ppwf_core::dp::LaplaceMechanism;
+use ppwf_core::module_privacy::Relation;
+use ppwf_core::policy::{AccessLevel, Policy};
+use ppwf_core::structural::{hide_by_clustering, hide_by_deletion, HideRequest};
+use ppwf_model::bitset::BitSet;
+use ppwf_model::exec::{Executor, HashOracle};
+use ppwf_model::graph::DiGraph;
+use ppwf_model::spec::SpecBuilder;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Γ-privacy is monotone: hiding more attributes never lowers the
+    /// candidate count.
+    #[test]
+    fn gamma_monotone_in_hiding(seed in any::<u64>(), grow in 0usize..4) {
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let table: Vec<(u16, u16)> = (0..4).map(|_| ((next() % 2) as u16, (next() % 2) as u16)).collect();
+        let mut k = 0usize;
+        let rel = Relation::from_fn("rnd", &[2, 2], &[2, 2], move |_| {
+            let row = table[k % 4];
+            k += 1;
+            vec![row.0, row.1]
+        });
+        // Random nested visible sets V2 ⊆ V1.
+        let mut v1 = BitSet::full(4);
+        let mut v2 = BitSet::full(4);
+        for a in 0..4usize {
+            if next() % 2 == 0 {
+                v1.remove(a);
+                v2.remove(a);
+            }
+        }
+        for _ in 0..grow {
+            let a = (next() % 4) as usize;
+            v2.remove(a); // v2 hides at least as much as v1
+        }
+        prop_assert!(v2.is_subset_of(&v1));
+        prop_assert!(
+            rel.min_possible_outputs(&v2) >= rel.min_possible_outputs(&v1),
+            "hiding more lowered privacy"
+        );
+    }
+
+    /// Masking is total and idempotent on arbitrary linear pipelines with
+    /// arbitrary channel protections.
+    #[test]
+    fn masking_total_and_idempotent(
+        n in 1usize..6,
+        protected in proptest::collection::vec(any::<bool>(), 8),
+        level in 0u8..3,
+    ) {
+        let mut b = SpecBuilder::new("mask");
+        let w = b.root_workflow("W1");
+        let mut prev = b.input(w);
+        for i in 0..n {
+            let m = b.atomic(w, &format!("A{i}"), &[]);
+            b.edge(w, prev, m, &[&format!("c{i}")]);
+            prev = m;
+        }
+        b.edge(w, prev, b.output(w), &["out"]);
+        let spec = b.build().unwrap();
+        let exec = Executor::new(&spec).run(&mut HashOracle).unwrap();
+        let mut policy = Policy::public();
+        for (i, &p) in protected.iter().enumerate() {
+            if p {
+                policy.protect_channel(format!("c{i}"), AccessLevel(2));
+            }
+        }
+        let (masked, report) = masked_clone(&exec, &policy, AccessLevel(level));
+        audit_masking(&masked, &policy, AccessLevel(level)).unwrap();
+        prop_assert_eq!(report.masked.len() + report.visible.len(), exec.data_count());
+        let (masked2, report2) = masked_clone(&masked, &policy, AccessLevel(level));
+        prop_assert_eq!(report.masked, report2.masked);
+        audit_masking(&masked2, &policy, AccessLevel(level)).unwrap();
+    }
+
+    /// Both structural mechanisms always hide every requested pair on
+    /// random DAGs with multiple pairs.
+    #[test]
+    fn structural_mechanisms_always_hide(n in 4usize..12, seed in any::<u64>()) {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        for _ in 0..n {
+            g.add_node(());
+        }
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                if next() % 10 < 4 {
+                    g.add_edge(i, j, ());
+                }
+            }
+        }
+        // Collect up to 2 reachable pairs.
+        let mut pairs = Vec::new();
+        'outer: for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if u != v && g.reaches(u, v) {
+                    pairs.push((u, v));
+                    if pairs.len() == 2 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        prop_assume!(!pairs.is_empty());
+        let req = HideRequest { pairs: pairs.clone() };
+        let weights = vec![1u64; g.edge_count()];
+        let del = hide_by_deletion(&g, &weights, &req);
+        prop_assert!(del.hidden_ok);
+        for &(u, v) in &pairs {
+            prop_assert!(!del.graph.reaches(u, v));
+        }
+        let clu = hide_by_clustering(&g, &req);
+        prop_assert!(clu.hidden_ok);
+        // Clustering never destroys true pairs: correct + hidden = total.
+        prop_assert_eq!(
+            clu.report.correct_pairs + clu.report.hidden_pairs,
+            g.reachability_pair_count()
+        );
+    }
+
+    /// Laplace noise is sign-symmetric and scale-monotone in expectation.
+    #[test]
+    fn laplace_symmetry(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mech = LaplaceMechanism::counting(1.0);
+        let n = 2000;
+        let pos = (0..n).filter(|_| mech.sample_noise(&mut rng) > 0.0).count();
+        // Binomial(2000, .5): allow ±6 sigma ≈ 134.
+        prop_assert!((pos as i64 - 1000).abs() < 140, "positives: {pos}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Error types shared by the model crate.
+
+use std::fmt;
+
+/// Convenient result alias for fallible model operations.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+/// Errors raised while building, validating, executing or (de)serializing
+/// workflow specifications and executions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A workflow graph contains a dataflow cycle (specifications must be
+    /// DAGs; executions are derived from them and inherit acyclicity).
+    Cycle {
+        /// Human-readable name of the offending workflow.
+        workflow: String,
+    },
+    /// An edge refers to a module that does not belong to the workflow the
+    /// edge was added to.
+    ForeignModule {
+        workflow: String,
+        module: String,
+    },
+    /// A module that must be unique (e.g. the input or output pseudo-module
+    /// of a workflow) was defined more than once.
+    DuplicateDistinguished {
+        workflow: String,
+        which: &'static str,
+    },
+    /// The input pseudo-module has incoming edges or the output pseudo-module
+    /// has outgoing edges.
+    BadDistinguishedEdge {
+        workflow: String,
+        detail: String,
+    },
+    /// A composite module was given more than one τ-expansion, or an
+    /// expansion was attached to a non-composite module.
+    BadExpansion {
+        module: String,
+        detail: String,
+    },
+    /// The τ-expansion relation does not form a tree rooted at the root
+    /// workflow (e.g. a subworkflow reachable from two composites).
+    HierarchyNotTree {
+        detail: String,
+    },
+    /// A module other than input/output is disconnected (unreachable from
+    /// the input or unable to reach the output is allowed for sinks such as
+    /// database-update modules, but fully isolated modules are rejected).
+    Disconnected {
+        workflow: String,
+        module: String,
+    },
+    /// A supplied schedule (start/completion order) is not a topological
+    /// linear extension of the execution constraints.
+    BadSchedule {
+        detail: String,
+    },
+    /// An id was out of range for the structure it indexes.
+    BadId {
+        kind: &'static str,
+        index: usize,
+        len: usize,
+    },
+    /// A prefix of the expansion hierarchy was not closed under parents.
+    BadPrefix {
+        detail: String,
+    },
+    /// Binary codec: malformed or truncated input.
+    Codec {
+        detail: String,
+    },
+    /// Catch-all for invariant violations with context.
+    Invalid {
+        detail: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Cycle { workflow } => {
+                write!(f, "workflow `{workflow}` contains a dataflow cycle")
+            }
+            ModelError::ForeignModule { workflow, module } => {
+                write!(f, "module `{module}` does not belong to workflow `{workflow}`")
+            }
+            ModelError::DuplicateDistinguished { workflow, which } => {
+                write!(
+                    f,
+                    "workflow `{workflow}` has a missing, duplicate or mis-kinded {which} \
+                     pseudo-module"
+                )
+            }
+            ModelError::BadDistinguishedEdge { workflow, detail } => {
+                write!(f, "bad input/output edge in workflow `{workflow}`: {detail}")
+            }
+            ModelError::BadExpansion { module, detail } => {
+                write!(f, "bad τ-expansion on module `{module}`: {detail}")
+            }
+            ModelError::HierarchyNotTree { detail } => {
+                write!(f, "expansion hierarchy is not a tree: {detail}")
+            }
+            ModelError::Disconnected { workflow, module } => {
+                write!(f, "module `{module}` in workflow `{workflow}` is isolated")
+            }
+            ModelError::BadSchedule { detail } => write!(f, "bad schedule: {detail}"),
+            ModelError::BadId { kind, index, len } => {
+                write!(f, "{kind} id {index} out of range (len {len})")
+            }
+            ModelError::BadPrefix { detail } => write!(f, "bad hierarchy prefix: {detail}"),
+            ModelError::Codec { detail } => write!(f, "codec error: {detail}"),
+            ModelError::Invalid { detail } => write!(f, "invalid model state: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl ModelError {
+    /// Shorthand constructor for [`ModelError::Invalid`].
+    pub fn invalid(detail: impl Into<String>) -> Self {
+        ModelError::Invalid { detail: detail.into() }
+    }
+
+    /// Shorthand constructor for [`ModelError::Codec`].
+    pub fn codec(detail: impl Into<String>) -> Self {
+        ModelError::Codec { detail: detail.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::Cycle { workflow: "W1".into() };
+        assert!(e.to_string().contains("W1"));
+        let e = ModelError::BadId { kind: "module", index: 7, len: 3 };
+        assert!(e.to_string().contains('7') && e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(ModelError::invalid("x"));
+        assert!(e.to_string().contains('x'));
+    }
+
+    #[test]
+    fn constructors() {
+        assert!(matches!(ModelError::invalid("a"), ModelError::Invalid { .. }));
+        assert!(matches!(ModelError::codec("b"), ModelError::Codec { .. }));
+    }
+}

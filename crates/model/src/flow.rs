@@ -1,0 +1,261 @@
+//! Maximum flow / minimum cut on small directed graphs (Dinic's algorithm).
+//!
+//! The edge-deletion mechanism for **structural privacy** (Sec. 3 of the
+//! paper) must remove a minimum-weight set of dataflow edges so that a
+//! private pair `(u, v)` has no remaining `u → v` path. By max-flow/min-cut
+//! duality that set is exactly a minimum `u–v` edge cut, so the privacy
+//! layer calls [`min_edge_cut`] with per-edge utility weights as capacities.
+//!
+//! Workflow graphs are small (thousands of nodes), so a straightforward
+//! Dinic implementation with adjacency lists is more than fast enough and
+//! keeps the workspace dependency-free.
+
+use crate::bitset::BitSet;
+
+/// Capacity value. Edge weights in the privacy layer are integral utilities;
+/// `u64` avoids any floating-point comparison subtleties inside the solver.
+pub type Cap = u64;
+
+/// A max-flow problem instance over `n` nodes.
+///
+/// Edges are added with [`FlowNetwork::add_edge`]; each call creates the
+/// directed edge and its zero-capacity residual twin.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    n: usize,
+    // Arena of directed arcs; arc i and i^1 are residual twins.
+    to: Vec<u32>,
+    cap: Vec<Cap>,
+    adj: Vec<Vec<u32>>,
+    /// Caller-provided tag for each *added* edge (arc index / 2).
+    tags: Vec<usize>,
+}
+
+impl FlowNetwork {
+    /// Create a network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork { n, to: Vec::new(), cap: Vec::new(), adj: vec![Vec::new(); n], tags: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Add a directed edge `u → v` with capacity `cap`, tagged with an
+    /// arbitrary caller id (e.g. the dense edge index of the source graph).
+    pub fn add_edge(&mut self, u: u32, v: u32, cap: Cap, tag: usize) {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "flow edge endpoint out of range");
+        let a = self.to.len() as u32;
+        self.to.push(v);
+        self.cap.push(cap);
+        self.adj[u as usize].push(a);
+        self.to.push(u);
+        self.cap.push(0);
+        self.adj[v as usize].push(a + 1);
+        self.tags.push(tag);
+    }
+
+    /// Run Dinic's algorithm, returning the max-flow value. Mutates residual
+    /// capacities in place; call [`FlowNetwork::min_cut`] afterwards to
+    /// extract the cut.
+    pub fn max_flow(&mut self, s: u32, t: u32) -> Cap {
+        assert_ne!(s, t, "source equals sink");
+        let mut flow: Cap = 0;
+        loop {
+            let level = self.bfs_levels(s, t);
+            if level[t as usize] == u32::MAX {
+                return flow;
+            }
+            let mut it: Vec<usize> = vec![0; self.n];
+            loop {
+                let pushed = self.dfs_push(s, t, Cap::MAX, &level, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+    }
+
+    fn bfs_levels(&self, s: u32, t: u32) -> Vec<u32> {
+        let mut level = vec![u32::MAX; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        level[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            if u == t {
+                break;
+            }
+            for &a in &self.adj[u as usize] {
+                let v = self.to[a as usize];
+                if self.cap[a as usize] > 0 && level[v as usize] == u32::MAX {
+                    level[v as usize] = level[u as usize] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        level
+    }
+
+    fn dfs_push(&mut self, u: u32, t: u32, limit: Cap, level: &[u32], it: &mut [usize]) -> Cap {
+        if u == t {
+            return limit;
+        }
+        while it[u as usize] < self.adj[u as usize].len() {
+            let a = self.adj[u as usize][it[u as usize]];
+            let v = self.to[a as usize];
+            if self.cap[a as usize] > 0 && level[v as usize] == level[u as usize] + 1 {
+                let pushed =
+                    self.dfs_push(v, t, limit.min(self.cap[a as usize]), level, it);
+                if pushed > 0 {
+                    self.cap[a as usize] -= pushed;
+                    self.cap[(a ^ 1) as usize] += pushed;
+                    return pushed;
+                }
+            }
+            it[u as usize] += 1;
+        }
+        0
+    }
+
+    /// After [`FlowNetwork::max_flow`], the source side of the minimum cut:
+    /// nodes still reachable from `s` in the residual network.
+    pub fn source_side(&self, s: u32) -> BitSet {
+        let mut seen = BitSet::new(self.n);
+        let mut stack = vec![s];
+        seen.insert(s as usize);
+        while let Some(u) = stack.pop() {
+            for &a in &self.adj[u as usize] {
+                let v = self.to[a as usize];
+                if self.cap[a as usize] > 0 && seen.insert(v as usize) {
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// After [`FlowNetwork::max_flow`], the tags of the saturated edges that
+    /// cross the minimum cut (source side → sink side).
+    pub fn min_cut(&self, s: u32) -> Vec<usize> {
+        let side = self.source_side(s);
+        let mut cut = Vec::new();
+        for (i, &tag) in self.tags.iter().enumerate() {
+            let a = (i * 2) as u32; // forward arc of edge i
+            let u = self.to[(a ^ 1) as usize]; // source of forward arc
+            let v = self.to[a as usize];
+            if side.contains(u as usize) && !side.contains(v as usize) {
+                cut.push(tag);
+            }
+        }
+        cut
+    }
+}
+
+/// Convenience wrapper: minimum-weight edge cut separating `s` from `t`.
+///
+/// `edges` lists `(from, to, weight)` triples over `n` nodes; the returned
+/// value is `(total_cut_weight, indices_of_cut_edges)`. Weights of 0 are
+/// clamped to 1 so that every edge has a removal cost.
+pub fn min_edge_cut(
+    n: usize,
+    edges: &[(u32, u32, Cap)],
+    s: u32,
+    t: u32,
+) -> (Cap, Vec<usize>) {
+    let mut net = FlowNetwork::new(n);
+    for (i, &(u, v, w)) in edges.iter().enumerate() {
+        net.add_edge(u, v, w.max(1), i);
+    }
+    let value = net.max_flow(s, t);
+    (value, net.min_cut(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let (v, cut) = min_edge_cut(2, &[(0, 1, 5)], 0, 1);
+        assert_eq!(v, 5);
+        assert_eq!(cut, vec![0]);
+    }
+
+    #[test]
+    fn unreachable_sink_needs_no_cut() {
+        let (v, cut) = min_edge_cut(3, &[(0, 1, 1)], 0, 2);
+        assert_eq!(v, 0);
+        assert!(cut.is_empty());
+    }
+
+    #[test]
+    fn diamond_unit_capacities() {
+        // 0→1→3, 0→2→3: two edge-disjoint paths, min cut = 2.
+        let edges = [(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)];
+        let (v, cut) = min_edge_cut(4, &edges, 0, 3);
+        assert_eq!(v, 2);
+        assert_eq!(cut.len(), 2);
+        // Removing the cut must disconnect 0 from 3.
+        let mut g = crate::graph::DiGraph::<(), ()>::new();
+        for _ in 0..4 {
+            g.add_node(());
+        }
+        for (i, &(a, b, _)) in edges.iter().enumerate() {
+            if !cut.contains(&i) {
+                g.add_edge(a, b, ());
+            }
+        }
+        assert!(!g.reaches(0, 3));
+    }
+
+    #[test]
+    fn weighted_cut_prefers_cheap_edges() {
+        // 0 → 1 with weight 10, 1 → 2 with weight 1: cut the cheap one.
+        let edges = [(0, 1, 10), (1, 2, 1)];
+        let (v, cut) = min_edge_cut(3, &edges, 0, 2);
+        assert_eq!(v, 1);
+        assert_eq!(cut, vec![1]);
+    }
+
+    #[test]
+    fn classic_network() {
+        // CLRS-style example, max flow 23.
+        let edges = [
+            (0, 1, 16),
+            (0, 2, 13),
+            (1, 2, 10),
+            (2, 1, 4),
+            (1, 3, 12),
+            (3, 2, 9),
+            (2, 4, 14),
+            (4, 3, 7),
+            (3, 5, 20),
+            (4, 5, 4),
+        ];
+        let mut net = FlowNetwork::new(6);
+        for (i, &(u, v, w)) in edges.iter().enumerate() {
+            net.add_edge(u, v, w, i);
+        }
+        assert_eq!(net.max_flow(0, 5), 23);
+        let cut = net.min_cut(0);
+        let cut_weight: Cap = cut.iter().map(|&i| edges[i].2).sum();
+        assert_eq!(cut_weight, 23, "cut weight equals flow value");
+    }
+
+    #[test]
+    fn zero_weight_clamped() {
+        let (v, cut) = min_edge_cut(2, &[(0, 1, 0)], 0, 1);
+        assert_eq!(v, 1);
+        assert_eq!(cut, vec![0]);
+    }
+
+    #[test]
+    fn parallel_edges_all_cut() {
+        let edges = [(0, 1, 1), (0, 1, 1)];
+        let (v, cut) = min_edge_cut(2, &edges, 0, 1);
+        assert_eq!(v, 2);
+        assert_eq!(cut.len(), 2);
+    }
+}

@@ -1,0 +1,472 @@
+//! A small, from-scratch directed-graph toolkit.
+//!
+//! Workflow specifications, specification views, executions and execution
+//! views are all directed acyclic graphs with domain-specific payloads. This
+//! module provides the one generic structure they share — [`DiGraph`] — plus
+//! the algorithms the privacy layer needs: Kahn topological ordering, cycle
+//! detection, BFS reachability, bitset transitive closure, and induced
+//! subgraphs. Max-flow/min-cut lives in [`crate::flow`].
+//!
+//! We deliberately do not use a general-purpose graph crate: the soundness
+//! and structural-privacy algorithms need direct access to closure rows and
+//! stable dense indices, and the whole workspace must build offline.
+
+use crate::bitset::BitSet;
+use serde::{Deserialize, Serialize};
+
+/// A directed multigraph with dense `u32` node indices and arbitrary node and
+/// edge payloads. Parallel edges and self-loops are representable (validation
+/// layers reject them where the model forbids them).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DiGraph<N, E> {
+    nodes: Vec<N>,
+    edges: Vec<Edge<E>>,
+    out: Vec<Vec<u32>>,
+    inn: Vec<Vec<u32>>,
+}
+
+/// One edge of a [`DiGraph`]: endpoints plus payload.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge<E> {
+    /// Source node index.
+    pub from: u32,
+    /// Target node index.
+    pub to: u32,
+    /// Edge payload.
+    pub payload: E,
+}
+
+impl<N, E> Default for DiGraph<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N, E> DiGraph<N, E> {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        DiGraph { nodes: Vec::new(), edges: Vec::new(), out: Vec::new(), inn: Vec::new() }
+    }
+
+    /// Create an empty graph with preallocated capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        DiGraph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            out: Vec::with_capacity(nodes),
+            inn: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Add a node, returning its dense index.
+    pub fn add_node(&mut self, payload: N) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(payload);
+        self.out.push(Vec::new());
+        self.inn.push(Vec::new());
+        id
+    }
+
+    /// Add an edge, returning its dense index. Panics if either endpoint is
+    /// out of range.
+    pub fn add_edge(&mut self, from: u32, to: u32, payload: E) -> u32 {
+        assert!((from as usize) < self.nodes.len(), "edge source out of range");
+        assert!((to as usize) < self.nodes.len(), "edge target out of range");
+        let id = self.edges.len() as u32;
+        self.edges.push(Edge { from, to, payload });
+        self.out[from as usize].push(id);
+        self.inn[to as usize].push(id);
+        id
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Payload of node `n`.
+    #[inline]
+    pub fn node(&self, n: u32) -> &N {
+        &self.nodes[n as usize]
+    }
+
+    /// Mutable payload of node `n`.
+    #[inline]
+    pub fn node_mut(&mut self, n: u32) -> &mut N {
+        &mut self.nodes[n as usize]
+    }
+
+    /// The edge with dense index `e`.
+    #[inline]
+    pub fn edge(&self, e: u32) -> &Edge<E> {
+        &self.edges[e as usize]
+    }
+
+    /// Mutable access to the edge with dense index `e`.
+    #[inline]
+    pub fn edge_mut(&mut self, e: u32) -> &mut Edge<E> {
+        &mut self.edges[e as usize]
+    }
+
+    /// Iterate over all node indices.
+    pub fn node_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.nodes.len() as u32).map(|i| i)
+    }
+
+    /// Iterate over `(index, payload)` for all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (u32, &N)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (i as u32, n))
+    }
+
+    /// Iterate over `(index, edge)` for all edges.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, &Edge<E>)> {
+        self.edges.iter().enumerate().map(|(i, e)| (i as u32, e))
+    }
+
+    /// Dense indices of edges leaving `n`.
+    #[inline]
+    pub fn out_edges(&self, n: u32) -> &[u32] {
+        &self.out[n as usize]
+    }
+
+    /// Dense indices of edges entering `n`.
+    #[inline]
+    pub fn in_edges(&self, n: u32) -> &[u32] {
+        &self.inn[n as usize]
+    }
+
+    /// Successor nodes of `n` (with multiplicity for parallel edges).
+    pub fn successors(&self, n: u32) -> impl Iterator<Item = u32> + '_ {
+        self.out[n as usize].iter().map(move |&e| self.edges[e as usize].to)
+    }
+
+    /// Predecessor nodes of `n` (with multiplicity for parallel edges).
+    pub fn predecessors(&self, n: u32) -> impl Iterator<Item = u32> + '_ {
+        self.inn[n as usize].iter().map(move |&e| self.edges[e as usize].from)
+    }
+
+    /// Out-degree of `n`.
+    #[inline]
+    pub fn out_degree(&self, n: u32) -> usize {
+        self.out[n as usize].len()
+    }
+
+    /// In-degree of `n`.
+    #[inline]
+    pub fn in_degree(&self, n: u32) -> usize {
+        self.inn[n as usize].len()
+    }
+
+    /// Whether an edge `from → to` exists.
+    pub fn has_edge(&self, from: u32, to: u32) -> bool {
+        self.out[from as usize].iter().any(|&e| self.edges[e as usize].to == to)
+    }
+
+    /// A topological order of the nodes (Kahn's algorithm). Ties are broken
+    /// by ascending node index, making the order deterministic — the paper's
+    /// `S1..S15` labeling relies on this. Returns `None` if the graph has a
+    /// cycle.
+    pub fn topo_order(&self) -> Option<Vec<u32>> {
+        let n = self.nodes.len();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.inn[i].len()).collect();
+        // A sorted ready list; for workflow-scale graphs a linear scan of a
+        // binary heap substitute keeps determinism without extra deps.
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<u32>> =
+            (0..n as u32).filter(|&i| indeg[i as usize] == 0).map(std::cmp::Reverse).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(std::cmp::Reverse(u)) = ready.pop() {
+            order.push(u);
+            for &e in &self.out[u as usize] {
+                let v = self.edges[e as usize].to;
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    ready.push(std::cmp::Reverse(v));
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Whether the graph is acyclic.
+    pub fn is_dag(&self) -> bool {
+        self.topo_order().is_some()
+    }
+
+    /// The set of nodes reachable from `start` (including `start` itself).
+    pub fn reachable_from(&self, start: u32) -> BitSet {
+        let mut seen = BitSet::new(self.nodes.len());
+        let mut stack = vec![start];
+        seen.insert(start as usize);
+        while let Some(u) = stack.pop() {
+            for &e in &self.out[u as usize] {
+                let v = self.edges[e as usize].to;
+                if seen.insert(v as usize) {
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The set of nodes that can reach `target` (including `target` itself).
+    pub fn reaching_to(&self, target: u32) -> BitSet {
+        let mut seen = BitSet::new(self.nodes.len());
+        let mut stack = vec![target];
+        seen.insert(target as usize);
+        while let Some(u) = stack.pop() {
+            for &e in &self.inn[u as usize] {
+                let v = self.edges[e as usize].from;
+                if seen.insert(v as usize) {
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether `v` is reachable from `u` (reflexive: `reaches(u, u)` holds).
+    pub fn reaches(&self, u: u32, v: u32) -> bool {
+        self.reachable_from(u).contains(v as usize)
+    }
+
+    /// Transitive closure as one reachability [`BitSet`] row per node.
+    /// Row `u` contains `v` iff `u` can reach `v` (reflexive). Computed in
+    /// reverse topological order with word-parallel row unions; requires a
+    /// DAG and panics on cyclic input (all model graphs are validated DAGs).
+    pub fn transitive_closure(&self) -> Vec<BitSet> {
+        let order = self.topo_order().expect("transitive_closure requires a DAG");
+        let n = self.nodes.len();
+        let mut rows: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for &u in order.iter().rev() {
+            // Collect successor rows first to satisfy the borrow checker
+            // without cloning every row: take the row out, union, put back.
+            let mut row = std::mem::replace(&mut rows[u as usize], BitSet::new(0));
+            row.insert(u as usize);
+            for &e in &self.out[u as usize] {
+                let v = self.edges[e as usize].to;
+                let vrow = std::mem::replace(&mut rows[v as usize], BitSet::new(0));
+                row.union_with(&vrow);
+                rows[v as usize] = vrow;
+            }
+            rows[u as usize] = row;
+        }
+        rows
+    }
+
+    /// Number of ordered reachability pairs `(u, v)`, `u ≠ v` — the
+    /// "connectivity information" unit used by the structural-privacy
+    /// utility measure of Sec. 4.
+    pub fn reachability_pair_count(&self) -> usize {
+        self.transitive_closure().iter().map(|row| row.len() - 1).sum()
+    }
+
+    /// Build the subgraph induced by `keep` (a node set). Returns the new
+    /// graph together with `old → new` and `new → old` index maps. Node and
+    /// edge payloads are cloned. Edges with a dropped endpoint are dropped.
+    pub fn induced_subgraph(&self, keep: &BitSet) -> (DiGraph<N, E>, Vec<Option<u32>>, Vec<u32>)
+    where
+        N: Clone,
+        E: Clone,
+    {
+        let mut old2new: Vec<Option<u32>> = vec![None; self.nodes.len()];
+        let mut new2old: Vec<u32> = Vec::with_capacity(keep.len());
+        let mut g = DiGraph::with_capacity(keep.len(), 0);
+        for u in keep.iter() {
+            let nu = g.add_node(self.nodes[u].clone());
+            old2new[u] = Some(nu);
+            new2old.push(u as u32);
+        }
+        for e in &self.edges {
+            if let (Some(f), Some(t)) = (old2new[e.from as usize], old2new[e.to as usize]) {
+                g.add_edge(f, t, e.payload.clone());
+            }
+        }
+        (g, old2new, new2old)
+    }
+
+    /// Clone the graph while dropping the edges whose dense index is in
+    /// `drop` — used by the edge-deletion structural-privacy mechanism.
+    pub fn without_edges(&self, drop: &BitSet) -> DiGraph<N, E>
+    where
+        N: Clone,
+        E: Clone,
+    {
+        let mut g = DiGraph::with_capacity(self.nodes.len(), self.edges.len());
+        for n in &self.nodes {
+            g.add_node(n.clone());
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            if !drop.contains(i) {
+                g.add_edge(e.from, e.to, e.payload.clone());
+            }
+        }
+        g
+    }
+
+    /// Map node and edge payloads into a new graph with identical shape.
+    pub fn map<N2, E2>(
+        &self,
+        mut fnode: impl FnMut(u32, &N) -> N2,
+        mut fedge: impl FnMut(u32, &Edge<E>) -> E2,
+    ) -> DiGraph<N2, E2> {
+        let mut g = DiGraph::with_capacity(self.nodes.len(), self.edges.len());
+        for (i, n) in self.nodes.iter().enumerate() {
+            g.add_node(fnode(i as u32, n));
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            g.add_edge(e.from, e.to, fedge(i as u32, e));
+        }
+        g
+    }
+
+    /// Source nodes (in-degree 0).
+    pub fn sources(&self) -> Vec<u32> {
+        self.node_ids().filter(|&n| self.in_degree(n) == 0).collect()
+    }
+
+    /// Sink nodes (out-degree 0).
+    pub fn sinks(&self) -> Vec<u32> {
+        self.node_ids().filter(|&n| self.out_degree(n) == 0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A diamond: 0 → 1, 0 → 2, 1 → 3, 2 → 3.
+    fn diamond() -> DiGraph<&'static str, u32> {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 0);
+        g.add_edge(a, c, 1);
+        g.add_edge(b, d, 2);
+        g.add_edge(c, d, 3);
+        g
+    }
+
+    #[test]
+    fn construction_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.successors(0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(g.predecessors(3).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![3]);
+    }
+
+    #[test]
+    fn topo_order_deterministic() {
+        let g = diamond();
+        assert_eq!(g.topo_order().unwrap(), vec![0, 1, 2, 3]);
+        assert!(g.is_dag());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = diamond();
+        g.add_edge(3, 0, 9);
+        assert!(g.topo_order().is_none());
+        assert!(!g.is_dag());
+    }
+
+    #[test]
+    fn reachability() {
+        let g = diamond();
+        let r = g.reachable_from(1);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![1, 3]);
+        let t = g.reaching_to(2);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(g.reaches(0, 3));
+        assert!(g.reaches(2, 2), "reachability is reflexive");
+        assert!(!g.reaches(1, 2));
+    }
+
+    #[test]
+    fn closure_matches_pairwise_bfs() {
+        let g = diamond();
+        let tc = g.transitive_closure();
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                assert_eq!(
+                    tc[u as usize].contains(v as usize),
+                    g.reaches(u, v),
+                    "closure mismatch at ({u},{v})"
+                );
+            }
+        }
+        // pairs: 0→{1,2,3}, 1→{3}, 2→{3}, 3→{} = 5 ordered pairs.
+        assert_eq!(g.reachability_pair_count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a DAG")]
+    fn closure_panics_on_cycle() {
+        let mut g = diamond();
+        g.add_edge(3, 0, 9);
+        g.transitive_closure();
+    }
+
+    #[test]
+    fn induced_subgraph_drops_dangling_edges() {
+        let g = diamond();
+        let keep = BitSet::from_iter(4, [0, 1, 3]);
+        let (sub, old2new, new2old) = g.induced_subgraph(&keep);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2); // 0→1 and 1→3 survive
+        assert_eq!(old2new[2], None);
+        assert_eq!(new2old, vec![0, 1, 3]);
+        assert_eq!(*sub.node(old2new[3].unwrap()), "d");
+    }
+
+    #[test]
+    fn without_edges_disconnects() {
+        let g = diamond();
+        let g2 = g.without_edges(&BitSet::from_iter(4, [2, 3]));
+        assert_eq!(g2.edge_count(), 2);
+        assert!(!g2.reaches(0, 3));
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let g = diamond();
+        let g2 = g.map(|i, n| format!("{i}:{n}"), |_, e| e.payload * 10);
+        assert_eq!(g2.node(3), "3:d");
+        assert_eq!(g2.edge(3).payload, 30);
+        assert_eq!(g2.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn parallel_edges_supported() {
+        let mut g: DiGraph<(), u8> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1);
+        g.add_edge(a, b, 2);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.successors(a).collect::<Vec<_>>(), vec![b, b]);
+        assert_eq!(g.reachability_pair_count(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert_eq!(g.topo_order().unwrap(), Vec::<u32>::new());
+        assert_eq!(g.reachability_pair_count(), 0);
+    }
+}

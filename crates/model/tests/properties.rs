@@ -1,0 +1,217 @@
+//! Property-based tests for the model crate's core data structures:
+//! the bit set against a reference set model, the graph algorithms against
+//! naive re-implementations, mixed-radix relation indexing, and the codec
+//! against arbitrary valid structures.
+
+use ppwf_model::bitset::BitSet;
+use ppwf_model::codec;
+use ppwf_model::exec::{ConstOracle, Executor, HashOracle};
+use ppwf_model::graph::DiGraph;
+use ppwf_model::spec::SpecBuilder;
+use ppwf_model::value::Value;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// BitSet behaves exactly like a HashSet<usize> under a random op
+    /// sequence of inserts, removes and queries.
+    #[test]
+    fn bitset_matches_hashset(ops in proptest::collection::vec((0usize..200, 0u8..3), 1..200)) {
+        let mut bs = BitSet::new(200);
+        let mut hs: HashSet<usize> = HashSet::new();
+        for (x, op) in ops {
+            match op {
+                0 => prop_assert_eq!(bs.insert(x), hs.insert(x)),
+                1 => prop_assert_eq!(bs.remove(x), hs.remove(&x)),
+                _ => prop_assert_eq!(bs.contains(x), hs.contains(&x)),
+            }
+            prop_assert_eq!(bs.len(), hs.len());
+        }
+        let mut from_bs: Vec<usize> = bs.iter().collect();
+        let mut from_hs: Vec<usize> = hs.into_iter().collect();
+        from_hs.sort();
+        from_bs.sort();
+        prop_assert_eq!(from_bs, from_hs);
+    }
+
+    /// Set algebra laws: union/intersection/difference against HashSet.
+    #[test]
+    fn bitset_algebra_laws(
+        a in proptest::collection::hash_set(0usize..128, 0..60),
+        b in proptest::collection::hash_set(0usize..128, 0..60),
+    ) {
+        let ba = BitSet::from_iter(128, a.iter().copied());
+        let bb = BitSet::from_iter(128, b.iter().copied());
+
+        let mut u = ba.clone();
+        u.union_with(&bb);
+        let hu: HashSet<usize> = a.union(&b).copied().collect();
+        prop_assert_eq!(u.iter().collect::<HashSet<_>>(), hu);
+
+        let mut i = ba.clone();
+        i.intersect_with(&bb);
+        let hi: HashSet<usize> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(i.len(), hi.len());
+        prop_assert_eq!(ba.intersection_len(&bb), hi.len());
+        prop_assert_eq!(ba.intersects(&bb), !hi.is_empty());
+
+        let mut d = ba.clone();
+        d.difference_with(&bb);
+        let hd: HashSet<usize> = a.difference(&b).copied().collect();
+        prop_assert_eq!(d.iter().collect::<HashSet<_>>(), hd);
+
+        prop_assert!(i.is_subset_of(&ba) && i.is_subset_of(&bb));
+    }
+
+    /// Transitive closure equals per-pair BFS on random DAGs; topological
+    /// orders respect every edge.
+    #[test]
+    fn graph_closure_and_topo(n in 2usize..16, seed in any::<u64>()) {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        for _ in 0..n {
+            g.add_node(());
+        }
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                if next() % 10 < 3 {
+                    g.add_edge(i, j, ());
+                }
+            }
+        }
+        let tc = g.transitive_closure();
+        for u in 0..n as u32 {
+            let bfs = g.reachable_from(u);
+            for v in 0..n {
+                prop_assert_eq!(tc[u as usize].contains(v), bfs.contains(v));
+            }
+        }
+        let order = g.topo_order().expect("forward edges ⇒ DAG");
+        let mut pos = vec![0usize; n];
+        for (i, &u) in order.iter().enumerate() {
+            pos[u as usize] = i;
+        }
+        for (_, e) in g.edges() {
+            prop_assert!(pos[e.from as usize] < pos[e.to as usize]);
+        }
+        // Pair count consistency.
+        let pairs: usize = tc.iter().map(|row| row.len() - 1).sum();
+        prop_assert_eq!(g.reachability_pair_count(), pairs);
+    }
+
+    /// Min-cut separates and its value is bounded by any ad-hoc cut.
+    #[test]
+    fn mincut_separates(n in 3usize..10, seed in any::<u64>()) {
+        use ppwf_model::flow::min_edge_cut;
+        let mut edges = Vec::new();
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state >> 32
+        };
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                if next() % 10 < 4 {
+                    edges.push((i, j, 1 + next() % 5));
+                }
+            }
+        }
+        let (s, t) = (0u32, (n - 1) as u32);
+        let (value, cut) = min_edge_cut(n, &edges, s, t);
+        // Removing the cut edges must disconnect s from t.
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        for _ in 0..n {
+            g.add_node(());
+        }
+        for (i, &(a, b, _)) in edges.iter().enumerate() {
+            if !cut.contains(&i) {
+                g.add_edge(a, b, ());
+            }
+        }
+        prop_assert!(!g.reaches(s, t));
+        // Cut weight equals the flow value (weak duality check).
+        let w: u64 = cut.iter().map(|&i| edges[i].2.max(1)).sum();
+        prop_assert_eq!(w, value);
+    }
+
+    /// Arbitrary values round-trip through the codec inside an execution.
+    #[test]
+    fn values_round_trip(vals in proptest::collection::vec(value_strategy(), 1..5)) {
+        let mut b = SpecBuilder::new("vals");
+        let w = b.root_workflow("W1");
+        let mut prev = b.input(w);
+        for (i, _) in vals.iter().enumerate() {
+            let m = b.atomic(w, &format!("A{i}"), &[]);
+            b.edge(w, prev, m, &[&format!("c{i}")]);
+            prev = m;
+        }
+        b.edge(w, prev, b.output(w), &["out"]);
+        let spec = b.build().unwrap();
+        // Oracle returning the arbitrary values in rotation.
+        struct Rot(Vec<Value>, usize);
+        impl ppwf_model::exec::Oracle for Rot {
+            fn initial(&mut self, _c: &str) -> Value {
+                let v = self.0[self.1 % self.0.len()].clone();
+                self.1 += 1;
+                v
+            }
+            fn eval(
+                &mut self,
+                _m: &ppwf_model::spec::Module,
+                _i: &[(&str, &Value)],
+                _c: &str,
+            ) -> Value {
+                let v = self.0[self.1 % self.0.len()].clone();
+                self.1 += 1;
+                v
+            }
+        }
+        let exec = Executor::new(&spec).run(&mut Rot(vals, 0)).unwrap();
+        let bytes = codec::encode_execution(&exec);
+        let back = codec::decode_execution(&bytes).unwrap();
+        for (a, b) in exec.data_items().zip(back.data_items()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Executor determinism: same spec and oracle class ⇒ identical labels.
+    #[test]
+    fn executor_deterministic(n in 1usize..6) {
+        let mut b = SpecBuilder::new("det");
+        let w = b.root_workflow("W1");
+        let mut prev = b.input(w);
+        for i in 0..n {
+            let m = b.atomic(w, &format!("A{i}"), &[]);
+            b.edge(w, prev, m, &[&format!("c{i}")]);
+            prev = m;
+        }
+        b.edge(w, prev, b.output(w), &["out"]);
+        let spec = b.build().unwrap();
+        let e1 = Executor::new(&spec).run(&mut HashOracle).unwrap();
+        let e2 = Executor::new(&spec).run(&mut ConstOracle(Value::Unit)).unwrap();
+        prop_assert_eq!(e1.proc_count(), e2.proc_count());
+        prop_assert_eq!(e1.data_count(), e2.data_count());
+        for (p, q) in e1.procs().zip(e2.procs()) {
+            prop_assert_eq!(p.module, q.module);
+            prop_assert_eq!(p.begin, q.begin);
+        }
+    }
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Unit),
+        any::<i64>().prop_map(Value::Int),
+        "[a-z]{0,12}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u16>(), 0..4).prop_map(Value::Tuple),
+        Just(Value::Masked),
+    ]
+}

@@ -1,0 +1,29 @@
+//! # ppwf-query — privacy-preserving search and query evaluation
+//!
+//! Implements Sec. 4 of the paper: the two query classes provenance-aware
+//! workflow repositories must support, evaluated under privacy.
+//!
+//! * [`keyword`] — keyword search returning the **minimal view** of the
+//!   hierarchy that exposes a match for every query term (refs \[1\], \[7\]);
+//!   reproduces Fig. 5 exactly. Index-backed and scan-backed plans.
+//! * [`structural`] — structural pattern queries with direct and
+//!   transitive edges (BP-QL-flavored, ref \[1\]) over specification views
+//!   and executions, including the paper's *"Expand SNP Set executed before
+//!   Query OMIM → return the provenance information for the latter"*.
+//! * [`privacy_exec`] — the two evaluation strategies Sec. 4 contrasts:
+//!   **filter-then-search** (privacy pushed into the index) versus
+//!   **search-then-zoom-out** (full answer first, then coarsen until
+//!   privacy is achieved), with cost accounting for experiment E6.
+//! * [`ranking`] — TF-IDF ranking and its privacy problem: exact scores
+//!   leak hidden term counts (Sec. 4's "Impact of Ranking on Privacy
+//!   Preservation"); bucketized and visible-only rankers trade utility for
+//!   leakage, measured with Kendall-τ (experiment E7).
+
+pub mod exec_match;
+pub mod keyword;
+pub mod privacy_exec;
+pub mod private_provenance;
+pub mod ranking;
+pub mod structural;
+
+pub use keyword::{KeywordHit, KeywordQuery};

@@ -1,0 +1,244 @@
+//! Provenance queries under privacy: lineage and impact computed **through
+//! a disclosure**, so the answer never mentions what the principal cannot
+//! see.
+//!
+//! The paper's Sec. 1 motivates provenance queries ("what downstream data
+//! might have been affected", "how the process failed that led to creating
+//! the data") and Sec. 4 demands privacy-controlled semantics for them.
+//! The rule implemented here mirrors the view semantics everywhere else:
+//!
+//! * the query runs on the **collapsed** execution view (the disclosure's
+//!   [`ExecView`]), so paths through hidden subworkflows appear as single
+//!   composite steps (`S1:M1`) rather than their internals,
+//! * only **visible** data items can be asked about or returned (asking
+//!   about a hidden item is an error, not an empty answer — an empty
+//!   answer would itself leak that the item exists but is protected),
+//! * values come from the disclosure's masked execution, so sensitive
+//!   channels surface as [`Masked`](ppwf_model::value::Value::Masked).
+
+use ppwf_core::enforce::Disclosure;
+use ppwf_model::bitset::BitSet;
+use ppwf_model::ids::DataId;
+use ppwf_model::{ModelError, Result};
+use ppwf_views::exec_view::ExecView;
+
+/// A provenance (or impact) answer over a disclosed execution view.
+#[derive(Clone, Debug)]
+pub struct PrivateProvenance {
+    /// The focus item.
+    pub focus: DataId,
+    /// View-graph node indices on the answer subgraph.
+    pub nodes: Vec<u32>,
+    /// Visible data items on the answer subgraph (ascending).
+    pub data: Vec<DataId>,
+}
+
+fn producer_node(view: &ExecView, d: DataId) -> Option<u32> {
+    // The earliest view node emitting d: scan edges for the first carrying
+    // d and take its source (view edges store merged data).
+    let mut candidate: Option<u32> = None;
+    for (_, e) in view.graph().edges() {
+        if e.payload.data.contains(&d) {
+            let from = e.from;
+            // Prefer the topologically earliest source.
+            candidate = match candidate {
+                None => Some(from),
+                Some(c) => {
+                    if view.graph().reaches(from, c) {
+                        Some(from)
+                    } else {
+                        Some(c)
+                    }
+                }
+            };
+        }
+    }
+    candidate
+}
+
+/// Lineage of `d` through a disclosure: the view nodes and visible items on
+/// paths from the view's input to `d`'s (visible) producer.
+pub fn private_provenance(disclosure: &Disclosure, d: DataId) -> Result<PrivateProvenance> {
+    let view = &disclosure.view;
+    if !view.visible_data().contains(&d) {
+        return Err(ModelError::invalid(format!(
+            "data item {d} is not visible in this disclosure"
+        )));
+    }
+    let producer = producer_node(view, d)
+        .ok_or_else(|| ModelError::invalid(format!("no visible producer for {d}")))?;
+    let g = view.graph();
+    let mut on_path = g.reaching_to(producer);
+    on_path.intersect_with(&g.reachable_from(view.input()));
+    collect(view, on_path, d, producer)
+}
+
+/// Downstream impact of `d` through a disclosure (item-level propagation on
+/// the view graph).
+pub fn private_impact(disclosure: &Disclosure, d: DataId) -> Result<PrivateProvenance> {
+    let view = &disclosure.view;
+    if !view.visible_data().contains(&d) {
+        return Err(ModelError::invalid(format!(
+            "data item {d} is not visible in this disclosure"
+        )));
+    }
+    let g = view.graph();
+    let order = g.topo_order().expect("views are DAGs");
+    let max_item = disclosure.execution.data_count();
+    let mut affected = BitSet::new(max_item);
+    affected.insert(d.index());
+    let mut nodes = BitSet::new(g.node_count());
+    if let Some(p) = producer_node(view, d) {
+        nodes.insert(p as usize);
+    }
+    for &u in &order {
+        let incoming = g
+            .in_edges(u)
+            .iter()
+            .any(|&e| g.edge(e).payload.data.iter().any(|x| affected.contains(x.index())));
+        if incoming {
+            nodes.insert(u as usize);
+            // Whether this node *derives* new items from its inputs.
+            // Kept atomic executions do; kept begin/end pass-throughs only
+            // forward identities (their out-edges are covered by the
+            // incoming check downstream); collapsed composites hide their
+            // internals, so everything they emit is conservatively tainted.
+            let derives = match g.node(u) {
+                ppwf_views::exec_view::ExecViewNode::Kept(orig) => disclosure
+                    .execution
+                    .graph()
+                    .node(orig.index() as u32)
+                    .kind
+                    .is_producer(),
+                ppwf_views::exec_view::ExecViewNode::Collapsed(..) => true,
+                _ => false,
+            };
+            if derives {
+                for &e in g.out_edges(u) {
+                    for &x in &g.edge(e).payload.data {
+                        affected.insert(x.index());
+                    }
+                }
+            }
+        }
+    }
+    let mut node_list: Vec<u32> = nodes.iter().map(|n| n as u32).collect();
+    node_list.sort_unstable();
+    let mut data: Vec<DataId> = affected
+        .iter()
+        .map(DataId::new)
+        .filter(|x| disclosure.view.visible_data().contains(x))
+        .collect();
+    data.sort();
+    Ok(PrivateProvenance { focus: d, nodes: node_list, data })
+}
+
+fn collect(
+    view: &ExecView,
+    on_path: BitSet,
+    focus: DataId,
+    _producer: u32,
+) -> Result<PrivateProvenance> {
+    let g = view.graph();
+    let mut nodes: Vec<u32> = on_path.iter().map(|n| n as u32).collect();
+    nodes.sort_unstable();
+    let mut data = vec![focus];
+    for (_, e) in g.edges() {
+        if on_path.contains(e.from as usize) && on_path.contains(e.to as usize) {
+            data.extend(e.payload.data.iter().copied());
+        }
+    }
+    data.sort();
+    data.dedup();
+    Ok(PrivateProvenance { focus, nodes, data })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppwf_core::enforce::disclose;
+    use ppwf_core::policy::{AccessLevel, Policy, Principal};
+    use ppwf_model::fixtures;
+    use ppwf_model::hierarchy::{ExpansionHierarchy, Prefix};
+    use ppwf_model::value::Value;
+
+    fn disclosure(level: u8, full_view: bool) -> Disclosure {
+        let (spec, m) = fixtures::disease_susceptibility();
+        let h = ExpansionHierarchy::of(&spec);
+        let exec = fixtures::disease_susceptibility_execution(&spec);
+        let mut policy = Policy::public();
+        policy.protect_channel("disorders", AccessLevel(2));
+        let _ = m;
+        let view = if full_view { Prefix::full(&h) } else { Prefix::root_only(&h) };
+        let p = Principal::new("t", AccessLevel(level), view);
+        disclose(&spec, &h, &exec, &policy, &p).unwrap()
+    }
+
+    #[test]
+    fn coarse_lineage_of_final_output() {
+        // Root-only view: provenance of d19 = the whole 4-node view with
+        // the boundary items only.
+        let d = disclosure(0, false);
+        let prov = private_provenance(&d, DataId::new(19)).unwrap();
+        // Lineage stops at d19's producer (S8:M2): I, S1:M1, S8:M2.
+        assert_eq!(prov.nodes.len(), 3);
+        let items: Vec<usize> = prov.data.iter().map(|x| x.index()).collect();
+        assert_eq!(items, vec![0, 1, 2, 3, 4, 10, 19]);
+    }
+
+    #[test]
+    fn hidden_items_are_unaskable() {
+        let d = disclosure(0, false);
+        // d13 (M12's result) is inside the collapsed S8:M2.
+        let err = private_provenance(&d, DataId::new(13)).unwrap_err();
+        assert!(err.to_string().contains("not visible"));
+        assert!(private_impact(&d, DataId::new(13)).is_err());
+    }
+
+    #[test]
+    fn masked_values_stay_masked_in_answers() {
+        // Level 0 with full view: d10 ("disorders") is visible as an item
+        // but its value is masked.
+        let d = disclosure(0, true);
+        let prov = private_provenance(&d, DataId::new(19)).unwrap();
+        assert!(prov.data.contains(&DataId::new(10)));
+        assert_eq!(d.execution.data(DataId::new(10)).value, Value::Masked);
+    }
+
+    #[test]
+    fn full_view_lineage_matches_unprivate_provenance() {
+        // With full access, private provenance sees the same item set as
+        // the raw provenance query.
+        let d = disclosure(5, true);
+        let prov = private_provenance(&d, DataId::new(19)).unwrap();
+        let raw = ppwf_model::provenance::provenance_of(&d.execution, DataId::new(19));
+        assert_eq!(prov.data, raw.data);
+    }
+
+    #[test]
+    fn coarse_impact_of_input() {
+        // Impact of d0 (SNPs) at root-only view: flows into S1:M1, then
+        // everything downstream of it.
+        let d = disclosure(0, false);
+        let imp = private_impact(&d, DataId::new(0)).unwrap();
+        // d0 → S1:M1 → d10 → S8:M2 → d19 → O.
+        let items: Vec<usize> = imp.data.iter().map(|x| x.index()).collect();
+        assert_eq!(items, vec![0, 10, 19]);
+        assert!(imp.nodes.len() >= 3);
+    }
+
+    #[test]
+    fn impact_does_not_cross_independent_branches() {
+        // d2 (lifestyle) at full view: reaches M9's outputs and onward but
+        // never the W2/W4 side (M3, M5..M8 outputs d5..d10).
+        let d = disclosure(5, true);
+        let imp = private_impact(&d, DataId::new(2)).unwrap();
+        for i in [5usize, 6, 7, 8, 9, 10] {
+            assert!(
+                !imp.data.contains(&DataId::new(i)),
+                "d{i} is upstream/parallel, not impacted by d2"
+            );
+        }
+        assert!(imp.data.contains(&DataId::new(19)));
+    }
+}

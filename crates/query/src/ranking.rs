@@ -1,0 +1,379 @@
+//! Ranking, and its impact on privacy preservation (Sec. 4).
+//!
+//! *"A highly ranked result is likely to have more occurrences of an input
+//! keyword than a lowly ranked result. Thus, a user might be able to infer
+//! the range of value occurrences in a result even though s/he is unable to
+//! see the values ... Such inference may cause information leakage."*
+//!
+//! We model this precisely. Each result (a workflow specification) has a
+//! *true* term-frequency profile over the query terms — including
+//! occurrences inside modules the principal cannot see. Rankers:
+//!
+//! * [`RankingMode::ExactFull`] — classic TF-IDF over the full (hidden +
+//!   visible) text: best utility, maximal leakage;
+//! * [`RankingMode::VisibleOnly`] — scores computed over visible modules
+//!   only: zero leakage by construction, degraded utility;
+//! * [`RankingMode::BucketizedFull`] — full TF coarsened into logarithmic
+//!   buckets: the paper's "sophisticated ranking schemes" direction;
+//! * [`RankingMode::NoisyFull`] — Laplace-perturbed TF (ε-style knob).
+//!
+//! **Leakage** is measured as the Kendall-τ rank correlation between the
+//! produced ranking and the ranking by *hidden* term mass — the adversary's
+//! best inference about what they cannot see. **Utility** is the Kendall-τ
+//! against the true full-information ranking. Experiment E7 charts the
+//! trade-off.
+
+use ppwf_core::dp::LaplaceMechanism;
+use ppwf_model::hierarchy::Prefix;
+use ppwf_repo::keyword_index::{tokenize, KeywordIndex};
+use ppwf_repo::repository::{Repository, SpecId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How scores are computed from term frequencies.
+#[derive(Clone, Copy, Debug)]
+pub enum RankingMode {
+    /// Exact TF-IDF over all modules (hidden included).
+    ExactFull,
+    /// TF-IDF over modules visible under the principal's prefix.
+    VisibleOnly,
+    /// Full TF coarsened to `floor(log_base(1 + tf))` buckets.
+    BucketizedFull {
+        /// Bucket base (> 1); larger = coarser = less leakage.
+        base: f64,
+    },
+    /// Full TF with Laplace noise of privacy budget ε.
+    NoisyFull {
+        /// Privacy budget.
+        epsilon: f64,
+        /// RNG seed (determinism for experiments).
+        seed: u64,
+    },
+}
+
+/// Term-frequency profile of one result for one query.
+#[derive(Clone, Debug, Default)]
+pub struct TfProfile {
+    /// Per-term visible frequency.
+    pub visible: Vec<u64>,
+    /// Per-term hidden frequency (inside modules outside the prefix).
+    pub hidden: Vec<u64>,
+}
+
+impl TfProfile {
+    /// Total (visible + hidden) per-term frequency.
+    pub fn total(&self, t: usize) -> u64 {
+        self.visible[t] + self.hidden[t]
+    }
+
+    /// Total hidden mass across terms.
+    pub fn hidden_mass(&self) -> u64 {
+        self.hidden.iter().sum()
+    }
+}
+
+/// Compute the TF profile of a specification for `terms` under `prefix`
+/// (which modules count as visible).
+pub fn tf_profile(
+    repo: &Repository,
+    spec: SpecId,
+    prefix: &Prefix,
+    terms: &[String],
+) -> TfProfile {
+    let entry = repo.entry(spec).expect("live spec");
+    let mut profile = TfProfile {
+        visible: vec![0; terms.len()],
+        hidden: vec![0; terms.len()],
+    };
+    for module in entry.spec.modules() {
+        if module.kind.is_distinguished() {
+            continue;
+        }
+        let mut text = tokenize(&module.name);
+        for k in &module.keywords {
+            text.extend(tokenize(k));
+        }
+        let visible = prefix.contains(module.workflow);
+        for (ti, term) in terms.iter().enumerate() {
+            let words: Vec<&str> = term.split(' ').collect();
+            let count = if words.len() == 1 {
+                text.iter().filter(|w| w.as_str() == words[0]).count() as u64
+            } else {
+                text.windows(words.len())
+                    .filter(|w| w.iter().map(|s| s.as_str()).eq(words.iter().copied()))
+                    .count() as u64
+            };
+            if visible {
+                profile.visible[ti] += count;
+            } else {
+                profile.hidden[ti] += count;
+            }
+        }
+    }
+    profile
+}
+
+/// Score one profile under a mode. IDF weights come from the index.
+pub fn score(
+    index: &KeywordIndex,
+    terms: &[String],
+    profile: &TfProfile,
+    mode: RankingMode,
+) -> f64 {
+    let mut rng = match mode {
+        RankingMode::NoisyFull { seed, .. } => Some(StdRng::seed_from_u64(seed)),
+        _ => None,
+    };
+    terms
+        .iter()
+        .enumerate()
+        .map(|(ti, term)| {
+            let idf = index.idf(term);
+            let tf = match mode {
+                RankingMode::ExactFull => profile.total(ti) as f64,
+                RankingMode::VisibleOnly => profile.visible[ti] as f64,
+                RankingMode::BucketizedFull { base } => {
+                    assert!(base > 1.0, "bucket base must exceed 1");
+                    (1.0 + profile.total(ti) as f64).log(base).floor()
+                }
+                RankingMode::NoisyFull { epsilon, .. } => {
+                    let mech = LaplaceMechanism::counting(epsilon);
+                    (mech.noisy_count(profile.total(ti), rng.as_mut().unwrap())).max(0.0)
+                }
+            };
+            // Sublinear tf scaling, the classic 1 + ln(tf) form.
+            let tf_weight = if tf > 0.0 { 1.0 + tf.ln() } else { 0.0 };
+            tf_weight * idf
+        })
+        .sum()
+}
+
+/// Rank result indices by descending score (stable: ties by index).
+pub fn rank_by_scores(scores: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    order
+}
+
+/// Kendall-τ rank correlation between two orderings of the same index set
+/// (+1 identical, −1 reversed). `a` and `b` list indices best-first.
+pub fn kendall_tau(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "orderings must cover the same items");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let pos_b: Vec<usize> = {
+        let mut p = vec![0; n];
+        for (rank, &item) in b.iter().enumerate() {
+            p[item] = rank;
+        }
+        p
+    };
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (x, y) = (a[i], a[j]); // x ranked above y in a
+            if pos_b[x] < pos_b[y] {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    (concordant - discordant) as f64 / (n as f64 * (n as f64 - 1.0) / 2.0)
+}
+
+/// Kendall-τ-b between two score vectors over the same items. Tied pairs
+/// contribute no information (a ranker that ties everything leaks
+/// nothing), which is why leakage must be measured on scores, not on a
+/// tie-broken ordering. Returns 0 when either side is entirely tied.
+pub fn kendall_tau_scores(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "score vectors must cover the same items");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let (mut concordant, mut discordant) = (0i64, 0i64);
+    let (mut ties_a, mut ties_b) = (0i64, 0i64);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let sa = if da > 0.0 { 1 } else if da < 0.0 { -1 } else { 0 };
+            let sb = if db > 0.0 { 1 } else if db < 0.0 { -1 } else { 0 };
+            if sa == 0 {
+                ties_a += 1;
+            }
+            if sb == 0 {
+                ties_b += 1;
+            }
+            match sa * sb {
+                1 => concordant += 1,
+                -1 => discordant += 1,
+                _ => {}
+            }
+        }
+    }
+    let n0 = (n as i64) * (n as i64 - 1) / 2;
+    let denom = (((n0 - ties_a) as f64) * ((n0 - ties_b) as f64)).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        (concordant - discordant) as f64 / denom
+    }
+}
+
+/// The E7 measurement for one query over a result set.
+#[derive(Clone, Debug)]
+pub struct RankingEvaluation {
+    /// Kendall-τ-b against the exact full-information scores (utility).
+    pub utility: f64,
+    /// |Kendall-τ-b| against hidden term mass (leakage; 0 ≈ private).
+    pub leakage: f64,
+}
+
+/// Evaluate a ranking mode over profiles of many results.
+pub fn evaluate_ranking(
+    index: &KeywordIndex,
+    terms: &[String],
+    profiles: &[TfProfile],
+    mode: RankingMode,
+) -> RankingEvaluation {
+    let exact: Vec<f64> =
+        profiles.iter().map(|p| score(index, terms, p, RankingMode::ExactFull)).collect();
+    let produced: Vec<f64> = profiles.iter().map(|p| score(index, terms, p, mode)).collect();
+    let hidden: Vec<f64> = profiles.iter().map(|p| p.hidden_mass() as f64).collect();
+
+    RankingEvaluation {
+        utility: kendall_tau_scores(&produced, &exact),
+        leakage: kendall_tau_scores(&produced, &hidden).abs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppwf_core::policy::Policy;
+    use ppwf_model::fixtures;
+    use ppwf_model::hierarchy::Prefix;
+
+    fn setup() -> (Repository, KeywordIndex) {
+        let mut repo = Repository::new();
+        let (spec, _) = fixtures::disease_susceptibility();
+        repo.insert_spec(spec, Policy::public()).unwrap();
+        let index = KeywordIndex::build(&repo);
+        (repo, index)
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        assert_eq!(kendall_tau(&[0, 1, 2, 3], &[0, 1, 2, 3]), 1.0);
+        assert_eq!(kendall_tau(&[0, 1, 2, 3], &[3, 2, 1, 0]), -1.0);
+        let mid = kendall_tau(&[0, 1, 2, 3], &[1, 0, 2, 3]);
+        assert!(mid > 0.0 && mid < 1.0);
+        assert_eq!(kendall_tau(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn tf_profiles_split_by_visibility() {
+        let (repo, _) = setup();
+        let entry = repo.entry(SpecId(0)).unwrap();
+        let terms = vec!["query".to_string()];
+        // Full prefix: everything visible.
+        let full = tf_profile(&repo, SpecId(0), &Prefix::full(&entry.hierarchy), &terms);
+        assert!(full.visible[0] > 0);
+        assert_eq!(full.hidden[0], 0);
+        // Root-only: "query" occurrences (M5..M7 names/tags, M9 tag) hide.
+        let coarse =
+            tf_profile(&repo, SpecId(0), &Prefix::root_only(&entry.hierarchy), &terms);
+        assert_eq!(coarse.visible[0], 0);
+        assert_eq!(coarse.hidden[0], full.visible[0]);
+        assert_eq!(coarse.hidden_mass(), full.visible[0]);
+    }
+
+    #[test]
+    fn exact_scoring_monotone_in_tf() {
+        let (_, index) = setup();
+        let terms = vec!["query".to_string()];
+        let low = TfProfile { visible: vec![1], hidden: vec![0] };
+        let high = TfProfile { visible: vec![1], hidden: vec![5] };
+        let s_low = score(&index, &terms, &low, RankingMode::ExactFull);
+        let s_high = score(&index, &terms, &high, RankingMode::ExactFull);
+        assert!(s_high > s_low, "hidden occurrences raise the exact score — the leak");
+        // Visible-only is blind to the hidden part.
+        let v_low = score(&index, &terms, &low, RankingMode::VisibleOnly);
+        let v_high = score(&index, &terms, &high, RankingMode::VisibleOnly);
+        assert_eq!(v_low, v_high);
+    }
+
+    #[test]
+    fn buckets_coarsen() {
+        let (_, index) = setup();
+        let terms = vec!["query".to_string()];
+        let a = TfProfile { visible: vec![0], hidden: vec![4] };
+        let b = TfProfile { visible: vec![0], hidden: vec![5] };
+        let mode = RankingMode::BucketizedFull { base: 4.0 };
+        // 4 and 5 fall in the same log_4 bucket: indistinguishable.
+        assert_eq!(score(&index, &terms, &a, mode), score(&index, &terms, &b, mode));
+        // But order-of-magnitude differences survive.
+        let c = TfProfile { visible: vec![0], hidden: vec![60] };
+        assert!(score(&index, &terms, &c, mode) > score(&index, &terms, &a, mode));
+    }
+
+    #[test]
+    fn leakage_ordering_across_modes() {
+        // Synthetic result set where hidden mass fully determines the exact
+        // ranking: exact leaks everything, visible-only leaks nothing.
+        let (_, index) = setup();
+        let terms = vec!["query".to_string()];
+        let profiles: Vec<TfProfile> = (0..8u64)
+            .map(|i| TfProfile { visible: vec![1], hidden: vec![i * i] })
+            .collect();
+        let exact = evaluate_ranking(&index, &terms, &profiles, RankingMode::ExactFull);
+        assert!((exact.utility - 1.0).abs() < 1e-9);
+        assert!((exact.leakage - 1.0).abs() < 1e-9, "exact ranking fully leaks");
+        let visible = evaluate_ranking(&index, &terms, &profiles, RankingMode::VisibleOnly);
+        assert_eq!(visible.leakage, 0.0, "all-tied visible scores carry no information");
+        let bucket = evaluate_ranking(
+            &index,
+            &terms,
+            &profiles,
+            RankingMode::BucketizedFull { base: 8.0 },
+        );
+        assert!(bucket.leakage <= exact.leakage);
+        assert!(bucket.utility >= visible.utility);
+    }
+
+    #[test]
+    fn noise_reduces_leakage_with_small_epsilon() {
+        let (_, index) = setup();
+        let terms = vec!["query".to_string()];
+        let profiles: Vec<TfProfile> = (0..10u64)
+            .map(|i| TfProfile { visible: vec![1], hidden: vec![i] })
+            .collect();
+        let loud = evaluate_ranking(
+            &index,
+            &terms,
+            &profiles,
+            RankingMode::NoisyFull { epsilon: 100.0, seed: 5 },
+        );
+        let quiet = evaluate_ranking(
+            &index,
+            &terms,
+            &profiles,
+            RankingMode::NoisyFull { epsilon: 0.05, seed: 5 },
+        );
+        assert!(loud.leakage > quiet.leakage);
+        assert!(loud.utility > quiet.utility);
+    }
+
+    #[test]
+    fn rank_by_scores_stable() {
+        let order = rank_by_scores(&[1.0, 3.0, 3.0, 0.5]);
+        assert_eq!(order, vec![1, 2, 0, 3]);
+    }
+}

@@ -1,0 +1,219 @@
+//! A user-group-keyed, version-invalidated query-result cache.
+//!
+//! Sec. 4: *"Another promising direction is to consider user groups when
+//! utilizing cached information during query processing."* Two principals
+//! in the same group (same access view + clearance) may share cached
+//! answers; principals in different groups must not, or cached fine-grained
+//! answers would leak to coarse-grained users. The cache therefore keys
+//! entries by `(group, query)` and tags them with the repository version at
+//! compute time — any repository mutation invalidates stale entries lazily.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache statistics (monotone counters).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl CacheStats {
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far (including version invalidations).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped because their repository version was stale.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Hit rate in [0, 1].
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+/// A concurrent result cache keyed by `(group, query)`.
+pub struct GroupCache<V> {
+    inner: RwLock<HashMap<(String, String), (u64, Arc<V>)>>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl<V> GroupCache<V> {
+    /// Create with a maximum entry count.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        GroupCache { inner: RwLock::new(HashMap::new()), capacity, stats: CacheStats::default() }
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch the cached value for `(group, query)` if present *and* computed
+    /// at `version`.
+    pub fn get(&self, group: &str, query: &str, version: u64) -> Option<Arc<V>> {
+        let guard = self.inner.read();
+        match guard.get(&(group.to_string(), query.to_string())) {
+            Some((v, value)) if *v == version => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(value))
+            }
+            Some(_) => {
+                self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Fetch or compute-and-insert. `compute` runs outside the lock.
+    pub fn get_or_compute(
+        &self,
+        group: &str,
+        query: &str,
+        version: u64,
+        compute: impl FnOnce() -> V,
+    ) -> Arc<V> {
+        if let Some(v) = self.get(group, query, version) {
+            return v;
+        }
+        let value = Arc::new(compute());
+        let mut guard = self.inner.write();
+        if guard.len() >= self.capacity {
+            // Evict stale entries first, then arbitrary ones.
+            let stale: Vec<(String, String)> = guard
+                .iter()
+                .filter(|(_, (v, _))| *v != version)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in stale {
+                guard.remove(&k);
+                if guard.len() < self.capacity {
+                    break;
+                }
+            }
+            while guard.len() >= self.capacity {
+                let k = guard.keys().next().cloned().expect("nonempty");
+                guard.remove(&k);
+            }
+        }
+        guard.insert((group.to_string(), query.to_string()), (version, Arc::clone(&value)));
+        value
+    }
+
+    /// Drop everything (e.g. policy change where lazy invalidation is not
+    /// acceptable).
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_compute() {
+        let cache: GroupCache<u64> = GroupCache::new(8);
+        let v1 = cache.get_or_compute("g1", "q", 1, || 42);
+        assert_eq!(*v1, 42);
+        let mut computed = false;
+        let v2 = cache.get_or_compute("g1", "q", 1, || {
+            computed = true;
+            0
+        });
+        assert_eq!(*v2, 42);
+        assert!(!computed, "second call must hit");
+        assert_eq!(cache.stats().hits(), 1);
+        assert_eq!(cache.stats().misses(), 1);
+    }
+
+    #[test]
+    fn groups_are_isolated() {
+        let cache: GroupCache<&'static str> = GroupCache::new(8);
+        cache.get_or_compute("biologists", "q", 1, || "fine answer");
+        let public = cache.get_or_compute("public", "q", 1, || "coarse answer");
+        assert_eq!(*public, "coarse answer", "no cross-group reuse");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn version_invalidates() {
+        let cache: GroupCache<u64> = GroupCache::new(8);
+        cache.get_or_compute("g", "q", 1, || 1);
+        let v = cache.get_or_compute("g", "q", 2, || 2);
+        assert_eq!(*v, 2, "stale version recomputed");
+        assert!(cache.stats().invalidations() >= 1);
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let cache: GroupCache<usize> = GroupCache::new(4);
+        for i in 0..20 {
+            cache.get_or_compute("g", &format!("q{i}"), 1, || i);
+        }
+        assert!(cache.len() <= 4);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let cache: GroupCache<u64> = GroupCache::new(4);
+        cache.get_or_compute("g", "q", 1, || 7);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::sync::Arc as StdArc;
+        let cache: StdArc<GroupCache<u64>> = StdArc::new(GroupCache::new(64));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let c = StdArc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    let v = c.get_or_compute(&format!("g{}", t % 2), &format!("q{}", i % 10), 1, || i % 10);
+                    assert_eq!(*v, i % 10);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.stats().hits() > 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! A privacy-classified inverted keyword index.
+//!
+//! Sec. 4: *"With data privacy, we must manage an index with 'different
+//! user views' ... A promising direction is to consider representing the
+//! specification and execution graphs using advanced data structures that
+//! classify and group their elements based on privacy settings."*
+//!
+//! Each posting carries its privacy classification — the workflow that owns
+//! the module — so a single index serves every privilege level: at query
+//! time a posting is admissible for a principal iff its workflow lies in
+//! the principal's access-view prefix. Postings are grouped per term by
+//! `(spec, workflow)` so the filter skips whole groups.
+//!
+//! Matching model (matches the paper's Fig. 5 query semantics):
+//!
+//! * single terms match the tokenized module name and keyword tags,
+//! * multi-word phrases (`"disorder risks"`) match whole keyword tags or
+//!   consecutive name tokens.
+
+use crate::repository::{Repository, SpecId};
+use ppwf_model::hierarchy::Prefix;
+use ppwf_model::ids::{ModuleId, WorkflowId};
+use std::collections::HashMap;
+
+/// One match location for a term.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Posting {
+    /// Owning specification.
+    pub spec: SpecId,
+    /// Matching module.
+    pub module: ModuleId,
+    /// Privacy classification: the workflow that must be visible for this
+    /// posting to be admissible.
+    pub workflow: WorkflowId,
+    /// Term frequency within the module's text (name tokens + tags).
+    pub tf: u32,
+}
+
+/// Lowercase alphanumeric tokenization.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// The index.
+#[derive(Debug, Default)]
+pub struct KeywordIndex {
+    terms: HashMap<String, Vec<Posting>>,
+    /// Whole keyword tags, normalized, for phrase matching.
+    phrases: HashMap<String, Vec<Posting>>,
+    /// Name token sequences per module, for consecutive-token phrases.
+    module_tokens: HashMap<(SpecId, ModuleId), Vec<String>>,
+    /// Number of indexed modules (documents) — the IDF denominator.
+    doc_count: usize,
+    /// Repository version this index was built at.
+    built_at: u64,
+}
+
+impl KeywordIndex {
+    /// Build the index over every module of every specification.
+    pub fn build(repo: &Repository) -> Self {
+        let mut idx = KeywordIndex { built_at: repo.version(), ..KeywordIndex::default() };
+        for (sid, entry) in repo.entries() {
+            for module in entry.spec.modules() {
+                if module.kind.is_distinguished() {
+                    continue;
+                }
+                idx.doc_count += 1;
+                let name_tokens = tokenize(&module.name);
+                let mut tf: HashMap<String, u32> = HashMap::new();
+                for t in &name_tokens {
+                    *tf.entry(t.clone()).or_insert(0) += 1;
+                }
+                for tag in &module.keywords {
+                    for t in tokenize(tag) {
+                        *tf.entry(t).or_insert(0) += 1;
+                    }
+                    let norm = tokenize(tag).join(" ");
+                    if !norm.is_empty() {
+                        idx.phrases.entry(norm).or_default().push(Posting {
+                            spec: sid,
+                            module: module.id,
+                            workflow: module.workflow,
+                            tf: 1,
+                        });
+                    }
+                }
+                for (term, count) in tf {
+                    idx.terms.entry(term).or_default().push(Posting {
+                        spec: sid,
+                        module: module.id,
+                        workflow: module.workflow,
+                        tf: count,
+                    });
+                }
+                idx.module_tokens.insert((sid, module.id), name_tokens);
+            }
+        }
+        // Deterministic posting order, grouped by (spec, workflow).
+        for list in idx.terms.values_mut() {
+            list.sort_by_key(|p| (p.spec, p.workflow, p.module));
+        }
+        for list in idx.phrases.values_mut() {
+            list.sort_by_key(|p| (p.spec, p.workflow, p.module));
+        }
+        idx
+    }
+
+    /// Repository version the index reflects.
+    pub fn built_at(&self) -> u64 {
+        self.built_at
+    }
+
+    /// Number of indexed modules.
+    pub fn doc_count(&self) -> usize {
+        self.doc_count
+    }
+
+    /// Number of distinct single terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// All postings of a single term (unfiltered).
+    pub fn lookup(&self, term: &str) -> &[Posting] {
+        self.terms.get(&term.to_lowercase()).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Postings of a query term or phrase. Phrases match whole keyword tags
+    /// or consecutive module-name tokens.
+    pub fn lookup_query_term(&self, term: &str) -> Vec<Posting> {
+        let tokens = tokenize(term);
+        match tokens.len() {
+            0 => Vec::new(),
+            1 => self.lookup(&tokens[0]).to_vec(),
+            _ => {
+                let mut out: Vec<Posting> =
+                    self.phrases.get(&tokens.join(" ")).cloned().unwrap_or_default();
+                // Consecutive name tokens: seed with the first token's
+                // postings, then verify adjacency.
+                for p in self.lookup(&tokens[0]) {
+                    if out.iter().any(|q| q.spec == p.spec && q.module == p.module) {
+                        continue;
+                    }
+                    if let Some(seq) = self.module_tokens.get(&(p.spec, p.module)) {
+                        if seq.windows(tokens.len()).any(|w| w == tokens.as_slice()) {
+                            out.push(*p);
+                        }
+                    }
+                }
+                out.sort_by_key(|p| (p.spec, p.workflow, p.module));
+                out
+            }
+        }
+    }
+
+    /// Privilege-filtered postings: only those whose workflow lies inside
+    /// the principal's access view for that spec. `access` maps spec →
+    /// prefix; specs absent from the map are invisible.
+    pub fn lookup_filtered(
+        &self,
+        term: &str,
+        access: &HashMap<SpecId, Prefix>,
+    ) -> Vec<Posting> {
+        self.lookup_query_term(term)
+            .into_iter()
+            .filter(|p| access.get(&p.spec).map(|pre| pre.contains(p.workflow)).unwrap_or(false))
+            .collect()
+    }
+
+    /// Inverse document frequency of a term (ln((N+1)/(df+1)) + 1).
+    pub fn idf(&self, term: &str) -> f64 {
+        let df = self.lookup_query_term(term).len();
+        ((self.doc_count as f64 + 1.0) / (df as f64 + 1.0)).ln() + 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppwf_core::policy::Policy;
+    use ppwf_model::fixtures;
+
+    fn repo() -> Repository {
+        let mut repo = Repository::new();
+        let (spec, _) = fixtures::disease_susceptibility();
+        repo.insert_spec(spec, Policy::public()).unwrap();
+        repo
+    }
+
+    #[test]
+    fn tokenization() {
+        assert_eq!(tokenize("Expand SNP Set"), vec!["expand", "snp", "set"]);
+        assert_eq!(tokenize("Query-OMIM!"), vec!["query", "omim"]);
+        assert!(tokenize("  ").is_empty());
+    }
+
+    #[test]
+    fn indexes_all_proper_modules() {
+        let r = repo();
+        let idx = KeywordIndex::build(&r);
+        assert_eq!(idx.doc_count(), 15, "M1..M15, pseudo-modules excluded");
+        assert_eq!(idx.built_at(), r.version());
+        assert!(idx.term_count() > 10);
+    }
+
+    #[test]
+    fn single_term_lookup_with_classification() {
+        let r = repo();
+        let idx = KeywordIndex::build(&r);
+        // "database" appears (singular) only in M5 "Generate Database
+        // Queries" (W4) — M4's "Databases" is a different token. Name and
+        // tag occurrences merge into one posting with tf = 2.
+        let m = fixtures::handles(&r.entry(SpecId(0)).unwrap().spec);
+        let postings = idx.lookup("database");
+        assert_eq!(postings.len(), 1, "{postings:?}");
+        assert_eq!(postings[0].module, m.m5);
+        assert_eq!(postings[0].tf, 2);
+        assert_eq!(postings[0].workflow.index(), 3, "classified under W4");
+    }
+
+    #[test]
+    fn phrase_matches_tag_and_name() {
+        let r = repo();
+        let idx = KeywordIndex::build(&r);
+        let spec = &r.entry(SpecId(0)).unwrap().spec;
+        let m = fixtures::handles(spec);
+        // Tag phrase: M2 carries keyword "disorder risks".
+        let p = idx.lookup_query_term("Disorder Risks");
+        assert!(p.iter().any(|x| x.module == m.m2));
+        // Name phrase: "expand snp" matches M3's consecutive name tokens.
+        let p2 = idx.lookup_query_term("expand snp");
+        assert!(p2.iter().any(|x| x.module == m.m3));
+        // Non-consecutive words do not phrase-match.
+        let p3 = idx.lookup_query_term("expand set");
+        assert!(p3.iter().all(|x| x.module != m.m3));
+    }
+
+    #[test]
+    fn privilege_filtering_by_prefix() {
+        let r = repo();
+        let idx = KeywordIndex::build(&r);
+        let entry = r.entry(SpecId(0)).unwrap();
+        let m = fixtures::handles(&entry.spec);
+        let mut access = HashMap::new();
+        // Root-only view: W4's postings are inadmissible.
+        access.insert(SpecId(0), Prefix::root_only(&entry.hierarchy));
+        let filtered = idx.lookup_filtered("database", &access);
+        assert!(filtered.is_empty(), "M5 lives in W4, invisible at root-only");
+        // Full view admits them.
+        access.insert(SpecId(0), Prefix::full(&entry.hierarchy));
+        let full = idx.lookup_filtered("database", &access);
+        assert!(full.iter().any(|p| p.module == m.m5));
+        // Unknown specs are invisible.
+        let none = idx.lookup_filtered("database", &HashMap::new());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn idf_favors_rare_terms() {
+        let r = repo();
+        let idx = KeywordIndex::build(&r);
+        // "query" appears in several modules; "reformat" in one.
+        assert!(idx.idf("reformat") > idx.idf("query"));
+        // Unknown terms get the maximum idf.
+        assert!(idx.idf("nonexistent") >= idx.idf("reformat"));
+    }
+
+    #[test]
+    fn deterministic_posting_order() {
+        let r = repo();
+        let a = KeywordIndex::build(&r);
+        let b = KeywordIndex::build(&r);
+        assert_eq!(a.lookup("query"), b.lookup("query"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # ppwf-repo — the provenance-aware workflow repository
+//!
+//! Sec. 1 of the paper envisions *"repositories of workflow specifications
+//! and of provenance graphs that represent their executions ... made
+//! available as part of scientific information sharing"*, and Sec. 4 lays
+//! out what serving them with privacy requires: indexes that serve many
+//! privilege levels from one structure, caching aware of user groups, and
+//! on-the-fly hiding instead of per-privilege repository copies. This crate
+//! is that storage layer:
+//!
+//! * [`repository`] — multi-spec, multi-execution store with binary
+//!   persistence (one repository for all privilege levels, per the paper's
+//!   argument against per-level copies),
+//! * [`keyword_index`] — an inverted index whose postings carry their
+//!   privacy classification (the owning workflow), so privilege filtering
+//!   is a per-posting O(1) check instead of a per-level index,
+//! * [`reach_index`] — materialized reachability over full expansions,
+//!   with visibility-filtered lookups per access view,
+//! * [`cache`] — a user-group-keyed, version-invalidated result cache,
+//! * [`scan`] — parallel repository scans (crossbeam) for the non-indexed
+//!   baseline the benchmarks compare against,
+//! * [`stats`] — repository statistics for operators,
+//! * [`principals`] — the user-group directory resolving per-spec access
+//!   views (the paper's "user groups" made concrete).
+
+pub mod cache;
+pub mod keyword_index;
+pub mod principals;
+pub mod reach_index;
+pub mod repository;
+pub mod scan;
+pub mod stats;
+
+pub use repository::{Repository, SpecEntry, SpecId};

@@ -1,0 +1,197 @@
+//! A registry of user groups and their per-specification access views.
+//!
+//! The paper's Sec. 4 talks about "user groups" as the unit of cached-answer
+//! sharing and privilege management. [`PrincipalRegistry`] is the
+//! repository-side directory: each group has a clearance level and, for each
+//! specification, an access-view *policy* that is resolved against the
+//! spec's hierarchy on demand (so registering a group does not require the
+//! specs to exist yet). Resolution products feed directly into
+//! [`crate::keyword_index::KeywordIndex::lookup_filtered`] and the query
+//! layer's `AccessMap`.
+
+use crate::repository::{Repository, SpecId};
+use ppwf_core::policy::AccessLevel;
+use ppwf_model::hierarchy::{ExpansionHierarchy, Prefix};
+use ppwf_model::ids::WorkflowId;
+use std::collections::HashMap;
+
+/// How a group's access view is derived for a specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViewRule {
+    /// See everything (the finest prefix).
+    Full,
+    /// See only the root workflow.
+    RootOnly,
+    /// See the hierarchy down to the given depth (root = 0).
+    MaxDepth(u32),
+    /// See an explicit workflow set (ids resolved per spec; invalid sets
+    /// degrade to root-only rather than failing the query path).
+    Explicit(Vec<u32>),
+}
+
+impl ViewRule {
+    /// Resolve the rule against one hierarchy.
+    pub fn resolve(&self, h: &ExpansionHierarchy) -> Prefix {
+        match self {
+            ViewRule::Full => Prefix::full(h),
+            ViewRule::RootOnly => Prefix::root_only(h),
+            ViewRule::MaxDepth(d) => {
+                let ws = h
+                    .preorder()
+                    .into_iter()
+                    .filter(|&w| h.depth(w) <= *d)
+                    .collect::<Vec<_>>();
+                Prefix::from_workflows(h, ws).expect("depth cut is parent-closed")
+            }
+            ViewRule::Explicit(ids) => {
+                let ws: Vec<WorkflowId> = ids
+                    .iter()
+                    .filter(|&&i| (i as usize) < h.len())
+                    .map(|&i| WorkflowId::new(i as usize))
+                    .collect();
+                Prefix::from_workflows(h, ws).unwrap_or_else(|_| Prefix::root_only(h))
+            }
+        }
+    }
+}
+
+/// One user group.
+#[derive(Clone, Debug)]
+pub struct Group {
+    /// Group name (the cache key namespace).
+    pub name: String,
+    /// Clearance level for data/module/structure requirements.
+    pub level: AccessLevel,
+    /// Default view rule for specs without an override.
+    pub default_rule: ViewRule,
+    /// Per-spec overrides.
+    pub overrides: HashMap<SpecId, ViewRule>,
+}
+
+/// The registry.
+#[derive(Debug, Default)]
+pub struct PrincipalRegistry {
+    groups: Vec<Group>,
+}
+
+impl PrincipalRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        PrincipalRegistry::default()
+    }
+
+    /// Register a group; returns its index. Names must be unique.
+    pub fn add_group(
+        &mut self,
+        name: impl Into<String>,
+        level: AccessLevel,
+        default_rule: ViewRule,
+    ) -> usize {
+        let name = name.into();
+        assert!(
+            self.groups.iter().all(|g| g.name != name),
+            "duplicate group name `{name}`"
+        );
+        self.groups.push(Group { name, level, default_rule, overrides: HashMap::new() });
+        self.groups.len() - 1
+    }
+
+    /// Set a per-spec override for a group.
+    pub fn set_override(&mut self, group: usize, spec: SpecId, rule: ViewRule) {
+        self.groups[group].overrides.insert(spec, rule);
+    }
+
+    /// Look up a group by name.
+    pub fn group(&self, name: &str) -> Option<&Group> {
+        self.groups.iter().find(|g| g.name == name)
+    }
+
+    /// All group names (registration order).
+    pub fn names(&self) -> Vec<&str> {
+        self.groups.iter().map(|g| g.name.as_str()).collect()
+    }
+
+    /// Resolve a group's access map over the whole repository.
+    pub fn access_map(&self, repo: &Repository, name: &str) -> Option<HashMap<SpecId, Prefix>> {
+        let group = self.group(name)?;
+        Some(
+            repo.entries()
+                .map(|(sid, entry)| {
+                    let rule = group.overrides.get(&sid).unwrap_or(&group.default_rule);
+                    (sid, rule.resolve(&entry.hierarchy))
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppwf_core::policy::Policy;
+    use ppwf_model::fixtures;
+
+    fn repo() -> Repository {
+        let mut repo = Repository::new();
+        let (spec, _) = fixtures::disease_susceptibility();
+        repo.insert_spec(spec, Policy::public()).unwrap();
+        repo
+    }
+
+    #[test]
+    fn rules_resolve() {
+        let r = repo();
+        let h = &r.entry(SpecId(0)).unwrap().hierarchy;
+        assert_eq!(ViewRule::Full.resolve(h).len(), 4);
+        assert_eq!(ViewRule::RootOnly.resolve(h).len(), 1);
+        // Depth 1 keeps W1, W2, W3 but not W4 (depth 2).
+        let d1 = ViewRule::MaxDepth(1).resolve(h);
+        assert_eq!(d1.len(), 3);
+        assert!(!d1.contains(WorkflowId::new(3)));
+        // Explicit {0, 1} = {W1, W2}.
+        let e = ViewRule::Explicit(vec![0, 1]).resolve(h);
+        assert_eq!(e.len(), 2);
+        // Invalid explicit set degrades to root-only.
+        let bad = ViewRule::Explicit(vec![3]).resolve(h); // W4 without W2
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn registry_access_maps() {
+        let r = repo();
+        let mut reg = PrincipalRegistry::new();
+        reg.add_group("public", AccessLevel(0), ViewRule::RootOnly);
+        let g = reg.add_group("researchers", AccessLevel(3), ViewRule::Full);
+        reg.set_override(g, SpecId(0), ViewRule::MaxDepth(1));
+
+        let pub_map = reg.access_map(&r, "public").unwrap();
+        assert_eq!(pub_map[&SpecId(0)].len(), 1);
+        let res_map = reg.access_map(&r, "researchers").unwrap();
+        assert_eq!(res_map[&SpecId(0)].len(), 3, "override applies");
+        assert!(reg.access_map(&r, "nobody").is_none());
+        assert_eq!(reg.names(), vec!["public", "researchers"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate group name")]
+    fn duplicate_names_rejected() {
+        let mut reg = PrincipalRegistry::new();
+        reg.add_group("g", AccessLevel(0), ViewRule::Full);
+        reg.add_group("g", AccessLevel(1), ViewRule::Full);
+    }
+
+    #[test]
+    fn registry_drives_filtered_search() {
+        use crate::keyword_index::KeywordIndex;
+        let r = repo();
+        let index = KeywordIndex::build(&r);
+        let mut reg = PrincipalRegistry::new();
+        reg.add_group("public", AccessLevel(0), ViewRule::RootOnly);
+        reg.add_group("researchers", AccessLevel(3), ViewRule::Full);
+        let pub_map = reg.access_map(&r, "public").unwrap();
+        let res_map = reg.access_map(&r, "researchers").unwrap();
+        // "reformat" (M13, deep in W3) is invisible to the public group.
+        assert!(index.lookup_filtered("reformat", &pub_map).is_empty());
+        assert_eq!(index.lookup_filtered("reformat", &res_map).len(), 1);
+    }
+}

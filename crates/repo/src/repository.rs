@@ -1,0 +1,385 @@
+//! The workflow repository: specifications, their executions, and their
+//! privacy policies, in one store serving every privilege level.
+//!
+//! The paper (Sec. 1) argues *against* materializing one repository per
+//! access level — "inconsistencies, inefficiency, and a lack of
+//! flexibility" — so the repository stores full-fidelity artifacts plus
+//! policies, and the query layer hides on the fly. Persistence reuses the
+//! model crate's binary codec with a small framing layer (and its own
+//! encoding for policies).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ppwf_core::policy::{AccessLevel, HidePair, ModuleRequirement, Policy};
+use ppwf_model::codec;
+use ppwf_model::exec::Execution;
+use ppwf_model::hierarchy::ExpansionHierarchy;
+use ppwf_model::ids::ModuleId;
+use ppwf_model::spec::Specification;
+use ppwf_model::{ModelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a specification within a repository.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpecId(pub u32);
+
+impl SpecId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One specification with its derived hierarchy, policy and executions.
+#[derive(Clone, Debug)]
+pub struct SpecEntry {
+    /// The specification.
+    pub spec: Specification,
+    /// Its expansion hierarchy (derived once at insert).
+    pub hierarchy: ExpansionHierarchy,
+    /// The privacy policy governing it.
+    pub policy: Policy,
+    /// Recorded executions.
+    pub executions: Vec<Execution>,
+}
+
+/// The repository.
+#[derive(Debug, Default)]
+pub struct Repository {
+    entries: Vec<SpecEntry>,
+    version: u64,
+}
+
+impl Repository {
+    /// An empty repository.
+    pub fn new() -> Self {
+        Repository::default()
+    }
+
+    /// Number of specifications.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of stored executions.
+    pub fn execution_count(&self) -> usize {
+        self.entries.iter().map(|e| e.executions.len()).sum()
+    }
+
+    /// Monotone version counter; bumps on every mutation. Caches key their
+    /// entries by it (Sec. 4's cache-invalidation concern).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Insert a specification with its policy; validates the policy.
+    pub fn insert_spec(&mut self, spec: Specification, policy: Policy) -> Result<SpecId> {
+        policy.validate(&spec)?;
+        let hierarchy = ExpansionHierarchy::of(&spec);
+        let id = SpecId(self.entries.len() as u32);
+        self.entries.push(SpecEntry { spec, hierarchy, policy, executions: Vec::new() });
+        self.version += 1;
+        Ok(id)
+    }
+
+    /// Record an execution of `spec`.
+    pub fn add_execution(&mut self, spec: SpecId, exec: Execution) -> Result<()> {
+        exec.check_invariants()?;
+        let entry = self
+            .entries
+            .get_mut(spec.index())
+            .ok_or(ModelError::BadId { kind: "spec", index: spec.index(), len: 0 })?;
+        if exec.spec_name() != entry.spec.name() {
+            return Err(ModelError::invalid(format!(
+                "execution of `{}` added under spec `{}`",
+                exec.spec_name(),
+                entry.spec.name()
+            )));
+        }
+        entry.executions.push(exec);
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Replace the policy of a specification (bumps the version so caches
+    /// and privacy-filtered answers invalidate).
+    pub fn set_policy(&mut self, spec: SpecId, policy: Policy) -> Result<()> {
+        let entry = self
+            .entries
+            .get_mut(spec.index())
+            .ok_or(ModelError::BadId { kind: "spec", index: spec.index(), len: 0 })?;
+        policy.validate(&entry.spec)?;
+        entry.policy = policy;
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Look up an entry.
+    pub fn entry(&self, id: SpecId) -> Option<&SpecEntry> {
+        self.entries.get(id.index())
+    }
+
+    /// Iterate over `(id, entry)`.
+    pub fn entries(&self) -> impl Iterator<Item = (SpecId, &SpecEntry)> {
+        self.entries.iter().enumerate().map(|(i, e)| (SpecId(i as u32), e))
+    }
+
+    // -- persistence --------------------------------------------------------
+
+    /// Serialize the whole repository.
+    pub fn save(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"PPWFREPO");
+        buf.put_u8(1); // version
+        buf.put_u64_le(self.version);
+        buf.put_u32_le(self.entries.len() as u32);
+        for e in &self.entries {
+            let spec = codec::encode_spec(&e.spec);
+            buf.put_u32_le(spec.len() as u32);
+            buf.put_slice(&spec);
+            let pol = encode_policy(&e.policy);
+            buf.put_u32_le(pol.len() as u32);
+            buf.put_slice(&pol);
+            buf.put_u32_le(e.executions.len() as u32);
+            for x in &e.executions {
+                let xb = codec::encode_execution(x);
+                buf.put_u32_le(xb.len() as u32);
+                buf.put_slice(&xb);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize a repository, re-validating every artifact.
+    pub fn load(mut bytes: &[u8]) -> Result<Repository> {
+        fn need(bytes: &[u8], n: usize) -> Result<()> {
+            if bytes.len() < n {
+                Err(ModelError::codec("truncated repository"))
+            } else {
+                Ok(())
+            }
+        }
+        need(bytes, 9)?;
+        if &bytes[..8] != b"PPWFREPO" {
+            return Err(ModelError::codec("bad repository magic"));
+        }
+        bytes.advance(8);
+        let v = bytes.get_u8();
+        if v != 1 {
+            return Err(ModelError::codec(format!("unsupported repository version {v}")));
+        }
+        need(bytes, 12)?;
+        let version = bytes.get_u64_le();
+        let n = bytes.get_u32_le() as usize;
+        let mut repo = Repository::new();
+        for _ in 0..n {
+            need(bytes, 4)?;
+            let sl = bytes.get_u32_le() as usize;
+            need(bytes, sl)?;
+            let spec = codec::decode_spec(&bytes[..sl])?;
+            bytes.advance(sl);
+            need(bytes, 4)?;
+            let pl = bytes.get_u32_le() as usize;
+            need(bytes, pl)?;
+            let policy = decode_policy(&bytes[..pl])?;
+            bytes.advance(pl);
+            let id = repo.insert_spec(spec, policy)?;
+            need(bytes, 4)?;
+            let xs = bytes.get_u32_le() as usize;
+            for _ in 0..xs {
+                need(bytes, 4)?;
+                let xl = bytes.get_u32_le() as usize;
+                need(bytes, xl)?;
+                let exec = codec::decode_execution(&bytes[..xl])?;
+                bytes.advance(xl);
+                repo.add_execution(id, exec)?;
+            }
+        }
+        if !bytes.is_empty() {
+            return Err(ModelError::codec("trailing bytes after repository"));
+        }
+        repo.version = version;
+        Ok(repo)
+    }
+}
+
+fn encode_policy(p: &Policy) -> Bytes {
+    let mut b = BytesMut::new();
+    let mut channels: Vec<(&String, &AccessLevel)> = p.channel_levels.iter().collect();
+    channels.sort();
+    b.put_u32_le(channels.len() as u32);
+    for (ch, lvl) in channels {
+        b.put_u32_le(ch.len() as u32);
+        b.put_slice(ch.as_bytes());
+        b.put_u8(lvl.0);
+    }
+    let mut mods: Vec<(&ModuleId, &ModuleRequirement)> = p.private_modules.iter().collect();
+    mods.sort_by_key(|(m, _)| **m);
+    b.put_u32_le(mods.len() as u32);
+    for (m, req) in mods {
+        b.put_u32_le(m.0);
+        b.put_u32_le(req.gamma);
+        b.put_u8(req.level.0);
+    }
+    b.put_u32_le(p.hide_pairs.len() as u32);
+    for hp in &p.hide_pairs {
+        b.put_u32_le(hp.from.0);
+        b.put_u32_le(hp.to.0);
+        b.put_u8(hp.level.0);
+    }
+    b.freeze()
+}
+
+fn decode_policy(mut bytes: &[u8]) -> Result<Policy> {
+    fn need(bytes: &[u8], n: usize) -> Result<()> {
+        if bytes.len() < n {
+            Err(ModelError::codec("truncated policy"))
+        } else {
+            Ok(())
+        }
+    }
+    let mut p = Policy::public();
+    need(bytes, 4)?;
+    let nch = bytes.get_u32_le() as usize;
+    for _ in 0..nch {
+        need(bytes, 4)?;
+        let l = bytes.get_u32_le() as usize;
+        need(bytes, l + 1)?;
+        let ch = String::from_utf8(bytes[..l].to_vec())
+            .map_err(|_| ModelError::codec("policy channel not UTF-8"))?;
+        bytes.advance(l);
+        let lvl = AccessLevel(bytes.get_u8());
+        p.channel_levels.insert(ch, lvl);
+    }
+    need(bytes, 4)?;
+    let nm = bytes.get_u32_le() as usize;
+    for _ in 0..nm {
+        need(bytes, 9)?;
+        let m = ModuleId(bytes.get_u32_le());
+        let gamma = bytes.get_u32_le();
+        let level = AccessLevel(bytes.get_u8());
+        p.private_modules.insert(m, ModuleRequirement { gamma, level });
+    }
+    need(bytes, 4)?;
+    let nh = bytes.get_u32_le() as usize;
+    for _ in 0..nh {
+        need(bytes, 9)?;
+        let from = ModuleId(bytes.get_u32_le());
+        let to = ModuleId(bytes.get_u32_le());
+        let level = AccessLevel(bytes.get_u8());
+        p.hide_pairs.push(HidePair { from, to, level });
+    }
+    if !bytes.is_empty() {
+        return Err(ModelError::codec("trailing bytes after policy"));
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppwf_model::fixtures;
+
+    fn sample_repo() -> Repository {
+        let mut repo = Repository::new();
+        let (spec, m) = fixtures::disease_susceptibility();
+        let mut policy = Policy::public();
+        policy.protect_channel("disorders", AccessLevel(2));
+        policy.hide_pair(m.m13, m.m11, AccessLevel(3));
+        policy.protect_module(m.m1, 4, AccessLevel(2));
+        let exec = fixtures::disease_susceptibility_execution(&spec);
+        let id = repo.insert_spec(spec, policy).unwrap();
+        repo.add_execution(id, exec).unwrap();
+        repo
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let repo = sample_repo();
+        assert_eq!(repo.len(), 1);
+        assert_eq!(repo.execution_count(), 1);
+        let entry = repo.entry(SpecId(0)).unwrap();
+        assert_eq!(entry.spec.workflow_count(), 4);
+        assert_eq!(entry.executions[0].data_count(), 20);
+        assert!(repo.entry(SpecId(5)).is_none());
+    }
+
+    #[test]
+    fn version_bumps_on_mutation() {
+        let mut repo = Repository::new();
+        let v0 = repo.version();
+        let (spec, _) = fixtures::disease_susceptibility();
+        let id = repo.insert_spec(spec.clone(), Policy::public()).unwrap();
+        assert!(repo.version() > v0);
+        let v1 = repo.version();
+        let exec = fixtures::disease_susceptibility_execution(&spec);
+        repo.add_execution(id, exec).unwrap();
+        assert!(repo.version() > v1);
+        let v2 = repo.version();
+        repo.set_policy(id, Policy::public()).unwrap();
+        assert!(repo.version() > v2);
+    }
+
+    #[test]
+    fn rejects_mismatched_execution() {
+        let mut repo = Repository::new();
+        let (spec, _) = fixtures::disease_susceptibility();
+        let exec = fixtures::disease_susceptibility_execution(&spec);
+        let id = repo.insert_spec(spec, Policy::public()).unwrap();
+
+        let mut b = ppwf_model::spec::SpecBuilder::new("other");
+        let w = b.root_workflow("W1");
+        let a = b.atomic(w, "A", &[]);
+        b.edge(w, b.input(w), a, &["x"]);
+        b.edge(w, a, b.output(w), &["y"]);
+        let other = b.build().unwrap();
+        let other_exec = ppwf_model::exec::Executor::new(&other)
+            .run(&mut ppwf_model::exec::HashOracle)
+            .unwrap();
+        assert!(repo.add_execution(id, other_exec).is_err());
+        repo.add_execution(id, exec).unwrap();
+    }
+
+    #[test]
+    fn rejects_invalid_policy() {
+        let mut repo = Repository::new();
+        let (spec, m) = fixtures::disease_susceptibility();
+        let mut bad = Policy::public();
+        bad.protect_module(m.m1, 0, AccessLevel(1)); // Γ = 0 invalid
+        assert!(repo.insert_spec(spec, bad).is_err());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let repo = sample_repo();
+        let bytes = repo.save();
+        let loaded = Repository::load(&bytes).unwrap();
+        assert_eq!(loaded.len(), repo.len());
+        assert_eq!(loaded.version(), repo.version());
+        assert_eq!(loaded.execution_count(), 1);
+        let e = loaded.entry(SpecId(0)).unwrap();
+        assert_eq!(e.policy.channel_level("disorders"), AccessLevel(2));
+        assert_eq!(e.policy.hide_pairs.len(), 1);
+        assert_eq!(e.policy.private_modules.len(), 1);
+        assert_eq!(e.executions[0].proc_count(), 15);
+        // Stable bytes.
+        assert_eq!(loaded.save(), bytes);
+    }
+
+    #[test]
+    fn load_rejects_corruption() {
+        let repo = sample_repo();
+        let bytes = repo.save().to_vec();
+        assert!(Repository::load(b"JUNK").is_err());
+        for cut in (0..bytes.len()).step_by(997) {
+            assert!(Repository::load(&bytes[..cut]).is_err(), "prefix {cut} accepted");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(Repository::load(&trailing).is_err());
+    }
+}

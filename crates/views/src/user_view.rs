@@ -1,0 +1,164 @@
+//! User-view construction (paper refs \[2\] ICDE'08 and \[3\] ICDT'09).
+//!
+//! A *user view* shows a workflow at the coarsest granularity that still
+//! keeps a set of **relevant modules** distinguishable — each composite in
+//! the view may contain at most one relevant module — while remaining
+//! *sound* so that provenance read through the view is trustworthy.
+//!
+//! [`build_user_view`] is a greedy merge procedure: starting from the
+//! discrete clustering it repeatedly merges quotient-adjacent groups when
+//! the merge keeps (a) at most one relevant module per group and (b)
+//! soundness. Greedy merging is a well-behaved approximation of the ICDT'09
+//! optimization (which is NP-hard in general graphs); on chains it is
+//! optimal, which the `optimal_on_chains` unit test verifies.
+
+use crate::clustering::Clustering;
+use crate::soundness::is_sound;
+use ppwf_model::bitset::BitSet;
+use ppwf_model::graph::DiGraph;
+
+/// Outcome of the greedy user-view construction.
+#[derive(Clone, Debug)]
+pub struct UserView {
+    /// The resulting sound, relevance-respecting clustering.
+    pub clustering: Clustering,
+    /// Number of merges performed.
+    pub merges: usize,
+}
+
+impl UserView {
+    /// Number of composite modules the user sees.
+    pub fn size(&self) -> usize {
+        self.clustering.group_count()
+    }
+}
+
+/// Greedily build a user view of `g` for the given relevant node set.
+///
+/// Deterministic: candidate merges are scanned in ascending (group, group)
+/// order, restarting after every successful merge, so equal inputs produce
+/// equal views.
+pub fn build_user_view<N, E>(g: &DiGraph<N, E>, relevant: &BitSet) -> UserView {
+    assert_eq!(relevant.capacity(), g.node_count(), "relevant set size mismatch");
+    let mut c = Clustering::identity(g.node_count());
+    let mut merges = 0usize;
+    'outer: loop {
+        let members = c.members();
+        let rel_count: Vec<usize> = members
+            .iter()
+            .map(|ms| ms.iter().filter(|&&v| relevant.contains(v as usize)).count())
+            .collect();
+        let q = c.quotient(g);
+        // Candidate pairs: quotient-adjacent groups, scanned in edge order.
+        for (_, e) in q.edges() {
+            let (ga, gb) = (e.from, e.to);
+            if rel_count[ga as usize] + rel_count[gb as usize] > 1 {
+                continue;
+            }
+            let merged = c.merged(members[ga as usize][0], members[gb as usize][0]);
+            if is_sound(g, &merged) {
+                c = merged;
+                merges += 1;
+                continue 'outer;
+            }
+        }
+        return UserView { clustering: c, merges };
+    }
+}
+
+/// Check that a clustering respects the relevance constraint (≤ 1 relevant
+/// node per group) — exposed for property tests.
+pub fn respects_relevance(c: &Clustering, relevant: &BitSet) -> bool {
+    c.members()
+        .iter()
+        .all(|ms| ms.iter().filter(|&&v| relevant.contains(v as usize)).count() <= 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soundness::check_soundness;
+
+    fn chain(n: usize) -> DiGraph<(), ()> {
+        let mut g = DiGraph::new();
+        for _ in 0..n {
+            g.add_node(());
+        }
+        for i in 0..n - 1 {
+            g.add_edge(i as u32, i as u32 + 1, ());
+        }
+        g
+    }
+
+    #[test]
+    fn optimal_on_chains() {
+        // Chain of 6 with relevant {1, 4}: optimum is 2 groups
+        // ({0,1,2,3} and {4,5} or similar split keeping one relevant each).
+        let g = chain(6);
+        let relevant = BitSet::from_iter(6, [1usize, 4]);
+        let uv = build_user_view(&g, &relevant);
+        assert!(is_sound(&g, &uv.clustering));
+        assert!(respects_relevance(&uv.clustering, &relevant));
+        assert_eq!(uv.size(), 2, "chains admit the optimal 2-group view");
+        assert_eq!(uv.merges, 4);
+    }
+
+    #[test]
+    fn no_relevant_modules_collapses_chain_fully() {
+        let g = chain(5);
+        let relevant = BitSet::new(5);
+        let uv = build_user_view(&g, &relevant);
+        assert_eq!(uv.size(), 1, "nothing to distinguish: a single composite");
+        assert!(is_sound(&g, &uv.clustering));
+    }
+
+    #[test]
+    fn all_relevant_blocks_merging() {
+        let g = chain(4);
+        let relevant = BitSet::full(4);
+        let uv = build_user_view(&g, &relevant);
+        assert_eq!(uv.size(), 4);
+        assert_eq!(uv.merges, 0);
+    }
+
+    #[test]
+    fn soundness_constraint_limits_merging() {
+        // The W3 fragment: merging M11 and M13 would be unsound, so even
+        // with no relevant modules the greedy view must avoid it.
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        for _ in 0..5 {
+            g.add_node(());
+        }
+        g.add_edge(0, 1, ()); // M10 → M11
+        g.add_edge(2, 3, ()); // M12 → M13
+        g.add_edge(3, 1, ()); // M13 → M11
+        g.add_edge(3, 4, ()); // M13 → M14
+        let relevant = BitSet::new(5);
+        let uv = build_user_view(&g, &relevant);
+        let r = check_soundness(&g, &uv.clustering);
+        assert!(r.sound);
+        assert!(respects_relevance(&uv.clustering, &relevant));
+        assert!(uv.size() < 5, "some sound merging is possible");
+    }
+
+    #[test]
+    fn relevant_nodes_stay_distinguishable() {
+        let g = chain(8);
+        let relevant = BitSet::from_iter(8, [0usize, 3, 7]);
+        let uv = build_user_view(&g, &relevant);
+        assert!(respects_relevance(&uv.clustering, &relevant));
+        // Three relevant nodes need at least three groups.
+        assert!(uv.size() >= 3);
+        assert_eq!(uv.size(), 3, "chain optimum equals the lower bound");
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = chain(7);
+        let relevant = BitSet::from_iter(7, [2usize, 5]);
+        let a = build_user_view(&g, &relevant);
+        let b = build_user_view(&g, &relevant);
+        assert_eq!(a.clustering, b.clustering);
+        assert_eq!(a.merges, b.merges);
+    }
+}

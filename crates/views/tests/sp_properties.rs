@@ -1,0 +1,133 @@
+//! Property tests for series-parallel decomposition and optimal user views:
+//! randomly *constructed* SP graphs must decompose, their optimal views
+//! must be sound and relevance-respecting, and the optimum never exceeds
+//! the greedy view size by more than the pinned terminals.
+
+use ppwf_model::bitset::BitSet;
+use ppwf_model::graph::DiGraph;
+use ppwf_views::series_parallel::{decompose, optimal_sp_user_view, SpTree};
+use ppwf_views::soundness::is_sound;
+use ppwf_views::user_view::{build_user_view, respects_relevance};
+use proptest::prelude::*;
+
+/// A random SP "shape" grammar: edge | series(shapes) | parallel(shapes).
+#[derive(Clone, Debug)]
+enum Shape {
+    Edge,
+    Series(Vec<Shape>),
+    Parallel(Vec<Shape>),
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    let leaf = Just(Shape::Edge);
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Shape::Series),
+            proptest::collection::vec(inner, 2..4).prop_map(Shape::Parallel),
+        ]
+    })
+}
+
+/// Materialize a shape between fresh terminals; returns (graph, source, sink).
+fn build(shape: &Shape) -> (DiGraph<(), ()>, u32, u32) {
+    let mut g: DiGraph<(), ()> = DiGraph::new();
+    let s = g.add_node(());
+    let t = g.add_node(());
+    fn emit(g: &mut DiGraph<(), ()>, shape: &Shape, s: u32, t: u32) {
+        match shape {
+            Shape::Edge => {
+                g.add_edge(s, t, ());
+            }
+            Shape::Series(parts) => {
+                let mut cur = s;
+                for (i, p) in parts.iter().enumerate() {
+                    let next = if i + 1 == parts.len() { t } else { g.add_node(()) };
+                    emit(g, p, cur, next);
+                    cur = next;
+                }
+            }
+            Shape::Parallel(parts) => {
+                for p in parts {
+                    emit(g, p, s, t);
+                }
+            }
+        }
+    }
+    emit(&mut g, shape, s, t);
+    (g, s, t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Constructed SP graphs decompose, and the decomposition covers every
+    /// edge exactly once.
+    #[test]
+    fn constructed_sp_graphs_decompose(shape in shape_strategy()) {
+        let (g, s, t) = build(&shape);
+        prop_assume!(g.edge_count() > 0);
+        let tree = decompose(&g, s, t).expect("constructed SP graph must decompose");
+        prop_assert_eq!(tree.edge_count(), g.edge_count());
+        // Inner nodes of the tree = all nodes except terminals.
+        let mut inner = Vec::new();
+        tree.inner_nodes(&mut inner);
+        inner.sort();
+        inner.dedup();
+        prop_assert_eq!(inner.len(), g.node_count() - 2);
+        let _ = SpTree::Edge(0);
+    }
+
+    /// Optimal SP user views are sound, respect relevance, and match the
+    /// chain lower bound when the graph is a chain.
+    #[test]
+    fn optimal_views_sound_and_tight(shape in shape_strategy(), mask in any::<u64>()) {
+        let (g, s, t) = build(&shape);
+        prop_assume!(g.node_count() >= 3);
+        let mut relevant = BitSet::new(g.node_count());
+        for v in 0..g.node_count() {
+            if v as u32 != s && v as u32 != t && (mask >> (v % 64)) & 1 == 1 {
+                relevant.insert(v);
+            }
+        }
+        let c = optimal_sp_user_view(&g, s, t, &relevant).expect("SP graph");
+        prop_assert!(is_sound(&g, &c), "optimal view must be sound");
+        prop_assert!(respects_relevance(&c, &relevant));
+        // Lower bound: at least one group per relevant node plus terminals.
+        prop_assert!(c.group_count() >= relevant.len().min(g.node_count()));
+        // On pure chains the sweep is globally optimal among terminal-
+        // pinned views: compare against greedy plus the two pinned
+        // terminals. (Parallel content lets greedy merge across branches
+        // or terminals, where no fixed relation holds.)
+        let pure_chain = matches!(&shape, Shape::Series(parts)
+            if parts.iter().all(|p| matches!(p, Shape::Edge)));
+        if pure_chain {
+            let greedy = build_user_view(&g, &relevant);
+            prop_assert!(
+                c.group_count() <= greedy.clustering.group_count() + 2,
+                "sweep {} vs greedy {}",
+                c.group_count(),
+                greedy.clustering.group_count()
+            );
+        }
+    }
+
+    /// Clustering quotient/merge/split invariants on random assignments.
+    #[test]
+    fn clustering_invariants(n in 2usize..12, seed in any::<u64>()) {
+        use ppwf_views::clustering::Clustering;
+        let assignment: Vec<u32> = (0..n).map(|i| ((seed >> (i % 32)) & 0b11) as u32).collect();
+        let c = Clustering::from_assignment(&assignment);
+        // Dense renumbering: group ids are 0..k.
+        for v in 0..n as u32 {
+            prop_assert!(c.group_of(v) < c.group_count() as u32);
+        }
+        // Members partition the node set.
+        let total: usize = c.members().iter().map(|m| m.len()).sum();
+        prop_assert_eq!(total, n);
+        // merged() then split() restores the group count.
+        if n >= 2 {
+            let merged = c.merged(0, (n - 1) as u32);
+            prop_assert!(merged.group_count() <= c.group_count());
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Random and structured relations/networks for the module-privacy
+//! experiments (E2).
+//!
+//! Ref \[4\]'s optimization behaves very differently across function
+//! families: random functions spread outputs (cheap privacy), projections
+//! copy inputs through (hiding one side forces hiding the other), and
+//! constant-heavy functions compress the output space (low attainable Γ).
+//! The generator therefore offers all three plus wired networks.
+
+use ppwf_core::module_privacy::{Network, Relation, Source};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Function families for generated relations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Uniformly random total function.
+    Random,
+    /// Output `o` copies input `o % in_arity`.
+    Projection,
+    /// Output `o` is the XOR (mod domain) of all inputs plus `o`.
+    Xor,
+    /// Every input maps to the all-zero output.
+    Constant,
+}
+
+/// Generate one relation.
+pub fn relation(
+    seed: u64,
+    family: Family,
+    in_arity: usize,
+    out_arity: usize,
+    domain: u16,
+) -> Relation {
+    assert!(domain >= 2, "domains below 2 make privacy degenerate");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let in_domains = vec![domain; in_arity];
+    let out_domains = vec![domain; out_arity];
+    let name = format!("{family:?}-{seed}");
+    match family {
+        Family::Random => {
+            // Pre-draw the full table so the closure stays deterministic
+            // regardless of evaluation order.
+            let n: usize = in_domains.iter().map(|&d| d as usize).product();
+            let table: Vec<Vec<u16>> = (0..n)
+                .map(|_| (0..out_arity).map(|_| rng.gen_range(0..domain)).collect())
+                .collect();
+            let mut idx = 0usize;
+            Relation::from_fn(name, &in_domains, &out_domains, move |_| {
+                let row = table[idx].clone();
+                idx += 1;
+                row
+            })
+        }
+        Family::Projection => Relation::from_fn(name, &in_domains, &out_domains, move |x| {
+            (0..out_arity).map(|o| x[o % in_arity]).collect()
+        }),
+        Family::Xor => Relation::from_fn(name, &in_domains, &out_domains, move |x| {
+            (0..out_arity)
+                .map(|o| {
+                    let sum: u32 = x.iter().map(|&v| v as u32).sum::<u32>() + o as u32;
+                    (sum % domain as u32) as u16
+                })
+                .collect()
+        }),
+        Family::Constant => {
+            Relation::from_fn(name, &in_domains, &out_domains, move |_| vec![0; out_arity])
+        }
+    }
+}
+
+/// Attribute weights for a relation: uniform or seeded-random in `1..=max`.
+pub fn weights(seed: u64, attr_count: usize, max: u64) -> Vec<u64> {
+    if max <= 1 {
+        return vec![1; attr_count];
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..attr_count).map(|_| rng.gen_range(1..=max)).collect()
+}
+
+/// A linear chain network: module `i`'s first input is wired to module
+/// `i − 1`'s first output; remaining inputs are external.
+pub fn chain_network(
+    seed: u64,
+    family: Family,
+    length: usize,
+    in_arity: usize,
+    out_arity: usize,
+    domain: u16,
+) -> Network {
+    assert!(length >= 1 && in_arity >= 1 && out_arity >= 1);
+    let mut relations = Vec::with_capacity(length);
+    let mut sources = Vec::with_capacity(length);
+    let mut n_ext = 0usize;
+    for i in 0..length {
+        relations.push(relation(seed.wrapping_add(i as u64), family, in_arity, out_arity, domain));
+        let mut src = Vec::with_capacity(in_arity);
+        for a in 0..in_arity {
+            if i > 0 && a == 0 {
+                src.push(Source::Wire { module: i - 1, out_attr: 0 });
+            } else {
+                src.push(Source::External(n_ext));
+                n_ext += 1;
+            }
+        }
+        sources.push(src);
+    }
+    Network::new(relations, sources, vec![domain; n_ext])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppwf_model::bitset::BitSet;
+
+    #[test]
+    fn families_have_expected_shapes() {
+        let dom = 2u16;
+        let proj = relation(1, Family::Projection, 2, 2, dom);
+        assert_eq!(proj.eval(&[1, 0]), &[1, 0]);
+        let xor = relation(1, Family::Xor, 2, 1, dom);
+        assert_eq!(xor.eval(&[1, 1]), &[0]);
+        assert_eq!(xor.eval(&[1, 0]), &[1]);
+        let c = relation(1, Family::Constant, 2, 2, dom);
+        assert_eq!(c.eval(&[1, 1]), &[0, 0]);
+    }
+
+    #[test]
+    fn random_relation_deterministic_per_seed() {
+        let a = relation(7, Family::Random, 3, 2, 3);
+        let b = relation(7, Family::Random, 3, 2, 3);
+        for idx in 0..a.input_count() {
+            assert_eq!(a.eval_index(idx), b.eval_index(idx));
+        }
+        let c = relation(8, Family::Random, 3, 2, 3);
+        let differs = (0..a.input_count()).any(|i| a.eval_index(i) != c.eval_index(i));
+        assert!(differs);
+    }
+
+    #[test]
+    fn privacy_differs_across_families() {
+        // Fully visible: no family is 2-private. Hiding all outputs: all
+        // families reach domain^out candidates except where groups shrink.
+        let dom = 2u16;
+        for fam in [Family::Random, Family::Projection, Family::Xor, Family::Constant] {
+            let r = relation(3, fam, 2, 2, dom);
+            let full = BitSet::full(r.attr_count());
+            assert_eq!(r.min_possible_outputs(&full), 1, "{fam:?}");
+            let ins_only = BitSet::from_iter(4, [0usize, 1]);
+            assert_eq!(r.min_possible_outputs(&ins_only), 4, "{fam:?}");
+        }
+    }
+
+    #[test]
+    fn weights_bounds() {
+        let w = weights(5, 10, 9);
+        assert_eq!(w.len(), 10);
+        assert!(w.iter().all(|&x| (1..=9).contains(&x)));
+        assert_eq!(weights(5, 4, 1), vec![1; 4]);
+    }
+
+    #[test]
+    fn chain_network_wiring() {
+        let n = chain_network(2, Family::Xor, 3, 2, 1, 2);
+        assert_eq!(n.module_count(), 3);
+        // Externals: module 0 takes 2, modules 1..2 take 1 each = 4.
+        assert_eq!(n.external_count(), 1 << 4);
+        assert_eq!(n.input_item(1, 0), n.output_item(0, 0));
+        // Runs without panicking and produces consistent item counts.
+        let items = n.run(5);
+        assert_eq!(items.len(), n.item_count());
+    }
+}

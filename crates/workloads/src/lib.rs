@@ -1,0 +1,23 @@
+//! # ppwf-workloads — synthetic workloads for the ppwf experiments
+//!
+//! The paper has no public benchmark corpus (its motivating repositories
+//! were myExperiment-era scientific-workflow collections), so the
+//! experiments run on synthetic inputs whose knobs match what the paper's
+//! mechanisms are sensitive to: graph shape, hierarchy depth, fan-in/out,
+//! annotation skew, and module-function structure. See DESIGN.md §1 for the
+//! substitution rationale.
+//!
+//! * [`zipf`] — a self-contained Zipf sampler (keyword skew),
+//! * [`genspec`] — random hierarchical workflow specifications,
+//! * [`genexec`] — batch execution generation with seeded oracles,
+//! * [`genmodule`] — random and structured relations/networks for the
+//!   module-privacy experiments.
+//!
+//! Everything is deterministic under a caller-provided seed.
+
+pub mod genexec;
+pub mod genmodule;
+pub mod genspec;
+pub mod zipf;
+
+pub use genspec::{generate_spec, SpecParams};

@@ -1,0 +1,77 @@
+//! Module privacy in practice: the Γ-privacy optimization of paper ref \[4\]
+//! on standalone modules, and what composition does to the guarantee.
+//!
+//! ```bash
+//! cargo run --example module_privacy_analysis
+//! ```
+
+use ppwf::model::bitset::BitSet;
+use ppwf::privacy::module_privacy::{exhaustive_min_hiding, greedy_min_hiding};
+use ppwf::workloads::genmodule::{chain_network, relation, weights, Family};
+
+fn main() {
+    // A module like the paper's M1: inputs (SNP bucket, ethnicity) →
+    // outputs (disorder class, confidence). Domain 4 each.
+    println!("== standalone Γ-privacy: min-cost hiding ==");
+    println!("{:<12} {:>3} {:>14} {:>14} {:>8}", "family", "Γ", "greedy cost", "optimal cost", "ratio");
+    for family in [Family::Random, Family::Projection, Family::Xor] {
+        let rel = relation(42, family, 2, 2, 4);
+        let w = weights(7, rel.attr_count(), 9);
+        for gamma in [2u64, 4, 8, 16] {
+            let greedy = greedy_min_hiding(&rel, &w, gamma);
+            let exact = exhaustive_min_hiding(&rel, &w, gamma);
+            match (greedy, exact) {
+                (Some(g), Some(e)) => {
+                    println!(
+                        "{:<12} {:>3} {:>14} {:>14} {:>8.2}",
+                        format!("{family:?}"),
+                        gamma,
+                        g.cost,
+                        e.cost,
+                        if e.cost == 0 { 1.0 } else { g.cost as f64 / e.cost as f64 }
+                    );
+                }
+                _ => println!(
+                    "{:<12} {:>3} {:>14} {:>14} {:>8}",
+                    format!("{family:?}"),
+                    gamma,
+                    "-",
+                    "unattainable",
+                    "-"
+                ),
+            }
+        }
+    }
+
+    // Composition: a chain of modules sharing data. Hiding chosen per
+    // module standalone may over-promise once downstream modules reveal
+    // derived values.
+    println!("\n== workflow composition: surrogate vs strict adversary ==");
+    let net = chain_network(3, Family::Projection, 3, 2, 2, 2);
+    println!(
+        "chain of {} Projection modules, {} data items",
+        net.module_count(),
+        net.item_count()
+    );
+    // Hide each module's outputs (the classic safe subset for Γ = 4).
+    let mut hidden = BitSet::new(net.item_count());
+    for i in 0..net.module_count() {
+        for o in 0..net.relation(i).out_arity() {
+            hidden.insert(net.output_item(i, o));
+        }
+    }
+    println!("{:<8} {:>16} {:>14}", "module", "surrogate Γ", "strict Γ");
+    for i in 0..net.module_count() {
+        println!(
+            "{:<8} {:>16} {:>14}",
+            format!("m{i}"),
+            net.empirical_gamma(i, &hidden),
+            net.empirical_gamma_strict(i, &hidden)
+        );
+    }
+    println!(
+        "\n(strict ≤ surrogate always; gaps show where downstream visibility\n\
+         would let a known-function adversary reconstruct hidden values —\n\
+         the reason ref [4] restricts its theorems to all-private workflows)"
+    );
+}

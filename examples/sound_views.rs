@@ -1,0 +1,82 @@
+//! Unsound views, their repair, and optimal user views — the view-quality
+//! toolbox behind structural privacy (paper Sec. 3, refs \[3\] and \[9\]).
+//!
+//! ```bash
+//! cargo run --example sound_views
+//! ```
+
+use ppwf::model::bitset::BitSet;
+use ppwf::model::graph::DiGraph;
+use ppwf::views::clustering::Clustering;
+use ppwf::views::repair::repair;
+use ppwf::views::series_parallel::{decompose, optimal_sp_user_view};
+use ppwf::views::soundness::check_soundness;
+use ppwf::views::user_view::build_user_view;
+
+fn main() {
+    // --- The paper's example, verbatim -----------------------------------
+    // W3 fragment: M10 → M11, M12 → M13 → {M11, M14}.
+    let mut g: DiGraph<&str, ()> = DiGraph::new();
+    for name in ["M10", "M11", "M12", "M13", "M14"] {
+        g.add_node(name);
+    }
+    g.add_edge(0, 1, ());
+    g.add_edge(2, 3, ());
+    g.add_edge(3, 1, ());
+    g.add_edge(3, 4, ());
+
+    println!("== the paper's unsound view: cluster {{M11, M13}} ==");
+    let c = Clustering::from_groups(5, &[vec![1, 3]]);
+    let report = check_soundness(&g, &c);
+    println!(
+        "sound: {} — claimed pairs {}, correct {}, false {}, hidden {}",
+        report.sound, report.claimed_pairs, report.correct_pairs, report.false_pairs,
+        report.hidden_pairs
+    );
+    println!("false group pairs: {:?}", report.false_group_pairs);
+
+    let fixed = repair(&g, &c);
+    let after = check_soundness(&g, &fixed.clustering);
+    println!(
+        "after {} split(s): sound = {}, groups = {}",
+        fixed.splits, after.sound, after.groups
+    );
+
+    // --- Greedy user views on the same fragment ---------------------------
+    println!("\n== user views (keep M10 and M14 distinguishable) ==");
+    let relevant = BitSet::from_iter(5, [0usize, 4]);
+    let uv = build_user_view(&g, &relevant);
+    println!(
+        "greedy view: {} groups after {} merges: {:?}",
+        uv.size(),
+        uv.merges,
+        uv.clustering.members()
+    );
+
+    // --- Optimal views on a series-parallel pipeline ----------------------
+    println!("\n== optimal user view on a series-parallel pipeline ==");
+    // s → a → {b | c} → d → t   (a diamond inside a chain)
+    let mut sp: DiGraph<&str, ()> = DiGraph::new();
+    for name in ["s", "a", "b", "c", "d", "t"] {
+        sp.add_node(name);
+    }
+    sp.add_edge(0, 1, ());
+    sp.add_edge(1, 2, ());
+    sp.add_edge(1, 3, ());
+    sp.add_edge(2, 4, ());
+    sp.add_edge(3, 4, ());
+    sp.add_edge(4, 5, ());
+    let tree = decompose(&sp, 0, 5).expect("series-parallel");
+    println!("decomposition covers {} edges", tree.edge_count());
+    for rel_nodes in [vec![], vec![2usize], vec![1usize, 4]] {
+        let relevant = BitSet::from_iter(6, rel_nodes.iter().copied());
+        let opt = optimal_sp_user_view(&sp, 0, 5, &relevant).unwrap();
+        let rep = check_soundness(&sp, &opt);
+        println!(
+            "relevant {:?}: {} groups (sound: {})",
+            rel_nodes,
+            opt.group_count(),
+            rep.sound
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! End-to-end figure reproduction through the public facade: every figure
+//! of the paper, regenerated and checked across crate boundaries.
+
+use ppwf::model::fixtures;
+use ppwf::model::hierarchy::{ExpansionHierarchy, Prefix};
+use ppwf::model::ids::{DataId, ProcId, WorkflowId};
+use ppwf::model::render;
+use ppwf::privacy::policy::Policy;
+use ppwf::query::keyword::{search, search_scan, KeywordQuery};
+use ppwf::repo::keyword_index::KeywordIndex;
+use ppwf::repo::repository::Repository;
+use ppwf::views::exec_view::ExecView;
+
+/// Fig. 1 — the specification: W1–W4, M1–M15, τ-expansions, channels.
+#[test]
+fn figure_1_specification() {
+    let (spec, m) = fixtures::disease_susceptibility();
+    assert_eq!(spec.workflow_count(), 4);
+    assert_eq!(spec.module_count(), 23); // 15 proper + 4 × (I, O)
+    assert_eq!(spec.edge_count(), 4 + 4 + 10 + 5);
+
+    // τ-expansions exactly as drawn: M1 → W2, M2 → W3, M4 → W4.
+    assert_eq!(spec.expansion_of(m.m1).map(|w| spec.workflow(w).name.clone()), Some("W2".into()));
+    assert_eq!(spec.expansion_of(m.m2).map(|w| spec.workflow(w).name.clone()), Some("W3".into()));
+    assert_eq!(spec.expansion_of(m.m4).map(|w| spec.workflow(w).name.clone()), Some("W4".into()));
+
+    // The figure's module captions.
+    for (mm, name) in [
+        (m.m1, "Determine Genetic Susceptibility"),
+        (m.m2, "Evaluate Disorder Risk"),
+        (m.m3, "Expand SNP Set"),
+        (m.m4, "Consult External Databases"),
+        (m.m5, "Generate Database Queries"),
+        (m.m6, "Query OMIM"),
+        (m.m7, "Query PubMed"),
+        (m.m8, "Combine Disorder Sets"),
+        (m.m9, "Generate Queries"),
+        (m.m10, "Search Private Datasets"),
+        (m.m11, "Update Private Datasets"),
+        (m.m12, "Search PubMed Central"),
+        (m.m13, "Reformat"),
+        (m.m14, "Summarize Articles"),
+        (m.m15, "Combine notes and summary"),
+    ] {
+        assert_eq!(spec.module(mm).name, name);
+    }
+
+    // Rendering mentions every τ edge.
+    let dot = render::spec_dot(&spec);
+    for target in ["τ→ W2", "τ→ W3", "τ→ W4"] {
+        assert!(dot.contains(target), "missing {target}");
+    }
+}
+
+/// Fig. 3 — the expansion hierarchy.
+#[test]
+fn figure_3_hierarchy() {
+    let (spec, _) = fixtures::disease_susceptibility();
+    let h = ExpansionHierarchy::of(&spec);
+    assert_eq!(render::hierarchy_ascii(&spec, &h), "W1\n  W2\n    W4\n  W3\n");
+}
+
+/// Fig. 4 — the execution: S1..S15 in activation order, d0..d19 in
+/// production order, exact edge contents.
+#[test]
+fn figure_4_execution() {
+    let (spec, m) = fixtures::disease_susceptibility();
+    let exec = fixtures::disease_susceptibility_execution(&spec);
+    assert_eq!(exec.proc_count(), 15);
+    assert_eq!(exec.data_count(), 20);
+
+    // Spot-check the full labeling (unit tests check every edge).
+    assert_eq!(exec.proc_of(m.m1), Some(ProcId::new(0)));
+    assert_eq!(exec.proc_of(m.m14), Some(ProcId::new(11)));
+    assert_eq!(exec.proc_of(m.m10), Some(ProcId::new(12)));
+    let listing = render::execution_listing(&spec, &exec);
+    assert!(listing.contains("I -> S1:M1 begin  {d0,d1}"));
+    assert!(listing.contains("S8:M2 begin -> S9:M9  {d2,d3,d4,d10}"));
+    assert!(listing.contains("S8:M2 end -> O  {d19}"));
+}
+
+/// Fig. 2 — the Fig. 4 execution under prefix {W1}.
+#[test]
+fn figure_2_provenance_view() {
+    let (spec, _) = fixtures::disease_susceptibility();
+    let h = ExpansionHierarchy::of(&spec);
+    let exec = fixtures::disease_susceptibility_execution(&spec);
+    let view = ExecView::build(&spec, &h, &exec, &Prefix::root_only(&h)).unwrap();
+    assert_eq!(view.graph().node_count(), 4);
+    assert_eq!(view.graph().edge_count(), 4);
+    let d = |i: usize| DataId::new(i);
+    assert_eq!(view.visible_data(), &[d(0), d(1), d(2), d(3), d(4), d(10), d(19)]);
+}
+
+/// Fig. 5 — the minimal-view answer to "Database, Disorder Risks",
+/// via the index plan and the scan plan.
+#[test]
+fn figure_5_keyword_answer() {
+    let (spec, m) = fixtures::disease_susceptibility();
+    let mut repo = Repository::new();
+    repo.insert_spec(spec.clone(), Policy::public()).unwrap();
+    let index = KeywordIndex::build(&repo);
+    let q = KeywordQuery::parse("Database, Disorder Risks");
+
+    for hits in [search(&repo, &index, &q), search_scan(&repo, &q)] {
+        assert_eq!(hits.len(), 1);
+        let hit = &hits[0];
+        let wf: Vec<usize> = hit.prefix.workflows().map(|w| w.index()).collect();
+        assert_eq!(wf, vec![0, 1, 3], "prefix {{W1, W2, W4}}");
+        let mut codes: Vec<String> =
+            hit.view.visible_modules().map(|mm| spec.module(mm).code.clone()).collect();
+        codes.sort();
+        assert_eq!(codes, vec!["M2", "M3", "M5", "M6", "M7", "M8"]);
+        assert!(hit.view.has_module_edge(m.m8, m.m2), "disorders flow M8 → M2");
+        assert!(hit.view.is_opaque_composite(&spec, m.m2), "M2 stays unexpanded");
+    }
+    let _ = WorkflowId::new(0);
+}
+
+/// The paper's prose check on the full expansion (end of Sec. 2).
+#[test]
+fn full_expansion_prose() {
+    let (spec, m) = fixtures::disease_susceptibility();
+    let h = ExpansionHierarchy::of(&spec);
+    let view =
+        ppwf::model::expand::SpecView::build(&spec, &h, &Prefix::full(&h)).unwrap();
+    assert!(view.has_module_edge(m.m3, m.m5));
+    assert!(view.has_module_edge(m.m8, m.m9));
+    assert_eq!(view.visible_modules().count(), 12);
+}

@@ -1,0 +1,246 @@
+//! Property-based tests (proptest) over the core invariants of the system:
+//! generated specifications always validate and execute; prefix views are
+//! always sound clusterings; repair always lands sound; min-cut deletion
+//! always severs its pair; greedy hiding always meets Γ and never beats the
+//! optimum; codecs round-trip.
+
+use ppwf::model::bitset::BitSet;
+use ppwf::model::codec;
+use ppwf::model::exec::{Executor, HashOracle};
+use ppwf::model::expand::SpecView;
+use ppwf::model::graph::DiGraph;
+use ppwf::model::hierarchy::{ExpansionHierarchy, Prefix};
+use ppwf::privacy::module_privacy::{exhaustive_min_hiding, greedy_min_hiding};
+use ppwf::privacy::structural::{hide_by_deletion, HideRequest};
+use ppwf::views::clustering::Clustering;
+use ppwf::views::repair::repair;
+use ppwf::views::soundness::{check_soundness, is_sound};
+use ppwf::workloads::genmodule::{relation, weights, Family};
+use ppwf::workloads::genspec::{generate_spec, SpecParams};
+use proptest::prelude::*;
+
+fn spec_params() -> impl Strategy<Value = SpecParams> {
+    (
+        any::<u64>(),
+        2usize..6,
+        0.0f64..0.6,
+        1u32..3,
+        2usize..8,
+        0.0f64..1.0,
+    )
+        .prop_map(|(seed, per, comp, depth, wfs, extra)| SpecParams {
+            seed,
+            modules_per_workflow: (per, per + 3),
+            composite_fraction: comp,
+            max_depth: depth,
+            max_workflows: wfs,
+            extra_edges_per_module: extra,
+            vocabulary: 16,
+            keywords_per_module: 2,
+            zipf_skew: 1.0,
+        })
+}
+
+/// A random DAG: edges only forward under a fixed node order.
+fn random_dag() -> impl Strategy<Value = DiGraph<(), ()>> {
+    (2usize..10, any::<u64>()).prop_map(|(n, seed)| {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        for _ in 0..n {
+            g.add_node(());
+        }
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                if next() % 100 < 35 {
+                    g.add_edge(i, j, ());
+                }
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated specifications validate, execute, and satisfy the
+    /// execution invariants; codec round-trips preserve behavior.
+    #[test]
+    fn generated_specs_are_wellformed(params in spec_params()) {
+        let spec = generate_spec(&params);
+        let exec = Executor::new(&spec).run(&mut HashOracle).unwrap();
+        exec.check_invariants().unwrap();
+        // Every data item's producer is a producer node (redundant with
+        // invariants, but spelled out).
+        prop_assert!(exec.data_count() > 0);
+
+        let bytes = codec::encode_spec(&spec);
+        let spec2 = codec::decode_spec(&bytes).unwrap();
+        prop_assert_eq!(spec.module_count(), spec2.module_count());
+        let exec2 = Executor::new(&spec2).run(&mut HashOracle).unwrap();
+        prop_assert_eq!(exec.data_count(), exec2.data_count());
+
+        let ebytes = codec::encode_execution(&exec);
+        let exec3 = codec::decode_execution(&ebytes).unwrap();
+        prop_assert_eq!(exec.proc_count(), exec3.proc_count());
+    }
+
+    /// Prefix views are always *conservative* clusterings of the full
+    /// expansion: collapsing composites never destroys a true reachability
+    /// fact (every true pair is either still claimed or hidden inside one
+    /// group). They are **not** always sound — a composite whose entry
+    /// component does not reach one of its exits fabricates paths, which is
+    /// exactly the unsound-view problem of paper ref \[9\]; proptest found
+    /// such specs immediately, so this property also cross-checks that the
+    /// soundness checker's verdict agrees with its own false-pair count.
+    #[test]
+    fn prefix_views_are_conservative(params in spec_params(), drop_mask in any::<u32>()) {
+        let spec = generate_spec(&params);
+        let h = ExpansionHierarchy::of(&spec);
+        // Build a random valid prefix by dropping some subtrees.
+        let mut prefix = Prefix::full(&h);
+        for (bit, w) in h.preorder().into_iter().enumerate() {
+            if w != h.root() && drop_mask & (1 << (bit % 32)) != 0 {
+                let _ = prefix.remove_subtree(&h, w);
+            }
+        }
+        prefix.validate(&h).unwrap();
+
+        // Full expansion graph; cluster modules by their representative
+        // under the prefix (visible module keeps itself; hidden modules
+        // group under their nearest visible composite ancestor).
+        let full = SpecView::build(&spec, &h, &Prefix::full(&h)).unwrap();
+        let assignment: Vec<u32> = full
+            .graph()
+            .node_ids()
+            .map(|n| {
+                use ppwf::model::expand::ViewNode;
+                match full.graph().node(n) {
+                    ViewNode::Input | ViewNode::Output => n,
+                    ViewNode::Module(m) => {
+                        // Walk up until inside the prefix.
+                        let mut cur = *m;
+                        loop {
+                            let w = spec.module(cur).workflow;
+                            if prefix.contains(w) {
+                                break;
+                            }
+                            cur = spec
+                                .defining_module(w)
+                                .expect("non-root workflow has a defining module");
+                        }
+                        if cur == *m {
+                            n
+                        } else {
+                            // Group id: offset by node count to keep stable
+                            // unique ids per composite.
+                            full.graph().node_count() as u32 + cur.0
+                        }
+                    }
+                }
+            })
+            .collect();
+        let clustering = Clustering::from_assignment(&assignment);
+        let report = check_soundness(full.graph(), &clustering);
+        // Conservativity: claimed-correct + hidden = all true pairs.
+        prop_assert_eq!(
+            report.correct_pairs + report.hidden_pairs,
+            full.graph().reachability_pair_count()
+        );
+        // Checker self-consistency.
+        prop_assert_eq!(report.sound, report.false_group_pairs.is_empty());
+        prop_assert_eq!(report.claimed_pairs, report.correct_pairs + report.false_pairs);
+        // And when unsound, repair must land sound without losing truth.
+        if !report.sound {
+            let fixed = ppwf::views::repair::repair(full.graph(), &clustering);
+            let after = check_soundness(full.graph(), &fixed.clustering);
+            prop_assert!(after.sound);
+            prop_assert_eq!(
+                after.correct_pairs + after.hidden_pairs,
+                full.graph().reachability_pair_count()
+            );
+        }
+    }
+
+    /// Repair always terminates in a sound clustering, whatever the start.
+    #[test]
+    fn repair_always_lands_sound(g in random_dag(), groups in any::<u64>()) {
+        let n = g.node_count();
+        // Random assignment into at most 3 groups.
+        let assignment: Vec<u32> = (0..n).map(|i| ((groups >> (2 * (i % 16))) & 0b11) as u32 % 3).collect();
+        let clustering = Clustering::from_assignment(&assignment);
+        let out = repair(&g, &clustering);
+        prop_assert!(is_sound(&g, &out.clustering));
+        prop_assert!(out.clustering.group_count() >= clustering.group_count());
+    }
+
+    /// Edge deletion always severs the requested pair, with minimum weight
+    /// bounded by any single path's cheapest edge.
+    #[test]
+    fn deletion_always_severs(g in random_dag(), pick in any::<u64>()) {
+        let n = g.node_count() as u32;
+        let u = (pick % n as u64) as u32;
+        let v = ((pick >> 8) % n as u64) as u32;
+        prop_assume!(u != v && g.reaches(u, v));
+        let weights: Vec<u64> = (0..g.edge_count()).map(|i| 1 + (i as u64 % 5)).collect();
+        let out = hide_by_deletion(&g, &weights, &HideRequest::pair(u, v));
+        prop_assert!(out.hidden_ok);
+        prop_assert!(!out.graph.reaches(u, v));
+        prop_assert!(out.pairs_after <= out.pairs_before);
+    }
+
+    /// Greedy hiding meets Γ whenever the optimum exists, and never costs
+    /// less than the optimum (sanity of both solvers).
+    #[test]
+    fn greedy_hiding_sound_and_bounded(
+        seed in any::<u64>(),
+        fam in prop_oneof![
+            Just(Family::Random),
+            Just(Family::Projection),
+            Just(Family::Xor),
+        ],
+        gamma_exp in 0u32..3,
+    ) {
+        let rel = relation(seed, fam, 2, 2, 2);
+        let w = weights(seed ^ 0xABCD, rel.attr_count(), 7);
+        let gamma = 1u64 << gamma_exp; // 1, 2, 4
+        let exact = exhaustive_min_hiding(&rel, &w, gamma);
+        let greedy = greedy_min_hiding(&rel, &w, gamma);
+        match (exact, greedy) {
+            (Some(e), Some(g)) => {
+                let mut visible = BitSet::full(rel.attr_count());
+                visible.difference_with(&g.hidden);
+                prop_assert!(rel.is_gamma_private(&visible, gamma));
+                prop_assert!(g.cost >= e.cost);
+            }
+            (None, None) => {}
+            (e, g) => prop_assert!(false, "solver disagreement: {e:?} vs {g:?}"),
+        }
+    }
+
+    /// Executions collapse consistently: the view under any prefix keeps
+    /// input-output reachability and never invents data items.
+    #[test]
+    fn exec_views_consistent(params in spec_params(), drop_mask in any::<u32>()) {
+        let spec = generate_spec(&params);
+        let h = ExpansionHierarchy::of(&spec);
+        let exec = Executor::new(&spec).run(&mut HashOracle).unwrap();
+        let mut prefix = Prefix::full(&h);
+        for (bit, w) in h.preorder().into_iter().enumerate() {
+            if w != h.root() && drop_mask & (1 << (bit % 32)) != 0 {
+                let _ = prefix.remove_subtree(&h, w);
+            }
+        }
+        let view = ppwf::views::exec_view::ExecView::build(&spec, &h, &exec, &prefix).unwrap();
+        prop_assert!(view.graph().reaches(view.input(), view.output()));
+        prop_assert_eq!(
+            view.visible_data().len() + view.hidden_data().len(),
+            exec.data_count()
+        );
+        prop_assert!(view.graph().is_dag());
+    }
+}
