@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppwf_bench::{layered_dag, reachable_pair};
-use ppwf_core::structural::{hide_by_clustering, hide_by_clustering_repaired, hide_by_deletion, HideRequest};
+use ppwf_core::structural::{
+    hide_by_clustering, hide_by_clustering_repaired, hide_by_deletion, HideRequest,
+};
 
 fn bench_structural(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_structural");

@@ -29,9 +29,17 @@ fn bench_ranking(c: &mut Criterion) {
     }
     group.bench_function("tf_profiles_40_specs", |b| {
         b.iter(|| {
-            repo.entries()
-                .map(|(sid, e)| tf_profile(&repo, sid, &Prefix::root_only(&e.hierarchy), &terms))
-                .count()
+            let mut profiles = 0usize;
+            for (sid, e) in repo.entries() {
+                std::hint::black_box(tf_profile(
+                    &repo,
+                    sid,
+                    &Prefix::root_only(&e.hierarchy),
+                    &terms,
+                ));
+                profiles += 1;
+            }
+            profiles
         })
     });
     group.finish();

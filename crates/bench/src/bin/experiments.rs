@@ -10,7 +10,10 @@
 //! paper argues qualitatively. Each section header names the experiment id
 //! from DESIGN.md §3.
 
-use ppwf_bench::{deep_spec, layered_dag, parallel_chains, populated_repo, reachable_pair, sized_spec, SIZES};
+use ppwf_bench::{
+    deep_spec, layered_dag, parallel_chains, populated_repo, query_engine, reachable_pair,
+    sized_spec, standard_registry, E10_GROUPS, E10_QUERIES, SIZES,
+};
 use ppwf_core::dp::{evaluate_mechanism, LaplaceMechanism};
 use ppwf_core::module_privacy::{exhaustive_min_hiding, greedy_min_hiding};
 use ppwf_core::structural::{compare_mechanisms, HideRequest};
@@ -45,6 +48,7 @@ fn main() {
     e7_ranking();
     e8_dp();
     e9_structural_query();
+    e10_query_cache();
 }
 
 /// E1 — view construction & execution collapse vs size and depth.
@@ -206,8 +210,7 @@ fn e5_search() {
         let cache: GroupCache<usize> = GroupCache::new(8);
         cache.get_or_compute("g", "q", repo.version(), || idx_hits.len());
         let t2 = Instant::now();
-        let cached =
-            *cache.get_or_compute("g", "q", repo.version(), || unreachable!("must hit"));
+        let cached = *cache.get_or_compute("g", "q", repo.version(), || unreachable!("must hit"));
         let t_cache = us(t2);
         println!(
             "{:>6} {:>8} {:>10.1} {:>10.1} {:>10.2} {:>9}",
@@ -344,6 +347,67 @@ fn e9_structural_query() {
                 format!("{}/{}", m_full.len(), m_coarse.len())
             );
         }
+    }
+    println!();
+}
+
+/// E10 — the query fast path: per-group result cache + view cache vs the
+/// uncached path (Sec. 4's user-group caching direction made concrete).
+/// `cargo run --release -p ppwf-bench --bin e10_query_cache` emits the
+/// machine-readable baseline; this table is the human-readable shape.
+fn e10_query_cache() {
+    use ppwf_query::keyword::search_filtered;
+
+    println!("== E10: query cache fast path (Sec. 4 — user-group caching) ==");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10} {:>10} {:>10}",
+        "specs", "uncached µs/q", "warm µs/q", "speedup", "kw hit%", "view hit%"
+    );
+    for &specs in &[8usize, 16, 32] {
+        let repo = populated_repo(specs, 0, 91);
+        let index = KeywordIndex::build(&repo);
+        let registry = standard_registry();
+        let queries: Vec<KeywordQuery> =
+            E10_QUERIES.iter().map(|q| KeywordQuery::parse(q)).collect();
+        let reps = 20usize;
+        let requests = reps * E10_GROUPS.len() * queries.len();
+
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for g in E10_GROUPS {
+                let access = registry.access_map(&repo, g).unwrap();
+                for q in &queries {
+                    std::hint::black_box(search_filtered(&repo, &index, q, &access));
+                }
+            }
+        }
+        let uncached = us(t0) / requests as f64;
+
+        let engine = query_engine(specs, 0, 91);
+        for g in E10_GROUPS {
+            for q in E10_QUERIES {
+                engine.search_as(g, q).unwrap();
+            }
+        }
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            for g in E10_GROUPS {
+                for q in E10_QUERIES {
+                    std::hint::black_box(engine.search_as(g, q).unwrap());
+                }
+            }
+        }
+        let warm = us(t1) / requests as f64;
+        let stats = engine.stats();
+        println!(
+            "{:>8} {:>14.2} {:>14.2} {:>9.0}x {:>9.1}% {:>9.1}%",
+            specs,
+            uncached,
+            warm,
+            uncached / warm,
+            stats.keyword.hit_rate() * 100.0,
+            stats.views.hit_rate() * 100.0
+        );
     }
     println!();
 }

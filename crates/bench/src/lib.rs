@@ -6,11 +6,13 @@
 //! experiment ids (E1–E9) and their mapping to paper claims live in
 //! DESIGN.md §3; EXPERIMENTS.md records the measured outcomes.
 
-use ppwf_core::policy::Policy;
+use ppwf_core::policy::{AccessLevel, Policy};
 use ppwf_model::graph::DiGraph;
 use ppwf_model::spec::Specification;
-use ppwf_views::clustering::Clustering;
+use ppwf_query::engine::QueryEngine;
+use ppwf_repo::principals::{PrincipalRegistry, ViewRule};
 use ppwf_repo::repository::Repository;
+use ppwf_views::clustering::Clustering;
 use ppwf_workloads::genexec::generate_executions;
 use ppwf_workloads::genspec::{generate_spec, SpecParams};
 use rand::rngs::StdRng;
@@ -48,6 +50,32 @@ pub fn populated_repo(specs: usize, execs: usize, seed: u64) -> Repository {
         }
     }
     repo
+}
+
+/// The three-group registry every cache experiment serves: `public` sees
+/// roots only, `analysts` one hierarchy level, `researchers` everything.
+/// Three groups × one repository is the paper's "one store, many privilege
+/// levels" setting in miniature.
+pub fn standard_registry() -> PrincipalRegistry {
+    let mut registry = PrincipalRegistry::new();
+    registry.add_group("public", AccessLevel(0), ViewRule::RootOnly);
+    registry.add_group("analysts", AccessLevel(2), ViewRule::MaxDepth(1));
+    registry.add_group("researchers", AccessLevel(4), ViewRule::Full);
+    registry
+}
+
+/// Group names of [`standard_registry`], in registration order.
+pub const E10_GROUPS: [&str; 3] = ["public", "analysts", "researchers"];
+
+/// The E10 query mix over the synthetic Zipf vocabulary (`kw0` most
+/// common). Mixed arities exercise both the single-posting and the
+/// minimal-cover paths.
+pub const E10_QUERIES: [&str; 5] = ["kw0, kw1", "kw1", "kw2", "kw0, kw3", "kw1, kw2"];
+
+/// A warm-capable query engine over [`populated_repo`] and
+/// [`standard_registry`].
+pub fn query_engine(specs: usize, execs: usize, seed: u64) -> QueryEngine {
+    QueryEngine::new(populated_repo(specs, execs, seed), standard_registry())
 }
 
 /// A random layered DAG with `n` nodes and edge probability `p` (%), plus

@@ -57,7 +57,11 @@ pub fn mask_execution(exec: &mut Execution, policy: &Policy, level: AccessLevel)
 }
 
 /// Clone-and-mask convenience.
-pub fn masked_clone(exec: &Execution, policy: &Policy, level: AccessLevel) -> (Execution, MaskReport) {
+pub fn masked_clone(
+    exec: &Execution,
+    policy: &Policy,
+    level: AccessLevel,
+) -> (Execution, MaskReport) {
     let mut clone = exec.clone();
     let report = mask_execution(&mut clone, policy, level);
     (clone, report)
@@ -105,11 +109,8 @@ mod tests {
         let (public_view, report) = masked_clone(&exec, &policy, AccessLevel::PUBLIC);
         // Channels: "disorders" ×4 items (d8, d9, d10 + none others? d8,d9,
         // d10 are "disorders") and "SNPs" ×2 (d0, d5).
-        let masked_channels: Vec<&str> = report
-            .masked
-            .iter()
-            .map(|&d| exec.data(d).channel.as_str())
-            .collect();
+        let masked_channels: Vec<&str> =
+            report.masked.iter().map(|&d| exec.data(d).channel.as_str()).collect();
         assert!(masked_channels.iter().all(|c| *c == "disorders" || *c == "SNPs"));
         assert_eq!(masked_channels.iter().filter(|c| **c == "disorders").count(), 3);
         assert_eq!(masked_channels.iter().filter(|c| **c == "SNPs").count(), 2);

@@ -47,9 +47,7 @@ pub struct Disclosure {
 /// Whether view node `n` identifiably shows module `m`.
 fn identifies(view: &ExecView, exec: &Execution, n: u32, m: ModuleId) -> bool {
     match view.graph().node(n) {
-        ExecViewNode::Kept(orig) => {
-            exec.graph().node(orig.index() as u32).kind.module() == Some(m)
-        }
+        ExecViewNode::Kept(orig) => exec.graph().node(orig.index() as u32).kind.module() == Some(m),
         ExecViewNode::Collapsed(_, mm) => *mm == m,
         _ => false,
     }
@@ -88,10 +86,8 @@ pub fn disclose(
     let mask = mask_execution(&mut masked, policy, principal.level);
     audit_masking(&masked, policy, principal.level)?;
 
-    let active: Vec<(ModuleId, ModuleId)> = policy
-        .active_hide_pairs(principal.level)
-        .map(|hp| (hp.from, hp.to))
-        .collect();
+    let active: Vec<(ModuleId, ModuleId)> =
+        policy.active_hide_pairs(principal.level).map(|hp| (hp.from, hp.to)).collect();
 
     let outcome = zoom_out_until(h, &principal.access_view, |p| {
         let view = ExecView::build(spec, h, &masked, p).expect("valid prefix");
@@ -128,10 +124,8 @@ pub fn disclose_exact(
     let mask = mask_execution(&mut masked, policy, principal.level);
     audit_masking(&masked, policy, principal.level)?;
 
-    let active: Vec<(ModuleId, ModuleId)> = policy
-        .active_hide_pairs(principal.level)
-        .map(|hp| (hp.from, hp.to))
-        .collect();
+    let active: Vec<(ModuleId, ModuleId)> =
+        policy.active_hide_pairs(principal.level).map(|hp| (hp.from, hp.to)).collect();
 
     let best = ppwf_views::zoom::finest_satisfying(h, &principal.access_view, |p| {
         let view = ExecView::build(spec, h, &masked, p).expect("valid prefix");
@@ -205,7 +199,11 @@ mod tests {
         let user = Principal::new("user", AccessLevel(1), Prefix::full(&h));
         let d = disclose(&spec, &h, &exec, &policy, &user).unwrap();
         assert_eq!(d.mask.masked.len(), 3, "d8, d9, d10 masked");
-        assert!(d.execution.data_items().filter(|x| x.channel == "disorders").all(|x| x.value.is_masked()));
+        assert!(d
+            .execution
+            .data_items()
+            .filter(|x| x.channel == "disorders")
+            .all(|x| x.value.is_masked()));
         audit_disclosure(&spec, &policy, &user, &d).unwrap();
     }
 
@@ -287,10 +285,7 @@ mod tests {
         let greedy = disclose(&spec, &h, &exec, &policy, &user).unwrap();
         let exact = disclose_exact(&spec, &h, &exec, &policy, &user).unwrap();
         audit_disclosure(&spec, &policy, &user, &exact).unwrap();
-        assert!(
-            exact.prefix.len() >= greedy.prefix.len(),
-            "exact keeps at least as much detail"
-        );
+        assert!(exact.prefix.len() >= greedy.prefix.len(), "exact keeps at least as much detail");
         assert_eq!(exact.prefix.len(), 3, "exact drops only W3 (or only W2)");
         assert_eq!(greedy.prefix.len(), 2, "greedy also peeled W4 on the way");
         assert!(!pair_revealed(&exact.view, &exact.execution, m.m8, m.m9));

@@ -166,11 +166,7 @@ impl Relation {
             let proj: Vec<u16> = vis_out.iter().map(|&o| self.rows[idx][o]).collect();
             groups.entry(key).or_default().insert(proj);
         }
-        groups
-            .values()
-            .map(|outs| (outs.len() as u64).saturating_mul(free))
-            .min()
-            .unwrap_or(free)
+        groups.values().map(|outs| (outs.len() as u64).saturating_mul(free)).min().unwrap_or(free)
     }
 
     /// Γ-privacy test under `visible`.
@@ -224,7 +220,11 @@ fn cost_of(hidden: &BitSet, weights: &[u64]) -> u64 {
 /// Exact minimum-cost Γ-private hiding by subset enumeration (2^attrs).
 /// Returns `None` when even hiding everything cannot reach Γ (Γ exceeds the
 /// output space). Intended for modules with ≤ ~20 attributes.
-pub fn exhaustive_min_hiding(rel: &Relation, weights: &[u64], gamma: u64) -> Option<HidingSolution> {
+pub fn exhaustive_min_hiding(
+    rel: &Relation,
+    weights: &[u64],
+    gamma: u64,
+) -> Option<HidingSolution> {
     let k = rel.attr_count();
     assert_eq!(weights.len(), k, "one weight per attribute");
     assert!(k <= 24, "exhaustive search limited to 24 attributes");
@@ -265,7 +265,7 @@ pub fn greedy_min_hiding(rel: &Relation, weights: &[u64], gamma: u64) -> Option<
     evaluations += 1;
     while current < gamma {
         let mut pick: Option<(f64, u64, usize, u64)> = None; // (score, weight, attr, new)
-        for a in 0..k {
+        for (a, &weight) in weights.iter().enumerate().take(k) {
             if hidden.contains(a) {
                 continue;
             }
@@ -274,7 +274,7 @@ pub fn greedy_min_hiding(rel: &Relation, weights: &[u64], gamma: u64) -> Option<
             let v = rel.min_possible_outputs(&visible_from_hidden(&trial));
             evaluations += 1;
             let gain = (v.max(1) as f64).ln() - (current.max(1) as f64).ln();
-            let w = weights[a].max(1);
+            let w = weight.max(1);
             let score = gain / w as f64;
             let better = match &pick {
                 None => true,
@@ -503,11 +503,7 @@ impl Network {
             let proj: Vec<u16> = vis_out_items.iter().map(|&it| items[it]).collect();
             groups.entry(key).or_default().insert(proj);
         }
-        groups
-            .values()
-            .map(|outs| (outs.len() as u64).saturating_mul(free))
-            .min()
-            .unwrap_or(free)
+        groups.values().map(|outs| (outs.len() as u64).saturating_mul(free)).min().unwrap_or(free)
     }
 
     /// Strict empirical privacy of module `i`: the ambiguity a worst-case
@@ -524,8 +520,7 @@ impl Network {
     pub fn empirical_gamma_strict(&self, i: usize, hidden_items: &BitSet) -> u64 {
         assert_eq!(hidden_items.capacity(), self.item_count());
         let rel = &self.relations[i];
-        let out_items: Vec<usize> =
-            (0..rel.out_arity()).map(|o| self.output_item(i, o)).collect();
+        let out_items: Vec<usize> = (0..rel.out_arity()).map(|o| self.output_item(i, o)).collect();
         let n = self.external_count();
         let mut groups: HashMap<Vec<u16>, std::collections::HashSet<Vec<u16>>> =
             HashMap::with_capacity(n);

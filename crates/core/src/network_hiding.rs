@@ -140,10 +140,7 @@ impl Eq for BbNode {}
 impl Ord for BbNode {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap by cost (then prefer deeper nodes: closer to decided).
-        other
-            .cost
-            .cmp(&self.cost)
-            .then_with(|| self.depth.cmp(&other.depth))
+        other.cost.cmp(&self.cost).then_with(|| self.depth.cmp(&other.depth))
     }
 }
 impl PartialOrd for BbNode {
@@ -260,9 +257,7 @@ mod tests {
 
     #[test]
     fn bnb_prunes_relative_to_exhaustive() {
-        let rel = Relation::from_fn("wide", &[2, 2, 2], &[2, 2, 2], |x| {
-            vec![x[0], x[1], x[2]]
-        });
+        let rel = Relation::from_fn("wide", &[2, 2, 2], &[2, 2, 2], |x| vec![x[0], x[1], x[2]]);
         let weights = vec![5, 4, 3, 2, 2, 2];
         let ex = exhaustive_min_hiding(&rel, &weights, 4).unwrap();
         let bb = branch_and_bound_min_hiding(&rel, &weights, 4).unwrap();

@@ -167,7 +167,11 @@ pub struct Principal {
 impl Principal {
     /// A fully-privileged principal (sees everything).
     pub fn admin(h: &ExpansionHierarchy) -> Self {
-        Principal { name: "admin".into(), level: AccessLevel(u8::MAX), access_view: Prefix::full(h) }
+        Principal {
+            name: "admin".into(),
+            level: AccessLevel(u8::MAX),
+            access_view: Prefix::full(h),
+        }
     }
 
     /// A public principal (level 0, root-only view).

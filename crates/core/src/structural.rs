@@ -97,8 +97,7 @@ pub fn hide_by_deletion<N: Clone, E: Clone>(
             .filter(|(i, _)| alive[*i as usize])
             .map(|(i, e)| (e.from, e.to, weights[i as usize], i as usize))
             .collect();
-        let triples: Vec<(u32, u32, u64)> =
-            edges.iter().map(|&(a, b, w, _)| (a, b, w)).collect();
+        let triples: Vec<(u32, u32, u64)> = edges.iter().map(|&(a, b, w, _)| (a, b, w)).collect();
         let (_, cut) = min_edge_cut(g.node_count(), &triples, u, v);
         for ci in cut {
             let orig = edges[ci].3;
@@ -325,10 +324,7 @@ mod tests {
         assert!(cmp.repaired.hidden_ok);
         // Deletion destroys true pairs; clustering keeps them all.
         assert!(cmp.deletion.pairs_after < cmp.deletion.pairs_before);
-        assert_eq!(
-            cmp.clustering.report.correct_pairs + cmp.clustering.report.hidden_pairs,
-            6
-        );
+        assert_eq!(cmp.clustering.report.correct_pairs + cmp.clustering.report.hidden_pairs, 6);
     }
 
     #[test]

@@ -144,11 +144,7 @@ impl BitSet {
     /// Number of elements in `self ∩ other` without materializing it.
     pub fn intersection_len(&self, other: &BitSet) -> usize {
         assert_eq!(self.nbits, other.nbits, "bitset universe mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// Iterate over the elements in ascending order.

@@ -17,63 +17,34 @@ pub enum ModelError {
     },
     /// An edge refers to a module that does not belong to the workflow the
     /// edge was added to.
-    ForeignModule {
-        workflow: String,
-        module: String,
-    },
+    ForeignModule { workflow: String, module: String },
     /// A module that must be unique (e.g. the input or output pseudo-module
     /// of a workflow) was defined more than once.
-    DuplicateDistinguished {
-        workflow: String,
-        which: &'static str,
-    },
+    DuplicateDistinguished { workflow: String, which: &'static str },
     /// The input pseudo-module has incoming edges or the output pseudo-module
     /// has outgoing edges.
-    BadDistinguishedEdge {
-        workflow: String,
-        detail: String,
-    },
+    BadDistinguishedEdge { workflow: String, detail: String },
     /// A composite module was given more than one τ-expansion, or an
     /// expansion was attached to a non-composite module.
-    BadExpansion {
-        module: String,
-        detail: String,
-    },
+    BadExpansion { module: String, detail: String },
     /// The τ-expansion relation does not form a tree rooted at the root
     /// workflow (e.g. a subworkflow reachable from two composites).
-    HierarchyNotTree {
-        detail: String,
-    },
+    HierarchyNotTree { detail: String },
     /// A module other than input/output is disconnected (unreachable from
     /// the input or unable to reach the output is allowed for sinks such as
     /// database-update modules, but fully isolated modules are rejected).
-    Disconnected {
-        workflow: String,
-        module: String,
-    },
+    Disconnected { workflow: String, module: String },
     /// A supplied schedule (start/completion order) is not a topological
     /// linear extension of the execution constraints.
-    BadSchedule {
-        detail: String,
-    },
+    BadSchedule { detail: String },
     /// An id was out of range for the structure it indexes.
-    BadId {
-        kind: &'static str,
-        index: usize,
-        len: usize,
-    },
+    BadId { kind: &'static str, index: usize, len: usize },
     /// A prefix of the expansion hierarchy was not closed under parents.
-    BadPrefix {
-        detail: String,
-    },
+    BadPrefix { detail: String },
     /// Binary codec: malformed or truncated input.
-    Codec {
-        detail: String,
-    },
+    Codec { detail: String },
     /// Catch-all for invariant violations with context.
-    Invalid {
-        detail: String,
-    },
+    Invalid { detail: String },
 }
 
 impl fmt::Display for ModelError {

@@ -270,9 +270,11 @@ impl Execution {
                         }
                     }
                     _ => {
-                        let pooled = self.graph.in_edges(e.from).iter().any(|&ie| {
-                            self.graph.edge(ie).payload.data.contains(&d)
-                        });
+                        let pooled = self
+                            .graph
+                            .in_edges(e.from)
+                            .iter()
+                            .any(|&ie| self.graph.edge(ie).payload.data.contains(&d));
                         if !pooled {
                             return Err(ModelError::invalid(format!(
                                 "data {d} forwarded without arriving first"
@@ -431,30 +433,23 @@ impl<'s> Executor<'s> {
                 match module.kind {
                     ModuleKind::Input | ModuleKind::Output => {}
                     ModuleKind::Atomic => {
-                        let n = graph.add_node(ExecNode {
-                            proc: None,
-                            kind: ExecNodeKind::Atomic(m),
-                        });
+                        let n =
+                            graph.add_node(ExecNode { proc: None, kind: ExecNodeKind::Atomic(m) });
                         begin_of.insert(m, n);
                         end_of.insert(m, n);
                     }
                     ModuleKind::Composite(sub) => {
-                        let b = graph.add_node(ExecNode {
-                            proc: None,
-                            kind: ExecNodeKind::Begin(m),
-                        });
+                        let b =
+                            graph.add_node(ExecNode { proc: None, kind: ExecNodeKind::Begin(m) });
                         begin_of.insert(m, b);
                         instantiate(spec, sub, graph, begin_of, end_of);
-                        let e = graph.add_node(ExecNode {
-                            proc: None,
-                            kind: ExecNodeKind::End(m),
-                        });
+                        let e = graph.add_node(ExecNode { proc: None, kind: ExecNodeKind::End(m) });
                         end_of.insert(m, e);
                     }
                 }
             }
         }
-        instantiate(spec, spec.root(), &mut graph, &mut begin_of, &mut end_of, );
+        instantiate(spec, spec.root(), &mut graph, &mut begin_of, &mut end_of);
         let output = graph.add_node(ExecNode { proc: None, kind: ExecNodeKind::Output });
 
         // Edges mirror spec edges 1:1.
@@ -544,9 +539,7 @@ impl<'s> Executor<'s> {
                         let id = DataId::new(data.len());
                         let value = match kind {
                             ExecNodeKind::Input => oracle.initial(ch),
-                            ExecNodeKind::Atomic(m) => {
-                                oracle.eval(spec.module(m), &inputs, ch)
-                            }
+                            ExecNodeKind::Atomic(m) => oracle.eval(spec.module(m), &inputs, ch),
                             _ => unreachable!(),
                         };
                         data.push(DataItem {
@@ -560,7 +553,7 @@ impl<'s> Executor<'s> {
                     produced.push((e, items));
                 }
                 for (e, items) in produced {
-                    graph.edge_mut(e).payload.data = items;
+                    graph.edge_payload_mut(e).data = items;
                 }
             } else if !matches!(kind, ExecNodeKind::Output) {
                 // Forwarder: route pool items to out-edges by channel name.
@@ -577,11 +570,9 @@ impl<'s> Executor<'s> {
                     let selected: Vec<DataId> = pool
                         .iter()
                         .copied()
-                        .filter(|&d| {
-                            se.channels.iter().any(|c| *c == data[d.index()].channel)
-                        })
+                        .filter(|&d| se.channels.iter().any(|c| *c == data[d.index()].channel))
                         .collect();
-                    graph.edge_mut(e).payload.data = selected;
+                    graph.edge_payload_mut(e).data = selected;
                 }
             }
         }
@@ -598,7 +589,6 @@ impl<'s> Executor<'s> {
         debug_assert!(exec.check_invariants().is_ok());
         Ok(exec)
     }
-
 }
 
 /// Priority key of node `n` under a schedule map: explicitly scheduled
@@ -628,10 +618,8 @@ fn kahn_with_priority<N, E>(
     use std::collections::BinaryHeap;
     let n = graph.node_count();
     let mut indeg: Vec<usize> = (0..n as u32).map(|i| graph.in_degree(i)).collect();
-    let mut heap: BinaryHeap<Reverse<((u32, u32), u32)>> = (0..n as u32)
-        .filter(|&i| indeg[i as usize] == 0)
-        .map(|i| Reverse((prio(i), i)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<((u32, u32), u32)>> =
+        (0..n as u32).filter(|&i| indeg[i as usize] == 0).map(|i| Reverse((prio(i), i))).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(Reverse((_, u))) = heap.pop() {
         order.push(u);
@@ -700,15 +688,11 @@ mod tests {
         let p = exec.proc_of(mid).unwrap();
         let pi = exec.proc(p);
         assert_ne!(pi.begin, pi.end, "composite has distinct begin/end");
-        assert_eq!(
-            exec.graph().node(pi.begin.index() as u32).kind,
-            ExecNodeKind::Begin(mid)
-        );
+        assert_eq!(exec.graph().node(pi.begin.index() as u32).kind, ExecNodeKind::Begin(mid));
         // Data: x produced by I, forwarded via begin; y produced by A,
         // forwarded via end.
         assert_eq!(exec.data_count(), 2);
-        let labels: Vec<String> =
-            (0..5).map(|i| exec.node_label(&s, NodeId::new(i))).collect();
+        let labels: Vec<String> = (0..5).map(|i| exec.node_label(&s, NodeId::new(i))).collect();
         assert!(labels.contains(&"S1:M1 begin".to_string()));
         assert!(labels.contains(&"S1:M1 end".to_string()));
     }

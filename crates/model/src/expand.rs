@@ -76,11 +76,10 @@ impl SpecView {
         prefix.validate(h)?;
         let mut g: DiGraph<WorkNode, ViewEdge> = DiGraph::new();
         let mut idx: HashMap<WorkNode, u32> = HashMap::new();
-        let add = |g: &mut DiGraph<WorkNode, ViewEdge>,
-                       idx: &mut HashMap<WorkNode, u32>,
-                       n: WorkNode| {
-            *idx.entry(n).or_insert_with(|| g.add_node(n))
-        };
+        let add =
+            |g: &mut DiGraph<WorkNode, ViewEdge>, idx: &mut HashMap<WorkNode, u32>, n: WorkNode| {
+                *idx.entry(n).or_insert_with(|| g.add_node(n))
+            };
 
         let root = spec.root();
         let input = add(&mut g, &mut idx, WorkNode::Keep(ViewNode::Input));
@@ -164,7 +163,13 @@ impl SpecView {
             out.add_edge(map[e.from as usize], map[e.to as usize], e.payload.clone());
         }
         let _ = (input, output);
-        Ok(SpecView { prefix: prefix.clone(), graph: out, node_of_module, input: fin, output: fout })
+        Ok(SpecView {
+            prefix: prefix.clone(),
+            graph: out,
+            node_of_module,
+            input: fin,
+            output: fout,
+        })
     }
 
     /// The prefix that defines this view.

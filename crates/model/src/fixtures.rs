@@ -82,26 +82,16 @@ fn build() -> (Specification, PaperModules) {
         "W2",
         &["genetic", "susceptibility", "SNP"],
     );
-    let (m2, w3) = b.composite(
-        w1,
-        "Evaluate Disorder Risk",
-        "W3",
-        &["disorder risks", "risk", "prognosis"],
-    );
+    let (m2, w3) =
+        b.composite(w1, "Evaluate Disorder Risk", "W3", &["disorder risks", "risk", "prognosis"]);
     b.edge(w1, b.input(w1), m1, &["SNPs", "ethnicity"]);
-    b.edge(
-        w1,
-        b.input(w1),
-        m2,
-        &["lifestyle", "family history", "physical symptoms"],
-    );
+    b.edge(w1, b.input(w1), m2, &["lifestyle", "family history", "physical symptoms"]);
     b.edge(w1, m1, m2, &["disorders"]);
     b.edge(w1, m2, b.output(w1), &["prognosis"]);
 
     // --- W2: expansion of M1 ----------------------------------------------
     let m3 = b.atomic(w2, "Expand SNP Set", &["SNP"]);
-    let (m4, w4) =
-        b.composite(w2, "Consult External Databases", "W4", &["external", "databases"]);
+    let (m4, w4) = b.composite(w2, "Consult External Databases", "W4", &["external", "databases"]);
     let m8 = b.atomic(w2, "Combine Disorder Sets", &["disorders"]);
     b.edge(w2, b.input(w2), m3, &["SNPs", "ethnicity"]);
     b.edge(w2, m3, m4, &["SNPs"]);
@@ -128,12 +118,7 @@ fn build() -> (Specification, PaperModules) {
     let m10 = b.atomic(w3, "Search Private Datasets", &["private", "datasets"]);
     let m11 = b.atomic(w3, "Update Private Datasets", &["private", "datasets", "update"]);
     let m15 = b.atomic(w3, "Combine notes and summary", &["combine"]);
-    b.edge(
-        w3,
-        b.input(w3),
-        m9,
-        &["lifestyle", "family history", "physical symptoms", "disorders"],
-    );
+    b.edge(w3, b.input(w3), m9, &["lifestyle", "family history", "physical symptoms", "disorders"]);
     b.edge(w3, m9, m10, &["query"]);
     b.edge(w3, m9, m12, &["query"]);
     b.edge(w3, m12, m13, &["result"]);
@@ -167,8 +152,7 @@ fn build() -> (Specification, PaperModules) {
     }
 
     let spec = b.build().expect("paper fixture must validate");
-    let modules =
-        PaperModules { m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15 };
+    let modules = PaperModules { m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15 };
     (spec, modules)
 }
 
@@ -198,9 +182,7 @@ pub fn disease_susceptibility_execution_with(
     oracle: &mut dyn Oracle,
 ) -> Execution {
     let m = handles(spec);
-    Executor::with_schedule(spec, paper_schedule(&m))
-        .run(oracle)
-        .expect("paper fixture executes")
+    Executor::with_schedule(spec, paper_schedule(&m)).run(oracle).expect("paper fixture executes")
 }
 
 /// Recover the module handles from a (possibly decoded) fixture spec by code.
@@ -329,11 +311,7 @@ mod tests {
             "prognosis",         // d19 M15
         ];
         for (i, ch) in expect.iter().enumerate() {
-            assert_eq!(
-                exec.data(DataId::new(i)).channel,
-                *ch,
-                "wrong channel for d{i}"
-            );
+            assert_eq!(exec.data(DataId::new(i)).channel, *ch, "wrong channel for d{i}");
         }
     }
 
@@ -346,19 +324,10 @@ mod tests {
         let node_end = |mm| exec.proc(exec.proc_of(mm).unwrap()).end;
 
         // I → S1:M1 begin {d0,d1}; I → S8:M2 begin {d2,d3,d4}.
-        assert_eq!(
-            exec.data_between(exec.input(), node_begin(m.m1)).unwrap(),
-            &[d(0), d(1)]
-        );
-        assert_eq!(
-            exec.data_between(exec.input(), node_begin(m.m2)).unwrap(),
-            &[d(2), d(3), d(4)]
-        );
+        assert_eq!(exec.data_between(exec.input(), node_begin(m.m1)).unwrap(), &[d(0), d(1)]);
+        assert_eq!(exec.data_between(exec.input(), node_begin(m.m2)).unwrap(), &[d(2), d(3), d(4)]);
         // S1:M1 begin → S2:M3 {d0,d1}.
-        assert_eq!(
-            exec.data_between(node_begin(m.m1), node_begin(m.m3)).unwrap(),
-            &[d(0), d(1)]
-        );
+        assert_eq!(exec.data_between(node_begin(m.m1), node_begin(m.m3)).unwrap(), &[d(0), d(1)]);
         // S2:M3 → S3:M4 begin {d5}; S3:M4 begin → S4:M5 {d5}.
         assert_eq!(exec.data_between(node_end(m.m3), node_begin(m.m4)).unwrap(), &[d(5)]);
         assert_eq!(exec.data_between(node_begin(m.m4), node_begin(m.m5)).unwrap(), &[d(5)]);
@@ -368,16 +337,10 @@ mod tests {
         // M6/M7 → S3:M4 end {d8}/{d9}; S3:M4 end → S7:M8 {d8,d9}.
         assert_eq!(exec.data_between(node_end(m.m6), node_end(m.m4)).unwrap(), &[d(8)]);
         assert_eq!(exec.data_between(node_end(m.m7), node_end(m.m4)).unwrap(), &[d(9)]);
-        assert_eq!(
-            exec.data_between(node_end(m.m4), node_begin(m.m8)).unwrap(),
-            &[d(8), d(9)]
-        );
+        assert_eq!(exec.data_between(node_end(m.m4), node_begin(m.m8)).unwrap(), &[d(8), d(9)]);
         // S7:M8 → S1:M1 end {d10} → S8:M2 begin {d10}.
         assert_eq!(exec.data_between(node_end(m.m8), node_end(m.m1)).unwrap(), &[d(10)]);
-        assert_eq!(
-            exec.data_between(node_end(m.m1), node_begin(m.m2)).unwrap(),
-            &[d(10)]
-        );
+        assert_eq!(exec.data_between(node_end(m.m1), node_begin(m.m2)).unwrap(), &[d(10)]);
         // S8:M2 begin → S9:M9 {d2,d3,d4,d10} — the paper's signature edge.
         assert_eq!(
             exec.data_between(node_begin(m.m2), node_begin(m.m9)).unwrap(),
@@ -452,15 +415,13 @@ mod tests {
         //  and another from M8 to M9."
         let (spec, m) = disease_susceptibility();
         let h = ExpansionHierarchy::of(&spec);
-        let v = crate::expand::SpecView::build(&spec, &h, &crate::hierarchy::Prefix::full(&h))
-            .unwrap();
+        let v =
+            crate::expand::SpecView::build(&spec, &h, &crate::hierarchy::Prefix::full(&h)).unwrap();
         let mut codes: Vec<String> =
             v.visible_modules().map(|mm| spec.module(mm).code.clone()).collect();
         codes.sort();
-        let mut expect: Vec<String> = [3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]
-            .iter()
-            .map(|i| format!("M{i}"))
-            .collect();
+        let mut expect: Vec<String> =
+            [3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15].iter().map(|i| format!("M{i}")).collect();
         expect.sort();
         assert_eq!(codes, expect);
         assert!(v.has_module_edge(m.m3, m.m5), "edge M3 → M5 required by the paper");

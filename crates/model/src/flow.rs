@@ -34,7 +34,13 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// Create a network with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { n, to: Vec::new(), cap: Vec::new(), adj: vec![Vec::new(); n], tags: Vec::new() }
+        FlowNetwork {
+            n,
+            to: Vec::new(),
+            cap: Vec::new(),
+            adj: vec![Vec::new(); n],
+            tags: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -106,8 +112,7 @@ impl FlowNetwork {
             let a = self.adj[u as usize][it[u as usize]];
             let v = self.to[a as usize];
             if self.cap[a as usize] > 0 && level[v as usize] == level[u as usize] + 1 {
-                let pushed =
-                    self.dfs_push(v, t, limit.min(self.cap[a as usize]), level, it);
+                let pushed = self.dfs_push(v, t, limit.min(self.cap[a as usize]), level, it);
                 if pushed > 0 {
                     self.cap[a as usize] -= pushed;
                     self.cap[(a ^ 1) as usize] += pushed;
@@ -158,12 +163,7 @@ impl FlowNetwork {
 /// `edges` lists `(from, to, weight)` triples over `n` nodes; the returned
 /// value is `(total_cut_weight, indices_of_cut_edges)`. Weights of 0 are
 /// clamped to 1 so that every edge has a removal cost.
-pub fn min_edge_cut(
-    n: usize,
-    edges: &[(u32, u32, Cap)],
-    s: u32,
-    t: u32,
-) -> (Cap, Vec<usize>) {
+pub fn min_edge_cut(n: usize, edges: &[(u32, u32, Cap)], s: u32, t: u32) -> (Cap, Vec<usize>) {
     let mut net = FlowNetwork::new(n);
     for (i, &(u, v, w)) in edges.iter().enumerate() {
         net.add_edge(u, v, w.max(1), i);

@@ -10,9 +10,32 @@
 //! We deliberately do not use a general-purpose graph crate: the soundness
 //! and structural-privacy algorithms need direct access to closure rows and
 //! stable dense indices, and the whole workspace must build offline.
+//!
+//! ## Storage layout
+//!
+//! Nodes and edges append into dense vectors through the builder API
+//! ([`DiGraph::add_node`] / [`DiGraph::add_edge`]); adjacency is *not* kept
+//! as per-node `Vec<Vec<u32>>` but as a compact CSR (compressed sparse row)
+//! index — one offsets array plus one flat edge-id array per direction —
+//! built lazily on first traversal and invalidated by structural mutation.
+//! Model graphs are built once and queried many times (every privacy check
+//! and query touches reachability), so the CSR build cost is paid once and
+//! every traversal after it walks two contiguous arrays instead of chasing
+//! per-node heap allocations.
+//!
+//! Two query-side caches ride on the same build-once pattern:
+//!
+//! * the transitive closure ([`DiGraph::closure_rows`]) is computed once and
+//!   reused by [`DiGraph::reaches`], [`DiGraph::reachability_pair_count`]
+//!   and every caller that previously recomputed it;
+//! * [`DiGraph::reaches`] without a materialized closure runs an early-exit
+//!   DFS over the CSR with a thread-local, epoch-marked scratch frontier, so
+//!   repeated point queries allocate nothing.
 
 use crate::bitset::BitSet;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::sync::OnceLock;
 
 /// A directed multigraph with dense `u32` node indices and arbitrary node and
 /// edge payloads. Parallel edges and self-loops are representable (validation
@@ -21,8 +44,15 @@ use serde::{Deserialize, Serialize};
 pub struct DiGraph<N, E> {
     nodes: Vec<N>,
     edges: Vec<Edge<E>>,
-    out: Vec<Vec<u32>>,
-    inn: Vec<Vec<u32>>,
+    /// Lazily built CSR adjacency; reset by structural mutation. Skipped
+    /// for serde: derived state, and `OnceLock` has no serde impls — it
+    /// rebuilds on first traversal after deserialization.
+    #[serde(skip)]
+    csr: OnceLock<Csr>,
+    /// Lazily built transitive closure; reset by structural mutation.
+    /// Skipped for serde like `csr`.
+    #[serde(skip)]
+    closure: OnceLock<Vec<BitSet>>,
 }
 
 /// One edge of a [`DiGraph`]: endpoints plus payload.
@@ -36,6 +66,74 @@ pub struct Edge<E> {
     pub payload: E,
 }
 
+/// Compressed-sparse-row adjacency: `out_edges[out_offsets[n]..out_offsets[n+1]]`
+/// are the dense edge ids leaving `n`, in insertion order (and symmetrically
+/// for the in-direction). Rebuilt from the edge list in O(V + E).
+#[derive(Clone, Debug)]
+struct Csr {
+    out_offsets: Vec<u32>,
+    out_edges: Vec<u32>,
+    in_offsets: Vec<u32>,
+    in_edges: Vec<u32>,
+}
+
+impl Csr {
+    fn build<E>(node_count: usize, edges: &[Edge<E>]) -> Csr {
+        let n = node_count;
+        let mut out_offsets = vec![0u32; n + 1];
+        let mut in_offsets = vec![0u32; n + 1];
+        for e in edges {
+            out_offsets[e.from as usize + 1] += 1;
+            in_offsets[e.to as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut out_edges = vec![0u32; edges.len()];
+        let mut in_edges = vec![0u32; edges.len()];
+        let mut out_cursor = out_offsets.clone();
+        let mut in_cursor = in_offsets.clone();
+        // Scanning edges in id order makes each per-node run come out in
+        // insertion order — the same order the old per-node vectors kept,
+        // which the deterministic algorithms above rely on.
+        for (id, e) in edges.iter().enumerate() {
+            let oc = &mut out_cursor[e.from as usize];
+            out_edges[*oc as usize] = id as u32;
+            *oc += 1;
+            let ic = &mut in_cursor[e.to as usize];
+            in_edges[*ic as usize] = id as u32;
+            *ic += 1;
+        }
+        Csr { out_offsets, out_edges, in_offsets, in_edges }
+    }
+
+    #[inline]
+    fn out(&self, n: u32) -> &[u32] {
+        &self.out_edges
+            [self.out_offsets[n as usize] as usize..self.out_offsets[n as usize + 1] as usize]
+    }
+
+    #[inline]
+    fn inn(&self, n: u32) -> &[u32] {
+        &self.in_edges
+            [self.in_offsets[n as usize] as usize..self.in_offsets[n as usize + 1] as usize]
+    }
+}
+
+/// Reusable DFS scratch: an epoch-marked visited array plus a stack, kept
+/// per thread so point reachability queries allocate nothing after warm-up.
+#[derive(Default)]
+struct ReachScratch {
+    mark: Vec<u32>,
+    epoch: u32,
+    stack: Vec<u32>,
+}
+
+thread_local! {
+    static REACH_SCRATCH: RefCell<ReachScratch> = RefCell::new(ReachScratch::default());
+}
+
 impl<N, E> Default for DiGraph<N, E> {
     fn default() -> Self {
         Self::new()
@@ -45,7 +143,12 @@ impl<N, E> Default for DiGraph<N, E> {
 impl<N, E> DiGraph<N, E> {
     /// Create an empty graph.
     pub fn new() -> Self {
-        DiGraph { nodes: Vec::new(), edges: Vec::new(), out: Vec::new(), inn: Vec::new() }
+        DiGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            csr: OnceLock::new(),
+            closure: OnceLock::new(),
+        }
     }
 
     /// Create an empty graph with preallocated capacity.
@@ -53,17 +156,29 @@ impl<N, E> DiGraph<N, E> {
         DiGraph {
             nodes: Vec::with_capacity(nodes),
             edges: Vec::with_capacity(edges),
-            out: Vec::with_capacity(nodes),
-            inn: Vec::with_capacity(nodes),
+            csr: OnceLock::new(),
+            closure: OnceLock::new(),
         }
+    }
+
+    /// The CSR adjacency, building it on first use after a mutation.
+    #[inline]
+    fn csr(&self) -> &Csr {
+        self.csr.get_or_init(|| Csr::build(self.nodes.len(), &self.edges))
+    }
+
+    /// Drop derived indexes; called by every structural mutation.
+    #[inline]
+    fn invalidate(&mut self) {
+        self.csr.take();
+        self.closure.take();
     }
 
     /// Add a node, returning its dense index.
     pub fn add_node(&mut self, payload: N) -> u32 {
         let id = self.nodes.len() as u32;
         self.nodes.push(payload);
-        self.out.push(Vec::new());
-        self.inn.push(Vec::new());
+        self.invalidate();
         id
     }
 
@@ -74,8 +189,7 @@ impl<N, E> DiGraph<N, E> {
         assert!((to as usize) < self.nodes.len(), "edge target out of range");
         let id = self.edges.len() as u32;
         self.edges.push(Edge { from, to, payload });
-        self.out[from as usize].push(id);
-        self.inn[to as usize].push(id);
+        self.invalidate();
         id
     }
 
@@ -97,7 +211,8 @@ impl<N, E> DiGraph<N, E> {
         &self.nodes[n as usize]
     }
 
-    /// Mutable payload of node `n`.
+    /// Mutable payload of node `n`. Payload edits leave the derived indexes
+    /// intact — only structural mutation invalidates them.
     #[inline]
     pub fn node_mut(&mut self, n: u32) -> &mut N {
         &mut self.nodes[n as usize]
@@ -110,14 +225,29 @@ impl<N, E> DiGraph<N, E> {
     }
 
     /// Mutable access to the edge with dense index `e`.
+    ///
+    /// Exposes `from`/`to` as public fields, so conservatively invalidates
+    /// the derived indexes. For payload-only edits use
+    /// [`DiGraph::edge_payload_mut`], which keeps them.
     #[inline]
     pub fn edge_mut(&mut self, e: u32) -> &mut Edge<E> {
+        self.invalidate();
         &mut self.edges[e as usize]
+    }
+
+    /// Mutable access to edge `e`'s payload only. Payload edits cannot
+    /// change the graph's shape, so the derived indexes survive — unlike
+    /// [`DiGraph::edge_mut`]. The executor interleaves adjacency reads with
+    /// per-edge payload writes for every node; going through `edge_mut`
+    /// there would rebuild the CSR once per node (quadratic overall).
+    #[inline]
+    pub fn edge_payload_mut(&mut self, e: u32) -> &mut E {
+        &mut self.edges[e as usize].payload
     }
 
     /// Iterate over all node indices.
     pub fn node_ids(&self) -> impl Iterator<Item = u32> + '_ {
-        (0..self.nodes.len() as u32).map(|i| i)
+        0..self.nodes.len() as u32
     }
 
     /// Iterate over `(index, payload)` for all nodes.
@@ -130,43 +260,46 @@ impl<N, E> DiGraph<N, E> {
         self.edges.iter().enumerate().map(|(i, e)| (i as u32, e))
     }
 
-    /// Dense indices of edges leaving `n`.
+    /// Dense indices of edges leaving `n`, in insertion order.
     #[inline]
     pub fn out_edges(&self, n: u32) -> &[u32] {
-        &self.out[n as usize]
+        self.csr().out(n)
     }
 
-    /// Dense indices of edges entering `n`.
+    /// Dense indices of edges entering `n`, in insertion order.
     #[inline]
     pub fn in_edges(&self, n: u32) -> &[u32] {
-        &self.inn[n as usize]
+        self.csr().inn(n)
     }
 
     /// Successor nodes of `n` (with multiplicity for parallel edges).
     pub fn successors(&self, n: u32) -> impl Iterator<Item = u32> + '_ {
-        self.out[n as usize].iter().map(move |&e| self.edges[e as usize].to)
+        self.csr().out(n).iter().map(move |&e| self.edges[e as usize].to)
     }
 
     /// Predecessor nodes of `n` (with multiplicity for parallel edges).
     pub fn predecessors(&self, n: u32) -> impl Iterator<Item = u32> + '_ {
-        self.inn[n as usize].iter().map(move |&e| self.edges[e as usize].from)
+        self.csr().inn(n).iter().map(move |&e| self.edges[e as usize].from)
     }
 
     /// Out-degree of `n`.
     #[inline]
     pub fn out_degree(&self, n: u32) -> usize {
-        self.out[n as usize].len()
+        let csr = self.csr();
+        (csr.out_offsets[n as usize + 1] - csr.out_offsets[n as usize]) as usize
     }
 
     /// In-degree of `n`.
     #[inline]
     pub fn in_degree(&self, n: u32) -> usize {
-        self.inn[n as usize].len()
+        let csr = self.csr();
+        (csr.in_offsets[n as usize + 1] - csr.in_offsets[n as usize]) as usize
     }
 
     /// Whether an edge `from → to` exists.
     pub fn has_edge(&self, from: u32, to: u32) -> bool {
-        self.out[from as usize].iter().any(|&e| self.edges[e as usize].to == to)
+        let csr = self.csr();
+        csr.out(from).iter().any(|&e| self.edges[e as usize].to == to)
     }
 
     /// A topological order of the nodes (Kahn's algorithm). Ties are broken
@@ -175,7 +308,8 @@ impl<N, E> DiGraph<N, E> {
     /// cycle.
     pub fn topo_order(&self) -> Option<Vec<u32>> {
         let n = self.nodes.len();
-        let mut indeg: Vec<usize> = (0..n).map(|i| self.inn[i].len()).collect();
+        let csr = self.csr();
+        let mut indeg: Vec<usize> = (0..n as u32).map(|i| csr.inn(i).len()).collect();
         // A sorted ready list; for workflow-scale graphs a linear scan of a
         // binary heap substitute keeps determinism without extra deps.
         let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<u32>> =
@@ -183,7 +317,7 @@ impl<N, E> DiGraph<N, E> {
         let mut order = Vec::with_capacity(n);
         while let Some(std::cmp::Reverse(u)) = ready.pop() {
             order.push(u);
-            for &e in &self.out[u as usize] {
+            for &e in csr.out(u) {
                 let v = self.edges[e as usize].to;
                 indeg[v as usize] -= 1;
                 if indeg[v as usize] == 0 {
@@ -201,11 +335,12 @@ impl<N, E> DiGraph<N, E> {
 
     /// The set of nodes reachable from `start` (including `start` itself).
     pub fn reachable_from(&self, start: u32) -> BitSet {
+        let csr = self.csr();
         let mut seen = BitSet::new(self.nodes.len());
         let mut stack = vec![start];
         seen.insert(start as usize);
         while let Some(u) = stack.pop() {
-            for &e in &self.out[u as usize] {
+            for &e in csr.out(u) {
                 let v = self.edges[e as usize].to;
                 if seen.insert(v as usize) {
                     stack.push(v);
@@ -217,11 +352,12 @@ impl<N, E> DiGraph<N, E> {
 
     /// The set of nodes that can reach `target` (including `target` itself).
     pub fn reaching_to(&self, target: u32) -> BitSet {
+        let csr = self.csr();
         let mut seen = BitSet::new(self.nodes.len());
         let mut stack = vec![target];
         seen.insert(target as usize);
         while let Some(u) = stack.pop() {
-            for &e in &self.inn[u as usize] {
+            for &e in csr.inn(u) {
                 let v = self.edges[e as usize].from;
                 if seen.insert(v as usize) {
                     stack.push(v);
@@ -232,39 +368,101 @@ impl<N, E> DiGraph<N, E> {
     }
 
     /// Whether `v` is reachable from `u` (reflexive: `reaches(u, u)` holds).
+    ///
+    /// If the transitive closure is already materialized this is one bit
+    /// probe. Otherwise it runs a depth-first search over the CSR that stops
+    /// the moment `v` is seen, using a thread-local epoch-marked scratch
+    /// frontier — no allocation, no full-reachability sweep.
     pub fn reaches(&self, u: u32, v: u32) -> bool {
-        self.reachable_from(u).contains(v as usize)
+        assert!((u as usize) < self.nodes.len(), "source node out of range");
+        if u == v {
+            return true;
+        }
+        if let Some(rows) = self.closure.get() {
+            return rows[u as usize].contains(v as usize);
+        }
+        let csr = self.csr();
+        REACH_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            if scratch.mark.len() < self.nodes.len() {
+                scratch.mark.resize(self.nodes.len(), 0);
+            }
+            scratch.epoch = scratch.epoch.wrapping_add(1);
+            if scratch.epoch == 0 {
+                // Epoch counter wrapped: clear stale marks once per 2^32 calls.
+                scratch.mark.iter_mut().for_each(|m| *m = 0);
+                scratch.epoch = 1;
+            }
+            let epoch = scratch.epoch;
+            scratch.stack.clear();
+            scratch.stack.push(u);
+            scratch.mark[u as usize] = epoch;
+            while let Some(x) = scratch.stack.pop() {
+                for &e in csr.out(x) {
+                    let y = self.edges[e as usize].to;
+                    if y == v {
+                        return true;
+                    }
+                    if scratch.mark[y as usize] != epoch {
+                        scratch.mark[y as usize] = epoch;
+                        scratch.stack.push(y);
+                    }
+                }
+            }
+            false
+        })
     }
 
-    /// Transitive closure as one reachability [`BitSet`] row per node.
-    /// Row `u` contains `v` iff `u` can reach `v` (reflexive). Computed in
-    /// reverse topological order with word-parallel row unions; requires a
-    /// DAG and panics on cyclic input (all model graphs are validated DAGs).
-    pub fn transitive_closure(&self) -> Vec<BitSet> {
-        let order = self.topo_order().expect("transitive_closure requires a DAG");
-        let n = self.nodes.len();
-        let mut rows: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
-        for &u in order.iter().rev() {
-            // Collect successor rows first to satisfy the borrow checker
-            // without cloning every row: take the row out, union, put back.
-            let mut row = std::mem::replace(&mut rows[u as usize], BitSet::new(0));
-            row.insert(u as usize);
-            for &e in &self.out[u as usize] {
-                let v = self.edges[e as usize].to;
-                let vrow = std::mem::replace(&mut rows[v as usize], BitSet::new(0));
-                row.union_with(&vrow);
-                rows[v as usize] = vrow;
+    /// The transitive closure as cached reachability rows, one [`BitSet`]
+    /// per node: row `u` contains `v` iff `u` can reach `v` (reflexive).
+    /// Computed once per graph version in reverse topological order with
+    /// word-parallel row unions and reused by [`DiGraph::reaches`] and
+    /// [`DiGraph::reachability_pair_count`]; structural mutation rebuilds.
+    /// Requires a DAG and panics on cyclic input (all model graphs are
+    /// validated DAGs).
+    pub fn closure_rows(&self) -> &[BitSet] {
+        self.closure.get_or_init(|| {
+            let order = self.topo_order().expect("transitive_closure requires a DAG");
+            let csr = self.csr();
+            let n = self.nodes.len();
+            let mut rows: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+            for &u in order.iter().rev() {
+                // Take the row out, union successors in, put it back: no
+                // per-row clone, and the borrow checker stays satisfied.
+                let mut row = std::mem::replace(&mut rows[u as usize], BitSet::new(0));
+                row.insert(u as usize);
+                for &e in csr.out(u) {
+                    let v = self.edges[e as usize].to;
+                    let vrow = std::mem::replace(&mut rows[v as usize], BitSet::new(0));
+                    row.union_with(&vrow);
+                    rows[v as usize] = vrow;
+                }
+                rows[u as usize] = row;
             }
-            rows[u as usize] = row;
-        }
-        rows
+            rows
+        })
+    }
+
+    /// Transitive closure as one reachability [`BitSet`] row per node
+    /// (owned). Prefer [`DiGraph::closure_rows`] where a borrow suffices —
+    /// this clones the cached rows for API compatibility.
+    pub fn transitive_closure(&self) -> Vec<BitSet> {
+        self.closure_rows().to_vec()
     }
 
     /// Number of ordered reachability pairs `(u, v)`, `u ≠ v` — the
     /// "connectivity information" unit used by the structural-privacy
-    /// utility measure of Sec. 4.
+    /// utility measure of Sec. 4. Reuses the cached closure rows, so
+    /// repeated calls (the structural-privacy search loops call this per
+    /// candidate) cost one pass over the rows instead of a closure rebuild.
     pub fn reachability_pair_count(&self) -> usize {
-        self.transitive_closure().iter().map(|row| row.len() - 1).sum()
+        Self::pair_count_of(self.closure_rows())
+    }
+
+    /// Pair count of an externally held closure (e.g. a snapshot taken
+    /// before candidate edits, or rows owned by an index).
+    pub fn pair_count_of(rows: &[BitSet]) -> usize {
+        rows.iter().map(|row| row.len() - 1).sum()
     }
 
     /// Build the subgraph induced by `keep` (a node set). Returns the new
@@ -468,5 +666,83 @@ mod tests {
         let g: DiGraph<(), ()> = DiGraph::new();
         assert_eq!(g.topo_order().unwrap(), Vec::<u32>::new());
         assert_eq!(g.reachability_pair_count(), 0);
+    }
+
+    #[test]
+    fn csr_rebuilds_after_mutation() {
+        let mut g = diamond();
+        // Force the CSR to materialize, then mutate.
+        assert_eq!(g.out_edges(0), &[0, 1]);
+        let e = g.add_edge(1, 2, 7);
+        assert_eq!(g.out_edges(1), &[2, e], "new edge visible after rebuild");
+        assert!(g.has_edge(1, 2));
+        assert_eq!(g.in_degree(2), 2);
+        // Adding a node keeps adjacency consistent too.
+        let n = g.add_node("e");
+        assert_eq!(g.out_degree(n), 0);
+        assert_eq!(g.in_degree(n), 0);
+    }
+
+    #[test]
+    fn closure_cache_invalidates_on_mutation() {
+        let mut g = diamond();
+        assert!(!g.reaches(1, 2));
+        assert_eq!(g.reachability_pair_count(), 5); // closure now cached
+        g.add_edge(1, 2, 9);
+        assert!(g.reaches(1, 2), "stale closure would deny the new edge");
+        assert_eq!(g.reachability_pair_count(), 6);
+    }
+
+    #[test]
+    fn cached_closure_serves_point_queries() {
+        let g = diamond();
+        let rows = g.closure_rows();
+        assert!(rows[0].contains(3));
+        // `reaches` must agree with the cached rows bit-for-bit.
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                assert_eq!(g.reaches(u, v), rows[u as usize].contains(v as usize));
+            }
+        }
+        assert_eq!(DiGraph::<&str, u32>::pair_count_of(rows), 5);
+    }
+
+    #[test]
+    fn payload_edits_keep_derived_indexes() {
+        let mut g = diamond();
+        let rows_before = g.closure_rows().as_ptr();
+        let adj_before = g.out_edges(0).as_ptr();
+        *g.edge_payload_mut(0) = 99;
+        assert_eq!(g.edge(0).payload, 99);
+        // Neither cache rebuilt: same backing allocations.
+        assert_eq!(g.closure_rows().as_ptr(), rows_before, "closure must survive payload edit");
+        assert_eq!(g.out_edges(0).as_ptr(), adj_before, "CSR must survive payload edit");
+        // edge_mut (which exposes from/to) still conservatively invalidates.
+        g.edge_mut(0).payload = 7;
+        assert_eq!(g.edge(0).payload, 7);
+        assert!(g.reaches(0, 3));
+    }
+
+    #[test]
+    fn reaches_early_exit_on_deep_chain() {
+        // A long chain with the target adjacent to the source: the early
+        // exit must answer without walking the whole chain (observable only
+        // as speed, but at least correctness holds at both extremes).
+        let mut g: DiGraph<u32, ()> = DiGraph::new();
+        for i in 0..10_000 {
+            g.add_node(i);
+        }
+        for i in 0..9_999 {
+            g.add_edge(i, i + 1, ());
+        }
+        assert!(g.reaches(0, 1));
+        assert!(g.reaches(0, 9_999));
+        assert!(!g.reaches(9_999, 0));
+    }
+
+    #[test]
+    fn graph_is_sync_for_parallel_scans() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<DiGraph<String, u64>>();
     }
 }

@@ -152,7 +152,11 @@ impl Prefix {
         let mut member = vec![false; h.len()];
         for w in ws {
             if w.index() >= member.len() {
-                return Err(ModelError::BadId { kind: "workflow", index: w.index(), len: member.len() });
+                return Err(ModelError::BadId {
+                    kind: "workflow",
+                    index: w.index(),
+                    len: member.len(),
+                });
             }
             member[w.index()] = true;
         }
@@ -202,37 +206,19 @@ impl Prefix {
 
     /// Iterate over member workflows in id order.
     pub fn workflows(&self) -> impl Iterator<Item = WorkflowId> + '_ {
-        self.member
-            .iter()
-            .enumerate()
-            .filter(|(_, &b)| b)
-            .map(|(i, _)| WorkflowId::new(i))
+        self.member.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| WorkflowId::new(i))
     }
 
     /// Lattice meet (intersection): the coarsest prefix finer than none of
     /// the inputs — "what both users may see".
     pub fn meet(&self, other: &Prefix) -> Prefix {
-        Prefix {
-            member: self
-                .member
-                .iter()
-                .zip(&other.member)
-                .map(|(&a, &b)| a && b)
-                .collect(),
-        }
+        Prefix { member: self.member.iter().zip(&other.member).map(|(&a, &b)| a && b).collect() }
     }
 
     /// Lattice join (union). The union of two parent-closed sets containing
     /// the root is again parent-closed, so this needs no re-validation.
     pub fn join(&self, other: &Prefix) -> Prefix {
-        Prefix {
-            member: self
-                .member
-                .iter()
-                .zip(&other.member)
-                .map(|(&a, &b)| a || b)
-                .collect(),
-        }
+        Prefix { member: self.member.iter().zip(&other.member).map(|(&a, &b)| a || b).collect() }
     }
 
     /// Whether `self` is at least as coarse as `other` (`self ⊆ other`).
@@ -261,9 +247,7 @@ impl Prefix {
     /// The *frontier* of the prefix: member workflows none of whose children
     /// are members — the candidates for the next zoom-out step.
     pub fn frontier(&self, h: &ExpansionHierarchy) -> Vec<WorkflowId> {
-        self.workflows()
-            .filter(|&w| h.children(w).iter().all(|c| !self.contains(*c)))
-            .collect()
+        self.workflows().filter(|&w| h.children(w).iter().all(|c| !self.contains(*c))).collect()
     }
 }
 

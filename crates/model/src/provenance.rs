@@ -43,10 +43,7 @@ impl ProvenanceGraph {
 
     /// Number of module-execution nodes (excluding pass-through and I/O).
     pub fn producer_count(&self, exec: &Execution) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| exec.graph().node(n.index() as u32).kind.is_producer())
-            .count()
+        self.nodes.iter().filter(|n| exec.graph().node(n.index() as u32).kind.is_producer()).count()
     }
 }
 
@@ -87,9 +84,10 @@ pub fn impact_of(exec: &Execution, d: DataId) -> ProvenanceGraph {
     affected_nodes.insert(producer.index());
 
     for &u in &order {
-        let incoming = g.in_edges(u).iter().any(|&e| {
-            g.edge(e).payload.data.iter().any(|x| affected_items.contains(x.index()))
-        });
+        let incoming = g
+            .in_edges(u)
+            .iter()
+            .any(|&e| g.edge(e).payload.data.iter().any(|x| affected_items.contains(x.index())));
         if incoming {
             affected_nodes.insert(u as usize);
             // Affected producers taint every item they create (all items on

@@ -114,13 +114,8 @@ pub fn execution_dot(spec: &Specification, exec: &Execution) -> String {
         let _ = writeln!(s, "  n{i} [shape=box, label=\"{label}\"];");
     }
     for (_, e) in g.edges() {
-        let data = e
-            .payload
-            .data
-            .iter()
-            .map(|&d| paper_data_label(d))
-            .collect::<Vec<_>>()
-            .join(",");
+        let data =
+            e.payload.data.iter().map(|&d| paper_data_label(d)).collect::<Vec<_>>().join(",");
         let _ = writeln!(s, "  n{} -> n{} [label=\"{data}\"];", e.from, e.to);
     }
     let _ = writeln!(s, "}}");

@@ -205,7 +205,10 @@ impl Specification {
     /// Build the (intra-workflow) dataflow graph of one workflow: nodes carry
     /// [`ModuleId`]s, edges carry [`EdgeId`]s. Node indices follow the
     /// workflow's module insertion order.
-    pub fn workflow_graph(&self, w: WorkflowId) -> (DiGraph<ModuleId, EdgeId>, HashMap<ModuleId, u32>) {
+    pub fn workflow_graph(
+        &self,
+        w: WorkflowId,
+    ) -> (DiGraph<ModuleId, EdgeId>, HashMap<ModuleId, u32>) {
         let wf = &self.workflows[w.index()];
         let mut g = DiGraph::with_capacity(wf.modules.len(), wf.edges.len());
         let mut idx = HashMap::with_capacity(wf.modules.len());
@@ -223,11 +226,7 @@ impl Specification {
     /// Total number of data channels declared in workflow `w` (one data item
     /// per channel per execution of that workflow).
     pub fn channel_count(&self, w: WorkflowId) -> usize {
-        self.workflows[w.index()]
-            .edges
-            .iter()
-            .map(|&e| self.edges[e.index()].channels.len())
-            .sum()
+        self.workflows[w.index()].edges.iter().map(|&e| self.edges[e.index()].channels.len()).sum()
     }
 }
 
@@ -244,7 +243,12 @@ pub struct SpecBuilder {
 impl SpecBuilder {
     /// Start a new specification. The first workflow added becomes the root.
     pub fn new(name: impl Into<String>) -> Self {
-        SpecBuilder { name: name.into(), workflows: Vec::new(), modules: Vec::new(), edges: Vec::new() }
+        SpecBuilder {
+            name: name.into(),
+            workflows: Vec::new(),
+            modules: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Add a workflow (with fresh `I`/`O` pseudo-modules). The first call
@@ -343,7 +347,13 @@ impl SpecBuilder {
 
     /// Add a dataflow edge between two modules of workflow `w` carrying the
     /// given channels (at least one required at `build` time).
-    pub fn edge(&mut self, w: WorkflowId, from: ModuleId, to: ModuleId, channels: &[&str]) -> EdgeId {
+    pub fn edge(
+        &mut self,
+        w: WorkflowId,
+        from: ModuleId,
+        to: ModuleId,
+        channels: &[&str],
+    ) -> EdgeId {
         let id = EdgeId::new(self.edges.len());
         self.edges.push(SpecEdge {
             id,

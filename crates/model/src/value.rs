@@ -117,10 +117,7 @@ mod tests {
         assert_eq!(Value::Int(7).fingerprint(), Value::Int(7).fingerprint());
         assert_ne!(Value::Int(7).fingerprint(), Value::Int(8).fingerprint());
         assert_ne!(Value::str("a").fingerprint(), Value::Int(7).fingerprint());
-        assert_ne!(
-            Value::Tuple(vec![1, 2]).fingerprint(),
-            Value::Tuple(vec![2, 1]).fingerprint()
-        );
+        assert_ne!(Value::Tuple(vec![1, 2]).fingerprint(), Value::Tuple(vec![2, 1]).fingerprint());
         // Tagged hashing: Str("") and Unit must differ.
         assert_ne!(Value::str("").fingerprint(), Value::Unit.fingerprint());
     }

@@ -1,0 +1,397 @@
+//! The query engine: the paper's Sec. 4 serving stack assembled into one
+//! front door.
+//!
+//! A repository serves *every* privilege level from one store; what varies
+//! per request is the principal's **user group**. The engine therefore owns
+//! the shared read structures — the keyword index, the
+//! [`ViewCache`](ppwf_repo::view_cache::ViewCache) of flattened views — and
+//! a [`GroupCache`] per query class, keyed by `(group, query)` exactly as
+//! Sec. 4 prescribes: *"consider user groups when utilizing cached
+//! information during query processing"*. Two principals of the same group
+//! share answers; different groups never do, so fine-grained answers cannot
+//! leak into coarse-grained sessions through the cache.
+//!
+//! Every cache entry is tagged with the repository version at compute time;
+//! mutations go through [`QueryEngine::mutate`], which bumps the version
+//! (invalidating result and view entries lazily) and rebuilds the keyword
+//! index eagerly.
+
+use crate::keyword::{search_filtered_with_cache, KeywordHit, KeywordQuery};
+use crate::privacy_exec::{
+    filter_then_search_cached, search_then_zoom_out_cached, PrivateSearchOutcome,
+};
+use crate::ranking::{profiles_for_hits, rank_by_scores, score, RankingMode, TfProfile};
+use ppwf_repo::cache::{CacheStats, GroupCache};
+use ppwf_repo::keyword_index::KeywordIndex;
+use ppwf_repo::principals::PrincipalRegistry;
+use ppwf_repo::repository::Repository;
+use ppwf_repo::view_cache::ViewCache;
+use std::sync::Arc;
+
+/// Which privacy-preserving evaluation plan to run (Sec. 4's contrast).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Plan {
+    /// Privacy pushed into the index (the production plan).
+    FilterThenSearch,
+    /// Oblivious full search, then per-hit coarsening (the costly plan).
+    SearchThenZoomOut,
+}
+
+impl Plan {
+    /// Index into the engine's per-plan cache array. One cache per plan
+    /// keeps the warm probe borrow-only — no composite key to allocate.
+    fn slot(self) -> usize {
+        match self {
+            Plan::FilterThenSearch => 0,
+            Plan::SearchThenZoomOut => 1,
+        }
+    }
+}
+
+/// A ranked keyword answer: hit order (best first), scores and profiles
+/// aligned with the hit list the keyword cache holds for the same query.
+#[derive(Debug)]
+pub struct RankedAnswer {
+    /// Hit indices, best first.
+    pub order: Vec<usize>,
+    /// Per-hit score under the requested mode.
+    pub scores: Vec<f64>,
+    /// Per-hit term-frequency profiles.
+    pub profiles: Vec<TfProfile>,
+}
+
+/// Point-in-time counters of one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Cache hits so far.
+    pub hits: u64,
+    /// Cache misses so far.
+    pub misses: u64,
+    /// Stale entries dropped so far.
+    pub invalidations: u64,
+}
+
+impl CacheSnapshot {
+    fn of(stats: &CacheStats) -> Self {
+        CacheSnapshot {
+            hits: stats.hits(),
+            misses: stats.misses(),
+            invalidations: stats.invalidations(),
+        }
+    }
+
+    fn sum<'a>(many: impl IntoIterator<Item = &'a CacheStats>) -> Self {
+        many.into_iter().fold(CacheSnapshot::default(), |acc, s| CacheSnapshot {
+            hits: acc.hits + s.hits(),
+            misses: acc.misses + s.misses(),
+            invalidations: acc.invalidations + s.invalidations(),
+        })
+    }
+
+    /// Hit rate in [0, 1].
+    pub fn hit_rate(&self) -> f64 {
+        let total = (self.hits + self.misses) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.hits as f64 / total
+        }
+    }
+}
+
+/// Counters of every cache layer the engine runs, for operators and E10.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// The `(spec, prefix)` view memo.
+    pub views: CacheSnapshot,
+    /// The `(group, query)` keyword-answer cache.
+    pub keyword: CacheSnapshot,
+    /// The `(group, query)` private-search-outcome cache.
+    pub private: CacheSnapshot,
+    /// The `(group, query, mode)` ranking cache.
+    pub ranked: CacheSnapshot,
+}
+
+/// The assembled serving stack. See the module docs.
+pub struct QueryEngine {
+    repo: Repository,
+    registry: PrincipalRegistry,
+    index: KeywordIndex,
+    views: ViewCache,
+    keyword_results: GroupCache<Vec<KeywordHit>>,
+    /// One cache per [`Plan`], indexed by [`Plan::slot`].
+    private_results: [GroupCache<PrivateSearchOutcome>; 2],
+    ranked_results: GroupCache<RankedAnswer>,
+}
+
+impl QueryEngine {
+    /// Assemble an engine with default cache capacities (1024 views, 4096
+    /// results per query class).
+    pub fn new(repo: Repository, registry: PrincipalRegistry) -> Self {
+        Self::with_capacities(repo, registry, 1024, 4096)
+    }
+
+    /// Assemble with explicit cache capacities.
+    pub fn with_capacities(
+        repo: Repository,
+        registry: PrincipalRegistry,
+        view_capacity: usize,
+        result_capacity: usize,
+    ) -> Self {
+        let index = KeywordIndex::build(&repo);
+        QueryEngine {
+            repo,
+            registry,
+            index,
+            views: ViewCache::new(view_capacity),
+            keyword_results: GroupCache::new(result_capacity),
+            private_results: [GroupCache::new(result_capacity), GroupCache::new(result_capacity)],
+            ranked_results: GroupCache::new(result_capacity),
+        }
+    }
+
+    /// The repository (read-only; mutations go through [`Self::mutate`]).
+    pub fn repo(&self) -> &Repository {
+        &self.repo
+    }
+
+    /// The group registry.
+    pub fn registry(&self) -> &PrincipalRegistry {
+        &self.registry
+    }
+
+    /// The keyword index currently serving queries.
+    pub fn index(&self) -> &KeywordIndex {
+        &self.index
+    }
+
+    /// The shared view cache.
+    pub fn views(&self) -> &ViewCache {
+        &self.views
+    }
+
+    /// Apply a repository mutation. The version bump lazily invalidates
+    /// every cached view and result; the keyword index is rebuilt eagerly
+    /// (postings are not version-tagged).
+    pub fn mutate<R>(&mut self, f: impl FnOnce(&mut Repository) -> R) -> R {
+        let out = f(&mut self.repo);
+        self.index = KeywordIndex::build(&self.repo);
+        out
+    }
+
+    /// Replace the registry (e.g. a group's access rule changed). Result
+    /// caches are cleared outright: group keys may now mean different
+    /// privileges, and lazy version tags cannot see registry changes.
+    pub fn set_registry(&mut self, registry: PrincipalRegistry) {
+        self.registry = registry;
+        self.keyword_results.clear();
+        for cache in &self.private_results {
+            cache.clear();
+        }
+        self.ranked_results.clear();
+    }
+
+    /// Privilege-filtered keyword search for one group, cached per
+    /// `(group, query)`. Returns `None` for unknown groups.
+    ///
+    /// The cache is probed *before* the group's access map is resolved:
+    /// a warm hit is one hash lookup plus an `Arc` clone, never a walk of
+    /// the registry — that ordering is what E10's warm path measures.
+    pub fn search_as(&self, group: &str, query_text: &str) -> Option<Arc<Vec<KeywordHit>>> {
+        let version = self.repo.version();
+        if let Some(hit) = self.keyword_results.get(group, query_text, version) {
+            return Some(hit);
+        }
+        let access = self.registry.access_map(&self.repo, group)?;
+        let query = KeywordQuery::parse(query_text);
+        let answer = Arc::new(search_filtered_with_cache(
+            &self.repo,
+            &self.index,
+            &query,
+            &access,
+            &self.views,
+        ));
+        self.keyword_results.insert(group, query_text, version, Arc::clone(&answer));
+        Some(answer)
+    }
+
+    /// Privacy-preserving search under an explicit plan, cached per
+    /// `(group, query)` in a per-plan cache (so the warm probe stays
+    /// borrow-only, like [`Self::search_as`]). Returns `None` for unknown
+    /// groups.
+    pub fn private_search_as(
+        &self,
+        group: &str,
+        query_text: &str,
+        plan: Plan,
+    ) -> Option<Arc<PrivateSearchOutcome>> {
+        let version = self.repo.version();
+        let cache = &self.private_results[plan.slot()];
+        if let Some(hit) = cache.get(group, query_text, version) {
+            return Some(hit);
+        }
+        let access = self.registry.access_map(&self.repo, group)?;
+        let query = KeywordQuery::parse(query_text);
+        let outcome = Arc::new(match plan {
+            Plan::FilterThenSearch => {
+                filter_then_search_cached(&self.repo, &self.index, &query, &access, &self.views)
+            }
+            Plan::SearchThenZoomOut => {
+                search_then_zoom_out_cached(&self.repo, &self.index, &query, &access, &self.views)
+            }
+        });
+        cache.insert(group, query_text, version, Arc::clone(&outcome));
+        Some(outcome)
+    }
+
+    /// Ranked keyword search: the cached hit list for `(group, query)`
+    /// scored under `mode`, itself cached per `(group, query ⊕ mode)` so
+    /// repeated ranked queries skip the TF re-tokenization pass entirely.
+    /// Unlike the other layers, the warm probe allocates one small key
+    /// string: [`RankingMode`] carries `f64` parameters (bucket base, ε,
+    /// seed), so modes cannot index a fixed cache array the way [`Plan`]
+    /// does — negligible next to the profile/score payload it saves.
+    pub fn ranked_search_as(
+        &self,
+        group: &str,
+        query_text: &str,
+        mode: RankingMode,
+    ) -> Option<(Arc<Vec<KeywordHit>>, Arc<RankedAnswer>)> {
+        let hits = self.search_as(group, query_text)?;
+        let version = self.repo.version();
+        let key = format!("{mode:?}\u{1f}{query_text}");
+        let ranked = self.ranked_results.get_or_compute(group, &key, version, || {
+            let query = KeywordQuery::parse(query_text);
+            let profiles = profiles_for_hits(&self.repo, &hits, &query.terms);
+            let scores: Vec<f64> =
+                profiles.iter().map(|p| score(&self.index, &query.terms, p, mode)).collect();
+            let order = rank_by_scores(&scores);
+            RankedAnswer { order, scores, profiles }
+        });
+        Some((hits, ranked))
+    }
+
+    /// Counters of every cache layer.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            views: CacheSnapshot::of(self.views.stats()),
+            keyword: CacheSnapshot::of(self.keyword_results.stats()),
+            private: CacheSnapshot::sum(self.private_results.iter().map(|c| c.stats())),
+            ranked: CacheSnapshot::of(self.ranked_results.stats()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppwf_core::policy::{AccessLevel, Policy};
+    use ppwf_model::fixtures;
+    use ppwf_repo::principals::ViewRule;
+    use ppwf_repo::repository::SpecId;
+
+    fn engine() -> QueryEngine {
+        let mut repo = Repository::new();
+        let (spec, _) = fixtures::disease_susceptibility();
+        repo.insert_spec(spec, Policy::public()).unwrap();
+        let mut registry = PrincipalRegistry::new();
+        registry.add_group("public", AccessLevel(0), ViewRule::RootOnly);
+        registry.add_group("researchers", AccessLevel(3), ViewRule::Full);
+        QueryEngine::new(repo, registry)
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_group_cache() {
+        let e = engine();
+        let a = e.search_as("researchers", "Database, Disorder Risks").unwrap();
+        assert_eq!(a.len(), 1);
+        let b = e.search_as("researchers", "Database, Disorder Risks").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same group must share the cached answer");
+        let stats = e.stats();
+        assert_eq!(stats.keyword.hits, 1);
+        assert_eq!(stats.keyword.misses, 1);
+    }
+
+    #[test]
+    fn groups_never_share_answers() {
+        let e = engine();
+        let fine = e.search_as("researchers", "database").unwrap();
+        let coarse = e.search_as("public", "database").unwrap();
+        assert_eq!(fine.len(), 1, "full access sees the M5 match");
+        assert_eq!(coarse.len(), 0, "root-only access must not see it");
+        assert_eq!(e.stats().keyword.hits, 0, "distinct groups cannot hit each other");
+    }
+
+    #[test]
+    fn unknown_group_is_refused() {
+        let e = engine();
+        assert!(e.search_as("nobody", "database").is_none());
+    }
+
+    #[test]
+    fn mutation_invalidates_cached_answers() {
+        let mut e = engine();
+        let before = e.search_as("researchers", "risk").unwrap();
+        assert_eq!(before.len(), 1);
+        e.mutate(|repo| {
+            let (spec, _) = fixtures::disease_susceptibility();
+            repo.insert_spec(spec, Policy::public()).unwrap();
+        });
+        let after = e.search_as("researchers", "risk").unwrap();
+        assert_eq!(after.len(), 2, "stale single-spec answer served after insert");
+        assert!(e.stats().keyword.invalidations >= 1);
+    }
+
+    #[test]
+    fn private_plans_agree_through_the_engine() {
+        let e = engine();
+        let filter = e.private_search_as("public", "risk", Plan::FilterThenSearch).unwrap();
+        let zoom = e.private_search_as("public", "risk", Plan::SearchThenZoomOut).unwrap();
+        assert!(crate::privacy_exec::same_answers(&filter, &zoom));
+        // Distinct plans are distinct cache keys.
+        assert_eq!(e.stats().private.misses, 2);
+    }
+
+    #[test]
+    fn ranked_answers_are_cached_and_ordered() {
+        let e = engine();
+        let (hits, ranked) =
+            e.ranked_search_as("researchers", "query", RankingMode::ExactFull).unwrap();
+        assert_eq!(ranked.order.len(), hits.len());
+        assert_eq!(ranked.scores.len(), hits.len());
+        let (_, again) =
+            e.ranked_search_as("researchers", "query", RankingMode::ExactFull).unwrap();
+        assert!(Arc::ptr_eq(&ranked, &again));
+        assert!(e.stats().ranked.hits >= 1);
+    }
+
+    #[test]
+    fn view_cache_warms_across_queries() {
+        let e = engine();
+        e.search_as("researchers", "Database, Disorder Risks").unwrap();
+        let cold_misses = e.stats().views.misses;
+        // A different query whose minimal view coincides reuses the cached
+        // view instead of rebuilding it.
+        e.search_as("researchers", "database, pubmed").unwrap();
+        let stats = e.stats();
+        assert!(
+            stats.views.hits > 0 || stats.views.misses > cold_misses,
+            "second query must consult the view cache"
+        );
+    }
+
+    #[test]
+    fn registry_swap_clears_results() {
+        let mut e = engine();
+        assert_eq!(e.search_as("public", "database").unwrap().len(), 0);
+        let mut registry = PrincipalRegistry::new();
+        registry.add_group("public", AccessLevel(3), ViewRule::Full);
+        e.set_registry(registry);
+        assert_eq!(
+            e.search_as("public", "database").unwrap().len(),
+            1,
+            "stale coarse answer served after privilege change"
+        );
+        let _ = e.repo().entry(SpecId(0)).unwrap();
+    }
+}

@@ -105,12 +105,14 @@ pub fn match_exec_view(
 
     let mut results: Vec<ProcBinding> = Vec::new();
     let mut binding: Vec<Option<(u32, ProcId)>> = vec![None; pattern.nodes.len()];
+    /// A partial assignment of pattern slots to `(view node, process)`.
+    type Slots = [Option<(u32, ProcId)>];
     fn backtrack(
         i: usize,
         cands: &[Vec<(u32, ProcId)>],
         binding: &mut Vec<Option<(u32, ProcId)>>,
         results: &mut Vec<ProcBinding>,
-        check: &dyn Fn(&[Option<(u32, ProcId)>]) -> bool,
+        check: &dyn Fn(&Slots) -> bool,
     ) {
         if i == cands.len() {
             results.push(binding.iter().map(|b| b.unwrap().1).collect());
@@ -198,18 +200,13 @@ mod tests {
         let (spec, h, exec) = setup();
         let m = fixtures::handles(&spec);
         let view = ExecView::build(&spec, &h, &exec, &Prefix::root_only(&h)).unwrap();
-        let pattern = Pattern::before(
-            NodeMatcher::Code("M1".into()),
-            NodeMatcher::Code("M2".into()),
-        );
+        let pattern =
+            Pattern::before(NodeMatcher::Code("M1".into()), NodeMatcher::Code("M2".into()));
         let matches = match_exec_view(&spec, &exec, &view, &pattern);
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0], vec![exec.proc_of(m.m1).unwrap(), exec.proc_of(m.m2).unwrap()]);
         // Inner modules are not bindable at this view.
-        let deep = Pattern::before(
-            NodeMatcher::Code("M3".into()),
-            NodeMatcher::Code("M6".into()),
-        );
+        let deep = Pattern::before(NodeMatcher::Code("M3".into()), NodeMatcher::Code("M6".into()));
         assert!(match_exec_view(&spec, &exec, &view, &deep).is_empty());
     }
 
@@ -221,16 +218,12 @@ mod tests {
         let m = fixtures::handles(&spec);
         let p = Prefix::from_workflows(&h, [WorkflowId::new(0), WorkflowId::new(1)]).unwrap();
         let view = ExecView::build(&spec, &h, &exec, &p).unwrap();
-        let pattern = Pattern::before(
-            NodeMatcher::Code("M4".into()),
-            NodeMatcher::Code("M8".into()),
-        );
+        let pattern =
+            Pattern::before(NodeMatcher::Code("M4".into()), NodeMatcher::Code("M8".into()));
         assert_eq!(match_exec_view(&spec, &exec, &view, &pattern).len(), 1);
         // And the expanded composite M1 (begin/end kept) still reaches M2.
-        let pattern = Pattern::before(
-            NodeMatcher::Code("M1".into()),
-            NodeMatcher::Code("M2".into()),
-        );
+        let pattern =
+            Pattern::before(NodeMatcher::Code("M1".into()), NodeMatcher::Code("M2".into()));
         let matches = match_exec_view(&spec, &exec, &view, &pattern);
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0][0], exec.proc_of(m.m1).unwrap());
@@ -240,10 +233,8 @@ mod tests {
     fn non_facts_do_not_match() {
         let (spec, h, exec) = setup();
         let view = ExecView::build(&spec, &h, &exec, &Prefix::full(&h)).unwrap();
-        let pattern = Pattern::before(
-            NodeMatcher::Code("M10".into()),
-            NodeMatcher::Code("M14".into()),
-        );
+        let pattern =
+            Pattern::before(NodeMatcher::Code("M10".into()), NodeMatcher::Code("M14".into()));
         assert!(match_exec_view(&spec, &exec, &view, &pattern).is_empty());
     }
 
@@ -257,15 +248,10 @@ mod tests {
                 (exec.clone(), v)
             })
             .collect();
-        let hit = Pattern::before(
-            NodeMatcher::Code("M3".into()),
-            NodeMatcher::Code("M6".into()),
-        );
+        let hit = Pattern::before(NodeMatcher::Code("M3".into()), NodeMatcher::Code("M6".into()));
         assert_eq!(count_matching(&spec, &views, &hit), 3);
-        let miss = Pattern::before(
-            NodeMatcher::Code("M10".into()),
-            NodeMatcher::Code("M14".into()),
-        );
+        let miss =
+            Pattern::before(NodeMatcher::Code("M10".into()), NodeMatcher::Code("M14".into()));
         assert_eq!(count_matching(&spec, &views, &miss), 0);
     }
 }

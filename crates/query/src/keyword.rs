@@ -17,7 +17,9 @@ use ppwf_model::ids::{ModuleId, WorkflowId};
 use ppwf_repo::keyword_index::{tokenize, KeywordIndex, Posting};
 use ppwf_repo::repository::{Repository, SpecId};
 use ppwf_repo::scan::scan_specs;
+use ppwf_repo::view_cache::ViewCache;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A parsed keyword query: comma-separated terms, each a word or phrase.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -29,11 +31,8 @@ pub struct KeywordQuery {
 impl KeywordQuery {
     /// Parse `"Database, Disorder Risks"` into `["database", "disorder risks"]`.
     pub fn parse(text: &str) -> Self {
-        let terms = text
-            .split(',')
-            .map(|t| tokenize(t).join(" "))
-            .filter(|t| !t.is_empty())
-            .collect();
+        let terms =
+            text.split(',').map(|t| tokenize(t).join(" ")).filter(|t| !t.is_empty()).collect();
         KeywordQuery { terms }
     }
 
@@ -45,6 +44,11 @@ impl KeywordQuery {
 
 /// One search hit: a specification, the minimal view answering the query,
 /// and which module satisfied each term.
+///
+/// The view is shared (`Arc`): with a [`ViewCache`] in play, many hits —
+/// across queries and across principals of the same group — point at one
+/// materialized view, and its memoized transitive closure warms once for
+/// all of them.
 #[derive(Debug)]
 pub struct KeywordHit {
     /// The matching specification.
@@ -52,17 +56,31 @@ pub struct KeywordHit {
     /// The minimal prefix exposing all chosen matches.
     pub prefix: Prefix,
     /// The flattened answer view under that prefix (Fig. 5's artifact).
-    pub view: SpecView,
+    pub view: Arc<SpecView>,
     /// Chosen match per term, in term order.
     pub matched: Vec<(String, ModuleId)>,
 }
 
+/// Materialize the answer view for a hit: through the cache when one is
+/// supplied (the query fast path), from scratch otherwise.
+pub(crate) fn build_view(
+    repo: &Repository,
+    views: Option<&ViewCache>,
+    spec: SpecId,
+    prefix: &Prefix,
+) -> Option<Arc<SpecView>> {
+    match views {
+        Some(cache) => cache.view(repo, spec, prefix),
+        None => {
+            let entry = repo.entry(spec)?;
+            SpecView::build(&entry.spec, &entry.hierarchy, prefix).ok().map(Arc::new)
+        }
+    }
+}
+
 /// Workflows that must be in the prefix for module `m` to be visible: the
 /// hierarchy path from the root to `m`'s workflow.
-fn required_path(
-    entry: &ppwf_repo::repository::SpecEntry,
-    m: ModuleId,
-) -> Vec<WorkflowId> {
+fn required_path(entry: &ppwf_repo::repository::SpecEntry, m: ModuleId) -> Vec<WorkflowId> {
     let mut path = Vec::new();
     let mut cur = Some(entry.spec.module(m).workflow);
     while let Some(w) = cur {
@@ -105,15 +123,26 @@ fn minimal_cover(
         }
         chosen[i] = Some((term.clone(), best.1));
     }
-    let prefix = Prefix::from_workflows(&entry.hierarchy, required)
-        .expect("root paths are parent-closed");
+    let prefix =
+        Prefix::from_workflows(&entry.hierarchy, required).expect("root paths are parent-closed");
     Some((prefix, chosen.into_iter().map(|c| c.expect("all terms chosen")).collect()))
 }
 
 /// Index-backed search over the whole repository (no privacy filtering —
 /// the administrator's plan). Hits are ordered by spec id.
 pub fn search(repo: &Repository, index: &KeywordIndex, query: &KeywordQuery) -> Vec<KeywordHit> {
-    search_with_postings(repo, query, |term| index.lookup_query_term(term))
+    search_with_postings(repo, query, None, |term| index.lookup_query_term(term))
+}
+
+/// [`search`] with answer views fetched through `views` instead of built
+/// per hit — the repeated-query fast path.
+pub fn search_with_cache(
+    repo: &Repository,
+    index: &KeywordIndex,
+    query: &KeywordQuery,
+    views: &ViewCache,
+) -> Vec<KeywordHit> {
+    search_with_postings(repo, query, Some(views), |term| index.lookup_query_term(term))
 }
 
 /// Index-backed search with privilege filtering: only postings whose
@@ -125,12 +154,25 @@ pub fn search_filtered(
     query: &KeywordQuery,
     access: &HashMap<SpecId, Prefix>,
 ) -> Vec<KeywordHit> {
-    search_with_postings(repo, query, |term| index.lookup_filtered(term, access))
+    search_with_postings(repo, query, None, |term| index.lookup_filtered(term, access))
+}
+
+/// [`search_filtered`] with answer views fetched through `views` — the
+/// entry point the per-group query engine uses.
+pub fn search_filtered_with_cache(
+    repo: &Repository,
+    index: &KeywordIndex,
+    query: &KeywordQuery,
+    access: &HashMap<SpecId, Prefix>,
+    views: &ViewCache,
+) -> Vec<KeywordHit> {
+    search_with_postings(repo, query, Some(views), |term| index.lookup_filtered(term, access))
 }
 
 fn search_with_postings(
     repo: &Repository,
     query: &KeywordQuery,
+    views: Option<&ViewCache>,
     lookup: impl Fn(&str) -> Vec<Posting>,
 ) -> Vec<KeywordHit> {
     if query.terms.is_empty() {
@@ -140,9 +182,8 @@ fn search_with_postings(
     let mut per_spec: HashMap<SpecId, Vec<Vec<ModuleId>>> = HashMap::new();
     for (ti, term) in query.terms.iter().enumerate() {
         for p in lookup(term) {
-            let slot = per_spec
-                .entry(p.spec)
-                .or_insert_with(|| vec![Vec::new(); query.terms.len()]);
+            let slot =
+                per_spec.entry(p.spec).or_insert_with(|| vec![Vec::new(); query.terms.len()]);
             slot[ti].push(p.module);
         }
     }
@@ -155,15 +196,11 @@ fn search_with_postings(
             continue; // AND semantics: every term must match
         }
         let entry = repo.entry(sid).expect("posting references live spec");
-        let named: Vec<(String, Vec<ModuleId>)> = query
-            .terms
-            .iter()
-            .cloned()
-            .zip(cands.iter().cloned())
-            .collect();
+        let named: Vec<(String, Vec<ModuleId>)> =
+            query.terms.iter().cloned().zip(cands.iter().cloned()).collect();
         if let Some((prefix, matched)) = minimal_cover(entry, &named) {
-            let view = SpecView::build(&entry.spec, &entry.hierarchy, &prefix)
-                .expect("minimal cover prefix is valid");
+            let view =
+                build_view(repo, views, sid, &prefix).expect("minimal cover prefix is valid");
             hits.push(KeywordHit { spec: sid, prefix, view, matched });
         }
     }
@@ -173,6 +210,25 @@ fn search_with_postings(
 /// Scan-backed search (no index): tokenizes every module of every spec per
 /// query — the baseline plan of experiment E5.
 pub fn search_scan(repo: &Repository, query: &KeywordQuery) -> Vec<KeywordHit> {
+    search_scan_inner(repo, query, None)
+}
+
+/// [`search_scan`] with answer views fetched through `views`; the scan
+/// still tokenizes everything (that is the baseline being measured), but
+/// repeated queries stop paying view construction.
+pub fn search_scan_with_cache(
+    repo: &Repository,
+    query: &KeywordQuery,
+    views: &ViewCache,
+) -> Vec<KeywordHit> {
+    search_scan_inner(repo, query, Some(views))
+}
+
+fn search_scan_inner(
+    repo: &Repository,
+    query: &KeywordQuery,
+    views: Option<&ViewCache>,
+) -> Vec<KeywordHit> {
     if query.terms.is_empty() {
         return Vec::new();
     }
@@ -205,7 +261,7 @@ pub fn search_scan(repo: &Repository, query: &KeywordQuery) -> Vec<KeywordHit> {
             })
             .collect();
         let (prefix, matched) = minimal_cover(entry, &named)?;
-        let view = SpecView::build(&entry.spec, &entry.hierarchy, &prefix).ok()?;
+        let view = build_view(repo, views, sid, &prefix)?;
         Some(KeywordHit { spec: sid, prefix, view, matched })
     })
 }
@@ -251,11 +307,8 @@ mod tests {
         assert!(hit.matched.contains(&("disorder risks".to_string(), m.m2)));
         // The view shows exactly I, O, M2, M3, M5, M6, M7, M8 — Fig. 5's
         // node set.
-        let mut codes: Vec<String> = hit
-            .view
-            .visible_modules()
-            .map(|mm| entry.spec.module(mm).code.clone())
-            .collect();
+        let mut codes: Vec<String> =
+            hit.view.visible_modules().map(|mm| entry.spec.module(mm).code.clone()).collect();
         codes.sort();
         assert_eq!(codes, vec!["M2", "M3", "M5", "M6", "M7", "M8"]);
         // And Fig. 5's edges: M6 → M8, M7 → M8 ("disorders, disorders"),

@@ -18,7 +18,12 @@
 //!   leak hidden term counts (Sec. 4's "Impact of Ranking on Privacy
 //!   Preservation"); bucketized and visible-only rankers trade utility for
 //!   leakage, measured with Kendall-τ (experiment E7).
+//! * [`engine`] — the assembled serving stack: keyword index + shared
+//!   [`ViewCache`](ppwf_repo::view_cache::ViewCache) + per-user-group
+//!   result caches with surfaced statistics (Sec. 4's caching design;
+//!   experiment E10).
 
+pub mod engine;
 pub mod exec_match;
 pub mod keyword;
 pub mod privacy_exec;
@@ -26,4 +31,5 @@ pub mod private_provenance;
 pub mod ranking;
 pub mod structural;
 
+pub use engine::{EngineStats, Plan, QueryEngine, RankedAnswer};
 pub use keyword::{KeywordHit, KeywordQuery};

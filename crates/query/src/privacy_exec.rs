@@ -19,12 +19,15 @@
 //! Both strategies return the same answers (verified by tests and by the
 //! E6 harness); only their cost differs.
 
-use crate::keyword::{search, search_filtered, KeywordHit, KeywordQuery};
+use crate::keyword::{
+    build_view, search, search_filtered, search_filtered_with_cache, search_with_cache, KeywordHit,
+    KeywordQuery,
+};
 use ppwf_core::policy::Principal;
-use ppwf_model::expand::SpecView;
 use ppwf_model::hierarchy::Prefix;
 use ppwf_repo::keyword_index::KeywordIndex;
 use ppwf_repo::repository::{Repository, SpecId};
+use ppwf_repo::view_cache::ViewCache;
 use std::collections::HashMap;
 
 /// A principal's per-spec access views (a repository may hold many
@@ -85,6 +88,21 @@ pub fn filter_then_search(
     PrivateSearchOutcome { hits, views_built, zoom_steps: 0, discarded: 0 }
 }
 
+/// [`filter_then_search`] with answer views fetched through `views`.
+/// `views_built` still counts logical materializations (the plan's cost
+/// model); the cache turns repeats of them into pointer copies.
+pub fn filter_then_search_cached(
+    repo: &Repository,
+    index: &KeywordIndex,
+    query: &KeywordQuery,
+    access: &AccessMap,
+    views: &ViewCache,
+) -> PrivateSearchOutcome {
+    let hits = search_filtered_with_cache(repo, index, query, access, views);
+    let views_built = hits.len();
+    PrivateSearchOutcome { hits, views_built, zoom_steps: 0, discarded: 0 }
+}
+
 /// Plan 2: search-then-zoom-out. Runs the oblivious full-privilege search,
 /// then repairs each hit: while the hit's prefix exceeds the principal's
 /// access view, zoom out (rebuilding the view each step — the expensive
@@ -95,7 +113,34 @@ pub fn search_then_zoom_out(
     query: &KeywordQuery,
     access: &AccessMap,
 ) -> PrivateSearchOutcome {
-    let full_hits = search(repo, index, query);
+    search_then_zoom_out_inner(repo, index, query, access, None)
+}
+
+/// [`search_then_zoom_out`] with views fetched through `views`: both the
+/// oblivious full-privilege pass and the post-coarsening rebuild hit the
+/// cache, which is what makes even the wasteful plan benchmarkable at
+/// repository scale in E10.
+pub fn search_then_zoom_out_cached(
+    repo: &Repository,
+    index: &KeywordIndex,
+    query: &KeywordQuery,
+    access: &AccessMap,
+    views: &ViewCache,
+) -> PrivateSearchOutcome {
+    search_then_zoom_out_inner(repo, index, query, access, Some(views))
+}
+
+fn search_then_zoom_out_inner(
+    repo: &Repository,
+    index: &KeywordIndex,
+    query: &KeywordQuery,
+    access: &AccessMap,
+    views: Option<&ViewCache>,
+) -> PrivateSearchOutcome {
+    let full_hits = match views {
+        Some(cache) => search_with_cache(repo, index, query, cache),
+        None => search(repo, index, query),
+    };
     let mut hits = Vec::new();
     let mut views_built = full_hits.len(); // the oblivious pass built these
     let mut zoom_steps = 0usize;
@@ -129,8 +174,7 @@ pub fn search_then_zoom_out(
                 continue 'hits;
             }
         }
-        let view = SpecView::build(&entry.spec, &entry.hierarchy, &prefix)
-            .expect("coarsened prefix is valid");
+        let view = build_view(repo, views, hit.spec, &prefix).expect("coarsened prefix is valid");
         hits.push(KeywordHit { spec: hit.spec, prefix, view, matched: hit.matched });
     }
     PrivateSearchOutcome { hits, views_built, zoom_steps, discarded }
@@ -142,9 +186,10 @@ pub fn same_answers(a: &PrivateSearchOutcome, b: &PrivateSearchOutcome) -> bool 
     if a.hits.len() != b.hits.len() {
         return false;
     }
-    a.hits.iter().zip(&b.hits).all(|(x, y)| {
-        x.spec == y.spec && x.prefix == y.prefix && x.matched == y.matched
-    })
+    a.hits
+        .iter()
+        .zip(&b.hits)
+        .all(|(x, y)| x.spec == y.spec && x.prefix == y.prefix && x.matched == y.matched)
 }
 
 #[cfg(test)]
@@ -164,11 +209,9 @@ mod tests {
 
     fn access(repo: &Repository, ws: &[usize]) -> AccessMap {
         let entry = repo.entry(SpecId(0)).unwrap();
-        let prefix = Prefix::from_workflows(
-            &entry.hierarchy,
-            ws.iter().map(|&i| WorkflowId::new(i)),
-        )
-        .unwrap();
+        let prefix =
+            Prefix::from_workflows(&entry.hierarchy, ws.iter().map(|&i| WorkflowId::new(i)))
+                .unwrap();
         let mut m = HashMap::new();
         m.insert(SpecId(0), prefix);
         m

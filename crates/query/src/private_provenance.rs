@@ -104,12 +104,9 @@ pub fn private_impact(disclosure: &Disclosure, d: DataId) -> Result<PrivateProve
             // incoming check downstream); collapsed composites hide their
             // internals, so everything they emit is conservatively tainted.
             let derives = match g.node(u) {
-                ppwf_views::exec_view::ExecViewNode::Kept(orig) => disclosure
-                    .execution
-                    .graph()
-                    .node(orig.index() as u32)
-                    .kind
-                    .is_producer(),
+                ppwf_views::exec_view::ExecViewNode::Kept(orig) => {
+                    disclosure.execution.graph().node(orig.index() as u32).kind.is_producer()
+                }
                 ppwf_views::exec_view::ExecViewNode::Collapsed(..) => true,
                 _ => false,
             };

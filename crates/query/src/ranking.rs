@@ -74,17 +74,9 @@ impl TfProfile {
 
 /// Compute the TF profile of a specification for `terms` under `prefix`
 /// (which modules count as visible).
-pub fn tf_profile(
-    repo: &Repository,
-    spec: SpecId,
-    prefix: &Prefix,
-    terms: &[String],
-) -> TfProfile {
+pub fn tf_profile(repo: &Repository, spec: SpecId, prefix: &Prefix, terms: &[String]) -> TfProfile {
     let entry = repo.entry(spec).expect("live spec");
-    let mut profile = TfProfile {
-        visible: vec![0; terms.len()],
-        hidden: vec![0; terms.len()],
-    };
+    let mut profile = TfProfile { visible: vec![0; terms.len()], hidden: vec![0; terms.len()] };
     for module in entry.spec.modules() {
         if module.kind.is_distinguished() {
             continue;
@@ -111,6 +103,19 @@ pub fn tf_profile(
         }
     }
     profile
+}
+
+/// TF profiles for a slice of keyword hits, one per hit in order, each
+/// computed under the hit's own answer prefix. This is the ranking layer's
+/// per-query hot loop; the query engine memoizes its output per
+/// `(group, query)` in the [`GroupCache`](ppwf_repo::cache::GroupCache), so
+/// repeated queries skip re-tokenizing every module of every hit spec.
+pub fn profiles_for_hits(
+    repo: &Repository,
+    hits: &[crate::keyword::KeywordHit],
+    terms: &[String],
+) -> Vec<TfProfile> {
+    hits.iter().map(|h| tf_profile(repo, h.spec, &h.prefix, terms)).collect()
 }
 
 /// Score one profile under a mode. IDF weights come from the index.
@@ -203,8 +208,20 @@ pub fn kendall_tau_scores(a: &[f64], b: &[f64]) -> f64 {
         for j in (i + 1)..n {
             let da = a[i] - a[j];
             let db = b[i] - b[j];
-            let sa = if da > 0.0 { 1 } else if da < 0.0 { -1 } else { 0 };
-            let sb = if db > 0.0 { 1 } else if db < 0.0 { -1 } else { 0 };
+            let sa = if da > 0.0 {
+                1
+            } else if da < 0.0 {
+                -1
+            } else {
+                0
+            };
+            let sb = if db > 0.0 {
+                1
+            } else if db < 0.0 {
+                -1
+            } else {
+                0
+            };
             if sa == 0 {
                 ties_a += 1;
             }
@@ -288,8 +305,7 @@ mod tests {
         assert!(full.visible[0] > 0);
         assert_eq!(full.hidden[0], 0);
         // Root-only: "query" occurrences (M5..M7 names/tags, M9 tag) hide.
-        let coarse =
-            tf_profile(&repo, SpecId(0), &Prefix::root_only(&entry.hierarchy), &terms);
+        let coarse = tf_profile(&repo, SpecId(0), &Prefix::root_only(&entry.hierarchy), &terms);
         assert_eq!(coarse.visible[0], 0);
         assert_eq!(coarse.hidden[0], full.visible[0]);
         assert_eq!(coarse.hidden_mass(), full.visible[0]);
@@ -330,20 +346,15 @@ mod tests {
         // ranking: exact leaks everything, visible-only leaks nothing.
         let (_, index) = setup();
         let terms = vec!["query".to_string()];
-        let profiles: Vec<TfProfile> = (0..8u64)
-            .map(|i| TfProfile { visible: vec![1], hidden: vec![i * i] })
-            .collect();
+        let profiles: Vec<TfProfile> =
+            (0..8u64).map(|i| TfProfile { visible: vec![1], hidden: vec![i * i] }).collect();
         let exact = evaluate_ranking(&index, &terms, &profiles, RankingMode::ExactFull);
         assert!((exact.utility - 1.0).abs() < 1e-9);
         assert!((exact.leakage - 1.0).abs() < 1e-9, "exact ranking fully leaks");
         let visible = evaluate_ranking(&index, &terms, &profiles, RankingMode::VisibleOnly);
         assert_eq!(visible.leakage, 0.0, "all-tied visible scores carry no information");
-        let bucket = evaluate_ranking(
-            &index,
-            &terms,
-            &profiles,
-            RankingMode::BucketizedFull { base: 8.0 },
-        );
+        let bucket =
+            evaluate_ranking(&index, &terms, &profiles, RankingMode::BucketizedFull { base: 8.0 });
         assert!(bucket.leakage <= exact.leakage);
         assert!(bucket.utility >= visible.utility);
     }
@@ -352,9 +363,8 @@ mod tests {
     fn noise_reduces_leakage_with_small_epsilon() {
         let (_, index) = setup();
         let terms = vec!["query".to_string()];
-        let profiles: Vec<TfProfile> = (0..10u64)
-            .map(|i| TfProfile { visible: vec![1], hidden: vec![i] })
-            .collect();
+        let profiles: Vec<TfProfile> =
+            (0..10u64).map(|i| TfProfile { visible: vec![1], hidden: vec![i] }).collect();
         let loud = evaluate_ranking(
             &index,
             &terms,

@@ -72,10 +72,7 @@ impl Pattern {
     /// Two-node "A before B" pattern with a transitive edge — the shape of
     /// the paper's example query.
     pub fn before(a: NodeMatcher, b: NodeMatcher) -> Self {
-        Pattern {
-            nodes: vec![a, b],
-            edges: vec![PatternEdge { from: 0, to: 1, transitive: true }],
-        }
+        Pattern { nodes: vec![a, b], edges: vec![PatternEdge { from: 0, to: 1, transitive: true }] }
     }
 }
 
@@ -108,7 +105,6 @@ pub fn match_view(spec: &Specification, view: &SpecView, pattern: &Pattern) -> V
     let mut binding: Vec<Option<ModuleId>> = vec![None; pattern.nodes.len()];
     fn backtrack(
         i: usize,
-        pattern: &Pattern,
         cands: &[Vec<ModuleId>],
         binding: &mut Vec<Option<ModuleId>>,
         results: &mut Vec<Binding>,
@@ -119,12 +115,12 @@ pub fn match_view(spec: &Specification, view: &SpecView, pattern: &Pattern) -> V
             return;
         }
         for &m in &cands[i] {
-            if binding[..i].iter().any(|b| *b == Some(m)) {
+            if binding[..i].contains(&Some(m)) {
                 continue; // injective bindings
             }
             binding[i] = Some(m);
             if check(binding) {
-                backtrack(i + 1, pattern, cands, binding, results, check);
+                backtrack(i + 1, cands, binding, results, check);
             }
             binding[i] = None;
         }
@@ -144,7 +140,7 @@ pub fn match_view(spec: &Specification, view: &SpecView, pattern: &Pattern) -> V
             }
         })
     };
-    backtrack(0, pattern, &cands, &mut binding, &mut results, &check);
+    backtrack(0, &cands, &mut binding, &mut results, &check);
     results.sort();
     results
 }
@@ -270,10 +266,8 @@ mod tests {
             edges: vec![PatternEdge { from: 0, to: 1, transitive: false }],
         };
         assert!(match_view(&spec, &view, &not_direct).is_empty());
-        let transitive = Pattern::before(
-            NodeMatcher::Code("M3".into()),
-            NodeMatcher::Code("M6".into()),
-        );
+        let transitive =
+            Pattern::before(NodeMatcher::Code("M3".into()), NodeMatcher::Code("M6".into()));
         assert_eq!(match_view(&spec, &view, &transitive).len(), 1);
         let _ = m;
     }
@@ -283,8 +277,7 @@ mod tests {
         // At the root-only view, M3/M6 are invisible: the paper's query has
         // no match — privacy-controlled semantics in action.
         let (spec, h, _full) = setup();
-        let coarse =
-            SpecView::build(&spec, &h, &Prefix::root_only(&h)).unwrap();
+        let coarse = SpecView::build(&spec, &h, &Prefix::root_only(&h)).unwrap();
         let pattern = Pattern::before(
             NodeMatcher::Phrase("expand snp set".into()),
             NodeMatcher::Phrase("query omim".into()),
@@ -338,15 +331,10 @@ mod tests {
         let (spec, _h, view) = setup();
         let exec = fixtures::disease_susceptibility_execution(&spec);
         let execs = vec![exec.clone(), exec.clone(), exec];
-        let hit = Pattern::before(
-            NodeMatcher::Code("M3".into()),
-            NodeMatcher::Code("M6".into()),
-        );
+        let hit = Pattern::before(NodeMatcher::Code("M3".into()), NodeMatcher::Code("M6".into()));
         assert_eq!(count_matching_executions(&spec, &view, &execs, &hit), 3);
-        let miss = Pattern::before(
-            NodeMatcher::Code("M10".into()),
-            NodeMatcher::Code("M14".into()),
-        );
+        let miss =
+            Pattern::before(NodeMatcher::Code("M10".into()), NodeMatcher::Code("M14".into()));
         assert_eq!(count_matching_executions(&spec, &view, &execs, &miss), 0);
         assert_eq!(count_matching_executions(&spec, &view, &[], &hit), 0);
     }

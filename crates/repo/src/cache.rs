@@ -47,11 +47,83 @@ impl CacheStats {
             h / (h + m)
         }
     }
+
+    pub(crate) fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_invalidation(&self) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A two-level versioned entry map: `outer key → inner key → (version,
+/// value)`. Two levels instead of a tuple key so the hot read path can
+/// probe with borrowed keys (`&str`, `&Prefix`) — a warm hit allocates
+/// nothing. Shared by [`GroupCache`] and
+/// [`crate::view_cache::ViewCache`].
+pub(crate) type VersionedMap<K1, K2, V> = HashMap<K1, HashMap<K2, (u64, V)>>;
+
+/// Total entries across all inner maps.
+pub(crate) fn versioned_len<K1, K2, V>(map: &VersionedMap<K1, K2, V>) -> usize {
+    map.values().map(|m| m.len()).sum()
+}
+
+/// Make room for one insertion at `version`: if the map is at capacity,
+/// evict stale entries (wrong version) first, then arbitrary ones, until
+/// strictly under capacity. The one eviction policy both caches share.
+pub(crate) fn evict_for_insert<K1, K2, V>(
+    map: &mut VersionedMap<K1, K2, V>,
+    capacity: usize,
+    version: u64,
+) where
+    K1: Clone + Eq + std::hash::Hash,
+    K2: Clone + Eq + std::hash::Hash,
+{
+    let mut total = versioned_len(map);
+    if total < capacity {
+        return;
+    }
+    let stale: Vec<(K1, K2)> = map
+        .iter()
+        .flat_map(|(k1, m)| {
+            m.iter()
+                .filter(|(_, (v, _))| *v != version)
+                .map(move |(k2, _)| (k1.clone(), k2.clone()))
+        })
+        .collect();
+    for (k1, k2) in stale {
+        if total < capacity {
+            break;
+        }
+        if let Some(m) = map.get_mut(&k1) {
+            if m.remove(&k2).is_some() {
+                total -= 1;
+                if m.is_empty() {
+                    map.remove(&k1);
+                }
+            }
+        }
+    }
+    while total >= capacity {
+        let k1 = map.keys().next().cloned().expect("nonempty at capacity");
+        let m = map.get_mut(&k1).expect("key just read");
+        let k2 = m.keys().next().cloned().expect("inner maps are never left empty");
+        m.remove(&k2);
+        total -= 1;
+        if m.is_empty() {
+            map.remove(&k1);
+        }
+    }
 }
 
 /// A concurrent result cache keyed by `(group, query)`.
 pub struct GroupCache<V> {
-    inner: RwLock<HashMap<(String, String), (u64, Arc<V>)>>,
+    inner: RwLock<VersionedMap<String, String, Arc<V>>>,
     capacity: usize,
     stats: CacheStats,
 }
@@ -70,7 +142,7 @@ impl<V> GroupCache<V> {
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        versioned_len(&self.inner.read())
     }
 
     /// Whether the cache is empty.
@@ -79,10 +151,11 @@ impl<V> GroupCache<V> {
     }
 
     /// Fetch the cached value for `(group, query)` if present *and* computed
-    /// at `version`.
+    /// at `version`. A hit is a borrowed-key probe plus an `Arc` clone — no
+    /// allocation (this is the engine's warm path).
     pub fn get(&self, group: &str, query: &str, version: u64) -> Option<Arc<V>> {
         let guard = self.inner.read();
-        match guard.get(&(group.to_string(), query.to_string())) {
+        match guard.get(group).and_then(|m| m.get(query)) {
             Some((v, value)) if *v == version => {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(value))
@@ -111,27 +184,16 @@ impl<V> GroupCache<V> {
             return v;
         }
         let value = Arc::new(compute());
-        let mut guard = self.inner.write();
-        if guard.len() >= self.capacity {
-            // Evict stale entries first, then arbitrary ones.
-            let stale: Vec<(String, String)> = guard
-                .iter()
-                .filter(|(_, (v, _))| *v != version)
-                .map(|(k, _)| k.clone())
-                .collect();
-            for k in stale {
-                guard.remove(&k);
-                if guard.len() < self.capacity {
-                    break;
-                }
-            }
-            while guard.len() >= self.capacity {
-                let k = guard.keys().next().cloned().expect("nonempty");
-                guard.remove(&k);
-            }
-        }
-        guard.insert((group.to_string(), query.to_string()), (version, Arc::clone(&value)));
+        self.insert(group, query, version, Arc::clone(&value));
         value
+    }
+
+    /// Insert a value computed elsewhere (e.g. after a stats-counted
+    /// [`Self::get`] miss whose recompute needed other lookups first).
+    pub fn insert(&self, group: &str, query: &str, version: u64, value: Arc<V>) {
+        let mut guard = self.inner.write();
+        evict_for_insert(&mut guard, self.capacity, version);
+        guard.entry(group.to_string()).or_default().insert(query.to_string(), (version, value));
     }
 
     /// Drop everything (e.g. policy change where lazy invalidation is not
@@ -206,7 +268,12 @@ mod tests {
             let c = StdArc::clone(&cache);
             handles.push(std::thread::spawn(move || {
                 for i in 0..100u64 {
-                    let v = c.get_or_compute(&format!("g{}", t % 2), &format!("q{}", i % 10), 1, || i % 10);
+                    let v = c.get_or_compute(
+                        &format!("g{}", t % 2),
+                        &format!("q{}", i % 10),
+                        1,
+                        || i % 10,
+                    );
                     assert_eq!(*v, i % 10);
                 }
             }));

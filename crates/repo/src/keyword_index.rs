@@ -159,11 +159,7 @@ impl KeywordIndex {
     /// Privilege-filtered postings: only those whose workflow lies inside
     /// the principal's access view for that spec. `access` maps spec →
     /// prefix; specs absent from the map are invisible.
-    pub fn lookup_filtered(
-        &self,
-        term: &str,
-        access: &HashMap<SpecId, Prefix>,
-    ) -> Vec<Posting> {
+    pub fn lookup_filtered(&self, term: &str, access: &HashMap<SpecId, Prefix>) -> Vec<Posting> {
         self.lookup_query_term(term)
             .into_iter()
             .filter(|p| access.get(&p.spec).map(|pre| pre.contains(p.workflow)).unwrap_or(false))

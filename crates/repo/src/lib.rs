@@ -17,6 +17,9 @@
 //! * [`reach_index`] — materialized reachability over full expansions,
 //!   with visibility-filtered lookups per access view,
 //! * [`cache`] — a user-group-keyed, version-invalidated result cache,
+//! * [`view_cache`] — a `(spec, prefix)`-keyed memo of flattened
+//!   [`SpecView`](ppwf_model::expand::SpecView)s (with their transitive
+//!   closures riding along), the query layer's view fast path,
 //! * [`scan`] — parallel repository scans (crossbeam) for the non-indexed
 //!   baseline the benchmarks compare against,
 //! * [`stats`] — repository statistics for operators,
@@ -30,5 +33,7 @@ pub mod reach_index;
 pub mod repository;
 pub mod scan;
 pub mod stats;
+pub mod view_cache;
 
 pub use repository::{Repository, SpecEntry, SpecId};
+pub use view_cache::ViewCache;

@@ -36,11 +36,7 @@ impl ViewRule {
             ViewRule::Full => Prefix::full(h),
             ViewRule::RootOnly => Prefix::root_only(h),
             ViewRule::MaxDepth(d) => {
-                let ws = h
-                    .preorder()
-                    .into_iter()
-                    .filter(|&w| h.depth(w) <= *d)
-                    .collect::<Vec<_>>();
+                let ws = h.preorder().into_iter().filter(|&w| h.depth(w) <= *d).collect::<Vec<_>>();
                 Prefix::from_workflows(h, ws).expect("depth cut is parent-closed")
             }
             ViewRule::Explicit(ids) => {
@@ -88,10 +84,7 @@ impl PrincipalRegistry {
         default_rule: ViewRule,
     ) -> usize {
         let name = name.into();
-        assert!(
-            self.groups.iter().all(|g| g.name != name),
-            "duplicate group name `{name}`"
-        );
+        assert!(self.groups.iter().all(|g| g.name != name), "duplicate group name `{name}`");
         self.groups.push(Group { name, level, default_rule, overrides: HashMap::new() });
         self.groups.len() - 1
     }

@@ -63,8 +63,7 @@ impl SpecReachability {
         a: ModuleId,
         b: ModuleId,
     ) -> bool {
-        let visible =
-            |m: ModuleId| prefix.contains(entry.spec.module(m).workflow);
+        let visible = |m: ModuleId| prefix.contains(entry.spec.module(m).workflow);
         visible(a) && visible(b) && self.reaches(a, b)
     }
 
@@ -110,6 +109,13 @@ impl ReachIndex {
     /// Repository version the index reflects.
     pub fn built_at(&self) -> u64 {
         self.built_at
+    }
+
+    /// Whether the repository has mutated since this index was built.
+    /// Stale indexes answer for a repository state that no longer exists;
+    /// callers holding one across mutations must rebuild before serving.
+    pub fn is_stale(&self, repo: &Repository) -> bool {
+        repo.version() != self.built_at
     }
 }
 
@@ -180,6 +186,22 @@ mod tests {
         assert!(!live.contains(&m.m11));
         assert!(live.contains(&m.m15));
         assert_eq!(live.len(), 11);
+    }
+
+    #[test]
+    fn staleness_detected_after_mutation() {
+        let (mut repo, id) = setup();
+        let idx = ReachIndex::build(&repo);
+        assert!(!idx.is_stale(&repo));
+        assert_eq!(idx.built_at(), repo.version());
+        let exec = {
+            let entry = repo.entry(id).unwrap();
+            fixtures::disease_susceptibility_execution(&entry.spec)
+        };
+        repo.add_execution(id, exec).unwrap();
+        assert!(idx.is_stale(&repo), "mutation must mark the index stale");
+        let rebuilt = ReachIndex::build(&repo);
+        assert!(!rebuilt.is_stale(&repo));
     }
 
     #[test]

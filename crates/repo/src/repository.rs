@@ -89,10 +89,12 @@ impl Repository {
     /// Record an execution of `spec`.
     pub fn add_execution(&mut self, spec: SpecId, exec: Execution) -> Result<()> {
         exec.check_invariants()?;
-        let entry = self
-            .entries
-            .get_mut(spec.index())
-            .ok_or(ModelError::BadId { kind: "spec", index: spec.index(), len: 0 })?;
+        let len = self.entries.len();
+        let entry = self.entries.get_mut(spec.index()).ok_or(ModelError::BadId {
+            kind: "spec",
+            index: spec.index(),
+            len,
+        })?;
         if exec.spec_name() != entry.spec.name() {
             return Err(ModelError::invalid(format!(
                 "execution of `{}` added under spec `{}`",
@@ -108,10 +110,12 @@ impl Repository {
     /// Replace the policy of a specification (bumps the version so caches
     /// and privacy-filtered answers invalidate).
     pub fn set_policy(&mut self, spec: SpecId, policy: Policy) -> Result<()> {
-        let entry = self
-            .entries
-            .get_mut(spec.index())
-            .ok_or(ModelError::BadId { kind: "spec", index: spec.index(), len: 0 })?;
+        let len = self.entries.len();
+        let entry = self.entries.get_mut(spec.index()).ok_or(ModelError::BadId {
+            kind: "spec",
+            index: spec.index(),
+            len,
+        })?;
         policy.validate(&entry.spec)?;
         entry.policy = policy;
         self.version += 1;
@@ -337,11 +341,30 @@ mod tests {
         b.edge(w, b.input(w), a, &["x"]);
         b.edge(w, a, b.output(w), &["y"]);
         let other = b.build().unwrap();
-        let other_exec = ppwf_model::exec::Executor::new(&other)
-            .run(&mut ppwf_model::exec::HashOracle)
-            .unwrap();
+        let other_exec =
+            ppwf_model::exec::Executor::new(&other).run(&mut ppwf_model::exec::HashOracle).unwrap();
         assert!(repo.add_execution(id, other_exec).is_err());
         repo.add_execution(id, exec).unwrap();
+    }
+
+    #[test]
+    fn bad_spec_id_reports_true_len() {
+        let mut repo = sample_repo();
+        let exec = repo.entry(SpecId(0)).unwrap().executions[0].clone();
+        let err = repo.add_execution(SpecId(7), exec).unwrap_err();
+        match err {
+            ModelError::BadId { kind, index, len } => {
+                assert_eq!(kind, "spec");
+                assert_eq!(index, 7);
+                assert_eq!(len, 1, "error must report the live entry count");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = repo.set_policy(SpecId(3), Policy::public()).unwrap_err();
+        match err {
+            ModelError::BadId { len, .. } => assert_eq!(len, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! A memoizing cache of flattened specification views.
+//!
+//! Sec. 4 makes per-query view construction the hot path of the whole
+//! system: every keyword hit, every privacy-execution plan and every
+//! structural lookup flattens a `SpecView` for some `(spec, prefix)` pair,
+//! and distinct queries overwhelmingly re-request the same pairs (access
+//! views come from a small set of user groups; answer prefixes concentrate
+//! on the hierarchy's upper lattice). The cache keys views by
+//! `(SpecId, Prefix)` and tags entries with the repository version at build
+//! time, so any repository mutation invalidates stale entries lazily —
+//! the same discipline as [`crate::cache::GroupCache`].
+//!
+//! Entries are `Arc<SpecView>`: consumers share one materialized view, and
+//! because `DiGraph` memoizes its own transitive closure, the first
+//! structural query against a cached view also warms the closure rows for
+//! every later consumer of that same `Arc` — the "transitive-closure rows
+//! ride along" design.
+
+use crate::cache::{evict_for_insert, versioned_len, CacheStats, VersionedMap};
+use crate::repository::{Repository, SpecId};
+use parking_lot::RwLock;
+use ppwf_model::expand::SpecView;
+use ppwf_model::hierarchy::Prefix;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A concurrent `(SpecId, Prefix)`-keyed cache of flattened views.
+pub struct ViewCache {
+    inner: RwLock<VersionedMap<SpecId, Prefix, Arc<SpecView>>>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl ViewCache {
+    /// Create with a maximum entry count.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ViewCache { inner: RwLock::new(HashMap::new()), capacity, stats: CacheStats::default() }
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        versioned_len(&self.inner.read())
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+
+    /// The view of `spec` under `prefix`, built at most once per repository
+    /// version. Returns `None` when the spec does not exist or the prefix is
+    /// invalid for its hierarchy (mirroring `SpecView::build` failure).
+    /// A hit probes with borrowed keys — no `Prefix` clone, no allocation.
+    pub fn view(&self, repo: &Repository, spec: SpecId, prefix: &Prefix) -> Option<Arc<SpecView>> {
+        let version = repo.version();
+        {
+            let guard = self.inner.read();
+            match guard.get(&spec).and_then(|m| m.get(prefix)) {
+                Some((v, view)) if *v == version => {
+                    self.stats.record_hit();
+                    return Some(Arc::clone(view));
+                }
+                Some(_) => {
+                    self.stats.record_invalidation();
+                    self.stats.record_miss();
+                }
+                None => self.stats.record_miss(),
+            }
+        }
+        let entry = repo.entry(spec)?;
+        let view = Arc::new(SpecView::build(&entry.spec, &entry.hierarchy, prefix).ok()?);
+        let mut guard = self.inner.write();
+        evict_for_insert(&mut guard, self.capacity, version);
+        guard.entry(spec).or_default().insert(prefix.clone(), (version, Arc::clone(&view)));
+        Some(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppwf_core::policy::Policy;
+    use ppwf_model::fixtures;
+
+    fn repo() -> Repository {
+        let mut r = Repository::new();
+        let (spec, _) = fixtures::disease_susceptibility();
+        r.insert_spec(spec, Policy::public()).unwrap();
+        r
+    }
+
+    #[test]
+    fn second_fetch_shares_the_view() {
+        let r = repo();
+        let cache = ViewCache::new(8);
+        let entry = r.entry(SpecId(0)).unwrap();
+        let full = Prefix::full(&entry.hierarchy);
+        let a = cache.view(&r, SpecId(0), &full).unwrap();
+        let b = cache.view(&r, SpecId(0), &full).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the same materialized view");
+        assert_eq!(cache.stats().hits(), 1);
+        assert_eq!(cache.stats().misses(), 1);
+    }
+
+    #[test]
+    fn distinct_prefixes_get_distinct_views() {
+        let r = repo();
+        let cache = ViewCache::new(8);
+        let entry = r.entry(SpecId(0)).unwrap();
+        let full = cache.view(&r, SpecId(0), &Prefix::full(&entry.hierarchy)).unwrap();
+        let root = cache.view(&r, SpecId(0), &Prefix::root_only(&entry.hierarchy)).unwrap();
+        assert!(!Arc::ptr_eq(&full, &root));
+        assert!(full.visible_modules().count() > root.visible_modules().count());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn repository_mutation_invalidates() {
+        let mut r = repo();
+        let cache = ViewCache::new(8);
+        let full = Prefix::full(&r.entry(SpecId(0)).unwrap().hierarchy);
+        let before = cache.view(&r, SpecId(0), &full).unwrap();
+        // Any mutation bumps the version; the stale entry must be replaced.
+        r.set_policy(SpecId(0), Policy::public()).unwrap();
+        let after = cache.view(&r, SpecId(0), &full).unwrap();
+        assert!(!Arc::ptr_eq(&before, &after), "stale view served after mutation");
+        assert!(cache.stats().invalidations() >= 1);
+    }
+
+    #[test]
+    fn missing_spec_and_bad_prefix_yield_none() {
+        let r = repo();
+        let cache = ViewCache::new(8);
+        let full = Prefix::full(&r.entry(SpecId(0)).unwrap().hierarchy);
+        assert!(cache.view(&r, SpecId(9), &full).is_none());
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let r = repo();
+        let cache = ViewCache::new(2);
+        let entry = r.entry(SpecId(0)).unwrap();
+        let prefixes = [Prefix::full(&entry.hierarchy), Prefix::root_only(&entry.hierarchy)];
+        for _ in 0..4 {
+            for p in &prefixes {
+                cache.view(&r, SpecId(0), p).unwrap();
+            }
+        }
+        assert!(cache.len() <= 2);
+    }
+
+    #[test]
+    fn closure_warms_once_per_cached_view() {
+        let r = repo();
+        let cache = ViewCache::new(8);
+        let full = Prefix::full(&r.entry(SpecId(0)).unwrap().hierarchy);
+        let a = cache.view(&r, SpecId(0), &full).unwrap();
+        let rows_ptr = a.graph().closure_rows().as_ptr();
+        let b = cache.view(&r, SpecId(0), &full).unwrap();
+        // Same Arc ⇒ same memoized closure rows: the expensive structure is
+        // computed once and shared by every consumer.
+        assert_eq!(rows_ptr, b.graph().closure_rows().as_ptr());
+    }
+}

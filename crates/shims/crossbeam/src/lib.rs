@@ -1,0 +1,67 @@
+//! Offline shim for `crossbeam`: the `thread::scope` API implemented over
+//! `std::thread::scope` (stable since Rust 1.63, which makes crossbeam's
+//! scoped threads redundant for this workspace). Only the surface the scan
+//! layer uses is provided.
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle; `spawn` borrows from the enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// The argument passed to spawned closures. crossbeam hands spawned
+    /// closures a nested scope for recursive spawning; no caller in this
+    /// workspace uses it, so a zero-sized stand-in keeps the `|_|` closure
+    /// shape compiling.
+    #[derive(Clone, Copy, Debug)]
+    pub struct NestedScope;
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread scoped to the enclosing `scope` call.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(NestedScope)) }
+        }
+    }
+
+    /// Run `f` with a scope whose spawned threads may borrow local state;
+    /// all threads are joined before this returns. Mirrors crossbeam's
+    /// `Result` return (always `Ok` here — panics propagate on join).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|part| s.spawn(move |_| part.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

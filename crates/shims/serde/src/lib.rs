@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace's persistence layer is the hand-written binary codec in
+//! `ppwf-model::codec`; serde derives throughout the codebase are markers
+//! for future interchange formats, never exercised at runtime. This shim
+//! keeps those annotations compiling without network access: the traits are
+//! blanket-implemented and the derive macros (re-exported from the
+//! `serde_derive` shim) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

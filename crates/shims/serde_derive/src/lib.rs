@@ -1,0 +1,26 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace builds in environments without a crates.io mirror, so the
+//! real serde cannot be fetched. Nothing in the workspace serializes through
+//! serde — persistence uses the hand-written binary codec in
+//! `ppwf-model::codec` — so the derives only need to exist, not to generate
+//! code. The `serde` shim crate provides blanket trait impls; these derives
+//! therefore expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: the `serde` shim blanket-implements the
+/// trait for every type. Registers the `#[serde(...)]` helper attribute so
+/// field annotations like `#[serde(skip)]` — meaningful under the real
+/// crate — compile against the shim too.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: the `serde` shim blanket-implements the
+/// trait for every type. Registers `#[serde(...)]` like the real derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

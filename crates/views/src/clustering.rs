@@ -26,9 +26,11 @@ impl Clustering {
     /// Build from an explicit group assignment (`group_of[v] = g`). Group
     /// ids are renumbered densely in first-appearance order.
     pub fn from_assignment(group_of: &[u32]) -> Self {
-        let mut remap: Vec<Option<u32>> = vec![None; group_of.len().max(
-            group_of.iter().map(|&g| g as usize + 1).max().unwrap_or(0),
-        )];
+        let mut remap: Vec<Option<u32>> =
+            vec![
+                None;
+                group_of.len().max(group_of.iter().map(|&g| g as usize + 1).max().unwrap_or(0),)
+            ];
         let mut next = 0u32;
         let mut dense = Vec::with_capacity(group_of.len());
         for &g in group_of {
@@ -158,7 +160,7 @@ impl Clustering {
             }
             match edge_idx.entry((a, b)) {
                 std::collections::hash_map::Entry::Occupied(o) => {
-                    q.edge_mut(*o.get()).payload += 1;
+                    *q.edge_payload_mut(*o.get()) += 1;
                 }
                 std::collections::hash_map::Entry::Vacant(v) => {
                     v.insert(q.add_edge(a, b, 1));

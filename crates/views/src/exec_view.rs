@@ -159,7 +159,7 @@ impl ExecView {
             let ei = *edge_index
                 .entry((f, t))
                 .or_insert_with(|| out.add_edge(f, t, ExecViewEdge::default()));
-            out.edge_mut(ei).payload.data.extend(e.payload.data.iter().copied());
+            out.edge_payload_mut(ei).data.extend(e.payload.data.iter().copied());
         }
         let mut visible = ppwf_model::bitset::BitSet::new(exec.data_count());
         for (_, e) in out.edges() {
@@ -168,16 +168,14 @@ impl ExecView {
             }
         }
         for ei in 0..out.edge_count() as u32 {
-            let data = &mut out.edge_mut(ei).payload.data;
+            let data = &mut out.edge_payload_mut(ei).data;
             data.sort();
             data.dedup();
         }
 
         let visible_data: Vec<DataId> = visible.iter().map(DataId::new).collect();
-        let hidden_data: Vec<DataId> = (0..exec.data_count())
-            .filter(|&i| !visible.contains(i))
-            .map(DataId::new)
-            .collect();
+        let hidden_data: Vec<DataId> =
+            (0..exec.data_count()).filter(|&i| !visible.contains(i)).map(DataId::new).collect();
 
         if !out.is_dag() {
             return Err(ModelError::invalid(
@@ -293,10 +291,7 @@ mod tests {
         assert_eq!(v.data_between(n_m2, v.output()).unwrap(), &[d(19)]);
 
         // Visible: d0–d4, d10, d19; hidden: the other 13 items.
-        assert_eq!(
-            v.visible_data(),
-            &[d(0), d(1), d(2), d(3), d(4), d(10), d(19)]
-        );
+        assert_eq!(v.visible_data(), &[d(0), d(1), d(2), d(3), d(4), d(10), d(19)]);
         assert_eq!(v.hidden_data().len(), 13);
     }
 
@@ -316,8 +311,7 @@ mod tests {
         // collapsed composite since W4 ∉ prefix), M2 stays collapsed.
         let (spec, h, exec) = paper();
         let m = fixtures::handles(&spec);
-        let p =
-            Prefix::from_workflows(&h, [WorkflowId::new(0), WorkflowId::new(1)]).unwrap();
+        let p = Prefix::from_workflows(&h, [WorkflowId::new(0), WorkflowId::new(1)]).unwrap();
         let v = ExecView::build(&spec, &h, &exec, &p).unwrap();
         // Nodes: I, O, M1 begin, M1 end, M3, M4 (collapsed), M8, M2 (collapsed) = 8.
         assert_eq!(v.graph().node_count(), 8);
@@ -331,18 +325,14 @@ mod tests {
         let hidden: Vec<usize> = v.hidden_data().iter().map(|d| d.index()).collect();
         assert_eq!(hidden, vec![6, 7, 11, 12, 13, 14, 15, 16, 17, 18]);
         let n_m8 = v.node_of_proc(exec.proc_of(m.m8).unwrap()).unwrap();
-        assert_eq!(
-            v.data_between(n_m4, n_m8).unwrap(),
-            &[DataId::new(8), DataId::new(9)]
-        );
+        assert_eq!(v.data_between(n_m4, n_m8).unwrap(), &[DataId::new(8), DataId::new(9)]);
     }
 
     #[test]
     fn kept_nodes_reference_original_execution() {
         let (spec, h, exec) = paper();
         let m = fixtures::handles(&spec);
-        let p =
-            Prefix::from_workflows(&h, [WorkflowId::new(0), WorkflowId::new(1)]).unwrap();
+        let p = Prefix::from_workflows(&h, [WorkflowId::new(0), WorkflowId::new(1)]).unwrap();
         let v = ExecView::build(&spec, &h, &exec, &p).unwrap();
         let n_m3 = v.node_of_proc(exec.proc_of(m.m3).unwrap()).unwrap();
         match v.graph().node(n_m3) {

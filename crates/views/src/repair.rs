@@ -70,9 +70,7 @@ fn split_once<N, E>(g: &DiGraph<N, E>, c: &Clustering, a: u32, b: u32) -> Cluste
         }
         let x_members = &members[x as usize];
         let has_onward_witness = g.edges().any(|(_, e)| {
-            c.group_of(e.from) == x
-                && c.group_of(e.to) == y
-                && reach.contains(e.from as usize)
+            c.group_of(e.from) == x && c.group_of(e.to) == y && reach.contains(e.from as usize)
         });
         if !has_onward_witness {
             // Split x into (x ∩ R) vs rest; both halves are nonempty: x
@@ -166,7 +164,7 @@ mod tests {
         let out = repair(&g, &c);
         assert!(is_sound(&g, &out.clustering));
         assert_eq!(out.splits, 1, "the paper's example needs exactly one split");
-        assert_eq!(out.initial_false_pairs > 0, true);
+        assert!(out.initial_false_pairs > 0);
         assert!(out.clustering.is_discrete());
     }
 
@@ -212,10 +210,6 @@ mod tests {
         assert!(is_sound(&g, &out.clustering));
         // M10's singleton group survives untouched.
         let g10 = out.clustering.group_of(0);
-        assert_eq!(
-            out.clustering.members()[g10 as usize],
-            vec![0],
-            "unrelated groups untouched"
-        );
+        assert_eq!(out.clustering.members()[g10 as usize], vec![0], "unrelated groups untouched");
     }
 }

@@ -243,12 +243,7 @@ pub fn optimal_sp_user_view<N, E>(
         inner.iter().any(|&v| relevant.contains(v as usize))
     }
 
-    fn fold(
-        t: &SpTree,
-        relevant: &BitSet,
-        assign: &mut Vec<Option<u32>>,
-        next_group: &mut u32,
-    ) {
+    fn fold(t: &SpTree, relevant: &BitSet, assign: &mut Vec<Option<u32>>, next_group: &mut u32) {
         match t {
             SpTree::Edge(_) => {}
             SpTree::Parallel { parts } => {
@@ -265,8 +260,8 @@ pub fn optimal_sp_user_view<N, E>(
                     // The part itself: absorbable blocks join the open run;
                     // structured blocks are folded recursively and close
                     // the run.
-                    let absorbable = !subtree_relevant(part, relevant)
-                        || matches!(part, SpTree::Edge(_));
+                    let absorbable =
+                        !subtree_relevant(part, relevant) || matches!(part, SpTree::Edge(_));
                     if absorbable {
                         // Inner nodes (if any) of an irrelevant block join
                         // the open group.

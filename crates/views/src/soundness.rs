@@ -80,9 +80,8 @@ pub fn check_soundness<N, E>(g: &DiGraph<N, E>, clustering: &Clustering) -> Soun
             if a == b {
                 continue;
             }
-            let witness = ma
-                .iter()
-                .any(|&u| mb.iter().any(|&v| base_tc[u as usize].contains(v as usize)));
+            let witness =
+                ma.iter().any(|&u| mb.iter().any(|&v| base_tc[u as usize].contains(v as usize)));
             if witness {
                 truth[a].insert(b);
             }
@@ -251,9 +250,7 @@ mod tests {
         let fine = check_soundness(&g, &Clustering::identity(5));
         let coarse = check_soundness(&g, &Clustering::from_groups(5, &[vec![1, 3]]));
         assert!(fine.utility(1.0, 1.0) > coarse.utility(1.0, 1.0));
-        assert!(
-            fine.penalized_utility(1.0, 1.0, 5.0) > coarse.penalized_utility(1.0, 1.0, 5.0)
-        );
+        assert!(fine.penalized_utility(1.0, 1.0, 5.0) > coarse.penalized_utility(1.0, 1.0, 5.0));
     }
 
     #[test]

@@ -69,9 +69,7 @@ pub fn build_user_view<N, E>(g: &DiGraph<N, E>, relevant: &BitSet) -> UserView {
 /// Check that a clustering respects the relevance constraint (≤ 1 relevant
 /// node per group) — exposed for property tests.
 pub fn respects_relevance(c: &Clustering, relevant: &BitSet) -> bool {
-    c.members()
-        .iter()
-        .all(|ms| ms.iter().filter(|&&v| relevant.contains(v as usize)).count() <= 1)
+    c.members().iter().all(|ms| ms.iter().filter(|&&v| relevant.contains(v as usize)).count() <= 1)
 }
 
 #[cfg(test)]

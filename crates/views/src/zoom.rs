@@ -51,10 +51,7 @@ pub fn zoom_out_until(
 /// The next workflow a zoom-out step removes, or `None` when the prefix is
 /// already root-only.
 pub fn next_victim(h: &ExpansionHierarchy, p: &Prefix) -> Option<WorkflowId> {
-    p.frontier(h)
-        .into_iter()
-        .filter(|&w| w != h.root())
-        .max_by_key(|&w| (h.depth(w), w))
+    p.frontier(h).into_iter().filter(|&w| w != h.root()).max_by_key(|&w| (h.depth(w), w))
 }
 
 /// Convenience: the coarsest common view of two access prefixes (lattice

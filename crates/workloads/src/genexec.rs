@@ -55,9 +55,7 @@ pub fn generate_executions(spec: &Specification, count: usize, seed: u64) -> Vec
     (0..count)
         .map(|i| {
             let mut oracle = RandomOracle::new(seed.wrapping_add(i as u64), 1 << 16);
-            Executor::new(spec)
-                .run(&mut oracle)
-                .expect("generated specs execute")
+            Executor::new(spec).run(&mut oracle).expect("generated specs execute")
         })
         .collect()
 }
@@ -72,8 +70,7 @@ mod tests {
         let spec = generate_spec(&SpecParams::default());
         let runs = generate_executions(&spec, 5, 99);
         assert_eq!(runs.len(), 5);
-        let shape: Vec<usize> =
-            runs.iter().map(|e| e.graph().edge_count()).collect();
+        let shape: Vec<usize> = runs.iter().map(|e| e.graph().edge_count()).collect();
         assert!(shape.windows(2).all(|w| w[0] == w[1]), "same spec, same shape");
         // Input values differ across runs (with overwhelming probability).
         let firsts: Vec<&Value> =

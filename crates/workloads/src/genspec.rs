@@ -112,8 +112,7 @@ pub fn generate_spec(params: &SpecParams) -> Specification {
             let name = format!("module w{}m{i}", w.index());
             if make_composite {
                 wf_counter += 1;
-                let (m, sub) =
-                    b.composite(w, &name, &format!("W{wf_counter}"), &kw_refs);
+                let (m, sub) = b.composite(w, &name, &format!("W{wf_counter}"), &kw_refs);
                 workflow_budget -= 1;
                 modules.push(m);
                 subworkflows.push((i, sub));
@@ -132,8 +131,7 @@ pub fn generate_spec(params: &SpecParams) -> Specification {
         for i in 0..k {
             if i == 0 || rng.gen_bool(0.3) {
                 let take = rng.gen_range(1..=in_channels.len());
-                let chans: Vec<&str> =
-                    in_channels.iter().take(take).map(|s| s.as_str()).collect();
+                let chans: Vec<&str> = in_channels.iter().take(take).map(|s| s.as_str()).collect();
                 b.edge(w, input, modules[i], &chans);
                 inbound[i].extend(chans.iter().map(|s| s.to_string()));
             } else {

@@ -92,13 +92,9 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..5 {
-            let freq = counts[k] as f64 / n as f64;
-            assert!(
-                (freq - z.pmf(k)).abs() < 0.01,
-                "rank {k}: freq {freq} vs pmf {}",
-                z.pmf(k)
-            );
+        for (k, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / n as f64;
+            assert!((freq - z.pmf(k)).abs() < 0.01, "rank {k}: freq {freq} vs pmf {}", z.pmf(k));
         }
     }
 

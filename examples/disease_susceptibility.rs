@@ -61,11 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     lines.sort();
     println!("{}", lines.join("\n"));
-    println!(
-        "\nvisible data: {:?}\nhidden data:  {:?}\n",
-        view.visible_data(),
-        view.hidden_data()
-    );
+    println!("\nvisible data: {:?}\nhidden data:  {:?}\n", view.visible_data(), view.hidden_data());
 
     println!("== Figure 5: keyword query \"Database, Disorder Risks\" ==");
     let mut repo = Repository::new();
@@ -80,7 +76,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             hit.prefix.workflows().map(|w| format!("W{}", w.index() + 1)).collect::<Vec<_>>()
         );
         for (term, module) in &hit.matched {
-            println!("  term {term:?} matched {} ({})", spec.module(*module).code, spec.module(*module).name);
+            println!(
+                "  term {term:?} matched {} ({})",
+                spec.module(*module).code,
+                spec.module(*module).name
+            );
         }
         println!("{}", render::view_dot(&spec, &hit.view));
     }

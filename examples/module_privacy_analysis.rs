@@ -13,7 +13,10 @@ fn main() {
     // A module like the paper's M1: inputs (SNP bucket, ethnicity) →
     // outputs (disorder class, confidence). Domain 4 each.
     println!("== standalone Γ-privacy: min-cost hiding ==");
-    println!("{:<12} {:>3} {:>14} {:>14} {:>8}", "family", "Γ", "greedy cost", "optimal cost", "ratio");
+    println!(
+        "{:<12} {:>3} {:>14} {:>14} {:>8}",
+        "family", "Γ", "greedy cost", "optimal cost", "ratio"
+    );
     for family in [Family::Random, Family::Projection, Family::Xor] {
         let rel = relation(42, family, 2, 2, 4);
         let w = weights(7, rel.attr_count(), 9);
@@ -48,11 +51,7 @@ fn main() {
     // derived values.
     println!("\n== workflow composition: surrogate vs strict adversary ==");
     let net = chain_network(3, Family::Projection, 3, 2, 2, 2);
-    println!(
-        "chain of {} Projection modules, {} data items",
-        net.module_count(),
-        net.item_count()
-    );
+    println!("chain of {} Projection modules, {} data items", net.module_count(), net.item_count());
     // Hide each module's outputs (the classic safe subset for Γ = 4).
     let mut hidden = BitSet::new(net.item_count());
     for i in 0..net.module_count() {

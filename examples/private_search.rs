@@ -33,10 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two user groups: "public" sees only root workflows; "researchers"
     // see everything.
     let q = KeywordQuery::parse("kw0, kw1");
-    let public_access: AccessMap = repo
-        .entries()
-        .map(|(sid, e)| (sid, Prefix::root_only(&e.hierarchy)))
-        .collect();
+    let public_access: AccessMap =
+        repo.entries().map(|(sid, e)| (sid, Prefix::root_only(&e.hierarchy))).collect();
     let researcher_access: AccessMap =
         repo.entries().map(|(sid, e)| (sid, Prefix::full(&e.hierarchy))).collect();
 
@@ -58,9 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Per-group caching: repeated queries hit; different groups never share.
     let cache: GroupCache<usize> = GroupCache::new(64);
     for _ in 0..5 {
-        for (group, access) in
-            [("public", &public_access), ("researchers", &researcher_access)]
-        {
+        for (group, access) in [("public", &public_access), ("researchers", &researcher_access)] {
             cache.get_or_compute(group, "kw0, kw1", repo.version(), || {
                 filter_then_search(&repo, &index, &q, access).hits.len()
             });

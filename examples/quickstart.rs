@@ -64,8 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     policy.hide_pair(clean, report, AccessLevel(2));
 
     let public = Principal::new("public", AccessLevel::PUBLIC, Prefix::full(&h));
-    let Disclosure { view, mask, zoom_steps, .. } =
-        disclose(&spec, &h, &exec, &policy, &public)?;
+    let Disclosure { view, mask, zoom_steps, .. } = disclose(&spec, &h, &exec, &policy, &public)?;
     println!(
         "disclosed to public: {} visible nodes, {} masked items, {} zoom-out steps",
         view.graph().node_count(),

@@ -30,17 +30,17 @@ fn main() {
     let report = check_soundness(&g, &c);
     println!(
         "sound: {} — claimed pairs {}, correct {}, false {}, hidden {}",
-        report.sound, report.claimed_pairs, report.correct_pairs, report.false_pairs,
+        report.sound,
+        report.claimed_pairs,
+        report.correct_pairs,
+        report.false_pairs,
         report.hidden_pairs
     );
     println!("false group pairs: {:?}", report.false_group_pairs);
 
     let fixed = repair(&g, &c);
     let after = check_soundness(&g, &fixed.clustering);
-    println!(
-        "after {} split(s): sound = {}, groups = {}",
-        fixed.splits, after.sound, after.groups
-    );
+    println!("after {} split(s): sound = {}, groups = {}", fixed.splits, after.sound, after.groups);
 
     // --- Greedy user views on the same fragment ---------------------------
     println!("\n== user views (keep M10 and M14 distinguishable) ==");
@@ -72,11 +72,6 @@ fn main() {
         let relevant = BitSet::from_iter(6, rel_nodes.iter().copied());
         let opt = optimal_sp_user_view(&sp, 0, 5, &relevant).unwrap();
         let rep = check_soundness(&sp, &opt);
-        println!(
-            "relevant {:?}: {} groups (sound: {})",
-            rel_nodes,
-            opt.group_count(),
-            rep.sound
-        );
+        println!("relevant {:?}: {} groups (sound: {})", rel_nodes, opt.group_count(), rep.sound);
     }
 }

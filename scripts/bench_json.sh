@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate the machine-readable E10 baseline (BENCH_e10_query_cache.json).
+#
+# Usage: scripts/bench_json.sh [--out PATH] [--specs 8,16,32] [--reps 50]
+# Extra arguments are passed through to the e10_query_cache binary.
+#
+# The binary exits non-zero if the warm cache fails the ≥5x acceptance
+# threshold against the uncached path, so this script doubles as a perf
+# smoke test in CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p ppwf-bench --bin e10_query_cache -- "$@"

@@ -198,7 +198,11 @@ fn cmd_search(rest: &[String]) -> Result<(), String> {
             hit.prefix.workflows().map(|w| entry.spec.workflow(w).name.clone()).collect::<Vec<_>>()
         );
         for (term, m) in &hit.matched {
-            println!("    {term:?} → {} ({})", entry.spec.module(*m).code, entry.spec.module(*m).name);
+            println!(
+                "    {term:?} → {} ({})",
+                entry.spec.module(*m).code,
+                entry.spec.module(*m).name
+            );
         }
     }
     Ok(())
@@ -280,13 +284,7 @@ mod tests {
         run(&["demo".into(), path_s.clone()]).unwrap();
         run(&["info".into(), path_s.clone()]).unwrap();
         run(&["search".into(), path_s.clone(), "Database, Disorder Risks".into()]).unwrap();
-        run(&[
-            "search".into(),
-            path_s.clone(),
-            "reformat".into(),
-            "--root-only".into(),
-        ])
-        .unwrap();
+        run(&["search".into(), path_s.clone(), "reformat".into(), "--root-only".into()]).unwrap();
         run(&[
             "disclose".into(),
             path_s.clone(),

@@ -5,7 +5,7 @@
 use ppwf::model::hierarchy::Prefix;
 use ppwf::privacy::policy::{AccessLevel, Policy, Principal};
 use ppwf::query::keyword::{search, search_filtered, search_scan, KeywordQuery};
-use ppwf::query::privacy_exec::{filter_then_search, search_then_zoom_out, same_answers};
+use ppwf::query::privacy_exec::{filter_then_search, same_answers, search_then_zoom_out};
 use ppwf::repo::cache::GroupCache;
 use ppwf::repo::keyword_index::KeywordIndex;
 use ppwf::repo::reach_index::ReachIndex;
@@ -114,12 +114,8 @@ fn persistence_preserves_everything_queryable() {
     let ra = ReachIndex::build(&repo);
     let rb = ReachIndex::build(&loaded);
     for (sid, entry) in repo.entries() {
-        let mods: Vec<_> = entry
-            .spec
-            .modules()
-            .filter(|m| !m.kind.is_distinguished())
-            .map(|m| m.id)
-            .collect();
+        let mods: Vec<_> =
+            entry.spec.modules().filter(|m| !m.kind.is_distinguished()).map(|m| m.id).collect();
         for &x in mods.iter().take(6) {
             for &y in mods.iter().take(6) {
                 assert_eq!(

@@ -122,8 +122,7 @@ fn figure_5_keyword_answer() {
 fn full_expansion_prose() {
     let (spec, m) = fixtures::disease_susceptibility();
     let h = ExpansionHierarchy::of(&spec);
-    let view =
-        ppwf::model::expand::SpecView::build(&spec, &h, &Prefix::full(&h)).unwrap();
+    let view = ppwf::model::expand::SpecView::build(&spec, &h, &Prefix::full(&h)).unwrap();
     assert!(view.has_module_edge(m.m3, m.m5));
     assert!(view.has_module_edge(m.m8, m.m9));
     assert_eq!(view.visible_modules().count(), 12);

@@ -70,8 +70,7 @@ fn hide_pair_invisible_under_every_requested_view() {
     ];
     for requested in all_prefixes {
         let p = Principal::new("curious", AccessLevel(2), requested);
-        let d =
-            disclose(&entry.spec, h, &entry.executions[0], &entry.policy, &p).unwrap();
+        let d = disclose(&entry.spec, h, &entry.executions[0], &entry.policy, &p).unwrap();
         assert!(
             !pair_revealed(&d.view, &d.execution, m.m13, m.m11),
             "leak under requested prefix {:?}",
@@ -96,8 +95,7 @@ fn index_does_not_oracle_invisible_modules() {
     let out = filter_then_search(&repo, &index, &KeywordQuery::parse("reformat"), &access);
     assert!(out.hits.is_empty());
     // Same for a conjunctive query mixing visible and invisible terms.
-    let out =
-        filter_then_search(&repo, &index, &KeywordQuery::parse("risk, reformat"), &access);
+    let out = filter_then_search(&repo, &index, &KeywordQuery::parse("risk, reformat"), &access);
     assert!(out.hits.is_empty());
 }
 
@@ -133,8 +131,7 @@ fn audit_catches_forged_disclosures() {
     let entry = repo.entry(id).unwrap();
     let h = &entry.hierarchy;
     let p = Principal::new("low", AccessLevel(0), Prefix::root_only(h));
-    let mut d =
-        disclose(&entry.spec, h, &entry.executions[0], &entry.policy, &p).unwrap();
+    let mut d = disclose(&entry.spec, h, &entry.executions[0], &entry.policy, &p).unwrap();
     // Forge: swap in a finer prefix than the principal's access view.
     d.prefix = Prefix::full(h);
     assert!(audit_disclosure(&entry.spec, &entry.policy, &p, &d).is_err());

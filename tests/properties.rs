@@ -20,15 +20,8 @@ use ppwf::workloads::genspec::{generate_spec, SpecParams};
 use proptest::prelude::*;
 
 fn spec_params() -> impl Strategy<Value = SpecParams> {
-    (
-        any::<u64>(),
-        2usize..6,
-        0.0f64..0.6,
-        1u32..3,
-        2usize..8,
-        0.0f64..1.0,
-    )
-        .prop_map(|(seed, per, comp, depth, wfs, extra)| SpecParams {
+    (any::<u64>(), 2usize..6, 0.0f64..0.6, 1u32..3, 2usize..8, 0.0f64..1.0).prop_map(
+        |(seed, per, comp, depth, wfs, extra)| SpecParams {
             seed,
             modules_per_workflow: (per, per + 3),
             composite_fraction: comp,
@@ -38,7 +31,8 @@ fn spec_params() -> impl Strategy<Value = SpecParams> {
             vocabulary: 16,
             keywords_per_module: 2,
             zipf_skew: 1.0,
-        })
+        },
+    )
 }
 
 /// A random DAG: edges only forward under a fixed node order.
