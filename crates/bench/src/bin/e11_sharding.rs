@@ -1,0 +1,261 @@
+//! E11 baseline emitter: sharded vs single-engine query serving.
+//!
+//! ```bash
+//! cargo run --release -p ppwf-bench --bin e11_sharding -- \
+//!     [--out BENCH_e11_sharding.json] [--specs 1024] [--shards 1,2,4,8] \
+//!     [--queries 400] [--seed 17] [--min-speedup 2.0]
+//! ```
+//!
+//! One corpus (many small specs, large Zipf keyword vocabulary), one
+//! distinct-query log (mixed arity, co-occurring and cross term pairs,
+//! corpus-Zipf popularity), one rotating group stream. The single
+//! [`QueryEngine`] serves the stream as the baseline; then an
+//! [`EngineCluster`] per shard count serves the *same* stream:
+//!
+//! * `cold` — first pass, every request a result-cache miss: the uncached
+//!   serving path. This is where sharding pays: the index-gated scatter
+//!   touches only shards whose indexes can satisfy every query term, so a
+//!   selective query does one shard's worth of access-map and search work
+//!   instead of the whole corpus's (and surviving shard tasks run in
+//!   parallel on the worker pool on multi-core hosts).
+//! * `warm` — second pass over the same stream, served from the shards'
+//!   `(group, query)` caches plus the gather/merge.
+//!
+//! Before any number is reported, a verification pass asserts every
+//! cluster answer lists exactly the single engine's global spec ids. The
+//! binary exits non-zero if the 4-shard cold-path throughput gain is below
+//! the acceptance threshold (default ≥2×), making it a CI-able regression
+//! gate for the scatter layer.
+
+use ppwf_bench::{e11_corpus, e11_query_log, e11_repo, standard_registry, E10_GROUPS};
+use ppwf_query::cluster::EngineCluster;
+use ppwf_query::engine::QueryEngine;
+use std::time::Instant;
+
+struct Config {
+    out: String,
+    specs: usize,
+    shards: Vec<usize>,
+    queries: usize,
+    seed: u64,
+    min_speedup: f64,
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        out: "BENCH_e11_sharding.json".to_string(),
+        specs: 1024,
+        shards: vec![1, 2, 4, 8],
+        queries: 400,
+        seed: 17,
+        min_speedup: 2.0,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need =
+            |n: usize| args.get(n).unwrap_or_else(|| panic!("{} needs a value", args[n - 1]));
+        match args[i].as_str() {
+            "--out" => config.out = need(i + 1).clone(),
+            "--specs" => config.specs = need(i + 1).parse().expect("bad spec count"),
+            "--shards" => {
+                config.shards = need(i + 1)
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("bad shard count"))
+                    .collect()
+            }
+            "--queries" => config.queries = need(i + 1).parse().expect("bad query count"),
+            "--seed" => config.seed = need(i + 1).parse().expect("bad seed"),
+            "--min-speedup" => config.min_speedup = need(i + 1).parse().expect("bad threshold"),
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 2;
+    }
+    config
+}
+
+/// Serve the whole stream once; returns (elapsed µs, hits served).
+fn serve_pass(mut serve: impl FnMut(&str, &str) -> usize, log: &[String]) -> (f64, usize) {
+    let t = Instant::now();
+    let mut hits = 0usize;
+    for (i, q) in log.iter().enumerate() {
+        hits += serve(E10_GROUPS[i % E10_GROUPS.len()], q);
+    }
+    (t.elapsed().as_secs_f64() * 1e6, hits)
+}
+
+fn qps(total_us: f64, requests: usize) -> f64 {
+    requests as f64 / (total_us / 1e6)
+}
+
+fn main() {
+    let config = parse_args();
+    println!("== E11: sharded vs single-engine serving (scatter/gather over the worker pool) ==");
+    println!(
+        "corpus: {} specs, {} distinct queries, groups {:?}, seed {}",
+        config.specs, config.queries, E10_GROUPS, config.seed
+    );
+
+    let corpus = e11_corpus(config.specs, config.seed);
+    let log = e11_query_log(&corpus, config.queries, config.seed ^ 0x5EED);
+    assert!(log.len() >= config.queries * 9 / 10, "query log came up short: {}", log.len());
+
+    // Construct every measured configuration *before* any timing: engine
+    // construction churns the allocator and page cache, and a process's
+    // first heavy pass pays one-time costs (heap growth, cold branch
+    // predictors) — interleaving construction with measurement would bias
+    // whichever configuration ran first.
+    let single = QueryEngine::new(e11_repo(&corpus), standard_registry());
+    let clusters: Vec<EngineCluster> = config
+        .shards
+        .iter()
+        .map(|&s| EngineCluster::new(e11_repo(&corpus), standard_registry(), s))
+        .collect();
+    {
+        let warmup = QueryEngine::new(e11_repo(&corpus), standard_registry());
+        let _ = serve_pass(|g, q| warmup.search_as(g, q).map(|h| h.len()).unwrap_or(0), &log);
+    }
+
+    // -- single-engine baseline ---------------------------------------------
+    let (single_cold_us, single_cold_hits) =
+        serve_pass(|g, q| single.search_as(g, q).map(|h| h.len()).unwrap_or(0), &log);
+    // Reference answers (now warm) for the equivalence check.
+    let reference: Vec<Vec<u32>> = log
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let hits = single.search_as(E10_GROUPS[i % E10_GROUPS.len()], q).unwrap();
+            hits.iter().map(|h| h.spec.0).collect()
+        })
+        .collect();
+    let (single_warm_us, single_warm_hits) =
+        serve_pass(|g, q| single.search_as(g, q).map(|h| h.len()).unwrap_or(0), &log);
+    assert_eq!(single_cold_hits, single_warm_hits, "warm pass changed answers");
+
+    println!(
+        "\n{:>7} {:>12} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "shards", "cold q/s", "cold µs/q", "warm q/s", "cold ×", "avg targets", "hits"
+    );
+    println!(
+        "{:>7} {:>12.0} {:>12.1} {:>12.0} {:>10} {:>12} {:>10}",
+        "single",
+        qps(single_cold_us, log.len()),
+        single_cold_us / log.len() as f64,
+        qps(single_warm_us, log.len()),
+        "1.0x",
+        config.specs,
+        single_cold_hits
+    );
+
+    // -- cluster sweep ------------------------------------------------------
+    let mut sections = Vec::new();
+    let mut speedup_at_4: Option<f64> = None;
+    for (&shards, cluster) in config.shards.iter().zip(&clusters) {
+        let (cold_us, cold_hits) =
+            serve_pass(|g, q| cluster.search_as(g, q).map(|h| h.len()).unwrap_or(0), &log);
+        // Equivalence: every answer lists exactly the single engine's
+        // global spec ids (cluster caches are warm now; answers must not
+        // depend on that).
+        for (i, q) in log.iter().enumerate() {
+            let hits = cluster.search_as(E10_GROUPS[i % E10_GROUPS.len()], q).unwrap();
+            let ids: Vec<u32> = hits.iter().map(|h| h.spec.0).collect();
+            assert_eq!(ids, reference[i], "cluster({shards}) diverged on query {q:?}");
+        }
+        let (warm_us, warm_hits) =
+            serve_pass(|g, q| cluster.search_as(g, q).map(|h| h.len()).unwrap_or(0), &log);
+        assert_eq!(cold_hits, single_cold_hits, "cluster({shards}) changed total hits");
+        assert_eq!(warm_hits, cold_hits);
+
+        let avg_targets: f64 =
+            log.iter().map(|q| cluster.probe_target_count(q) as f64).sum::<f64>()
+                / log.len() as f64;
+        let cold_speedup = single_cold_us / cold_us;
+        if shards == 4 {
+            speedup_at_4 = Some(cold_speedup);
+        }
+        let stats = cluster.stats();
+        println!(
+            "{:>7} {:>12.0} {:>12.1} {:>12.0} {:>9.1}x {:>12.2} {:>10}",
+            shards,
+            qps(cold_us, log.len()),
+            cold_us / log.len() as f64,
+            qps(warm_us, log.len()),
+            cold_speedup,
+            avg_targets,
+            cold_hits
+        );
+
+        sections.push(format!(
+            r#"    {{
+      "shards": {shards},
+      "cold_qps": {cq:.1},
+      "cold_us_per_query": {cu:.3},
+      "warm_qps": {wq:.1},
+      "warm_us_per_query": {wu:.3},
+      "cold_speedup_vs_single": {cs:.3},
+      "warm_speedup_vs_single": {ws:.3},
+      "avg_target_shards_per_query": {at:.3},
+      "hits_served_per_pass": {hits},
+      "aggregate_keyword_hit_rate": {khr:.4}
+    }}"#,
+            shards = shards,
+            cq = qps(cold_us, log.len()),
+            cu = cold_us / log.len() as f64,
+            wq = qps(warm_us, log.len()),
+            wu = warm_us / log.len() as f64,
+            cs = cold_speedup,
+            ws = single_warm_us / warm_us,
+            at = avg_targets,
+            hits = cold_hits,
+            khr = stats.aggregate_keyword_hit_rate(),
+        ));
+    }
+
+    let json = format!(
+        r#"{{
+  "experiment": "E11",
+  "title": "Sharded query serving: EngineCluster scatter/gather vs a single QueryEngine",
+  "seed": {seed},
+  "corpus_specs": {specs},
+  "distinct_queries": {queries},
+  "groups": [{groups}],
+  "single_engine": {{
+    "cold_qps": {scq:.1},
+    "cold_us_per_query": {scu:.3},
+    "warm_qps": {swq:.1},
+    "hits_served_per_pass": {shits}
+  }},
+  "cluster_configs": [
+{sections}
+  ],
+  "aggregate": {{
+    "cold_speedup_at_4_shards": {s4},
+    "acceptance_threshold_speedup": {thr:.1},
+    "note": "cold-path gain comes from index-gated scatter pruning (selective queries touch a subset of shards); on multi-core hosts pool parallelism compounds it"
+  }}
+}}
+"#,
+        seed = config.seed,
+        specs = config.specs,
+        queries = log.len(),
+        groups = E10_GROUPS.iter().map(|g| format!("{g:?}")).collect::<Vec<_>>().join(", "),
+        scq = qps(single_cold_us, log.len()),
+        scu = single_cold_us / log.len() as f64,
+        swq = qps(single_warm_us, log.len()),
+        shits = single_cold_hits,
+        sections = sections.join(",\n"),
+        s4 = speedup_at_4.map(|s| format!("{s:.3}")).unwrap_or_else(|| "null".to_string()),
+        thr = config.min_speedup,
+    );
+    std::fs::write(&config.out, &json).expect("write baseline JSON");
+    println!("\nbaseline written to {}", config.out);
+
+    if let Some(s4) = speedup_at_4 {
+        println!("cold-path speedup at 4 shards: {s4:.2}x (threshold {:.1}x)", config.min_speedup);
+        assert!(
+            s4 >= config.min_speedup,
+            "E11 acceptance: 4-shard cold serving must be ≥{:.1}x the single engine (got {s4:.2}x)",
+            config.min_speedup
+        );
+    }
+}

@@ -49,6 +49,7 @@ fn main() {
     e8_dp();
     e9_structural_query();
     e10_query_cache();
+    e11_sharding();
 }
 
 /// E1 — view construction & execution collapse vs size and depth.
@@ -407,6 +408,62 @@ fn e10_query_cache() {
             uncached / warm,
             stats.keyword.hit_rate() * 100.0,
             stats.views.hit_rate() * 100.0
+        );
+    }
+    println!();
+}
+
+/// E11 — sharded serving: EngineCluster scatter/gather vs a single engine
+/// over the same corpus and query log. `--bin e11_sharding` emits the
+/// machine-readable baseline with the ≥2× cold-path acceptance gate; this
+/// table is the human-readable shape at a smaller corpus.
+fn e11_sharding() {
+    use ppwf_bench::{e11_corpus, e11_query_log, e11_repo};
+    use ppwf_query::cluster::EngineCluster;
+    use ppwf_query::engine::QueryEngine;
+
+    println!("== E11: sharded serving (scatter/gather over the worker pool) ==");
+    let specs = 256usize;
+    let corpus = e11_corpus(specs, 17);
+    let log = e11_query_log(&corpus, 200, 17 ^ 0x5EED);
+    let serve = |f: &mut dyn FnMut(&str, &str) -> usize| {
+        let t = Instant::now();
+        let mut hits = 0usize;
+        for (i, q) in log.iter().enumerate() {
+            hits += f(E10_GROUPS[i % E10_GROUPS.len()], q);
+        }
+        (us(t) / log.len() as f64, hits)
+    };
+
+    println!(
+        "{:>7} {:>12} {:>12} {:>9} {:>12} {:>7}",
+        "shards", "cold µs/q", "warm µs/q", "cold ×", "avg targets", "hits"
+    );
+    let single = QueryEngine::new(e11_repo(&corpus), standard_registry());
+    let (single_cold, hits) =
+        serve(&mut |g, q| single.search_as(g, q).map(|h| h.len()).unwrap_or(0));
+    let (single_warm, _) = serve(&mut |g, q| single.search_as(g, q).map(|h| h.len()).unwrap_or(0));
+    println!(
+        "{:>7} {:>12.1} {:>12.2} {:>9} {:>12} {:>7}",
+        "single", single_cold, single_warm, "1.0x", specs, hits
+    );
+    for shards in [2usize, 4] {
+        let cluster = EngineCluster::new(e11_repo(&corpus), standard_registry(), shards);
+        let (cold, chits) =
+            serve(&mut |g, q| cluster.search_as(g, q).map(|h| h.len()).unwrap_or(0));
+        let (warm, _) = serve(&mut |g, q| cluster.search_as(g, q).map(|h| h.len()).unwrap_or(0));
+        assert_eq!(chits, hits, "sharding changed answers");
+        let avg_targets: f64 =
+            log.iter().map(|q| cluster.probe_target_count(q) as f64).sum::<f64>()
+                / log.len() as f64;
+        println!(
+            "{:>7} {:>12.1} {:>12.2} {:>8.1}x {:>12.2} {:>7}",
+            shards,
+            cold,
+            warm,
+            single_cold / cold,
+            avg_targets,
+            chits
         );
     }
     println!();

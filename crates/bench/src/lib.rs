@@ -78,6 +78,68 @@ pub fn query_engine(specs: usize, execs: usize, seed: u64) -> QueryEngine {
     QueryEngine::new(populated_repo(specs, execs, seed), standard_registry())
 }
 
+/// The E11 corpus shape: many small specifications over a large keyword
+/// vocabulary. Small specs keep per-hit view construction cheap, so the
+/// per-request cost a server cannot avoid — resolving the group's access
+/// views across the corpus — dominates; the large vocabulary gives the
+/// Zipf annotation tail enough mass that realistic queries are *shard
+/// selective*, which is what the cluster's index-gated scatter exploits.
+pub fn e11_spec_params(seed: u64) -> ppwf_workloads::SpecParams {
+    ppwf_workloads::SpecParams {
+        seed,
+        modules_per_workflow: (3, 4),
+        max_workflows: 6,
+        max_depth: 2,
+        vocabulary: 16384,
+        keywords_per_module: 2,
+        // Mild skew: a broad selective vocabulary (most terms live in a
+        // handful of specs) rather than a few corpus-wide head terms. Term
+        // selectivity is the variable scatter pruning trades on; the E11
+        // writeup documents how the gain degrades as skew concentrates.
+        zipf_skew: 0.7,
+        ..ppwf_workloads::SpecParams::default()
+    }
+}
+
+/// The E11 corpus as raw specifications (the query-log generator samples
+/// terms from these) with deterministic per-spec seeds.
+pub fn e11_corpus(specs: usize, seed: u64) -> Vec<ppwf_model::spec::Specification> {
+    (0..specs as u64).map(|i| ppwf_workloads::generate_spec(&e11_spec_params(seed + i))).collect()
+}
+
+/// The E11 corpus loaded into one repository (the single-engine baseline
+/// and the cluster partition both start from this).
+pub fn e11_repo(corpus: &[ppwf_model::spec::Specification]) -> Repository {
+    let mut repo = Repository::new();
+    for spec in corpus {
+        repo.insert_spec(spec.clone(), Policy::public()).expect("generated spec valid");
+    }
+    repo
+}
+
+/// The E11 query log over a corpus: mixed arity, co-occurring and cross
+/// term pairs, corpus-Zipf term popularity, all query strings distinct (so
+/// one pass over the log measures the uncached path end to end).
+pub fn e11_query_log(
+    corpus: &[ppwf_model::spec::Specification],
+    count: usize,
+    seed: u64,
+) -> Vec<String> {
+    ppwf_workloads::generate_query_log(
+        corpus,
+        &ppwf_workloads::QueryLogParams {
+            seed,
+            count,
+            two_term_fraction: 0.6,
+            same_module_fraction: 0.5,
+            // Flatter-than-content query popularity: the selective tail
+            // carries real traffic, as in production search logs.
+            flatten_popularity: 1.0,
+            distinct: true,
+        },
+    )
+}
+
 /// A random layered DAG with `n` nodes and edge probability `p` (%), plus
 /// unit-ish random edge weights — the flat-graph substrate for E3/E4.
 pub fn layered_dag(seed: u64, n: usize, p_percent: u32) -> (DiGraph<u32, ()>, Vec<u64>) {

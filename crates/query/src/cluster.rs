@@ -1,0 +1,582 @@
+//! Sharded query serving: scatter/gather over a cluster of engines.
+//!
+//! One [`QueryEngine`] bounds serving capacity by one keyword index, one
+//! view cache and one repository walk per request. The [`EngineCluster`]
+//! lifts that bound: a [`Router`] partitions specifications across N shard
+//! engines (each a full, independently cached [`QueryEngine`] over its own
+//! repository slice), and every serving entry point scatters across the
+//! shards on a persistent [`WorkerPool`], then gathers per-shard hits into
+//! one merged answer in global spec order.
+//!
+//! Three invariants make the cluster *transparent* — answers are
+//! bit-identical to a single engine over the same corpus:
+//!
+//! * **Per-spec independence.** Keyword, private-search and ranked answers
+//!   are unions of per-spec results, and every spec lives on exactly one
+//!   shard, so a gather in global-spec order reproduces the single-engine
+//!   hit list exactly. Module privacy is enforced *inside* each shard — a
+//!   shard sanitizes its hits against the group's access views before
+//!   anything reaches the gather stage, exactly as in the unsharded model.
+//! * **Corpus-global ranking statistics.** TF-IDF scores depend on corpus
+//!   document counts; shard-local IDFs would drift. The cluster sums
+//!   per-shard `(doc_count, df)` into global IDFs and rescores gathered
+//!   profiles with [`score_with_idfs`] — bitwise the single engine's math.
+//! * **Index-gated scatter.** A shard whose index lacks some query term
+//!   cannot contribute a hit (AND semantics), so the router skips it before
+//!   any access-map resolution. This is pure pruning: it never changes an
+//!   answer, and it is where sharding beats the single engine even on one
+//!   core — selective queries touch one shard's worth of state, not the
+//!   whole corpus. On multi-core hosts the surviving shard tasks also run
+//!   in parallel on the pool.
+//!
+//! Per-group caching lives in the shards (the `(group, query)` caches
+//! partition cleanly across a spec partition); the cluster itself holds no
+//! result cache, so there is no second invalidation discipline to audit.
+
+use crate::engine::{EngineStats, Plan, QueryEngine, RankedAnswer};
+use crate::keyword::{KeywordHit, KeywordQuery};
+use crate::privacy_exec::PrivateSearchOutcome;
+use crate::ranking::{idfs_from_shard_counts, rank_by_scores, score_with_idfs, RankingMode};
+use crate::route::{Router, ShardStrategy};
+use ppwf_core::policy::Policy;
+use ppwf_model::exec::Execution;
+use ppwf_model::spec::Specification;
+use ppwf_model::{ModelError, Result};
+use ppwf_repo::pool::WorkerPool;
+use ppwf_repo::principals::PrincipalRegistry;
+use ppwf_repo::repository::{Repository, SpecEntry, SpecId};
+use std::sync::Arc;
+
+/// A routed repository mutation. All cluster writes flow through
+/// [`EngineCluster::mutate`], which forwards to exactly one shard engine —
+/// only that shard's index rebuilds and only its caches invalidate, where a
+/// single engine re-indexes the whole corpus on every write.
+#[derive(Debug)]
+pub enum Mutation {
+    /// Insert a specification (returns its new global id).
+    InsertSpec {
+        /// The specification.
+        spec: Specification,
+        /// Its privacy policy.
+        policy: Policy,
+    },
+    /// Record an execution of an existing spec (global id).
+    AddExecution {
+        /// Global spec id.
+        spec: SpecId,
+        /// The execution.
+        exec: Execution,
+    },
+    /// Replace the policy of an existing spec (global id).
+    SetPolicy {
+        /// Global spec id.
+        spec: SpecId,
+        /// The new policy.
+        policy: Policy,
+    },
+}
+
+/// Per-shard and rolled-up cache counters for operators and E11.
+#[derive(Clone, Debug)]
+pub struct ClusterStats {
+    /// One [`EngineStats`] per shard, in shard order.
+    pub per_shard: Vec<EngineStats>,
+    /// Field-wise sum across shards (rates derive from summed counters, so
+    /// idle shards cannot produce NaN or dilute a rate).
+    pub aggregate: EngineStats,
+}
+
+impl ClusterStats {
+    /// Per-shard keyword hit rates, in shard order (0 for idle shards).
+    pub fn keyword_hit_rates(&self) -> Vec<f64> {
+        self.per_shard.iter().map(|s| s.keyword.hit_rate()).collect()
+    }
+
+    /// Aggregate keyword hit rate across the cluster.
+    pub fn aggregate_keyword_hit_rate(&self) -> f64 {
+        self.aggregate.keyword.hit_rate()
+    }
+}
+
+/// The sharded serving stack. See the module docs.
+pub struct EngineCluster {
+    shards: Vec<QueryEngine>,
+    router: Router,
+    registry: PrincipalRegistry,
+    pool: Arc<WorkerPool>,
+}
+
+impl EngineCluster {
+    /// Partition `repo` across `shards` engines (round-robin placement, the
+    /// process-global pool, default cache capacities).
+    pub fn new(repo: Repository, registry: PrincipalRegistry, shards: usize) -> Self {
+        Self::with_config(
+            repo,
+            registry,
+            shards,
+            ShardStrategy::RoundRobin,
+            Arc::clone(WorkerPool::global()),
+        )
+    }
+
+    /// Full-control construction: placement strategy and serving pool.
+    pub fn with_config(
+        repo: Repository,
+        registry: PrincipalRegistry,
+        shards: usize,
+        strategy: ShardStrategy,
+        pool: Arc<WorkerPool>,
+    ) -> Self {
+        let mut router = Router::new(shards, strategy);
+        let mut shard_repos: Vec<Repository> = (0..shards).map(|_| Repository::new()).collect();
+        // Ingest split: entries were validated when they entered `repo`, so
+        // partitioning moves them without re-deriving hierarchies.
+        for entry in repo.into_entries() {
+            let (_global, shard, local) = router.assign();
+            let assigned = shard_repos[shard].insert_entry(entry);
+            debug_assert_eq!(assigned, local, "router and shard repo must agree on local ids");
+        }
+        let engines = shard_repos
+            .into_iter()
+            .enumerate()
+            .map(|(s, r)| QueryEngine::new(r, shard_view_of_registry(&registry, &router, s)))
+            .collect();
+        EngineCluster { shards: engines, router, registry, pool }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of specifications across all shards.
+    pub fn spec_count(&self) -> usize {
+        self.router.spec_count()
+    }
+
+    /// The shard engines, in shard order (read-only; writes go through
+    /// [`Self::mutate`]).
+    pub fn shards(&self) -> &[QueryEngine] {
+        &self.shards
+    }
+
+    /// The spec-placement router.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The cluster-level group registry (shards hold remapped views of it).
+    pub fn registry(&self) -> &PrincipalRegistry {
+        &self.registry
+    }
+
+    /// Look up a spec entry by global id.
+    pub fn entry(&self, global: SpecId) -> Option<&SpecEntry> {
+        let (shard, local) = self.router.locate(global)?;
+        self.shards[shard].repo().entry(local)
+    }
+
+    /// How many shards a query would scatter to after index gating — the
+    /// pruning diagnostic E11 reports (and operators watch: a mix that
+    /// always touches every shard gets no routing benefit).
+    pub fn probe_target_count(&self, query_text: &str) -> usize {
+        self.target_shards(&KeywordQuery::parse(query_text)).len()
+    }
+
+    /// Shards that could contribute to `query`: every term must have a
+    /// possible posting in the shard's index (AND semantics make the rest
+    /// unreachable). Pure pruning — never changes an answer.
+    fn target_shards(&self, query: &KeywordQuery) -> Vec<usize> {
+        if query.terms.is_empty() {
+            return Vec::new();
+        }
+        (0..self.shards.len())
+            .filter(|&s| {
+                let index = self.shards[s].index();
+                query.terms.iter().all(|t| index.may_match(t))
+            })
+            .collect()
+    }
+
+    /// Scatter `f` over the target shards on the pool; results come back in
+    /// target order. Single-target scatters run inline — no queue handoff.
+    fn scatter<'a, T, F>(&'a self, targets: &[usize], f: F) -> Vec<T>
+    where
+        T: Send + 'a,
+        F: Fn(&'a QueryEngine) -> T + Sync + 'a,
+    {
+        match targets.len() {
+            0 => Vec::new(),
+            1 => vec![f(&self.shards[targets[0]])],
+            _ => {
+                let f = &f;
+                let tasks: Vec<_> = targets
+                    .iter()
+                    .map(|&s| {
+                        let shard = &self.shards[s];
+                        move || f(shard)
+                    })
+                    .collect();
+                self.pool.run(tasks)
+            }
+        }
+    }
+
+    fn remap_hit(&self, shard: usize, h: &KeywordHit) -> KeywordHit {
+        KeywordHit {
+            spec: self.router.global_of(shard, h.spec),
+            prefix: h.prefix.clone(),
+            view: Arc::clone(&h.view),
+            matched: h.matched.clone(),
+        }
+    }
+
+    /// Privilege-filtered keyword search, scattered and gathered in global
+    /// spec order. Returns `None` for unknown groups. Warm requests are
+    /// served from the shards' `(group, query)` caches.
+    pub fn search_as(&self, group: &str, query_text: &str) -> Option<Vec<KeywordHit>> {
+        self.registry.group(group)?;
+        let query = KeywordQuery::parse(query_text);
+        let targets = self.target_shards(&query);
+        let per_shard = self.scatter(&targets, |shard| {
+            shard.search_as(group, query_text).expect("group registered on every shard")
+        });
+        let mut merged = Vec::new();
+        for (&s, hits) in targets.iter().zip(&per_shard) {
+            merged.extend(hits.iter().map(|h| self.remap_hit(s, h)));
+        }
+        if targets.len() > 1 {
+            // Within one shard, local-id order is global-id order already.
+            merged.sort_by_key(|h| h.spec);
+        }
+        Some(merged)
+    }
+
+    /// Privacy-preserving search under an explicit plan; per-shard hits are
+    /// gathered in global spec order and the plans' cost counters (views
+    /// built, zoom steps, discards) are summed — each is a count of
+    /// per-spec work, so the sum equals the single-engine figure.
+    pub fn private_search_as(
+        &self,
+        group: &str,
+        query_text: &str,
+        plan: Plan,
+    ) -> Option<PrivateSearchOutcome> {
+        self.registry.group(group)?;
+        let query = KeywordQuery::parse(query_text);
+        let targets = self.target_shards(&query);
+        let per_shard = self.scatter(&targets, |shard| {
+            shard
+                .private_search_as(group, query_text, plan)
+                .expect("group registered on every shard")
+        });
+        let mut hits = Vec::new();
+        let (mut views_built, mut zoom_steps, mut discarded) = (0usize, 0usize, 0usize);
+        for (&s, outcome) in targets.iter().zip(&per_shard) {
+            views_built += outcome.views_built;
+            zoom_steps += outcome.zoom_steps;
+            discarded += outcome.discarded;
+            hits.extend(outcome.hits.iter().map(|h| self.remap_hit(s, h)));
+        }
+        hits.sort_by_key(|h| h.spec);
+        Some(PrivateSearchOutcome { hits, views_built, zoom_steps, discarded })
+    }
+
+    /// Ranked keyword search. Shards contribute hits and TF profiles (both
+    /// cached shard-side); the gather stage rescores every profile with
+    /// corpus-global IDFs summed over *all* shards — including pruned ones,
+    /// whose document counts still shape the statistics — so scores and
+    /// order are bit-identical to a single engine over the same corpus.
+    pub fn ranked_search_as(
+        &self,
+        group: &str,
+        query_text: &str,
+        mode: RankingMode,
+    ) -> Option<(Vec<KeywordHit>, RankedAnswer)> {
+        self.registry.group(group)?;
+        let query = KeywordQuery::parse(query_text);
+        let targets = self.target_shards(&query);
+        if targets.is_empty() {
+            // No shard can contribute a hit; the IDF statistics would go
+            // unused (scores of an empty profile set), so skip collecting
+            // them — this is the fast-reject path the query mix leans on.
+            return Some((
+                Vec::new(),
+                RankedAnswer { order: Vec::new(), scores: Vec::new(), profiles: Vec::new() },
+            ));
+        }
+        let doc_counts: Vec<usize> = self.shards.iter().map(|s| s.index().doc_count()).collect();
+        let dfs_per_term: Vec<Vec<usize>> = query
+            .terms
+            .iter()
+            .map(|t| self.shards.iter().map(|s| s.index().df(t)).collect())
+            .collect();
+        let idfs = idfs_from_shard_counts(&doc_counts, &dfs_per_term);
+
+        let per_shard = self.scatter(&targets, |shard| {
+            shard
+                .ranked_search_as(group, query_text, mode)
+                .expect("group registered on every shard")
+        });
+        let mut rows: Vec<(KeywordHit, crate::ranking::TfProfile)> = Vec::new();
+        for (&s, (hits, ranked)) in targets.iter().zip(&per_shard) {
+            for (i, h) in hits.iter().enumerate() {
+                rows.push((self.remap_hit(s, h), ranked.profiles[i].clone()));
+            }
+        }
+        rows.sort_by_key(|(h, _)| h.spec);
+        let (hits, profiles): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+        let scores: Vec<f64> = profiles.iter().map(|p| score_with_idfs(&idfs, p, mode)).collect();
+        let order = rank_by_scores(&scores);
+        Some((hits, RankedAnswer { order, scores, profiles }))
+    }
+
+    /// Apply a routed mutation. Inserts return the new global id; the other
+    /// mutations return `None`. Only the owning shard re-indexes and
+    /// invalidates, which is the cluster's write-path advantage over a
+    /// single engine.
+    pub fn mutate(&mut self, mutation: Mutation) -> Result<Option<SpecId>> {
+        match mutation {
+            Mutation::InsertSpec { spec, policy } => self.insert_spec(spec, policy).map(Some),
+            Mutation::AddExecution { spec, exec } => self.add_execution(spec, exec).map(|()| None),
+            Mutation::SetPolicy { spec, policy } => self.set_policy(spec, policy).map(|()| None),
+        }
+    }
+
+    /// Insert a specification; returns its global id.
+    pub fn insert_spec(&mut self, spec: Specification, policy: Policy) -> Result<SpecId> {
+        // Validate before assigning a global id, so a rejected insert never
+        // burns a router slot (the inner insert re-validates, infallibly).
+        policy.validate(&spec)?;
+        let (global, shard, local) = self.router.assign();
+        let assigned = self.shards[shard]
+            .mutate(|repo| repo.insert_spec(spec, policy))
+            .expect("policy pre-validated");
+        debug_assert_eq!(assigned, local);
+        // A registry override keyed to this global id was unmapped while the
+        // spec did not exist; rebuild the owning shard's registry view.
+        if self.registry.groups().iter().any(|g| g.overrides.contains_key(&global)) {
+            let view = shard_view_of_registry(&self.registry, &self.router, shard);
+            self.shards[shard].set_registry(view);
+        }
+        Ok(global)
+    }
+
+    /// Record an execution of the spec with global id `spec`.
+    pub fn add_execution(&mut self, spec: SpecId, exec: Execution) -> Result<()> {
+        let (shard, local) = self.router.locate(spec).ok_or(ModelError::BadId {
+            kind: "spec",
+            index: spec.index(),
+            len: self.router.spec_count(),
+        })?;
+        self.shards[shard].mutate(|repo| repo.add_execution(local, exec))
+    }
+
+    /// Replace the policy of the spec with global id `spec`.
+    pub fn set_policy(&mut self, spec: SpecId, policy: Policy) -> Result<()> {
+        let (shard, local) = self.router.locate(spec).ok_or(ModelError::BadId {
+            kind: "spec",
+            index: spec.index(),
+            len: self.router.spec_count(),
+        })?;
+        self.shards[shard].mutate(|repo| repo.set_policy(local, policy))
+    }
+
+    /// Replace the registry cluster-wide: every shard receives its remapped
+    /// view and clears its result caches (group names may now mean
+    /// different privileges).
+    pub fn set_registry(&mut self, registry: PrincipalRegistry) {
+        self.registry = registry;
+        for s in 0..self.shards.len() {
+            let view = shard_view_of_registry(&self.registry, &self.router, s);
+            self.shards[s].set_registry(view);
+        }
+    }
+
+    /// Per-shard snapshots plus the cluster rollup.
+    pub fn stats(&self) -> ClusterStats {
+        let per_shard: Vec<EngineStats> = self.shards.iter().map(|s| s.stats()).collect();
+        let aggregate = EngineStats::merged(&per_shard);
+        ClusterStats { per_shard, aggregate }
+    }
+}
+
+/// The registry as shard `s` must see it: per-spec overrides re-keyed from
+/// global ids to the shard's local ids, overrides for foreign specs
+/// dropped. Default rules and clearance levels pass through unchanged.
+fn shard_view_of_registry(
+    registry: &PrincipalRegistry,
+    router: &Router,
+    shard: usize,
+) -> PrincipalRegistry {
+    registry.map_spec_ids(|global| {
+        router.locate(global).and_then(|(s, local)| (s == shard).then_some(local))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppwf_core::policy::AccessLevel;
+    use ppwf_model::fixtures;
+    use ppwf_repo::principals::ViewRule;
+
+    fn registry() -> PrincipalRegistry {
+        let mut registry = PrincipalRegistry::new();
+        registry.add_group("public", AccessLevel(0), ViewRule::RootOnly);
+        registry.add_group("researchers", AccessLevel(3), ViewRule::Full);
+        registry
+    }
+
+    fn corpus(n: usize) -> Repository {
+        let mut repo = Repository::new();
+        for _ in 0..n {
+            let (spec, _) = fixtures::disease_susceptibility();
+            repo.insert_spec(spec, Policy::public()).unwrap();
+        }
+        repo
+    }
+
+    fn cluster(specs: usize, shards: usize) -> EngineCluster {
+        EngineCluster::new(corpus(specs), registry(), shards)
+    }
+
+    #[test]
+    fn gathers_all_shards_in_global_order() {
+        let c = cluster(5, 2);
+        let hits = c.search_as("researchers", "risk").unwrap();
+        assert_eq!(hits.len(), 5, "every shard contributes its specs");
+        let ids: Vec<u32> = hits.iter().map(|h| h.spec.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4], "global spec order");
+    }
+
+    #[test]
+    fn agrees_with_single_engine() {
+        let c = cluster(4, 3);
+        let single = QueryEngine::new(corpus(4), registry());
+        for group in ["public", "researchers"] {
+            for q in ["risk", "database", "Database, Disorder Risks", "nonexistent"] {
+                let clustered = c.search_as(group, q).unwrap();
+                let reference = single.search_as(group, q).unwrap();
+                assert_eq!(clustered.len(), reference.len(), "{group}/{q}");
+                for (a, b) in clustered.iter().zip(reference.iter()) {
+                    assert_eq!(a.spec, b.spec);
+                    assert_eq!(a.prefix, b.prefix);
+                    assert_eq!(a.matched, b.matched);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn groups_never_share_answers() {
+        let c = cluster(2, 2);
+        assert_eq!(c.search_as("researchers", "database").unwrap().len(), 2);
+        assert_eq!(c.search_as("public", "database").unwrap().len(), 0);
+        assert_eq!(c.stats().aggregate.keyword.hits, 0, "distinct groups cannot hit");
+    }
+
+    #[test]
+    fn unknown_group_is_refused() {
+        let c = cluster(2, 2);
+        assert!(c.search_as("nobody", "risk").is_none());
+        assert!(c.private_search_as("nobody", "risk", Plan::FilterThenSearch).is_none());
+        assert!(c.ranked_search_as("nobody", "risk", RankingMode::ExactFull).is_none());
+    }
+
+    #[test]
+    fn mutation_routes_and_invalidates() {
+        let mut c = cluster(3, 2);
+        assert_eq!(c.search_as("researchers", "risk").unwrap().len(), 3);
+        let (spec, _) = fixtures::disease_susceptibility();
+        let id = c
+            .mutate(Mutation::InsertSpec { spec, policy: Policy::public() })
+            .unwrap()
+            .expect("insert returns id");
+        assert_eq!(id, SpecId(3), "global ids are dense");
+        assert_eq!(c.spec_count(), 4);
+        assert_eq!(
+            c.search_as("researchers", "risk").unwrap().len(),
+            4,
+            "stale answer served after insert"
+        );
+    }
+
+    #[test]
+    fn execution_and_policy_route_by_global_id() {
+        let mut c = cluster(4, 3);
+        let spec_entry = c.entry(SpecId(2)).unwrap();
+        let exec = fixtures::disease_susceptibility_execution(&spec_entry.spec);
+        c.mutate(Mutation::AddExecution { spec: SpecId(2), exec }).unwrap();
+        let (shard, local) = c.router().locate(SpecId(2)).unwrap();
+        assert_eq!(c.shards()[shard].repo().entry(local).unwrap().executions.len(), 1);
+        c.mutate(Mutation::SetPolicy { spec: SpecId(2), policy: Policy::public() }).unwrap();
+        // Unknown global ids report the cluster-wide spec count.
+        let err = c.set_policy(SpecId(99), Policy::public()).unwrap_err();
+        match err {
+            ModelError::BadId { len, .. } => assert_eq!(len, 4),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overrides_remap_to_owning_shard() {
+        let mut registry = registry();
+        // Tighten researchers on global spec 1 only.
+        registry.set_override(1, SpecId(1), ViewRule::RootOnly);
+        let c = EngineCluster::new(corpus(3), registry, 2);
+        let hits = c.search_as("researchers", "database").unwrap();
+        // "database" matches M5 (deep in W4): visible on specs 0 and 2,
+        // overridden away on spec 1.
+        let ids: Vec<u32> = hits.iter().map(|h| h.spec.0).collect();
+        assert_eq!(ids, vec![0, 2], "override applied to the right global spec");
+    }
+
+    #[test]
+    fn registry_swap_reaches_every_shard() {
+        let mut c = cluster(2, 2);
+        assert_eq!(c.search_as("public", "database").unwrap().len(), 0);
+        let mut open = PrincipalRegistry::new();
+        open.add_group("public", AccessLevel(3), ViewRule::Full);
+        c.set_registry(open);
+        assert_eq!(
+            c.search_as("public", "database").unwrap().len(),
+            2,
+            "stale coarse answer served after privilege change"
+        );
+    }
+
+    #[test]
+    fn stats_roll_up_across_shards() {
+        let c = cluster(4, 2);
+        c.search_as("researchers", "risk").unwrap();
+        c.search_as("researchers", "risk").unwrap();
+        let stats = c.stats();
+        assert_eq!(stats.per_shard.len(), 2);
+        let summed: u64 = stats.per_shard.iter().map(|s| s.keyword.hits).sum();
+        assert_eq!(stats.aggregate.keyword.hits, summed);
+        assert!(stats.aggregate_keyword_hit_rate() > 0.0);
+        assert_eq!(stats.keyword_hit_rates().len(), 2);
+    }
+
+    #[test]
+    fn zero_lookup_rates_are_zero_not_nan() {
+        let c = cluster(2, 2);
+        let stats = c.stats();
+        assert_eq!(stats.aggregate_keyword_hit_rate(), 0.0);
+        assert!(stats.keyword_hit_rates().iter().all(|r| *r == 0.0));
+    }
+
+    #[test]
+    fn pruned_shards_still_shape_ranking_statistics() {
+        let c = cluster(4, 4);
+        let single = QueryEngine::new(corpus(4), registry());
+        let (hits, ranked) =
+            c.ranked_search_as("researchers", "database", RankingMode::ExactFull).unwrap();
+        let (shits, sranked) =
+            single.ranked_search_as("researchers", "database", RankingMode::ExactFull).unwrap();
+        assert_eq!(hits.len(), shits.len());
+        assert_eq!(ranked.order, sranked.order);
+        assert_eq!(ranked.scores, sranked.scores, "IDF must be corpus-global");
+    }
+}

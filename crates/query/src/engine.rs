@@ -20,7 +20,9 @@ use crate::keyword::{search_filtered_with_cache, KeywordHit, KeywordQuery};
 use crate::privacy_exec::{
     filter_then_search_cached, search_then_zoom_out_cached, PrivateSearchOutcome,
 };
-use crate::ranking::{profiles_for_hits, rank_by_scores, score, RankingMode, TfProfile};
+use crate::ranking::{
+    idfs_for_terms, profiles_for_hits, rank_by_scores, score_with_idfs, RankingMode, TfProfile,
+};
 use ppwf_repo::cache::{CacheStats, GroupCache};
 use ppwf_repo::keyword_index::KeywordIndex;
 use ppwf_repo::principals::PrincipalRegistry;
@@ -88,13 +90,24 @@ impl CacheSnapshot {
         })
     }
 
-    /// Hit rate in [0, 1].
+    /// Combine two snapshots (e.g. the same cache class across shards).
+    pub fn merge(self, other: CacheSnapshot) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            invalidations: self.invalidations + other.invalidations,
+        }
+    }
+
+    /// Hit rate in [0, 1]; defined as 0 when the snapshot records no
+    /// lookups at all, so fresh engines and idle shards report 0, never
+    /// NaN — and cluster rollups can divide fearlessly.
     pub fn hit_rate(&self) -> f64 {
-        let total = (self.hits + self.misses) as f64;
-        if total == 0.0 {
+        let total = self.hits + self.misses;
+        if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total
+            self.hits as f64 / total as f64
         }
     }
 }
@@ -110,6 +123,20 @@ pub struct EngineStats {
     pub private: CacheSnapshot,
     /// The `(group, query, mode)` ranking cache.
     pub ranked: CacheSnapshot,
+}
+
+impl EngineStats {
+    /// Field-wise sum over many engines' stats — the cluster-level rollup.
+    /// Snapshots sum per cache class; rates come from the summed counters,
+    /// so shards with zero lookups dilute nothing and divide by nothing.
+    pub fn merged<'a>(many: impl IntoIterator<Item = &'a EngineStats>) -> EngineStats {
+        many.into_iter().fold(EngineStats::default(), |acc, s| EngineStats {
+            views: acc.views.merge(s.views),
+            keyword: acc.keyword.merge(s.keyword),
+            private: acc.private.merge(s.private),
+            ranked: acc.ranked.merge(s.ranked),
+        })
+    }
 }
 
 /// The assembled serving stack. See the module docs.
@@ -263,8 +290,9 @@ impl QueryEngine {
         let ranked = self.ranked_results.get_or_compute(group, &key, version, || {
             let query = KeywordQuery::parse(query_text);
             let profiles = profiles_for_hits(&self.repo, &hits, &query.terms);
+            let idfs = idfs_for_terms(&self.index, &query.terms);
             let scores: Vec<f64> =
-                profiles.iter().map(|p| score(&self.index, &query.terms, p, mode)).collect();
+                profiles.iter().map(|p| score_with_idfs(&idfs, p, mode)).collect();
             let order = rank_by_scores(&scores);
             RankedAnswer { order, scores, profiles }
         });

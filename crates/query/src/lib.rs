@@ -22,14 +22,22 @@
 //!   [`ViewCache`](ppwf_repo::view_cache::ViewCache) + per-user-group
 //!   result caches with surfaced statistics (Sec. 4's caching design;
 //!   experiment E10).
+//! * [`route`] / [`cluster`] — sharded serving: a spec-partitioning
+//!   [`Router`](route::Router) over N shard engines, scattered on a
+//!   persistent worker pool and gathered into answers bit-identical to a
+//!   single engine (experiment E11).
 
+pub mod cluster;
 pub mod engine;
 pub mod exec_match;
 pub mod keyword;
 pub mod privacy_exec;
 pub mod private_provenance;
 pub mod ranking;
+pub mod route;
 pub mod structural;
 
+pub use cluster::{ClusterStats, EngineCluster, Mutation};
 pub use engine::{EngineStats, Plan, QueryEngine, RankedAnswer};
 pub use keyword::{KeywordHit, KeywordQuery};
+pub use route::{Router, ShardStrategy};

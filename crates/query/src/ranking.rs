@@ -118,6 +118,14 @@ pub fn profiles_for_hits(
     hits.iter().map(|h| tf_profile(repo, h.spec, &h.prefix, terms)).collect()
 }
 
+/// Per-term IDF weights from one index. A sharded cluster builds the same
+/// vector from *summed* shard statistics via
+/// [`KeywordIndex::idf_from_counts`], which is what keeps sharded ranked
+/// answers bit-identical to single-engine ones.
+pub fn idfs_for_terms(index: &KeywordIndex, terms: &[String]) -> Vec<f64> {
+    terms.iter().map(|t| index.idf(t)).collect()
+}
+
 /// Score one profile under a mode. IDF weights come from the index.
 pub fn score(
     index: &KeywordIndex,
@@ -125,15 +133,21 @@ pub fn score(
     profile: &TfProfile,
     mode: RankingMode,
 ) -> f64 {
+    score_with_idfs(&idfs_for_terms(index, terms), profile, mode)
+}
+
+/// [`score`] with precomputed per-term IDF weights — the form both the
+/// single engine (one IDF resolution per query, not per hit) and the
+/// cluster's gather stage (corpus-global IDFs over shard-local profiles)
+/// evaluate.
+pub fn score_with_idfs(idfs: &[f64], profile: &TfProfile, mode: RankingMode) -> f64 {
     let mut rng = match mode {
         RankingMode::NoisyFull { seed, .. } => Some(StdRng::seed_from_u64(seed)),
         _ => None,
     };
-    terms
-        .iter()
+    idfs.iter()
         .enumerate()
-        .map(|(ti, term)| {
-            let idf = index.idf(term);
+        .map(|(ti, &idf)| {
             let tf = match mode {
                 RankingMode::ExactFull => profile.total(ti) as f64,
                 RankingMode::VisibleOnly => profile.visible[ti] as f64,
@@ -151,6 +165,14 @@ pub fn score(
             tf_weight * idf
         })
         .sum()
+}
+
+/// Sum shard-local `(doc_count, df)` pairs into corpus-global IDFs. Each
+/// module lives in exactly one shard, so per-shard document counts and
+/// document frequencies are additive over a disjoint spec partition.
+pub fn idfs_from_shard_counts(doc_counts: &[usize], dfs_per_term: &[Vec<usize>]) -> Vec<f64> {
+    let n: usize = doc_counts.iter().sum();
+    dfs_per_term.iter().map(|dfs| KeywordIndex::idf_from_counts(n, dfs.iter().sum())).collect()
 }
 
 /// Rank result indices by descending score (stable: ties by index).

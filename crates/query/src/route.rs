@@ -1,0 +1,145 @@
+//! Spec-partitioning routing for the sharded serving cluster.
+//!
+//! A [`Router`] owns the bidirectional mapping between *global* spec ids
+//! (what clients see — dense insertion order across the whole corpus) and
+//! *shard-local* ids (dense insertion order within each shard repository).
+//! The placement [`ShardStrategy`] only matters at assignment time; after
+//! that the router is a pair of O(1) lookup tables, so the scatter path
+//! never hashes and the gather path remaps ids with one indexed load.
+
+use ppwf_repo::repository::SpecId;
+
+/// How new specifications are placed on shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// `global % shards` — perfectly balanced for append-only corpora.
+    RoundRobin,
+    /// Multiplicative hash of the global id — balanced in expectation and
+    /// stable under id-space gaps (e.g. future tombstones).
+    Hash,
+}
+
+impl ShardStrategy {
+    fn place(self, global: SpecId, shards: usize) -> usize {
+        match self {
+            ShardStrategy::RoundRobin => global.index() % shards,
+            ShardStrategy::Hash => {
+                // Fibonacci hashing: spreads consecutive ids well without a
+                // hasher dependency.
+                let h = (global.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 33) % shards as u64) as usize
+            }
+        }
+    }
+}
+
+/// The global↔local spec-id mapping for one cluster.
+#[derive(Clone, Debug)]
+pub struct Router {
+    strategy: ShardStrategy,
+    /// global id → (shard, local id).
+    to_shard: Vec<(u32, u32)>,
+    /// shard → local id → global id.
+    to_global: Vec<Vec<SpecId>>,
+}
+
+impl Router {
+    /// An empty router over `shards` shards.
+    pub fn new(shards: usize, strategy: ShardStrategy) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        Router { strategy, to_shard: Vec::new(), to_global: vec![Vec::new(); shards] }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.to_global.len()
+    }
+
+    /// Number of assigned specifications.
+    pub fn spec_count(&self) -> usize {
+        self.to_shard.len()
+    }
+
+    /// The placement strategy.
+    pub fn strategy(&self) -> ShardStrategy {
+        self.strategy
+    }
+
+    /// Assign the next global id to a shard; returns `(global, shard,
+    /// local)`. Ids are dense: the caller must insert the spec into the
+    /// returned shard's repository immediately (which hands out `local`).
+    pub fn assign(&mut self) -> (SpecId, usize, SpecId) {
+        let global = SpecId(self.to_shard.len() as u32);
+        let shard = self.strategy.place(global, self.shard_count());
+        let local = SpecId(self.to_global[shard].len() as u32);
+        self.to_shard.push((shard as u32, local.0));
+        self.to_global[shard].push(global);
+        (global, shard, local)
+    }
+
+    /// Where a global spec lives: `(shard, local id)`.
+    pub fn locate(&self, global: SpecId) -> Option<(usize, SpecId)> {
+        self.to_shard.get(global.index()).map(|&(s, l)| (s as usize, SpecId(l)))
+    }
+
+    /// The global id of a shard-local spec.
+    pub fn global_of(&self, shard: usize, local: SpecId) -> SpecId {
+        self.to_global[shard][local.index()]
+    }
+
+    /// Global ids living on `shard`, in local-id order (ascending global).
+    pub fn shard_specs(&self, shard: usize) -> &[SpecId] {
+        &self.to_global[shard]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_balances_and_round_trips() {
+        let mut r = Router::new(3, ShardStrategy::RoundRobin);
+        for i in 0..9u32 {
+            let (global, shard, local) = r.assign();
+            assert_eq!(global, SpecId(i));
+            assert_eq!(shard, i as usize % 3);
+            assert_eq!(r.locate(global), Some((shard, local)));
+            assert_eq!(r.global_of(shard, local), global);
+        }
+        for s in 0..3 {
+            assert_eq!(r.shard_specs(s).len(), 3);
+        }
+    }
+
+    #[test]
+    fn hash_placement_is_deterministic_and_total() {
+        let mut a = Router::new(4, ShardStrategy::Hash);
+        let mut b = Router::new(4, ShardStrategy::Hash);
+        for _ in 0..32 {
+            let (ga, sa, _) = a.assign();
+            let (gb, sb, _) = b.assign();
+            assert_eq!((ga, sa), (gb, sb), "placement must be deterministic");
+        }
+        let placed: usize = (0..4).map(|s| a.shard_specs(s).len()).sum();
+        assert_eq!(placed, 32);
+    }
+
+    #[test]
+    fn shard_specs_ascend_globally() {
+        let mut r = Router::new(2, ShardStrategy::Hash);
+        for _ in 0..20 {
+            r.assign();
+        }
+        for s in 0..2 {
+            let specs = r.shard_specs(s);
+            assert!(specs.windows(2).all(|w| w[0] < w[1]), "local order preserves global order");
+        }
+    }
+
+    #[test]
+    fn unknown_global_is_none() {
+        let r = Router::new(2, ShardStrategy::RoundRobin);
+        assert!(r.locate(SpecId(0)).is_none());
+    }
+}

@@ -7,6 +7,13 @@
 //! answers would leak to coarse-grained users. The cache therefore keys
 //! entries by `(group, query)` and tags them with the repository version at
 //! compute time — any repository mutation invalidates stale entries lazily.
+//!
+//! Eviction is **true LRU**: every hit touches the entry's recency stamp
+//! (an atomic, so the warm read path stays borrow-only under the shared
+//! lock), and a full cache evicts stale entries first — they can never hit
+//! again — then the least-recently-used live one. Under adversarial query
+//! mixes this keeps the hot working set resident where the former
+//! stale-then-arbitrary policy could evict the hottest entry.
 
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -37,14 +44,15 @@ impl CacheStats {
         self.invalidations.load(Ordering::Relaxed)
     }
 
-    /// Hit rate in [0, 1].
+    /// Hit rate in [0, 1]; defined as 0 when there were no lookups at all
+    /// (a fresh cache reports 0, never NaN).
     pub fn hit_rate(&self) -> f64 {
-        let h = self.hits() as f64;
-        let m = self.misses() as f64;
-        if h + m == 0.0 {
+        let h = self.hits();
+        let m = self.misses();
+        if h + m == 0 {
             0.0
         } else {
-            h / (h + m)
+            h as f64 / (h + m) as f64
         }
     }
 
@@ -61,12 +69,32 @@ impl CacheStats {
     }
 }
 
-/// A two-level versioned entry map: `outer key → inner key → (version,
-/// value)`. Two levels instead of a tuple key so the hot read path can
-/// probe with borrowed keys (`&str`, `&Prefix`) — a warm hit allocates
-/// nothing. Shared by [`GroupCache`] and
-/// [`crate::view_cache::ViewCache`].
-pub(crate) type VersionedMap<K1, K2, V> = HashMap<K1, HashMap<K2, (u64, V)>>;
+/// One cached value: the repository version it was computed at, plus an
+/// LRU recency stamp. The stamp is atomic so hits (taken under the shared
+/// read lock) can touch it without upgrading to a write lock.
+#[derive(Debug)]
+pub(crate) struct VersionedEntry<V> {
+    pub(crate) version: u64,
+    pub(crate) value: V,
+    last_used: AtomicU64,
+}
+
+impl<V> VersionedEntry<V> {
+    pub(crate) fn new(version: u64, value: V, tick: u64) -> Self {
+        VersionedEntry { version, value, last_used: AtomicU64::new(tick) }
+    }
+
+    /// Mark the entry as just-used (LRU touch-on-hit).
+    pub(crate) fn touch(&self, tick: u64) {
+        self.last_used.store(tick, Ordering::Relaxed);
+    }
+}
+
+/// A two-level versioned entry map: `outer key → inner key → entry`. Two
+/// levels instead of a tuple key so the hot read path can probe with
+/// borrowed keys (`&str`, `&Prefix`) — a warm hit allocates nothing.
+/// Shared by [`GroupCache`] and [`crate::view_cache::ViewCache`].
+pub(crate) type VersionedMap<K1, K2, V> = HashMap<K1, HashMap<K2, VersionedEntry<V>>>;
 
 /// Total entries across all inner maps.
 pub(crate) fn versioned_len<K1, K2, V>(map: &VersionedMap<K1, K2, V>) -> usize {
@@ -74,8 +102,9 @@ pub(crate) fn versioned_len<K1, K2, V>(map: &VersionedMap<K1, K2, V>) -> usize {
 }
 
 /// Make room for one insertion at `version`: if the map is at capacity,
-/// evict stale entries (wrong version) first, then arbitrary ones, until
-/// strictly under capacity. The one eviction policy both caches share.
+/// evict stale entries (wrong version — dead weight, they can never hit)
+/// first, then the least-recently-used live entries, until strictly under
+/// capacity. The one eviction policy both caches share.
 pub(crate) fn evict_for_insert<K1, K2, V>(
     map: &mut VersionedMap<K1, K2, V>,
     capacity: usize,
@@ -92,7 +121,7 @@ pub(crate) fn evict_for_insert<K1, K2, V>(
         .iter()
         .flat_map(|(k1, m)| {
             m.iter()
-                .filter(|(_, (v, _))| *v != version)
+                .filter(|(_, e)| e.version != version)
                 .map(move |(k2, _)| (k1.clone(), k2.clone()))
         })
         .collect();
@@ -110,13 +139,22 @@ pub(crate) fn evict_for_insert<K1, K2, V>(
         }
     }
     while total >= capacity {
-        let k1 = map.keys().next().cloned().expect("nonempty at capacity");
-        let m = map.get_mut(&k1).expect("key just read");
-        let k2 = m.keys().next().cloned().expect("inner maps are never left empty");
-        m.remove(&k2);
+        // Evict the global least-recently-used entry. An O(n) scan, but it
+        // only runs on inserts into a full cache, evicting one entry each —
+        // cheap next to the query work that produced the value.
+        let victim = map
+            .iter()
+            .flat_map(|(k1, m)| {
+                m.iter().map(move |(k2, e)| (e.last_used.load(Ordering::Relaxed), k1, k2))
+            })
+            .min_by_key(|(used, _, _)| *used)
+            .map(|(_, k1, k2)| (k1.clone(), k2.clone()))
+            .expect("nonempty at capacity");
+        let m = map.get_mut(&victim.0).expect("victim outer key live");
+        m.remove(&victim.1);
         total -= 1;
         if m.is_empty() {
-            map.remove(&k1);
+            map.remove(&victim.0);
         }
     }
 }
@@ -126,13 +164,19 @@ pub struct GroupCache<V> {
     inner: RwLock<VersionedMap<String, String, Arc<V>>>,
     capacity: usize,
     stats: CacheStats,
+    tick: AtomicU64,
 }
 
 impl<V> GroupCache<V> {
     /// Create with a maximum entry count.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        GroupCache { inner: RwLock::new(HashMap::new()), capacity, stats: CacheStats::default() }
+        GroupCache {
+            inner: RwLock::new(HashMap::new()),
+            capacity,
+            stats: CacheStats::default(),
+            tick: AtomicU64::new(0),
+        }
     }
 
     /// Statistics.
@@ -150,23 +194,29 @@ impl<V> GroupCache<V> {
         self.len() == 0
     }
 
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// Fetch the cached value for `(group, query)` if present *and* computed
     /// at `version`. A hit is a borrowed-key probe plus an `Arc` clone — no
-    /// allocation (this is the engine's warm path).
+    /// allocation (this is the engine's warm path) — and touches the
+    /// entry's LRU stamp.
     pub fn get(&self, group: &str, query: &str, version: u64) -> Option<Arc<V>> {
         let guard = self.inner.read();
         match guard.get(group).and_then(|m| m.get(query)) {
-            Some((v, value)) if *v == version => {
-                self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(value))
+            Some(e) if e.version == version => {
+                e.touch(self.next_tick());
+                self.stats.record_hit();
+                Some(Arc::clone(&e.value))
             }
             Some(_) => {
-                self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.stats.record_invalidation();
+                self.stats.record_miss();
                 None
             }
             None => {
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.stats.record_miss();
                 None
             }
         }
@@ -191,9 +241,19 @@ impl<V> GroupCache<V> {
     /// Insert a value computed elsewhere (e.g. after a stats-counted
     /// [`Self::get`] miss whose recompute needed other lookups first).
     pub fn insert(&self, group: &str, query: &str, version: u64, value: Arc<V>) {
+        let tick = self.next_tick();
         let mut guard = self.inner.write();
-        evict_for_insert(&mut guard, self.capacity, version);
-        guard.entry(group.to_string()).or_default().insert(query.to_string(), (version, value));
+        // Replacing an existing key (any version) does not grow the map, so
+        // no eviction is needed — racing inserts of the same query must not
+        // evict an unrelated hot entry for nothing.
+        let replaces = guard.get(group).is_some_and(|m| m.contains_key(query));
+        if !replaces {
+            evict_for_insert(&mut guard, self.capacity, version);
+        }
+        guard
+            .entry(group.to_string())
+            .or_default()
+            .insert(query.to_string(), VersionedEntry::new(version, value, tick));
     }
 
     /// Drop everything (e.g. policy change where lazy invalidation is not
@@ -251,12 +311,59 @@ mod tests {
     }
 
     #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache: GroupCache<usize> = GroupCache::new(3);
+        cache.get_or_compute("g", "q0", 1, || 0);
+        cache.get_or_compute("g", "q1", 1, || 1);
+        cache.get_or_compute("g", "q2", 1, || 2);
+        // q0 is oldest by insertion; inserting q3 must evict it.
+        cache.get_or_compute("g", "q3", 1, || 3);
+        assert!(cache.get("g", "q0", 1).is_none(), "LRU entry evicted");
+        assert!(cache.get("g", "q1", 1).is_some());
+        assert!(cache.get("g", "q2", 1).is_some());
+        assert!(cache.get("g", "q3", 1).is_some());
+    }
+
+    #[test]
+    fn hits_refresh_recency() {
+        let cache: GroupCache<usize> = GroupCache::new(3);
+        cache.get_or_compute("g", "hot", 1, || 0);
+        cache.get_or_compute("g", "warm", 1, || 1);
+        cache.get_or_compute("g", "cold", 1, || 2);
+        // Touch the oldest entry: it must survive the next eviction even
+        // though it was inserted first.
+        assert!(cache.get("g", "hot", 1).is_some());
+        cache.get_or_compute("g", "new", 1, || 3);
+        assert!(cache.get("g", "hot", 1).is_some(), "touched entry survives");
+        assert!(cache.get("g", "warm", 1).is_none(), "untouched LRU entry evicted");
+    }
+
+    #[test]
+    fn stale_entries_evicted_before_live_ones() {
+        let cache: GroupCache<usize> = GroupCache::new(3);
+        cache.get_or_compute("g", "old1", 1, || 0);
+        cache.get_or_compute("g", "old2", 1, || 1);
+        // Version moves on; the v1 entries are dead weight.
+        cache.get_or_compute("g", "live", 2, || 2);
+        cache.get_or_compute("g", "more", 2, || 3);
+        assert!(cache.get("g", "live", 2).is_some(), "live entry kept over stale");
+        assert!(cache.get("g", "more", 2).is_some());
+        assert!(cache.len() <= 3);
+    }
+
+    #[test]
     fn clear_empties() {
         let cache: GroupCache<u64> = GroupCache::new(4);
         cache.get_or_compute("g", "q", 1, || 7);
         assert!(!cache.is_empty());
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn zero_lookup_hit_rate_is_defined() {
+        let cache: GroupCache<u64> = GroupCache::new(4);
+        assert_eq!(cache.stats().hit_rate(), 0.0, "fresh cache reports 0, not NaN");
     }
 
     #[test]

@@ -166,10 +166,52 @@ impl KeywordIndex {
             .collect()
     }
 
+    /// Document frequency of a query term or phrase (number of matching
+    /// modules in this index's corpus). Additive across a disjoint spec
+    /// partition: a cluster sums per-shard `df`s to recover the corpus df.
+    pub fn df(&self, term: &str) -> usize {
+        // Already-normalized single tokens (the query layer's form) count
+        // without materializing the posting list; an ASCII lower/digit term
+        // tokenizes to itself, so this is exactly
+        // `lookup_query_term(term).len()`. Anything else (uppercase,
+        // Unicode titlecase, phrases) takes the normalizing slow path.
+        if !term.is_empty()
+            && term.chars().all(|c| c.is_ascii_alphanumeric() && !c.is_ascii_uppercase())
+        {
+            return self.terms.get(term).map_or(0, |v| v.len());
+        }
+        self.lookup_query_term(term).len()
+    }
+
+    /// Whether a *normalized* query term (lowercased, space-joined — the
+    /// form `KeywordQuery::parse` produces) could have a posting here: the
+    /// allocation-free gate the scatter router probes to skip shards before
+    /// any access-map work. Conservative for phrases (whole-tag or
+    /// first-token presence admits the shard), so `false` is always safe to
+    /// prune on.
+    pub fn may_match(&self, term: &str) -> bool {
+        let mut words = term.split(' ');
+        let Some(first) = words.next() else { return false };
+        if first.is_empty() {
+            return false;
+        }
+        if words.next().is_none() {
+            self.terms.contains_key(first)
+        } else {
+            self.phrases.contains_key(term) || self.terms.contains_key(first)
+        }
+    }
+
+    /// The IDF formula (ln((N+1)/(df+1)) + 1) over explicit counts, so a
+    /// cluster can score with corpus-global statistics summed from shards
+    /// and produce bit-identical scores to a single unsharded index.
+    pub fn idf_from_counts(doc_count: usize, df: usize) -> f64 {
+        ((doc_count as f64 + 1.0) / (df as f64 + 1.0)).ln() + 1.0
+    }
+
     /// Inverse document frequency of a term (ln((N+1)/(df+1)) + 1).
     pub fn idf(&self, term: &str) -> f64 {
-        let df = self.lookup_query_term(term).len();
-        ((self.doc_count as f64 + 1.0) / (df as f64 + 1.0)).ln() + 1.0
+        Self::idf_from_counts(self.doc_count, self.df(term))
     }
 }
 

@@ -20,7 +20,9 @@
 //! * [`view_cache`] — a `(spec, prefix)`-keyed memo of flattened
 //!   [`SpecView`](ppwf_model::expand::SpecView)s (with their transitive
 //!   closures riding along), the query layer's view fast path,
-//! * [`scan`] — parallel repository scans (crossbeam) for the non-indexed
+//! * [`pool`] — the persistent worker pool scans and the query layer's
+//!   scatter/gather run on (no per-call thread spawns),
+//! * [`scan`] — parallel repository scans (on the pool) for the non-indexed
 //!   baseline the benchmarks compare against,
 //! * [`stats`] — repository statistics for operators,
 //! * [`principals`] — the user-group directory resolving per-spec access
@@ -28,6 +30,7 @@
 
 pub mod cache;
 pub mod keyword_index;
+pub mod pool;
 pub mod principals;
 pub mod reach_index;
 pub mod repository;
@@ -35,5 +38,6 @@ pub mod scan;
 pub mod stats;
 pub mod view_cache;
 
+pub use pool::WorkerPool;
 pub use repository::{Repository, SpecEntry, SpecId};
 pub use view_cache::ViewCache;

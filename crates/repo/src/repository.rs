@@ -122,6 +122,24 @@ impl Repository {
         Ok(())
     }
 
+    /// Ingest a pre-validated entry whole — the shard-construction fast
+    /// path. The entry's policy was validated and its hierarchy derived when
+    /// it first entered *some* repository, so re-partitioning a corpus
+    /// across shard repositories moves entries without re-deriving either.
+    pub fn insert_entry(&mut self, entry: SpecEntry) -> SpecId {
+        let id = SpecId(self.entries.len() as u32);
+        self.entries.push(entry);
+        self.version += 1;
+        id
+    }
+
+    /// Consume the repository into its entries (ids become vector order) —
+    /// the other half of the construction/ingest split: partition the
+    /// result across shards and [`Self::insert_entry`] each piece.
+    pub fn into_entries(self) -> Vec<SpecEntry> {
+        self.entries
+    }
+
     /// Look up an entry.
     pub fn entry(&self, id: SpecId) -> Option<&SpecEntry> {
         self.entries.get(id.index())

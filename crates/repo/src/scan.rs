@@ -2,24 +2,39 @@
 //!
 //! The non-indexed baseline for every search experiment: visit each stored
 //! execution (or specification), apply a caller-supplied matcher, and
-//! collect the results. Scans parallelize across executions with crossbeam
-//! scoped threads — embarrassingly parallel, and a realistic baseline for
-//! the index-vs-scan comparison of experiment E5.
+//! collect the results. Scans parallelize across executions on the
+//! process-wide [`WorkerPool`] — no per-call thread spawns — and stay a
+//! realistic baseline for the index-vs-scan comparison of experiment E5.
 
+use crate::pool::WorkerPool;
 use crate::repository::{Repository, SpecId};
-use crossbeam::thread;
 use ppwf_model::exec::Execution;
 
 /// Visit every execution and collect matcher outputs. The matcher sees
 /// `(spec id, execution index, execution)` and returns `Some(T)` to emit.
 /// Results are returned in deterministic (spec, execution) order regardless
-/// of thread interleaving.
+/// of thread interleaving. Runs on the shared global pool; `threads` caps
+/// how many chunks the work list is split into.
 pub fn scan_executions<T, F>(repo: &Repository, threads: usize, matcher: F) -> Vec<T>
 where
     T: Send,
     F: Fn(SpecId, usize, &Execution) -> Option<T> + Sync,
 {
-    assert!(threads > 0, "need at least one scan thread");
+    scan_executions_on(WorkerPool::global(), repo, threads, matcher)
+}
+
+/// [`scan_executions`] on an explicit pool (e.g. a cluster's serving pool).
+pub fn scan_executions_on<T, F>(
+    pool: &WorkerPool,
+    repo: &Repository,
+    threads: usize,
+    matcher: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(SpecId, usize, &Execution) -> Option<T> + Sync,
+{
+    assert!(threads > 0, "need at least one scan chunk");
     // Flatten the work list.
     let work: Vec<(SpecId, usize, &Execution)> = repo
         .entries()
@@ -31,12 +46,13 @@ where
     let threads = threads.min(work.len());
     let chunk = work.len().div_ceil(threads);
 
-    let mut slots: Vec<Vec<(usize, T)>> = thread::scope(|s| {
-        let mut handles = Vec::with_capacity(threads);
-        for (t, part) in work.chunks(chunk).enumerate() {
-            let matcher = &matcher;
+    let matcher = &matcher;
+    let tasks: Vec<_> = work
+        .chunks(chunk)
+        .enumerate()
+        .map(|(t, part)| {
             let base = t * chunk;
-            handles.push(s.spawn(move |_| {
+            move || {
                 let mut out = Vec::new();
                 for (off, (sid, i, exec)) in part.iter().enumerate() {
                     if let Some(v) = matcher(*sid, *i, exec) {
@@ -44,13 +60,12 @@ where
                     }
                 }
                 out
-            }));
-        }
-        handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
-    })
-    .expect("crossbeam scope");
+            }
+        })
+        .collect();
+    let slots = pool.run(tasks);
 
-    let mut flat: Vec<(usize, T)> = slots.drain(..).flatten().collect();
+    let mut flat: Vec<(usize, T)> = slots.into_iter().flatten().collect();
     flat.sort_by_key(|(i, _)| *i);
     flat.into_iter().map(|(_, v)| v).collect()
 }

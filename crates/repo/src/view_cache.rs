@@ -16,12 +16,13 @@
 //! every later consumer of that same `Arc` — the "transitive-closure rows
 //! ride along" design.
 
-use crate::cache::{evict_for_insert, versioned_len, CacheStats, VersionedMap};
+use crate::cache::{evict_for_insert, versioned_len, CacheStats, VersionedEntry, VersionedMap};
 use crate::repository::{Repository, SpecId};
 use parking_lot::RwLock;
 use ppwf_model::expand::SpecView;
 use ppwf_model::hierarchy::Prefix;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A concurrent `(SpecId, Prefix)`-keyed cache of flattened views.
@@ -29,13 +30,19 @@ pub struct ViewCache {
     inner: RwLock<VersionedMap<SpecId, Prefix, Arc<SpecView>>>,
     capacity: usize,
     stats: CacheStats,
+    tick: AtomicU64,
 }
 
 impl ViewCache {
     /// Create with a maximum entry count.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        ViewCache { inner: RwLock::new(HashMap::new()), capacity, stats: CacheStats::default() }
+        ViewCache {
+            inner: RwLock::new(HashMap::new()),
+            capacity,
+            stats: CacheStats::default(),
+            tick: AtomicU64::new(0),
+        }
     }
 
     /// Statistics.
@@ -58,18 +65,24 @@ impl ViewCache {
         self.inner.write().clear();
     }
 
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// The view of `spec` under `prefix`, built at most once per repository
     /// version. Returns `None` when the spec does not exist or the prefix is
     /// invalid for its hierarchy (mirroring `SpecView::build` failure).
-    /// A hit probes with borrowed keys — no `Prefix` clone, no allocation.
+    /// A hit probes with borrowed keys — no `Prefix` clone, no allocation —
+    /// and touches the entry's LRU stamp.
     pub fn view(&self, repo: &Repository, spec: SpecId, prefix: &Prefix) -> Option<Arc<SpecView>> {
         let version = repo.version();
         {
             let guard = self.inner.read();
             match guard.get(&spec).and_then(|m| m.get(prefix)) {
-                Some((v, view)) if *v == version => {
+                Some(e) if e.version == version => {
+                    e.touch(self.next_tick());
                     self.stats.record_hit();
-                    return Some(Arc::clone(view));
+                    return Some(Arc::clone(&e.value));
                 }
                 Some(_) => {
                     self.stats.record_invalidation();
@@ -80,9 +93,19 @@ impl ViewCache {
         }
         let entry = repo.entry(spec)?;
         let view = Arc::new(SpecView::build(&entry.spec, &entry.hierarchy, prefix).ok()?);
+        let tick = self.next_tick();
         let mut guard = self.inner.write();
-        evict_for_insert(&mut guard, self.capacity, version);
-        guard.entry(spec).or_default().insert(prefix.clone(), (version, Arc::clone(&view)));
+        // Replacing an existing key (e.g. a stale entry, or a racing
+        // build of the same view) does not grow the map — evicting would
+        // drop an unrelated hot view for nothing.
+        let replaces = guard.get(&spec).is_some_and(|m| m.contains_key(prefix));
+        if !replaces {
+            evict_for_insert(&mut guard, self.capacity, version);
+        }
+        guard
+            .entry(spec)
+            .or_default()
+            .insert(prefix.clone(), VersionedEntry::new(version, Arc::clone(&view), tick));
         Some(view)
     }
 }
@@ -158,6 +181,28 @@ mod tests {
             }
         }
         assert!(cache.len() <= 2);
+    }
+
+    #[test]
+    fn lru_keeps_touched_views() {
+        use ppwf_model::ids::WorkflowId;
+        let r = repo();
+        let cache = ViewCache::new(2);
+        let entry = r.entry(SpecId(0)).unwrap();
+        let full = Prefix::full(&entry.hierarchy);
+        let root = Prefix::root_only(&entry.hierarchy);
+        let mid =
+            Prefix::from_workflows(&entry.hierarchy, [WorkflowId::new(0), WorkflowId::new(1)])
+                .unwrap();
+        let a = cache.view(&r, SpecId(0), &full).unwrap();
+        let r0 = cache.view(&r, SpecId(0), &root).unwrap();
+        // Touch `full`; inserting a third view must evict `root`, the LRU.
+        cache.view(&r, SpecId(0), &full).unwrap();
+        cache.view(&r, SpecId(0), &mid).unwrap();
+        let b = cache.view(&r, SpecId(0), &full).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "touched view survives eviction");
+        let r1 = cache.view(&r, SpecId(0), &root).unwrap();
+        assert!(!Arc::ptr_eq(&r0, &r1), "untouched LRU view was evicted and rebuilt");
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Query-log generation for serving benchmarks.
+//!
+//! Serving experiments (E10/E11) need a *request stream*, not a fixed
+//! query list: realistic logs follow the corpus's keyword popularity (head
+//! terms dominate, but a long selective tail exists), mix arities, and —
+//! for AND semantics — contain both queries whose terms co-occur in one
+//! module (guaranteed hits) and cross-module term pairs (mostly empty
+//! answers a server must still reject quickly). The generator samples all
+//! three shapes directly from a corpus's realized keyword annotations, so
+//! term popularity in the log mirrors the Zipf skew the corpus was built
+//! with — which is exactly what makes shard-selectivity measurable in the
+//! E11 scatter-pruning experiment.
+
+use ppwf_model::spec::Specification;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Knobs for [`generate_query_log`].
+#[derive(Clone, Debug)]
+pub struct QueryLogParams {
+    /// RNG seed — equal corpus and params ⇒ identical log.
+    pub seed: u64,
+    /// Number of queries to emit.
+    pub count: usize,
+    /// Fraction of queries with two terms (the rest are single-term).
+    pub two_term_fraction: f64,
+    /// Of the two-term queries, the fraction whose terms are drawn from a
+    /// single module's annotations (so the AND is satisfiable there).
+    pub same_module_fraction: f64,
+    /// Probability that a term is drawn uniformly from the *distinct*
+    /// vocabulary instead of the annotation multiset. 0 makes query
+    /// popularity mirror content popularity exactly; 1 makes every realized
+    /// term equally likely. Real query logs sit in between — flatter than
+    /// the content Zipf, with real mass on the selective tail.
+    pub flatten_popularity: f64,
+    /// Emit only distinct query strings (serving caches then never hit, so
+    /// a single pass over the log measures the uncached path).
+    pub distinct: bool,
+}
+
+impl Default for QueryLogParams {
+    fn default() -> Self {
+        QueryLogParams {
+            seed: 1,
+            count: 200,
+            two_term_fraction: 0.6,
+            same_module_fraction: 0.5,
+            flatten_popularity: 0.5,
+            distinct: true,
+        }
+    }
+}
+
+/// Sample a query log from the corpus's keyword annotations. Term
+/// popularity follows the corpus distribution (sampling the realized
+/// annotation multiset reproduces its Zipf skew); every emitted term occurs
+/// somewhere in the corpus. Returns fewer than `count` queries only if
+/// `distinct` is set and the corpus cannot supply enough distinct shapes.
+pub fn generate_query_log(corpus: &[Specification], params: &QueryLogParams) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    // The realized annotation multiset, and per-module distinct term sets.
+    let mut all_terms: Vec<String> = Vec::new();
+    let mut module_terms: Vec<Vec<String>> = Vec::new();
+    for spec in corpus {
+        for module in spec.modules() {
+            if module.kind.is_distinguished() || module.keywords.is_empty() {
+                continue;
+            }
+            all_terms.extend(module.keywords.iter().cloned());
+            let distinct: BTreeSet<String> = module.keywords.iter().cloned().collect();
+            if distinct.len() >= 2 {
+                module_terms.push(distinct.into_iter().collect());
+            }
+        }
+    }
+    assert!(!all_terms.is_empty(), "corpus carries no keyword annotations");
+    let vocabulary: Vec<String> = {
+        let set: BTreeSet<String> = all_terms.iter().cloned().collect();
+        set.into_iter().collect()
+    };
+
+    let mut log = Vec::with_capacity(params.count);
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut attempts = 0usize;
+    let max_attempts = params.count.saturating_mul(50).max(1000);
+    let flatten = params.flatten_popularity.clamp(0.0, 1.0);
+    let draw_term = |rng: &mut StdRng| -> String {
+        if rng.gen_bool(flatten) {
+            vocabulary[rng.gen_range(0..vocabulary.len())].clone()
+        } else {
+            all_terms[rng.gen_range(0..all_terms.len())].clone()
+        }
+    };
+    while log.len() < params.count && attempts < max_attempts {
+        attempts += 1;
+        let two = rng.gen_bool(params.two_term_fraction.clamp(0.0, 1.0));
+        let query = if !two {
+            draw_term(&mut rng)
+        } else if !module_terms.is_empty()
+            && rng.gen_bool(params.same_module_fraction.clamp(0.0, 1.0))
+        {
+            // Co-occurring pair: both terms from one module's annotations.
+            let m = &module_terms[rng.gen_range(0..module_terms.len())];
+            let a = rng.gen_range(0..m.len());
+            let mut b = rng.gen_range(0..m.len());
+            while b == a {
+                b = rng.gen_range(0..m.len());
+            }
+            format!("{}, {}", m[a], m[b])
+        } else {
+            // Cross pair: independent draws — usually an empty AND answer.
+            let a = draw_term(&mut rng);
+            let b = draw_term(&mut rng);
+            if a == b {
+                continue;
+            }
+            format!("{a}, {b}")
+        };
+        if params.distinct && !seen.insert(query.clone()) {
+            continue;
+        }
+        log.push(query);
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genspec::{generate_spec, SpecParams};
+
+    fn corpus(specs: usize, vocabulary: usize) -> Vec<Specification> {
+        (0..specs as u64)
+            .map(|i| {
+                generate_spec(&SpecParams { seed: 100 + i, vocabulary, ..SpecParams::default() })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn log_is_deterministic_and_sized() {
+        let c = corpus(4, 64);
+        let p = QueryLogParams { count: 50, ..QueryLogParams::default() };
+        let a = generate_query_log(&c, &p);
+        let b = generate_query_log(&c, &p);
+        assert_eq!(a, b, "same seed, same log");
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn distinct_logs_have_no_repeats() {
+        let c = corpus(6, 256);
+        let p = QueryLogParams { count: 120, distinct: true, ..QueryLogParams::default() };
+        let log = generate_query_log(&c, &p);
+        let unique: BTreeSet<&String> = log.iter().collect();
+        assert_eq!(unique.len(), log.len());
+    }
+
+    #[test]
+    fn terms_come_from_the_corpus() {
+        let c = corpus(3, 64);
+        let mut vocabulary: BTreeSet<String> = BTreeSet::new();
+        for spec in &c {
+            for m in spec.modules() {
+                vocabulary.extend(m.keywords.iter().cloned());
+            }
+        }
+        let log = generate_query_log(&c, &QueryLogParams::default());
+        for q in &log {
+            for term in q.split(", ") {
+                assert!(vocabulary.contains(term), "term {term:?} not in corpus");
+            }
+        }
+    }
+
+    #[test]
+    fn mixes_arities() {
+        let c = corpus(4, 64);
+        let log = generate_query_log(
+            &c,
+            &QueryLogParams { count: 100, two_term_fraction: 0.5, ..QueryLogParams::default() },
+        );
+        let twos = log.iter().filter(|q| q.contains(", ")).count();
+        assert!(twos > 10 && twos < 90, "both arities present (got {twos} two-term)");
+    }
+}

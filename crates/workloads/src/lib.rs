@@ -11,13 +11,18 @@
 //! * [`genspec`] — random hierarchical workflow specifications,
 //! * [`genexec`] — batch execution generation with seeded oracles,
 //! * [`genmodule`] — random and structured relations/networks for the
-//!   module-privacy experiments.
+//!   module-privacy experiments,
+//! * [`genquery`] — corpus-driven query logs for the serving experiments
+//!   (arity mix, co-occurring vs cross term pairs, corpus-Zipf popularity —
+//!   the knob that makes shard selectivity measurable in E11).
 //!
 //! Everything is deterministic under a caller-provided seed.
 
 pub mod genexec;
 pub mod genmodule;
+pub mod genquery;
 pub mod genspec;
 pub mod zipf;
 
+pub use genquery::{generate_query_log, QueryLogParams};
 pub use genspec::{generate_spec, SpecParams};

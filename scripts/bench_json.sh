@@ -1,13 +1,39 @@
 #!/usr/bin/env bash
-# Regenerate the machine-readable E10 baseline (BENCH_e10_query_cache.json).
+# Regenerate the machine-readable experiment baselines.
 #
-# Usage: scripts/bench_json.sh [--out PATH] [--specs 8,16,32] [--reps 50]
-# Extra arguments are passed through to the e10_query_cache binary.
+# Usage:
+#   scripts/bench_json.sh            # E10 + E11, default settings
+#   scripts/bench_json.sh e10 [...]  # only E10; extra args passed through
+#   scripts/bench_json.sh e11 [...]  # only E11; extra args passed through
 #
-# The binary exits non-zero if the warm cache fails the ≥5x acceptance
-# threshold against the uncached path, so this script doubles as a perf
-# smoke test in CI.
+# Both binaries exit non-zero when their acceptance threshold fails (E10:
+# warm cache ≥5x uncached; E11: 4-shard cold serving ≥2x the single
+# engine), so this script doubles as a perf smoke test in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo run --release -p ppwf-bench --bin e10_query_cache -- "$@"
+which="${1:-all}"
+if [[ $# -gt 0 ]]; then shift; fi
+
+case "$which" in
+  e10)
+    cargo run --release -p ppwf-bench --bin e10_query_cache -- "$@"
+    ;;
+  e11)
+    cargo run --release -p ppwf-bench --bin e11_sharding -- "$@"
+    ;;
+  all)
+    # The two binaries take disjoint flag sets, so 'all' accepts no
+    # passthrough args — target one binary to customize a run.
+    if [[ $# -gt 0 ]]; then
+      echo "extra args need an explicit target: bench_json.sh {e10|e11} $*" >&2
+      exit 2
+    fi
+    cargo run --release -p ppwf-bench --bin e10_query_cache
+    cargo run --release -p ppwf-bench --bin e11_sharding
+    ;;
+  *)
+    echo "unknown target '$which' (expected e10, e11, or all)" >&2
+    exit 2
+    ;;
+esac
