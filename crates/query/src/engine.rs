@@ -15,19 +15,31 @@
 //! mutations go through [`QueryEngine::mutate`], which bumps the version
 //! (invalidating result and view entries lazily) and rebuilds the keyword
 //! index eagerly.
+//!
+//! Cold queries resolve access views **lazily**: the engine holds an
+//! [`AccessCache`] whose per-group [`AccessResolver`]s resolve a spec's
+//! rule only when that spec shows up in candidate postings (or in a hit
+//! being coarsened), memoizing products across queries. The former plan —
+//! materializing the group's whole-corpus access map per cold query — made
+//! access resolution the dominant cold cost (E12 measures the difference);
+//! the filter-then-search privacy invariant is untouched, because postings
+//! are still filtered before any search work.
 
 use crate::keyword::{search_filtered_with_cache, KeywordHit, KeywordQuery};
 use crate::privacy_exec::{
     filter_then_search_cached, search_then_zoom_out_cached, PrivateSearchOutcome,
 };
 use crate::ranking::{
-    idfs_for_terms, profiles_for_hits, rank_by_scores, score_with_idfs, RankingMode, TfProfile,
+    idfs_for_terms, profiles_for_hits, rank_by_scores, score_with_idfs, ModeKey, RankingMode,
+    TfProfile,
 };
+use parking_lot::RwLock;
 use ppwf_repo::cache::{CacheStats, GroupCache};
 use ppwf_repo::keyword_index::KeywordIndex;
-use ppwf_repo::principals::PrincipalRegistry;
+use ppwf_repo::principals::{AccessCache, AccessResolver, PrincipalRegistry};
 use ppwf_repo::repository::Repository;
 use ppwf_repo::view_cache::ViewCache;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Which privacy-preserving evaluation plan to run (Sec. 4's contrast).
@@ -112,7 +124,8 @@ impl CacheSnapshot {
     }
 }
 
-/// Counters of every cache layer the engine runs, for operators and E10.
+/// Counters of every cache layer the engine runs, for operators and
+/// E10/E12.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EngineStats {
     /// The `(spec, prefix)` view memo.
@@ -121,8 +134,12 @@ pub struct EngineStats {
     pub keyword: CacheSnapshot,
     /// The `(group, query)` private-search-outcome cache.
     pub private: CacheSnapshot,
-    /// The `(group, query, mode)` ranking cache.
+    /// The per-mode `(group, query)` ranking caches, summed.
     pub ranked: CacheSnapshot,
+    /// The lazy access-view memo: `hits` are memo-served resolutions,
+    /// `misses` are rule resolutions actually performed — the E12
+    /// instrument (misses ≪ corpus × cold queries is the lazy win).
+    pub access: CacheSnapshot,
 }
 
 impl EngineStats {
@@ -135,6 +152,7 @@ impl EngineStats {
             keyword: acc.keyword.merge(s.keyword),
             private: acc.private.merge(s.private),
             ranked: acc.ranked.merge(s.ranked),
+            access: acc.access.merge(s.access),
         })
     }
 }
@@ -145,10 +163,37 @@ pub struct QueryEngine {
     registry: PrincipalRegistry,
     index: KeywordIndex,
     views: ViewCache,
+    /// Lazy per-group access-view memos: cold queries resolve rules only
+    /// for candidate specs, and the products survive across queries until
+    /// a version bump or registry swap.
+    access: AccessCache,
     keyword_results: GroupCache<Vec<KeywordHit>>,
     /// One cache per [`Plan`], indexed by [`Plan::slot`].
     private_results: [GroupCache<PrivateSearchOutcome>; 2],
-    ranked_results: GroupCache<RankedAnswer>,
+    /// Ranked answers, one `(group, query)` cache per [`ModeKey`]. Modes
+    /// carry `f64` parameters, so they key an outer map of caches rather
+    /// than a fixed array like [`Plan`] — the warm probe builds a stack
+    /// `ModeKey` and clones an `Arc`, allocating nothing. The map itself
+    /// is bounded at [`MAX_RANKED_MODES`]: workloads that mint unbounded
+    /// distinct modes (e.g. a fresh `NoisyFull` seed per request) evict
+    /// the least-recently-used mode's cache instead of growing forever.
+    ranked_results: RwLock<HashMap<ModeKey, ModeSlot>>,
+    ranked_tick: std::sync::atomic::AtomicU64,
+    /// Counters of mode caches evicted from `ranked_results`, folded in so
+    /// [`Self::stats`] stays monotonic under mode churn — history must not
+    /// vanish with the victim.
+    ranked_evicted: RwLock<CacheSnapshot>,
+    result_capacity: usize,
+}
+
+/// Most distinct [`RankingMode`]s cached simultaneously. Real deployments
+/// use a handful; the bound only matters for mode-churning workloads.
+const MAX_RANKED_MODES: usize = 16;
+
+/// One mode's ranked-answer cache plus an LRU stamp for mode eviction.
+struct ModeSlot {
+    cache: Arc<GroupCache<RankedAnswer>>,
+    last_used: std::sync::atomic::AtomicU64,
 }
 
 impl QueryEngine {
@@ -171,9 +216,13 @@ impl QueryEngine {
             registry,
             index,
             views: ViewCache::new(view_capacity),
+            access: AccessCache::new(),
             keyword_results: GroupCache::new(result_capacity),
             private_results: [GroupCache::new(result_capacity), GroupCache::new(result_capacity)],
-            ranked_results: GroupCache::new(result_capacity),
+            ranked_results: RwLock::new(HashMap::new()),
+            ranked_tick: std::sync::atomic::AtomicU64::new(0),
+            ranked_evicted: RwLock::new(CacheSnapshot::default()),
+            result_capacity,
         }
     }
 
@@ -207,29 +256,49 @@ impl QueryEngine {
     }
 
     /// Replace the registry (e.g. a group's access rule changed). Result
-    /// caches are cleared outright: group keys may now mean different
-    /// privileges, and lazy version tags cannot see registry changes.
+    /// caches and the access memo are cleared outright: group keys may now
+    /// mean different privileges, and lazy version tags cannot see
+    /// registry changes.
     pub fn set_registry(&mut self, registry: PrincipalRegistry) {
         self.registry = registry;
+        self.access.clear();
         self.keyword_results.clear();
         for cache in &self.private_results {
             cache.clear();
         }
-        self.ranked_results.clear();
+        for slot in self.ranked_results.read().values() {
+            slot.cache.clear();
+        }
+    }
+
+    /// A lazy access resolver for `group` at the current repository
+    /// version — the cold path's privilege source. Exposed so operators
+    /// and tests can drive/inspect resolution directly; query entry points
+    /// call it internally after their result-cache probe misses.
+    pub fn access_resolver(&self, group: &str) -> Option<AccessResolver<'_>> {
+        self.access.resolver(&self.registry, &self.repo, group)
+    }
+
+    /// The lazy access memo (counters, memoized sizes).
+    pub fn access_cache(&self) -> &AccessCache {
+        &self.access
     }
 
     /// Privilege-filtered keyword search for one group, cached per
     /// `(group, query)`. Returns `None` for unknown groups.
     ///
-    /// The cache is probed *before* the group's access map is resolved:
-    /// a warm hit is one hash lookup plus an `Arc` clone, never a walk of
-    /// the registry — that ordering is what E10's warm path measures.
+    /// The cache is probed *before* any access resolution: a warm hit is
+    /// one hash lookup plus an `Arc` clone, never a walk of the registry —
+    /// that ordering is what E10's warm path measures. A cold miss builds
+    /// a lazy [`AccessResolver`], so only specs with candidate postings
+    /// pay rule resolution (E12's cold-path lever) — never the whole
+    /// corpus, as the former eager `access_map` did.
     pub fn search_as(&self, group: &str, query_text: &str) -> Option<Arc<Vec<KeywordHit>>> {
         let version = self.repo.version();
         if let Some(hit) = self.keyword_results.get(group, query_text, version) {
             return Some(hit);
         }
-        let access = self.registry.access_map(&self.repo, group)?;
+        let access = self.access_resolver(group)?;
         let query = KeywordQuery::parse(query_text);
         let answer = Arc::new(search_filtered_with_cache(
             &self.repo,
@@ -257,7 +326,7 @@ impl QueryEngine {
         if let Some(hit) = cache.get(group, query_text, version) {
             return Some(hit);
         }
-        let access = self.registry.access_map(&self.repo, group)?;
+        let access = self.access_resolver(group)?;
         let query = KeywordQuery::parse(query_text);
         let outcome = Arc::new(match plan {
             Plan::FilterThenSearch => {
@@ -271,13 +340,54 @@ impl QueryEngine {
         Some(outcome)
     }
 
+    /// The `(group, query)` cache serving `mode`, created on first use.
+    /// The warm path is a read-locked map probe with a stack [`ModeKey`]
+    /// plus an `Arc` clone — no allocation, unlike the former
+    /// `format!("{mode:?}…")` composite key built per probe. A new mode
+    /// beyond [`MAX_RANKED_MODES`] evicts the least-recently-used mode's
+    /// cache, so mode-churning traffic cannot grow the map unboundedly.
+    fn ranked_cache(&self, mode: RankingMode) -> Arc<GroupCache<RankedAnswer>> {
+        use std::sync::atomic::Ordering;
+        let key = mode.cache_key();
+        let tick = self.ranked_tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(slot) = self.ranked_results.read().get(&key) {
+            slot.last_used.store(tick, Ordering::Relaxed);
+            return Arc::clone(&slot.cache);
+        }
+        let mut guard = self.ranked_results.write();
+        if let Some(slot) = guard.get(&key) {
+            // A racing request created the slot between our locks.
+            slot.last_used.store(tick, Ordering::Relaxed);
+            return Arc::clone(&slot.cache);
+        }
+        if guard.len() >= MAX_RANKED_MODES {
+            let victim = guard
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k)
+                .expect("nonempty at capacity");
+            if let Some(slot) = guard.remove(&victim) {
+                // Fold the victim's counters so stats() never goes backwards.
+                let mut evicted = self.ranked_evicted.write();
+                *evicted = evicted.merge(CacheSnapshot::of(slot.cache.stats()));
+            }
+        }
+        let cache = Arc::new(GroupCache::new(self.result_capacity));
+        guard.insert(
+            key,
+            ModeSlot {
+                cache: Arc::clone(&cache),
+                last_used: std::sync::atomic::AtomicU64::new(tick),
+            },
+        );
+        cache
+    }
+
     /// Ranked keyword search: the cached hit list for `(group, query)`
-    /// scored under `mode`, itself cached per `(group, query ⊕ mode)` so
-    /// repeated ranked queries skip the TF re-tokenization pass entirely.
-    /// Unlike the other layers, the warm probe allocates one small key
-    /// string: [`RankingMode`] carries `f64` parameters (bucket base, ε,
-    /// seed), so modes cannot index a fixed cache array the way [`Plan`]
-    /// does — negligible next to the profile/score payload it saves.
+    /// scored under `mode`, itself cached per `(group, query)` in a
+    /// per-[`ModeKey`] cache, so repeated ranked queries skip the TF
+    /// re-tokenization pass entirely — and the warm probe is
+    /// allocation-free like the other layers.
     pub fn ranked_search_as(
         &self,
         group: &str,
@@ -286,8 +396,8 @@ impl QueryEngine {
     ) -> Option<(Arc<Vec<KeywordHit>>, Arc<RankedAnswer>)> {
         let hits = self.search_as(group, query_text)?;
         let version = self.repo.version();
-        let key = format!("{mode:?}\u{1f}{query_text}");
-        let ranked = self.ranked_results.get_or_compute(group, &key, version, || {
+        let cache = self.ranked_cache(mode);
+        let ranked = cache.get_or_compute(group, query_text, version, || {
             let query = KeywordQuery::parse(query_text);
             let profiles = profiles_for_hits(&self.repo, &hits, &query.terms);
             let idfs = idfs_for_terms(&self.index, &query.terms);
@@ -301,11 +411,18 @@ impl QueryEngine {
 
     /// Counters of every cache layer.
     pub fn stats(&self) -> EngineStats {
+        let ranked = {
+            let guard = self.ranked_results.read();
+            self.ranked_evicted
+                .read()
+                .merge(CacheSnapshot::sum(guard.values().map(|slot| slot.cache.stats())))
+        };
         EngineStats {
             views: CacheSnapshot::of(self.views.stats()),
             keyword: CacheSnapshot::of(self.keyword_results.stats()),
             private: CacheSnapshot::sum(self.private_results.iter().map(|c| c.stats())),
-            ranked: CacheSnapshot::of(self.ranked_results.stats()),
+            ranked,
+            access: CacheSnapshot::of(self.access.stats()),
         }
     }
 }
@@ -357,6 +474,22 @@ mod tests {
     }
 
     #[test]
+    fn cold_queries_resolve_access_lazily() {
+        let e = engine();
+        // No candidate postings: no rule may resolve (the eager plan would
+        // have walked the whole corpus here).
+        e.search_as("researchers", "unobtainium").unwrap();
+        assert_eq!(e.stats().access.misses, 0, "no candidates, no rule resolutions");
+        // One candidate spec: exactly one rule resolution.
+        e.search_as("researchers", "database").unwrap();
+        assert_eq!(e.stats().access.misses, 1);
+        // Another query over the same spec: the memo serves it.
+        e.search_as("researchers", "risk").unwrap();
+        assert_eq!(e.stats().access.misses, 1, "memo must absorb the second touch");
+        assert!(e.stats().access.hits >= 1);
+    }
+
+    #[test]
     fn mutation_invalidates_cached_answers() {
         let mut e = engine();
         let before = e.search_as("researchers", "risk").unwrap();
@@ -391,6 +524,48 @@ mod tests {
             e.ranked_search_as("researchers", "query", RankingMode::ExactFull).unwrap();
         assert!(Arc::ptr_eq(&ranked, &again));
         assert!(e.stats().ranked.hits >= 1);
+    }
+
+    #[test]
+    fn mode_churn_cannot_grow_the_ranked_map_unboundedly() {
+        let e = engine();
+        // A fresh NoisyFull seed per request mints a distinct ModeKey each
+        // time — the map must evict old modes, not accumulate them.
+        let mut last_lookups = 0u64;
+        for seed in 0..3 * MAX_RANKED_MODES as u64 {
+            e.ranked_search_as(
+                "researchers",
+                "query",
+                RankingMode::NoisyFull { epsilon: 1.0, seed },
+            )
+            .unwrap();
+            // Evictions must not erase history: the counters stay monotone.
+            let ranked = e.stats().ranked;
+            let lookups = ranked.hits + ranked.misses;
+            assert!(lookups >= last_lookups, "ranked counters went backwards");
+            last_lookups = lookups;
+        }
+        assert!(e.ranked_results.read().len() <= MAX_RANKED_MODES);
+        assert_eq!(
+            last_lookups,
+            3 * MAX_RANKED_MODES as u64,
+            "every mode-churn lookup is still accounted for after evictions"
+        );
+        // A hot mode in steady use survives the churn's evictions.
+        e.ranked_search_as("researchers", "query", RankingMode::ExactFull).unwrap();
+        for seed in 100..100 + MAX_RANKED_MODES as u64 - 1 {
+            e.ranked_search_as(
+                "researchers",
+                "query",
+                RankingMode::NoisyFull { epsilon: 1.0, seed },
+            )
+            .unwrap();
+            e.ranked_search_as("researchers", "query", RankingMode::ExactFull).unwrap();
+        }
+        assert!(
+            e.ranked_results.read().contains_key(&RankingMode::ExactFull.cache_key()),
+            "the constantly-touched mode must not be the eviction victim"
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@ use ppwf_model::expand::SpecView;
 use ppwf_model::hierarchy::Prefix;
 use ppwf_model::ids::{ModuleId, WorkflowId};
 use ppwf_repo::keyword_index::{tokenize, KeywordIndex, Posting};
+use ppwf_repo::principals::SpecAccess;
 use ppwf_repo::repository::{Repository, SpecId};
 use ppwf_repo::scan::scan_specs;
 use ppwf_repo::view_cache::ViewCache;
@@ -147,12 +148,18 @@ pub fn search_with_cache(
 
 /// Index-backed search with privilege filtering: only postings whose
 /// workflow is inside the principal's access view for that spec are
-/// admissible (the paper's one-index-many-views design).
+/// admissible (the paper's one-index-many-views design). `access` is any
+/// [`SpecAccess`]: an eager whole-corpus map, or a lazy
+/// [`AccessResolver`](ppwf_repo::principals::AccessResolver) that resolves
+/// rules only for specs appearing in candidate postings. Filtering stays
+/// filter-then-search either way: postings are screened before any
+/// cover/view work, so no inadmissible candidate enters timing-observable
+/// scoring.
 pub fn search_filtered(
     repo: &Repository,
     index: &KeywordIndex,
     query: &KeywordQuery,
-    access: &HashMap<SpecId, Prefix>,
+    access: &impl SpecAccess,
 ) -> Vec<KeywordHit> {
     search_with_postings(repo, query, None, |term| index.lookup_filtered(term, access))
 }
@@ -163,7 +170,7 @@ pub fn search_filtered_with_cache(
     repo: &Repository,
     index: &KeywordIndex,
     query: &KeywordQuery,
-    access: &HashMap<SpecId, Prefix>,
+    access: &impl SpecAccess,
     views: &ViewCache,
 ) -> Vec<KeywordHit> {
     search_with_postings(repo, query, Some(views), |term| index.lookup_filtered(term, access))
@@ -271,6 +278,7 @@ mod tests {
     use super::*;
     use ppwf_core::policy::Policy;
     use ppwf_model::fixtures;
+    use std::collections::HashMap;
 
     fn setup() -> (Repository, KeywordIndex) {
         let mut repo = Repository::new();

@@ -26,12 +26,17 @@ use crate::keyword::{
 use ppwf_core::policy::Principal;
 use ppwf_model::hierarchy::Prefix;
 use ppwf_repo::keyword_index::KeywordIndex;
+use ppwf_repo::principals::SpecAccess;
 use ppwf_repo::repository::{Repository, SpecId};
 use ppwf_repo::view_cache::ViewCache;
 use std::collections::HashMap;
 
 /// A principal's per-spec access views (a repository may hold many
-/// specifications, each with its own hierarchy).
+/// specifications, each with its own hierarchy). This is the **eager**
+/// shape; every plan below is generic over [`SpecAccess`], so a lazy
+/// [`AccessResolver`](ppwf_repo::principals::AccessResolver) threads
+/// through the same entry points and resolves only the specs a query
+/// actually touches.
 pub type AccessMap = HashMap<SpecId, Prefix>;
 
 /// Build the access map giving `principal`'s level-implied views: full
@@ -75,13 +80,17 @@ pub struct PrivateSearchOutcome {
 }
 
 /// Plan 1: filter-then-search. Index postings are pre-filtered by the
-/// access map; the minimal cover is computed over admissible matches only,
-/// so every constructed view is already releasable.
+/// access view; the minimal cover is computed over admissible matches
+/// only, so every constructed view is already releasable. With a lazy
+/// resolver as `access`, only specs inside the candidate postings union
+/// are ever resolved — the resolver's touch counters prove it, and the
+/// privacy property (no inadmissible candidate in timing-observable work)
+/// is preserved because filtering still precedes all search work.
 pub fn filter_then_search(
     repo: &Repository,
     index: &KeywordIndex,
     query: &KeywordQuery,
-    access: &AccessMap,
+    access: &impl SpecAccess,
 ) -> PrivateSearchOutcome {
     let hits = search_filtered(repo, index, query, access);
     let views_built = hits.len();
@@ -95,7 +104,7 @@ pub fn filter_then_search_cached(
     repo: &Repository,
     index: &KeywordIndex,
     query: &KeywordQuery,
-    access: &AccessMap,
+    access: &impl SpecAccess,
     views: &ViewCache,
 ) -> PrivateSearchOutcome {
     let hits = search_filtered_with_cache(repo, index, query, access, views);
@@ -111,7 +120,7 @@ pub fn search_then_zoom_out(
     repo: &Repository,
     index: &KeywordIndex,
     query: &KeywordQuery,
-    access: &AccessMap,
+    access: &impl SpecAccess,
 ) -> PrivateSearchOutcome {
     search_then_zoom_out_inner(repo, index, query, access, None)
 }
@@ -124,7 +133,7 @@ pub fn search_then_zoom_out_cached(
     repo: &Repository,
     index: &KeywordIndex,
     query: &KeywordQuery,
-    access: &AccessMap,
+    access: &impl SpecAccess,
     views: &ViewCache,
 ) -> PrivateSearchOutcome {
     search_then_zoom_out_inner(repo, index, query, access, Some(views))
@@ -134,7 +143,7 @@ fn search_then_zoom_out_inner(
     repo: &Repository,
     index: &KeywordIndex,
     query: &KeywordQuery,
-    access: &AccessMap,
+    access: &impl SpecAccess,
     views: Option<&ViewCache>,
 ) -> PrivateSearchOutcome {
     let full_hits = match views {
@@ -147,14 +156,16 @@ fn search_then_zoom_out_inner(
     let mut discarded = 0usize;
 
     'hits: for hit in full_hits {
-        let Some(allowed) = access.get(&hit.spec) else {
+        // Lazy access: only *hit* specs resolve — this plan already did
+        // oblivious full-corpus search, so laziness here is pure saving.
+        let Some(allowed) = access.prefix_of(hit.spec) else {
             discarded += 1;
             continue;
         };
         let entry = repo.entry(hit.spec).expect("hit references live spec");
         // Coarsen to the lattice meet of the answer and the access view.
         let mut prefix = hit.prefix.clone();
-        while !prefix.coarser_or_equal(allowed) {
+        while !prefix.coarser_or_equal(&allowed) {
             // Remove the deepest prefix member not allowed.
             let victim = prefix
                 .workflows()

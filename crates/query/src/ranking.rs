@@ -51,6 +51,36 @@ pub enum RankingMode {
     },
 }
 
+/// A compact, fixed-width, hashable identity for a [`RankingMode`]: one
+/// discriminant byte, the mode's `f64` parameter bits, and the RNG seed.
+/// Two modes map to the same key iff they rank identically, so the engine
+/// can key its ranked-answer cache by `ModeKey` — a stack value built
+/// without formatting — instead of a `format!("{mode:?}…")` string per
+/// warm probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ModeKey([u8; 17]);
+
+impl RankingMode {
+    /// This mode's [`ModeKey`].
+    pub fn cache_key(self) -> ModeKey {
+        let mut buf = [0u8; 17];
+        match self {
+            RankingMode::ExactFull => buf[0] = 0,
+            RankingMode::VisibleOnly => buf[0] = 1,
+            RankingMode::BucketizedFull { base } => {
+                buf[0] = 2;
+                buf[1..9].copy_from_slice(&base.to_bits().to_le_bytes());
+            }
+            RankingMode::NoisyFull { epsilon, seed } => {
+                buf[0] = 3;
+                buf[1..9].copy_from_slice(&epsilon.to_bits().to_le_bytes());
+                buf[9..17].copy_from_slice(&seed.to_le_bytes());
+            }
+        }
+        ModeKey(buf)
+    }
+}
+
 /// Term-frequency profile of one result for one query.
 #[derive(Clone, Debug, Default)]
 pub struct TfProfile {
@@ -118,12 +148,13 @@ pub fn profiles_for_hits(
     hits.iter().map(|h| tf_profile(repo, h.spec, &h.prefix, terms)).collect()
 }
 
-/// Per-term IDF weights from one index. A sharded cluster builds the same
-/// vector from *summed* shard statistics via
-/// [`KeywordIndex::idf_from_counts`], which is what keeps sharded ranked
-/// answers bit-identical to single-engine ones.
+/// Per-term IDF weights from one index, through the index's per-term df
+/// memo (phrase dfs otherwise re-materialize their posting lists per
+/// request). A sharded cluster builds the same vector from *summed* shard
+/// statistics via [`KeywordIndex::idf_from_counts`], which is what keeps
+/// sharded ranked answers bit-identical to single-engine ones.
 pub fn idfs_for_terms(index: &KeywordIndex, terms: &[String]) -> Vec<f64> {
-    terms.iter().map(|t| index.idf(t)).collect()
+    terms.iter().map(|t| index.idf_cached(t)).collect()
 }
 
 /// Score one profile under a mode. IDF weights come from the index.
@@ -407,5 +438,27 @@ mod tests {
     fn rank_by_scores_stable() {
         let order = rank_by_scores(&[1.0, 3.0, 3.0, 0.5]);
         assert_eq!(order, vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn mode_keys_separate_exactly_the_distinct_rankers() {
+        assert_eq!(RankingMode::ExactFull.cache_key(), RankingMode::ExactFull.cache_key());
+        assert_ne!(RankingMode::ExactFull.cache_key(), RankingMode::VisibleOnly.cache_key());
+        assert_ne!(
+            RankingMode::BucketizedFull { base: 2.0 }.cache_key(),
+            RankingMode::BucketizedFull { base: 4.0 }.cache_key()
+        );
+        assert_eq!(
+            RankingMode::BucketizedFull { base: 2.0 }.cache_key(),
+            RankingMode::BucketizedFull { base: 2.0 }.cache_key()
+        );
+        assert_ne!(
+            RankingMode::NoisyFull { epsilon: 1.0, seed: 1 }.cache_key(),
+            RankingMode::NoisyFull { epsilon: 1.0, seed: 2 }.cache_key()
+        );
+        assert_ne!(
+            RankingMode::NoisyFull { epsilon: 0.5, seed: 1 }.cache_key(),
+            RankingMode::NoisyFull { epsilon: 1.0, seed: 1 }.cache_key()
+        );
     }
 }

@@ -17,8 +17,9 @@
 //! * multi-word phrases (`"disorder risks"`) match whole keyword tags or
 //!   consecutive name tokens.
 
+use crate::principals::SpecAccess;
 use crate::repository::{Repository, SpecId};
-use ppwf_model::hierarchy::Prefix;
+use parking_lot::RwLock;
 use ppwf_model::ids::{ModuleId, WorkflowId};
 use std::collections::HashMap;
 
@@ -56,7 +57,20 @@ pub struct KeywordIndex {
     doc_count: usize,
     /// Repository version this index was built at.
     built_at: u64,
+    /// Per-query-term document-frequency memo ([`Self::df_cached`]). The
+    /// postings are immutable after build, so entries are tagged only by
+    /// living inside this index instance — a mutation rebuilds the index
+    /// (at the new `built_at`) and the memo dies with it. Bounded at
+    /// [`DF_MEMO_CAP`]: terms are user-supplied strings, and a mutation-
+    /// free workload never rebuilds, so an unbounded memo would be an
+    /// attacker-controllable allocation.
+    df_memo: RwLock<HashMap<String, usize>>,
 }
+
+/// Most distinct query terms the df memo retains. Past the cap,
+/// [`KeywordIndex::df_cached`] computes without memoizing — the hot head
+/// terms of a real stream are cached long before it fills.
+const DF_MEMO_CAP: usize = 4096;
 
 impl KeywordIndex {
     /// Build the index over every module of every specification.
@@ -157,12 +171,24 @@ impl KeywordIndex {
     }
 
     /// Privilege-filtered postings: only those whose workflow lies inside
-    /// the principal's access view for that spec. `access` maps spec →
-    /// prefix; specs absent from the map are invisible.
-    pub fn lookup_filtered(&self, term: &str, access: &HashMap<SpecId, Prefix>) -> Vec<Posting> {
+    /// the principal's access view for that spec. `access` is any
+    /// [`SpecAccess`] — an eager `spec → prefix` map, or a lazy
+    /// [`AccessResolver`](crate::principals::AccessResolver), in which case
+    /// **only the specs appearing in this term's candidate postings are
+    /// resolved** (the lazy cold-path win). Specs the access view does not
+    /// know are invisible. Postings are sorted by `(spec, workflow,
+    /// module)`, so consecutive same-spec postings share one prefix fetch.
+    pub fn lookup_filtered<A: SpecAccess + ?Sized>(&self, term: &str, access: &A) -> Vec<Posting> {
+        let mut current: Option<(SpecId, Option<crate::principals::AccessPrefix<'_>>)> = None;
         self.lookup_query_term(term)
             .into_iter()
-            .filter(|p| access.get(&p.spec).map(|pre| pre.contains(p.workflow)).unwrap_or(false))
+            .filter(|p| {
+                if current.as_ref().map(|(sid, _)| *sid) != Some(p.spec) {
+                    current = Some((p.spec, access.prefix_of(p.spec)));
+                }
+                let (_, prefix) = current.as_ref().expect("just filled");
+                prefix.as_ref().is_some_and(|pre| pre.contains(p.workflow))
+            })
             .collect()
     }
 
@@ -181,6 +207,31 @@ impl KeywordIndex {
             return self.terms.get(term).map_or(0, |v| v.len());
         }
         self.lookup_query_term(term).len()
+    }
+
+    /// [`Self::df`] through the per-term memo. Single already-normalized
+    /// tokens are O(1) either way; the memo exists for **phrases**, whose
+    /// `df` otherwise re-materializes `lookup_query_term` (tag probe +
+    /// adjacency verification over seed postings) — which the cluster's
+    /// ranked gather used to pay per shard per request. First request per
+    /// term per index build computes; every later one is a map probe.
+    pub fn df_cached(&self, term: &str) -> usize {
+        if let Some(&df) = self.df_memo.read().get(term) {
+            return df;
+        }
+        let df = self.df(term);
+        let mut memo = self.df_memo.write();
+        if memo.len() < DF_MEMO_CAP || memo.contains_key(term) {
+            memo.insert(term.to_string(), df);
+        }
+        df
+    }
+
+    /// [`Self::idf`] over the memoized document frequency — what the
+    /// single engine's ranking path uses, keeping warm ranked queries off
+    /// the posting lists entirely.
+    pub fn idf_cached(&self, term: &str) -> f64 {
+        Self::idf_from_counts(self.doc_count, self.df_cached(term))
     }
 
     /// Whether a *normalized* query term (lowercased, space-joined — the
@@ -220,6 +271,7 @@ mod tests {
     use super::*;
     use ppwf_core::policy::Policy;
     use ppwf_model::fixtures;
+    use ppwf_model::hierarchy::Prefix;
 
     fn repo() -> Repository {
         let mut repo = Repository::new();
@@ -292,8 +344,45 @@ mod tests {
         let full = idx.lookup_filtered("database", &access);
         assert!(full.iter().any(|p| p.module == m.m5));
         // Unknown specs are invisible.
-        let none = idx.lookup_filtered("database", &HashMap::new());
-        assert!(none.is_empty());
+        let empty: HashMap<SpecId, Prefix> = HashMap::new();
+        assert!(idx.lookup_filtered("database", &empty).is_empty());
+        // The lazy resolver filters identically.
+        use crate::principals::{AccessCache, PrincipalRegistry, ViewRule};
+        use ppwf_core::policy::AccessLevel;
+        let mut reg = PrincipalRegistry::new();
+        reg.add_group("root", AccessLevel(0), ViewRule::RootOnly);
+        reg.add_group("full", AccessLevel(3), ViewRule::Full);
+        let cache = AccessCache::new();
+        let coarse = cache.resolver(&reg, &r, "root").unwrap();
+        assert!(idx.lookup_filtered("database", &coarse).is_empty());
+        let fine = cache.resolver(&reg, &r, "full").unwrap();
+        assert!(idx.lookup_filtered("database", &fine).iter().any(|p| p.module == m.m5));
+        assert_eq!(fine.resolved_specs(), vec![SpecId(0)], "only the candidate spec resolved");
+    }
+
+    #[test]
+    fn df_memo_agrees_with_df() {
+        let r = repo();
+        let idx = KeywordIndex::build(&r);
+        for term in ["query", "disorder risks", "expand snp", "nonexistent"] {
+            assert_eq!(idx.df_cached(term), idx.df(term), "memo diverged on {term:?}");
+            // Second probe serves from the memo.
+            assert_eq!(idx.df_cached(term), idx.df(term));
+            assert_eq!(idx.idf_cached(term), idx.idf(term));
+        }
+    }
+
+    #[test]
+    fn df_memo_is_capacity_bounded() {
+        let r = repo();
+        let idx = KeywordIndex::build(&r);
+        // A stream of unique (attacker-shaped) terms must not grow the
+        // memo past its cap; answers stay correct past it.
+        for i in 0..DF_MEMO_CAP + 50 {
+            assert_eq!(idx.df_cached(&format!("zz{i}")), 0);
+        }
+        assert!(idx.df_memo.read().len() <= DF_MEMO_CAP);
+        assert_eq!(idx.df_cached("query"), idx.df("query"), "past-cap lookups still correct");
     }
 
     #[test]

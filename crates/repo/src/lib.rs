@@ -26,7 +26,9 @@
 //!   baseline the benchmarks compare against,
 //! * [`stats`] — repository statistics for operators,
 //! * [`principals`] — the user-group directory resolving per-spec access
-//!   views (the paper's "user groups" made concrete).
+//!   views (the paper's "user groups" made concrete), lazily through the
+//!   memoized [`AccessCache`]/[`AccessResolver`] on the query path, with
+//!   the eager whole-corpus map kept as the benchmark baseline.
 
 pub mod cache;
 pub mod keyword_index;
@@ -39,5 +41,6 @@ pub mod stats;
 pub mod view_cache;
 
 pub use pool::WorkerPool;
+pub use principals::{AccessCache, AccessPrefix, AccessResolver, SpecAccess};
 pub use repository::{Repository, SpecEntry, SpecId};
 pub use view_cache::ViewCache;

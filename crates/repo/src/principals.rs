@@ -8,12 +8,29 @@
 //! specs to exist yet). Resolution products feed directly into
 //! [`crate::keyword_index::KeywordIndex::lookup_filtered`] and the query
 //! layer's `AccessMap`.
+//!
+//! Resolution comes in two shapes, both usable wherever a [`SpecAccess`] is
+//! accepted:
+//!
+//! * **Eager** — [`PrincipalRegistry::access_map`] materializes the whole
+//!   `(SpecId → Prefix)` map up front. O(corpus) rule resolutions per call,
+//!   which made it the dominant cold-query cost; it survives as the
+//!   baseline the E12 benchmark measures lazy resolution against.
+//! * **Lazy** — [`AccessCache::resolver`] hands out an [`AccessResolver`]
+//!   that resolves a rule only when a concrete spec is asked about (a
+//!   candidate posting, a hit being coarsened) and memoizes the product
+//!   per group across queries, tagged with the repository version. The
+//!   module-privacy boundary is per-spec, so a query touching 3 specs of a
+//!   100 000-spec corpus resolves 3 rules, not 100 000.
 
+use crate::cache::CacheStats;
 use crate::repository::{Repository, SpecId};
+use parking_lot::RwLock;
 use ppwf_core::policy::AccessLevel;
 use ppwf_model::hierarchy::{ExpansionHierarchy, Prefix};
 use ppwf_model::ids::WorkflowId;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// How a group's access view is derived for a specification.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -146,7 +163,11 @@ impl PrincipalRegistry {
         self.groups.iter().map(|g| g.name.as_str()).collect()
     }
 
-    /// Resolve a group's access map over the whole repository.
+    /// Resolve a group's access map over the whole repository — the
+    /// **eager** plan: every spec's rule is resolved whether or not the
+    /// query will touch it. Kept as the baseline that
+    /// [`AccessCache::resolver`] is benchmarked against (E12); production
+    /// serving goes through the lazy resolver.
     pub fn access_map(&self, repo: &Repository, name: &str) -> Option<HashMap<SpecId, Prefix>> {
         let group = self.group(name)?;
         Some(
@@ -157,6 +178,232 @@ impl PrincipalRegistry {
                 })
                 .collect(),
         )
+    }
+}
+
+/// A resolved access prefix, borrowed from an eager map or shared out of a
+/// resolver's memo. Derefs to [`Prefix`] so call sites filter postings and
+/// coarsen hits without caring which plan produced the view.
+#[derive(Clone, Debug)]
+pub enum AccessPrefix<'a> {
+    /// Borrowed from an eager `(SpecId → Prefix)` map.
+    Borrowed(&'a Prefix),
+    /// Shared out of an [`AccessResolver`] memo.
+    Shared(Arc<Prefix>),
+}
+
+impl std::ops::Deref for AccessPrefix<'_> {
+    type Target = Prefix;
+
+    fn deref(&self) -> &Prefix {
+        match self {
+            AccessPrefix::Borrowed(p) => p,
+            AccessPrefix::Shared(p) => p,
+        }
+    }
+}
+
+/// Query-time access to one principal group's per-spec views. The filtered
+/// search paths are generic over this, so the eager whole-corpus map and
+/// the lazy memoized resolver serve the same call sites — and equivalence
+/// between the two is a checkable property, not an architectural hope.
+pub trait SpecAccess {
+    /// The group's access prefix for `spec`, or `None` when the spec is
+    /// invisible to the principal (absent from an eager map, or a dead id).
+    fn prefix_of(&self, spec: SpecId) -> Option<AccessPrefix<'_>>;
+
+    /// Whether `workflow` of `spec` is admissible under the group's view.
+    fn admissible(&self, spec: SpecId, workflow: WorkflowId) -> bool {
+        self.prefix_of(spec).is_some_and(|p| p.contains(workflow))
+    }
+}
+
+impl SpecAccess for HashMap<SpecId, Prefix> {
+    fn prefix_of(&self, spec: SpecId) -> Option<AccessPrefix<'_>> {
+        self.get(&spec).map(AccessPrefix::Borrowed)
+    }
+}
+
+/// One group's lazily filled, repository-version-tagged view memo.
+#[derive(Debug)]
+struct GroupMemo {
+    /// Repository version the memoized prefixes were resolved at.
+    version: u64,
+    /// Lazily resolved `spec → prefix` products.
+    prefixes: RwLock<HashMap<SpecId, Arc<Prefix>>>,
+}
+
+/// A process-lifetime cache of per-group access-view memos, the backing
+/// store for [`AccessResolver`]s. Memos survive across queries — the
+/// second query touching a spec reuses the first query's rule resolution —
+/// and invalidate lazily on repository version bumps. Registry swaps must
+/// go through [`AccessCache::clear`] (group names may now mean different
+/// privileges; the version tag cannot see registry changes), mirroring the
+/// result caches' discipline.
+///
+/// Statistics reuse [`CacheStats`]: `hits` are memo-served resolutions,
+/// `misses` are actual rule resolutions against a hierarchy (the work lazy
+/// evaluation exists to avoid), `invalidations` are stale memos dropped.
+#[derive(Debug, Default)]
+pub struct AccessCache {
+    groups: RwLock<HashMap<String, Arc<GroupMemo>>>,
+    stats: CacheStats,
+}
+
+impl AccessCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        AccessCache::default()
+    }
+
+    /// Resolution counters (memo hits / rule resolutions / invalidations).
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Drop every group memo. Required after a registry swap: memoized
+    /// prefixes embody the *old* rules and group names may now mean
+    /// different privileges.
+    pub fn clear(&self) {
+        self.groups.write().clear();
+    }
+
+    /// Number of specs currently memoized for `group` (diagnostics; the
+    /// lazy-vs-eager tests assert this stays ≪ corpus for selective loads).
+    pub fn memoized_len(&self, group: &str) -> usize {
+        self.groups.read().get(group).map_or(0, |m| m.prefixes.read().len())
+    }
+
+    /// A lazy resolver for `name`'s views over `repo` at its current
+    /// version. Returns `None` for unknown groups. A stale memo (older
+    /// repository version) is replaced wholesale — hierarchies may have
+    /// changed under it.
+    pub fn resolver<'a>(
+        &'a self,
+        registry: &'a PrincipalRegistry,
+        repo: &'a Repository,
+        name: &str,
+    ) -> Option<AccessResolver<'a>> {
+        let group = registry.group(name)?;
+        let version = repo.version();
+        if let Some(memo) = self.groups.read().get(name) {
+            if memo.version == version {
+                return Some(AccessResolver::new(repo, group, Arc::clone(memo), &self.stats));
+            }
+        }
+        let mut guard = self.groups.write();
+        // Re-check under the write lock: a racing resolver may have
+        // refreshed the memo already.
+        if let Some(memo) = guard.get(name) {
+            if memo.version == version {
+                return Some(AccessResolver::new(repo, group, Arc::clone(memo), &self.stats));
+            }
+            self.stats.record_invalidation();
+        }
+        let memo = Arc::new(GroupMemo { version, prefixes: RwLock::new(HashMap::new()) });
+        guard.insert(name.to_string(), Arc::clone(&memo));
+        Some(AccessResolver::new(repo, group, memo, &self.stats))
+    }
+}
+
+/// A lazy, per-spec-memoized view of one group's access rules: the unit
+/// the query layer threads through filtered search instead of an eager
+/// whole-corpus map. `resolve` pays one rule resolution per *distinct spec
+/// actually asked about* per repository version; everything else is a memo
+/// probe.
+///
+/// The resolver also keeps a per-handle record of which specs it was asked
+/// to resolve ([`AccessResolver::resolved_specs`]). That record is the
+/// privacy instrument for filter-then-search: the plan's invariant —
+/// postings are filtered *before* any search work, so no inadmissible
+/// candidate enters timing-observable scoring — implies a resolver driven
+/// by it never resolves a spec outside the query's candidate postings
+/// union, and the tests assert exactly that.
+pub struct AccessResolver<'a> {
+    repo: &'a Repository,
+    group: &'a Group,
+    memo: Arc<GroupMemo>,
+    stats: &'a CacheStats,
+    /// Per-handle record of resolved specs (the privacy instrument). A
+    /// resolver lives inside one query invocation on one thread, so this
+    /// is a `RefCell`, not a lock — the hot path pays one borrow flag, and
+    /// `AccessResolver` is deliberately `!Sync`.
+    touched: std::cell::RefCell<HashSet<SpecId>>,
+}
+
+impl<'a> AccessResolver<'a> {
+    fn new(
+        repo: &'a Repository,
+        group: &'a Group,
+        memo: Arc<GroupMemo>,
+        stats: &'a CacheStats,
+    ) -> Self {
+        AccessResolver {
+            repo,
+            group,
+            memo,
+            stats,
+            touched: std::cell::RefCell::new(HashSet::new()),
+        }
+    }
+
+    /// The group whose rules this resolver applies.
+    pub fn group_name(&self) -> &str {
+        &self.group.name
+    }
+
+    /// Number of specs in the repository — the denominator of the
+    /// lazy-vs-eager saving ([`Self::resolved_count`] over this).
+    pub fn corpus_len(&self) -> usize {
+        self.repo.len()
+    }
+
+    /// The group's access prefix for `spec`: memo probe first, rule
+    /// resolution on first touch. `None` for dead spec ids.
+    pub fn resolve(&self, spec: SpecId) -> Option<Arc<Prefix>> {
+        if let Some(hit) = self.memo.prefixes.read().get(&spec) {
+            self.touched.borrow_mut().insert(spec);
+            self.stats.record_hit();
+            return Some(Arc::clone(hit));
+        }
+        let entry = self.repo.entry(spec)?;
+        let rule = self.group.overrides.get(&spec).unwrap_or(&self.group.default_rule);
+        let prefix = Arc::new(rule.resolve(&entry.hierarchy));
+        self.stats.record_miss();
+        self.touched.borrow_mut().insert(spec);
+        // A racing resolution of the same spec computed the same product
+        // (rules are deterministic); last write wins harmlessly.
+        self.memo.prefixes.write().insert(spec, Arc::clone(&prefix));
+        Some(prefix)
+    }
+
+    /// Resolve a batch of specs; dead ids are skipped. Returned in input
+    /// order.
+    pub fn resolve_many(
+        &self,
+        specs: impl IntoIterator<Item = SpecId>,
+    ) -> Vec<(SpecId, Arc<Prefix>)> {
+        specs.into_iter().filter_map(|s| self.resolve(s).map(|p| (s, p))).collect()
+    }
+
+    /// Distinct specs this handle has resolved (memo hits included — a
+    /// memo probe still *names* the spec, which is what the privacy
+    /// assertion cares about).
+    pub fn resolved_count(&self) -> usize {
+        self.touched.borrow().len()
+    }
+
+    /// The distinct specs this handle has resolved, in id order.
+    pub fn resolved_specs(&self) -> Vec<SpecId> {
+        let mut out: Vec<SpecId> = self.touched.borrow().iter().copied().collect();
+        out.sort();
+        out
+    }
+}
+
+impl SpecAccess for AccessResolver<'_> {
+    fn prefix_of(&self, spec: SpecId) -> Option<AccessPrefix<'_>> {
+        self.resolve(spec).map(AccessPrefix::Shared)
     }
 }
 
@@ -213,6 +460,78 @@ mod tests {
         let mut reg = PrincipalRegistry::new();
         reg.add_group("g", AccessLevel(0), ViewRule::Full);
         reg.add_group("g", AccessLevel(1), ViewRule::Full);
+    }
+
+    #[test]
+    fn resolver_matches_eager_map() {
+        let r = repo();
+        let mut reg = PrincipalRegistry::new();
+        reg.add_group("public", AccessLevel(0), ViewRule::RootOnly);
+        let g = reg.add_group("researchers", AccessLevel(3), ViewRule::Full);
+        reg.set_override(g, SpecId(0), ViewRule::MaxDepth(1));
+        let cache = AccessCache::new();
+        for name in ["public", "researchers"] {
+            let eager = reg.access_map(&r, name).unwrap();
+            let resolver = cache.resolver(&reg, &r, name).unwrap();
+            for (sid, prefix) in &eager {
+                assert_eq!(*resolver.resolve(*sid).unwrap(), *prefix, "{name}/{sid:?}");
+            }
+        }
+        assert!(cache.resolver(&reg, &r, "nobody").is_none());
+    }
+
+    #[test]
+    fn resolver_memo_survives_across_handles() {
+        let r = repo();
+        let mut reg = PrincipalRegistry::new();
+        reg.add_group("g", AccessLevel(1), ViewRule::Full);
+        let cache = AccessCache::new();
+        {
+            let resolver = cache.resolver(&reg, &r, "g").unwrap();
+            resolver.resolve(SpecId(0)).unwrap();
+        }
+        assert_eq!(cache.stats().misses(), 1, "first touch resolves the rule");
+        {
+            let resolver = cache.resolver(&reg, &r, "g").unwrap();
+            resolver.resolve(SpecId(0)).unwrap();
+            assert_eq!(resolver.resolved_count(), 1);
+            assert_eq!(resolver.resolved_specs(), vec![SpecId(0)]);
+        }
+        assert_eq!(cache.stats().misses(), 1, "second handle reuses the memo");
+        assert_eq!(cache.stats().hits(), 1);
+        assert_eq!(cache.memoized_len("g"), 1);
+    }
+
+    #[test]
+    fn resolver_invalidates_on_version_bump() {
+        let mut r = repo();
+        let mut reg = PrincipalRegistry::new();
+        reg.add_group("g", AccessLevel(1), ViewRule::Full);
+        let cache = AccessCache::new();
+        cache.resolver(&reg, &r, "g").unwrap().resolve(SpecId(0)).unwrap();
+        let (spec, _) = fixtures::disease_susceptibility();
+        r.insert_spec(spec, Policy::public()).unwrap();
+        let resolver = cache.resolver(&reg, &r, "g").unwrap();
+        assert_eq!(resolver.corpus_len(), 2);
+        resolver.resolve(SpecId(0)).unwrap();
+        assert_eq!(cache.stats().invalidations(), 1, "stale memo dropped");
+        assert_eq!(cache.stats().misses(), 2, "post-mutation touch re-resolves");
+    }
+
+    #[test]
+    fn resolver_skips_dead_ids_and_clear_forgets() {
+        let r = repo();
+        let mut reg = PrincipalRegistry::new();
+        reg.add_group("g", AccessLevel(1), ViewRule::Full);
+        let cache = AccessCache::new();
+        let resolver = cache.resolver(&reg, &r, "g").unwrap();
+        assert!(resolver.resolve(SpecId(9)).is_none());
+        assert_eq!(resolver.resolved_count(), 0, "dead ids are not 'resolved'");
+        let many = resolver.resolve_many([SpecId(0), SpecId(9)]);
+        assert_eq!(many.len(), 1);
+        drop(resolver);
+        cache.clear();
+        assert_eq!(cache.memoized_len("g"), 0);
     }
 
     #[test]

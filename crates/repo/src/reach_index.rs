@@ -85,25 +85,122 @@ impl SpecReachability {
     }
 }
 
+/// A cheap identity check for an indexed spec: reachability rows depend
+/// only on the spec's structure and hierarchy (executions and policies
+/// don't shape the closure), so a matching fingerprint means the row is
+/// still valid. Spec ids are append-only today, which makes this
+/// defensive — but [`ReachIndex::refresh`] verifies rather than assumes,
+/// so the fingerprint hashes the *structure* (edge endpoints, module
+/// workflow placement), not just counts: an in-place rewire that
+/// preserved every count would still be caught.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SpecFingerprint {
+    modules: usize,
+    workflows: usize,
+    edges: usize,
+    /// FNV-1a over edge endpoints and module→workflow assignments.
+    structure: u64,
+}
+
+impl SpecFingerprint {
+    fn of(entry: &crate::repository::SpecEntry) -> Self {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for e in entry.spec.edges() {
+            mix(e.from.0 as u64);
+            mix(e.to.0 as u64);
+            mix(e.workflow.index() as u64);
+        }
+        for m in entry.spec.modules() {
+            mix(m.id.0 as u64);
+            mix(m.workflow.index() as u64);
+        }
+        SpecFingerprint {
+            modules: entry.spec.module_count(),
+            workflows: entry.hierarchy.len(),
+            edges: entry.spec.edge_count(),
+            structure: h,
+        }
+    }
+}
+
 /// Repository-wide reachability index.
 #[derive(Debug)]
 pub struct ReachIndex {
     specs: Vec<SpecReachability>,
+    fingerprints: Vec<SpecFingerprint>,
     built_at: u64,
+    rows_built: usize,
 }
 
 impl ReachIndex {
     /// Build for every specification.
     pub fn build(repo: &Repository) -> Self {
+        let specs: Vec<SpecReachability> =
+            repo.entries().map(|(_, e)| SpecReachability::build(e)).collect();
+        let rows_built = specs.len();
         ReachIndex {
-            specs: repo.entries().map(|(_, e)| SpecReachability::build(e)).collect(),
+            specs,
+            fingerprints: repo.entries().map(|(_, e)| SpecFingerprint::of(e)).collect(),
             built_at: repo.version(),
+            rows_built,
         }
+    }
+
+    /// Bring the index up to date with `repo`, incrementally when the
+    /// mutation history allows it. Repository mutations are append-only
+    /// for reachability purposes — new specs append entries, while
+    /// execution appends and policy swaps leave every spec's structure
+    /// (and therefore its closure rows) untouched — so the common refresh
+    /// appends rows for the new specs and re-tags `built_at` without
+    /// recomputing a single existing closure. A full rebuild happens only
+    /// when an existing entry's fingerprint changed (or the repository
+    /// shrank), which no current mutation can cause; the check is kept so
+    /// the fast path *verifies* the invariant it rides on.
+    pub fn refresh(&mut self, repo: &Repository) {
+        if repo.version() == self.built_at {
+            return;
+        }
+        let changed = repo.len() < self.specs.len()
+            || repo
+                .entries()
+                .take(self.specs.len())
+                .zip(&self.fingerprints)
+                .any(|((_, e), fp)| SpecFingerprint::of(e) != *fp);
+        if changed {
+            let rows_built = self.rows_built;
+            *self = ReachIndex::build(repo);
+            self.rows_built += rows_built;
+            return;
+        }
+        for (_, entry) in repo.entries().skip(self.specs.len()) {
+            self.specs.push(SpecReachability::build(entry));
+            self.fingerprints.push(SpecFingerprint::of(entry));
+            self.rows_built += 1;
+        }
+        self.built_at = repo.version();
     }
 
     /// Per-spec index.
     pub fn spec(&self, id: SpecId) -> Option<&SpecReachability> {
         self.specs.get(id.index())
+    }
+
+    /// Number of indexed specifications.
+    pub fn spec_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Cumulative closure rows computed over this index's lifetime — the
+    /// incrementality instrument: a refresh that appended `k` specs moves
+    /// this by `k`, a full rebuild by the whole corpus.
+    pub fn rows_built(&self) -> usize {
+        self.rows_built
     }
 
     /// Repository version the index reflects.
@@ -113,7 +210,8 @@ impl ReachIndex {
 
     /// Whether the repository has mutated since this index was built.
     /// Stale indexes answer for a repository state that no longer exists;
-    /// callers holding one across mutations must rebuild before serving.
+    /// callers holding one across mutations must [`Self::refresh`] (or
+    /// rebuild) before serving.
     pub fn is_stale(&self, repo: &Repository) -> bool {
         repo.version() != self.built_at
     }
@@ -202,6 +300,61 @@ mod tests {
         assert!(idx.is_stale(&repo), "mutation must mark the index stale");
         let rebuilt = ReachIndex::build(&repo);
         assert!(!rebuilt.is_stale(&repo));
+    }
+
+    #[test]
+    fn refresh_appends_without_rebuilding() {
+        let (mut repo, id) = setup();
+        let mut idx = ReachIndex::build(&repo);
+        assert_eq!(idx.rows_built(), 1);
+
+        // Execution appends don't shape reachability: refresh re-tags the
+        // version without computing any row.
+        let exec = {
+            let entry = repo.entry(id).unwrap();
+            fixtures::disease_susceptibility_execution(&entry.spec)
+        };
+        repo.add_execution(id, exec).unwrap();
+        assert!(idx.is_stale(&repo));
+        idx.refresh(&repo);
+        assert!(!idx.is_stale(&repo));
+        assert_eq!(idx.rows_built(), 1, "no new closure rows for an execution append");
+
+        // A policy swap is equally structure-free.
+        repo.set_policy(id, Policy::public()).unwrap();
+        idx.refresh(&repo);
+        assert_eq!(idx.rows_built(), 1);
+
+        // Inserting specs appends exactly their rows.
+        for _ in 0..2 {
+            let (spec, _) = fixtures::disease_susceptibility();
+            repo.insert_spec(spec, Policy::public()).unwrap();
+        }
+        idx.refresh(&repo);
+        assert_eq!(idx.spec_count(), 3);
+        assert_eq!(idx.rows_built(), 3, "refresh built only the two new rows");
+        assert!(!idx.is_stale(&repo));
+
+        // Refreshed rows answer exactly like a fresh build.
+        let fresh = ReachIndex::build(&repo);
+        for (sid, entry) in repo.entries() {
+            let m = fixtures::handles(&entry.spec);
+            for (a, b) in [(m.m3, m.m6), (m.m6, m.m3), (m.m8, m.m9), (m.m10, m.m14)] {
+                assert_eq!(
+                    idx.spec(sid).unwrap().reaches(a, b),
+                    fresh.spec(sid).unwrap().reaches(a, b),
+                    "refresh diverged on {sid:?} {a} → {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_is_idempotent_when_current() {
+        let (repo, _) = setup();
+        let mut idx = ReachIndex::build(&repo);
+        idx.refresh(&repo);
+        assert_eq!(idx.rows_built(), 1, "up-to-date refresh is a no-op");
     }
 
     #[test]

@@ -2,13 +2,17 @@
 # Regenerate the machine-readable experiment baselines.
 #
 # Usage:
-#   scripts/bench_json.sh            # E10 + E11, default settings
+#   scripts/bench_json.sh            # E10 + E11 + E12, default settings
 #   scripts/bench_json.sh e10 [...]  # only E10; extra args passed through
 #   scripts/bench_json.sh e11 [...]  # only E11; extra args passed through
+#   scripts/bench_json.sh e12 [...]  # only E12; extra args passed through
 #
-# Both binaries exit non-zero when their acceptance threshold fails (E10:
-# warm cache ≥5x uncached; E11: 4-shard cold serving ≥2x the single
-# engine), so this script doubles as a perf smoke test in CI.
+# Every binary exits non-zero when its acceptance threshold fails (E10:
+# warm cache ≥5x uncached; E11: 4-shard cold serving above a ≥0.7x
+# no-regression floor — post-E12 both sides resolve access lazily, so
+# one-core cold serving sits near parity; E12: lazy access resolution
+# ≥3x eager on selective queries), so this script doubles as a perf
+# smoke test in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,18 +26,22 @@ case "$which" in
   e11)
     cargo run --release -p ppwf-bench --bin e11_sharding -- "$@"
     ;;
+  e12)
+    cargo run --release -p ppwf-bench --bin e12_lazy_access -- "$@"
+    ;;
   all)
-    # The two binaries take disjoint flag sets, so 'all' accepts no
+    # The binaries take disjoint flag sets, so 'all' accepts no
     # passthrough args — target one binary to customize a run.
     if [[ $# -gt 0 ]]; then
-      echo "extra args need an explicit target: bench_json.sh {e10|e11} $*" >&2
+      echo "extra args need an explicit target: bench_json.sh {e10|e11|e12} $*" >&2
       exit 2
     fi
     cargo run --release -p ppwf-bench --bin e10_query_cache
     cargo run --release -p ppwf-bench --bin e11_sharding
+    cargo run --release -p ppwf-bench --bin e12_lazy_access
     ;;
   *)
-    echo "unknown target '$which' (expected e10, e11, or all)" >&2
+    echo "unknown target '$which' (expected e10, e11, e12, or all)" >&2
     exit 2
     ;;
 esac
