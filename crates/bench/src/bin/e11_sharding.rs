@@ -16,8 +16,10 @@
 //!   serving path. The index-gated scatter touches only shards whose
 //!   indexes can satisfy every query term, and surviving shard tasks run
 //!   in parallel on the worker pool on multi-core hosts.
-//! * `warm` — second pass over the same stream, served from the shards'
-//!   `(group, query)` caches plus the gather/merge.
+//! * `warm` — second pass over the same stream. Since E13 this is served
+//!   from the cluster-front result cache (one probe per request, tagged
+//!   by the shard version vector); the shards' `(group, query)` caches
+//!   sit behind it for front misses after answer-changing writes.
 //!
 //! **Post-E12 note.** When this gate was introduced, a cold request
 //! resolved the principal group's access views across its engine's whole

@@ -211,6 +211,49 @@ pub fn e12_broad_query_log(
     )
 }
 
+/// The E13 mixed write stream over an E11-shaped corpus: `exec_pct`% of
+/// writes append an execution to a random base spec (the paper's dominant
+/// write — provenance accruing over repeated executions), `policy_pct`%
+/// swap a random base spec's policy, and the remainder insert fresh
+/// specs of the same shape. Targets stay within the base corpus so the
+/// stream can be replayed against any starting copy of it; executions are
+/// generated up front, outside any timed region.
+pub fn e13_write_stream(
+    corpus: &[ppwf_model::spec::Specification],
+    writes: usize,
+    exec_pct: u32,
+    policy_pct: u32,
+    seed: u64,
+) -> Vec<ppwf_repo::mutation::Mutation> {
+    use ppwf_repo::mutation::Mutation;
+    use ppwf_repo::repository::SpecId;
+    assert!(exec_pct + policy_pct <= 100, "write mix percentages exceed 100");
+    assert!(!corpus.is_empty(), "write stream needs a base corpus");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..writes)
+        .map(|w| {
+            let roll = rng.gen_range(0..100u32);
+            let target = SpecId(rng.gen_range(0..corpus.len() as u32));
+            if roll < exec_pct {
+                let exec =
+                    generate_executions(&corpus[target.index()], 1, seed ^ ((w as u64) << 8))
+                        .pop()
+                        .expect("one execution generated");
+                Mutation::AddExecution { spec: target, exec }
+            } else if roll < exec_pct + policy_pct {
+                Mutation::SetPolicy { spec: target, policy: Policy::public() }
+            } else {
+                Mutation::InsertSpec {
+                    spec: ppwf_workloads::generate_spec(&e11_spec_params(
+                        seed ^ 0xE13 ^ ((w as u64) << 16),
+                    )),
+                    policy: Policy::public(),
+                }
+            }
+        })
+        .collect()
+}
+
 /// A random layered DAG with `n` nodes and edge probability `p` (%), plus
 /// unit-ish random edge weights — the flat-graph substrate for E3/E4.
 pub fn layered_dag(seed: u64, n: usize, p_percent: u32) -> (DiGraph<u32, ()>, Vec<u64>) {

@@ -29,12 +29,23 @@
 //!   whole corpus. On multi-core hosts the surviving shard tasks also run
 //!   in parallel on the pool.
 //!
-//! Per-group caching lives in the shards (the `(group, query)` caches
-//! partition cleanly across a spec partition); the cluster itself holds no
-//! result cache, so there is no second invalidation discipline to audit.
+//! Per-group caching lives in two tiers. The shards keep their
+//! `(group, query)` caches (they partition cleanly across a spec
+//! partition). In front of them sits the **cluster-front result cache**:
+//! fully merged answers keyed by `(group, query, mode)` and tagged with
+//! the cluster's **version vector** — one monotone
+//! [`QueryEngine::results_version`] per shard. A warm cluster request is
+//! then a single probe plus an `Arc` clone, skipping the scatter, the hit
+//! remap and the merge entirely — the per-request work E11's warm column
+//! measured against the single engine. Because each shard's counter only
+//! moves when a routed write can change answers, execution appends — the
+//! dominant provenance write — leave the front cache warm; spec inserts
+//! and policy swaps move the owning shard's component and stale every
+//! front entry at the old vector, which the shard caches then repopulate.
 
-use crate::engine::{EngineStats, Plan, QueryEngine, RankedAnswer};
+use crate::engine::{CacheSnapshot, EngineStats, Plan, QueryEngine, RankedAnswer};
 use crate::keyword::{KeywordHit, KeywordQuery};
+use crate::modes::ModeCaches;
 use crate::privacy_exec::PrivateSearchOutcome;
 use crate::ranking::{idfs_from_shard_counts, rank_by_scores, score_with_idfs, RankingMode};
 use crate::route::{Router, ShardStrategy};
@@ -42,41 +53,26 @@ use ppwf_core::policy::Policy;
 use ppwf_model::exec::Execution;
 use ppwf_model::spec::Specification;
 use ppwf_model::{ModelError, Result};
+use ppwf_repo::cache::GroupCache;
 use ppwf_repo::pool::WorkerPool;
 use ppwf_repo::principals::PrincipalRegistry;
 use ppwf_repo::repository::{Repository, SpecEntry, SpecId};
 use std::sync::Arc;
 
-/// A routed repository mutation. All cluster writes flow through
-/// [`EngineCluster::mutate`], which forwards to exactly one shard engine —
-/// only that shard's index rebuilds and only its caches invalidate, where a
-/// single engine re-indexes the whole corpus on every write.
+pub use ppwf_repo::mutation::{Mutation, MutationEffect};
+
+/// A fully merged ranked answer the cluster front caches as one unit:
+/// global-id hit list plus ranking, the two halves already aligned by the
+/// gather stage.
 #[derive(Debug)]
-pub enum Mutation {
-    /// Insert a specification (returns its new global id).
-    InsertSpec {
-        /// The specification.
-        spec: Specification,
-        /// Its privacy policy.
-        policy: Policy,
-    },
-    /// Record an execution of an existing spec (global id).
-    AddExecution {
-        /// Global spec id.
-        spec: SpecId,
-        /// The execution.
-        exec: Execution,
-    },
-    /// Replace the policy of an existing spec (global id).
-    SetPolicy {
-        /// Global spec id.
-        spec: SpecId,
-        /// The new policy.
-        policy: Policy,
-    },
+pub struct RankedHits {
+    /// Merged hits in global spec order.
+    pub hits: Vec<KeywordHit>,
+    /// Order, scores and profiles aligned with `hits`.
+    pub ranked: RankedAnswer,
 }
 
-/// Per-shard and rolled-up cache counters for operators and E11.
+/// Per-shard and rolled-up cache counters for operators and E11/E13.
 #[derive(Clone, Debug)]
 pub struct ClusterStats {
     /// One [`EngineStats`] per shard, in shard order.
@@ -84,6 +80,9 @@ pub struct ClusterStats {
     /// Field-wise sum across shards (rates derive from summed counters, so
     /// idle shards cannot produce NaN or dilute a rate).
     pub aggregate: EngineStats,
+    /// The cluster-front result cache (keyword + private + ranked tiers
+    /// summed): hits here skipped the scatter/remap/merge entirely.
+    pub front: CacheSnapshot,
 }
 
 impl ClusterStats {
@@ -104,7 +103,21 @@ pub struct EngineCluster {
     router: Router,
     registry: PrincipalRegistry,
     pool: Arc<WorkerPool>,
+    /// Cluster-front merged-answer caches, tagged with the version-vector
+    /// epoch ([`Self::front_epoch`]). One per query class, mirroring the
+    /// engine's own cache layout so the warm probes stay borrow-only.
+    front_keyword: GroupCache<Vec<KeywordHit>>,
+    front_private: [GroupCache<PrivateSearchOutcome>; 2],
+    front_ranked: ModeCaches<RankedHits>,
+    /// How many times a routed write rebuilt a shard's registry view —
+    /// the instrument proving rebuilds run only for writes that change
+    /// principal-visible state (never execution appends).
+    registry_view_rebuilds: u64,
 }
+
+/// Capacity of each cluster-front cache (same default as a shard's
+/// result caches).
+const FRONT_CAPACITY: usize = 4096;
 
 impl EngineCluster {
     /// Partition `repo` across `shards` engines (round-robin placement, the
@@ -141,7 +154,34 @@ impl EngineCluster {
             .enumerate()
             .map(|(s, r)| QueryEngine::new(r, shard_view_of_registry(&registry, &router, s)))
             .collect();
-        EngineCluster { shards: engines, router, registry, pool }
+        EngineCluster {
+            shards: engines,
+            router,
+            registry,
+            pool,
+            front_keyword: GroupCache::new(FRONT_CAPACITY),
+            front_private: [GroupCache::new(FRONT_CAPACITY), GroupCache::new(FRONT_CAPACITY)],
+            front_ranked: ModeCaches::new(FRONT_CAPACITY),
+            registry_view_rebuilds: 0,
+        }
+    }
+
+    /// The cluster-wide version vector: shard `s`'s component is its
+    /// engine's [`QueryEngine::results_version`], which moves exactly when
+    /// a routed write to that shard can change answers. Front-cache
+    /// entries are valid iff the vector is unchanged since they were
+    /// merged.
+    pub fn version_vector(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.results_version()).collect()
+    }
+
+    /// The version vector collapsed to one monotone epoch for cache
+    /// tagging. Components never decrease and every answer-changing write
+    /// strictly increases exactly one of them, so two equal sums can only
+    /// arise from the identical vector — the scalar is collision-free
+    /// without storing the whole vector per entry.
+    fn front_epoch(&self) -> u64 {
+        self.shards.iter().map(|s| s.results_version()).sum()
     }
 
     /// Number of shards.
@@ -233,8 +273,17 @@ impl EngineCluster {
 
     /// Privilege-filtered keyword search, scattered and gathered in global
     /// spec order. Returns `None` for unknown groups. Warm requests are
-    /// served from the shards' `(group, query)` caches.
-    pub fn search_as(&self, group: &str, query_text: &str) -> Option<Vec<KeywordHit>> {
+    /// served from the cluster-front cache — one probe, no scatter, no
+    /// remap, no merge — and, past it, from the shards' `(group, query)`
+    /// caches.
+    pub fn search_as(&self, group: &str, query_text: &str) -> Option<Arc<Vec<KeywordHit>>> {
+        // Front probe before the registry walk, mirroring the engine's
+        // "cache before any access work" ordering: only registered groups
+        // ever get entries inserted, so a hit implies a known group.
+        let epoch = self.front_epoch();
+        if let Some(hit) = self.front_keyword.get(group, query_text, epoch) {
+            return Some(hit);
+        }
         self.registry.group(group)?;
         let query = KeywordQuery::parse(query_text);
         let targets = self.target_shards(&query);
@@ -249,6 +298,8 @@ impl EngineCluster {
             // Within one shard, local-id order is global-id order already.
             merged.sort_by_key(|h| h.spec);
         }
+        let merged = Arc::new(merged);
+        self.front_keyword.insert(group, query_text, epoch, Arc::clone(&merged));
         Some(merged)
     }
 
@@ -261,7 +312,12 @@ impl EngineCluster {
         group: &str,
         query_text: &str,
         plan: Plan,
-    ) -> Option<PrivateSearchOutcome> {
+    ) -> Option<Arc<PrivateSearchOutcome>> {
+        let epoch = self.front_epoch();
+        let front = &self.front_private[plan.slot()];
+        if let Some(hit) = front.get(group, query_text, epoch) {
+            return Some(hit);
+        }
         self.registry.group(group)?;
         let query = KeywordQuery::parse(query_text);
         let targets = self.target_shards(&query);
@@ -279,7 +335,9 @@ impl EngineCluster {
             hits.extend(outcome.hits.iter().map(|h| self.remap_hit(s, h)));
         }
         hits.sort_by_key(|h| h.spec);
-        Some(PrivateSearchOutcome { hits, views_built, zoom_steps, discarded })
+        let outcome = Arc::new(PrivateSearchOutcome { hits, views_built, zoom_steps, discarded });
+        front.insert(group, query_text, epoch, Arc::clone(&outcome));
+        Some(outcome)
     }
 
     /// Ranked keyword search. Shards contribute hits and TF profiles (both
@@ -292,7 +350,12 @@ impl EngineCluster {
         group: &str,
         query_text: &str,
         mode: RankingMode,
-    ) -> Option<(Vec<KeywordHit>, RankedAnswer)> {
+    ) -> Option<Arc<RankedHits>> {
+        let epoch = self.front_epoch();
+        let front = self.front_ranked.cache(mode);
+        if let Some(hit) = front.get(group, query_text, epoch) {
+            return Some(hit);
+        }
         self.registry.group(group)?;
         let query = KeywordQuery::parse(query_text);
         let targets = self.target_shards(&query);
@@ -300,10 +363,16 @@ impl EngineCluster {
             // No shard can contribute a hit; the IDF statistics would go
             // unused (scores of an empty profile set), so skip collecting
             // them — this is the fast-reject path the query mix leans on.
-            return Some((
-                Vec::new(),
-                RankedAnswer { order: Vec::new(), scores: Vec::new(), profiles: Vec::new() },
-            ));
+            let empty = Arc::new(RankedHits {
+                hits: Vec::new(),
+                ranked: RankedAnswer {
+                    order: Vec::new(),
+                    scores: Vec::new(),
+                    profiles: Vec::new(),
+                },
+            });
+            front.insert(group, query_text, epoch, Arc::clone(&empty));
+            return Some(empty);
         }
         let doc_counts: Vec<usize> = self.shards.iter().map(|s| s.index().doc_count()).collect();
         // Per-shard dfs go through each index's per-term memo: the first
@@ -331,18 +400,31 @@ impl EngineCluster {
         let (hits, profiles): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
         let scores: Vec<f64> = profiles.iter().map(|p| score_with_idfs(&idfs, p, mode)).collect();
         let order = rank_by_scores(&scores);
-        Some((hits, RankedAnswer { order, scores, profiles }))
+        let answer =
+            Arc::new(RankedHits { hits, ranked: RankedAnswer { order, scores, profiles } });
+        front.insert(group, query_text, epoch, Arc::clone(&answer));
+        Some(answer)
     }
 
-    /// Apply a routed mutation. Inserts return the new global id; the other
-    /// mutations return `None`. Only the owning shard re-indexes and
-    /// invalidates, which is the cluster's write-path advantage over a
-    /// single engine.
-    pub fn mutate(&mut self, mutation: Mutation) -> Result<Option<SpecId>> {
+    /// Apply a routed, typed mutation — the same [`Mutation`] vocabulary
+    /// and [`MutationEffect`] contract as [`QueryEngine::mutate`], with
+    /// ids in the returned effect translated to *global* spec ids. The
+    /// mutation forwards to exactly one shard engine: only that shard's
+    /// index appends and only its caches invalidate — and the front cache
+    /// needs no explicit invalidation at all, because the owning shard's
+    /// version-vector component moves (or, for execution appends,
+    /// deliberately does not).
+    pub fn mutate(&mut self, mutation: Mutation) -> Result<MutationEffect> {
         match mutation {
-            Mutation::InsertSpec { spec, policy } => self.insert_spec(spec, policy).map(Some),
-            Mutation::AddExecution { spec, exec } => self.add_execution(spec, exec).map(|()| None),
-            Mutation::SetPolicy { spec, policy } => self.set_policy(spec, policy).map(|()| None),
+            Mutation::InsertSpec { spec, policy } => {
+                self.insert_spec(spec, policy).map(|spec| MutationEffect::SpecInserted { spec })
+            }
+            Mutation::AddExecution { spec, exec } => {
+                self.add_execution(spec, exec).map(|()| MutationEffect::ExecutionAppended { spec })
+            }
+            Mutation::SetPolicy { spec, policy } => {
+                self.set_policy(spec, policy).map(|()| MutationEffect::PolicyChanged { spec })
+            }
         }
     }
 
@@ -352,16 +434,11 @@ impl EngineCluster {
         // burns a router slot (the inner insert re-validates, infallibly).
         policy.validate(&spec)?;
         let (global, shard, local) = self.router.assign();
-        let assigned = self.shards[shard]
-            .mutate(|repo| repo.insert_spec(spec, policy))
+        let effect = self.shards[shard]
+            .mutate(Mutation::InsertSpec { spec, policy })
             .expect("policy pre-validated");
-        debug_assert_eq!(assigned, local);
-        // A registry override keyed to this global id was unmapped while the
-        // spec did not exist; rebuild the owning shard's registry view.
-        if self.registry.groups().iter().any(|g| g.overrides.contains_key(&global)) {
-            let view = shard_view_of_registry(&self.registry, &self.router, shard);
-            self.shards[shard].set_registry(view);
-        }
+        debug_assert_eq!(effect.inserted_id(), Some(local));
+        self.refresh_registry_view(shard, global);
         Ok(global)
     }
 
@@ -372,7 +449,9 @@ impl EngineCluster {
             index: spec.index(),
             len: self.router.spec_count(),
         })?;
-        self.shards[shard].mutate(|repo| repo.add_execution(local, exec))
+        let effect = self.shards[shard].mutate(Mutation::AddExecution { spec: local, exec })?;
+        debug_assert!(!effect.changes_visible_state());
+        Ok(())
     }
 
     /// Replace the policy of the spec with global id `spec`.
@@ -382,25 +461,59 @@ impl EngineCluster {
             index: spec.index(),
             len: self.router.spec_count(),
         })?;
-        self.shards[shard].mutate(|repo| repo.set_policy(local, policy))
+        self.shards[shard].mutate(Mutation::SetPolicy { spec: local, policy })?;
+        Ok(())
+    }
+
+    /// Post-insert registry-view maintenance — the only write that can
+    /// alter how registry overrides map onto a shard: an override keyed to
+    /// the new global id was unmapped while the spec did not exist.
+    /// Execution appends change nothing principal-visible and policy swaps
+    /// live entirely inside the repository entry, so neither write path
+    /// calls this at all; even inserts rebuild only when a matching
+    /// override exists. [`Self::registry_view_rebuilds`] counts the
+    /// rebuilds this gate lets through.
+    fn refresh_registry_view(&mut self, shard: usize, global: SpecId) {
+        if self.registry.groups().iter().any(|g| g.overrides.contains_key(&global)) {
+            let view = shard_view_of_registry(&self.registry, &self.router, shard);
+            self.shards[shard].set_registry(view);
+            self.registry_view_rebuilds += 1;
+        }
+    }
+
+    /// Lifetime count of per-shard registry-view rebuilds triggered by
+    /// routed writes — stays at zero for execution appends and policy
+    /// swaps, and for inserts without a matching override.
+    pub fn registry_view_rebuilds(&self) -> u64 {
+        self.registry_view_rebuilds
     }
 
     /// Replace the registry cluster-wide: every shard receives its remapped
-    /// view and clears its result caches (group names may now mean
-    /// different privileges).
+    /// view and clears its result caches, and the front caches drop too
+    /// (group names may now mean different privileges — version tags
+    /// cannot see registry changes).
     pub fn set_registry(&mut self, registry: PrincipalRegistry) {
         self.registry = registry;
         for s in 0..self.shards.len() {
             let view = shard_view_of_registry(&self.registry, &self.router, s);
             self.shards[s].set_registry(view);
         }
+        self.front_keyword.clear();
+        for cache in &self.front_private {
+            cache.clear();
+        }
+        self.front_ranked.clear();
     }
 
-    /// Per-shard snapshots plus the cluster rollup.
+    /// Per-shard snapshots plus the cluster rollup and front-cache
+    /// counters.
     pub fn stats(&self) -> ClusterStats {
         let per_shard: Vec<EngineStats> = self.shards.iter().map(|s| s.stats()).collect();
         let aggregate = EngineStats::merged(&per_shard);
-        ClusterStats { per_shard, aggregate }
+        let front = CacheSnapshot::of(self.front_keyword.stats())
+            .merge(CacheSnapshot::sum(self.front_private.iter().map(|c| c.stats())))
+            .merge(self.front_ranked.snapshot());
+        ClusterStats { per_shard, aggregate, front }
     }
 }
 
@@ -495,6 +608,7 @@ mod tests {
         let id = c
             .mutate(Mutation::InsertSpec { spec, policy: Policy::public() })
             .unwrap()
+            .inserted_id()
             .expect("insert returns id");
         assert_eq!(id, SpecId(3), "global ids are dense");
         assert_eq!(c.spec_count(), 4);
@@ -558,7 +672,11 @@ mod tests {
         assert_eq!(stats.per_shard.len(), 2);
         let summed: u64 = stats.per_shard.iter().map(|s| s.keyword.hits).sum();
         assert_eq!(stats.aggregate.keyword.hits, summed);
-        assert!(stats.aggregate_keyword_hit_rate() > 0.0);
+        // The warm request is absorbed by the cluster front; shard caches
+        // see only the cold scatter.
+        assert_eq!(stats.front.hits, 1);
+        assert_eq!(stats.front.misses, 1);
+        assert!(stats.aggregate.keyword.misses > 0);
         assert_eq!(stats.keyword_hit_rates().len(), 2);
     }
 
@@ -588,12 +706,64 @@ mod tests {
     fn pruned_shards_still_shape_ranking_statistics() {
         let c = cluster(4, 4);
         let single = QueryEngine::new(corpus(4), registry());
-        let (hits, ranked) =
-            c.ranked_search_as("researchers", "database", RankingMode::ExactFull).unwrap();
+        let answer = c.ranked_search_as("researchers", "database", RankingMode::ExactFull).unwrap();
         let (shits, sranked) =
             single.ranked_search_as("researchers", "database", RankingMode::ExactFull).unwrap();
-        assert_eq!(hits.len(), shits.len());
-        assert_eq!(ranked.order, sranked.order);
-        assert_eq!(ranked.scores, sranked.scores, "IDF must be corpus-global");
+        assert_eq!(answer.hits.len(), shits.len());
+        assert_eq!(answer.ranked.order, sranked.order);
+        assert_eq!(answer.ranked.scores, sranked.scores, "IDF must be corpus-global");
+    }
+
+    #[test]
+    fn front_cache_serves_warm_requests_without_scatter() {
+        let c = cluster(4, 2);
+        let cold = c.search_as("researchers", "risk").unwrap();
+        let before = c.stats();
+        let warm = c.search_as("researchers", "risk").unwrap();
+        assert!(Arc::ptr_eq(&cold, &warm), "warm request must share the merged answer");
+        let after = c.stats();
+        assert_eq!(after.front.hits, before.front.hits + 1);
+        assert_eq!(
+            after.aggregate.keyword.hits + after.aggregate.keyword.misses,
+            before.aggregate.keyword.hits + before.aggregate.keyword.misses,
+            "a front hit must not touch any shard"
+        );
+    }
+
+    #[test]
+    fn execution_appends_keep_the_front_cache_warm() {
+        let mut c = cluster(3, 2);
+        let cold = c.search_as("researchers", "risk").unwrap();
+        let vector = c.version_vector();
+        let exec = {
+            let entry = c.entry(SpecId(1)).unwrap();
+            fixtures::disease_susceptibility_execution(&entry.spec)
+        };
+        let effect = c.mutate(Mutation::AddExecution { spec: SpecId(1), exec }).unwrap();
+        assert!(!effect.changes_visible_state());
+        assert_eq!(c.version_vector(), vector, "provenance appends must not move the vector");
+        let warm = c.search_as("researchers", "risk").unwrap();
+        assert!(Arc::ptr_eq(&cold, &warm), "the merged answer must survive the append");
+        assert_eq!(c.registry_view_rebuilds(), 0);
+    }
+
+    #[test]
+    fn answer_changing_writes_move_only_the_owning_component() {
+        let mut c = cluster(4, 2);
+        c.search_as("researchers", "risk").unwrap();
+        let before = c.version_vector();
+        // Policy swap on global spec 1 → shard 1 under round-robin.
+        c.mutate(Mutation::SetPolicy { spec: SpecId(1), policy: Policy::public() }).unwrap();
+        let after = c.version_vector();
+        assert_eq!(before.len(), after.len());
+        let moved: Vec<usize> = (0..before.len()).filter(|&s| before[s] != after[s]).collect();
+        assert_eq!(moved.len(), 1, "exactly the owning shard's component moves");
+        // The stale front entry is unreachable at the new epoch: the next
+        // request re-merges.
+        let stats_before = c.stats();
+        c.search_as("researchers", "risk").unwrap();
+        let stats_after = c.stats();
+        assert_eq!(stats_after.front.hits, stats_before.front.hits, "no stale front hit");
+        assert!(stats_after.front.misses > stats_before.front.misses);
     }
 }

@@ -11,10 +11,17 @@
 //! share answers; different groups never do, so fine-grained answers cannot
 //! leak into coarse-grained sessions through the cache.
 //!
-//! Every cache entry is tagged with the repository version at compute time;
-//! mutations go through [`QueryEngine::mutate`], which bumps the version
-//! (invalidating result and view entries lazily) and rebuilds the keyword
-//! index eagerly.
+//! Mutations go through [`QueryEngine::mutate`], which consumes a typed
+//! [`Mutation`] and keys its maintenance on the returned
+//! [`MutationEffect`]: spec inserts *append* to the keyword index
+//! ([`KeywordIndex::refresh`] — no full rebuild) and invalidate result
+//! caches; policy swaps invalidate results plus only the touched spec's
+//! access memo; execution appends — the dominant write, provenance
+//! accruing over repeated executions — leave the index, the access memos
+//! *and every result cache* untouched, because no keyword, private or
+//! ranked answer reads executions. Result caches are therefore tagged with
+//! the engine's [`QueryEngine::results_version`], which only moves when an
+//! effect can change answers, not with the raw repository version.
 //!
 //! Cold queries resolve access views **lazily**: the engine holds an
 //! [`AccessCache`] whose per-group [`AccessResolver`]s resolve a spec's
@@ -26,20 +33,20 @@
 //! are still filtered before any search work.
 
 use crate::keyword::{search_filtered_with_cache, KeywordHit, KeywordQuery};
+use crate::modes::ModeCaches;
 use crate::privacy_exec::{
     filter_then_search_cached, search_then_zoom_out_cached, PrivateSearchOutcome,
 };
 use crate::ranking::{
-    idfs_for_terms, profiles_for_hits, rank_by_scores, score_with_idfs, ModeKey, RankingMode,
-    TfProfile,
+    idfs_for_terms, profiles_for_hits, rank_by_scores, score_with_idfs, RankingMode, TfProfile,
 };
-use parking_lot::RwLock;
+use ppwf_model::Result;
 use ppwf_repo::cache::{CacheStats, GroupCache};
 use ppwf_repo::keyword_index::KeywordIndex;
+use ppwf_repo::mutation::{Mutation, MutationEffect};
 use ppwf_repo::principals::{AccessCache, AccessResolver, PrincipalRegistry};
 use ppwf_repo::repository::Repository;
 use ppwf_repo::view_cache::ViewCache;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Which privacy-preserving evaluation plan to run (Sec. 4's contrast).
@@ -52,9 +59,10 @@ pub enum Plan {
 }
 
 impl Plan {
-    /// Index into the engine's per-plan cache array. One cache per plan
-    /// keeps the warm probe borrow-only — no composite key to allocate.
-    fn slot(self) -> usize {
+    /// Index into a per-plan cache array (the engine's and the cluster
+    /// front's). One cache per plan keeps the warm probe borrow-only — no
+    /// composite key to allocate.
+    pub(crate) fn slot(self) -> usize {
         match self {
             Plan::FilterThenSearch => 0,
             Plan::SearchThenZoomOut => 1,
@@ -86,7 +94,7 @@ pub struct CacheSnapshot {
 }
 
 impl CacheSnapshot {
-    fn of(stats: &CacheStats) -> Self {
+    pub(crate) fn of(stats: &CacheStats) -> Self {
         CacheSnapshot {
             hits: stats.hits(),
             misses: stats.misses(),
@@ -94,7 +102,7 @@ impl CacheSnapshot {
         }
     }
 
-    fn sum<'a>(many: impl IntoIterator<Item = &'a CacheStats>) -> Self {
+    pub(crate) fn sum<'a>(many: impl IntoIterator<Item = &'a CacheStats>) -> Self {
         many.into_iter().fold(CacheSnapshot::default(), |acc, s| CacheSnapshot {
             hits: acc.hits + s.hits(),
             misses: acc.misses + s.misses(),
@@ -170,30 +178,15 @@ pub struct QueryEngine {
     keyword_results: GroupCache<Vec<KeywordHit>>,
     /// One cache per [`Plan`], indexed by [`Plan::slot`].
     private_results: [GroupCache<PrivateSearchOutcome>; 2],
-    /// Ranked answers, one `(group, query)` cache per [`ModeKey`]. Modes
-    /// carry `f64` parameters, so they key an outer map of caches rather
-    /// than a fixed array like [`Plan`] — the warm probe builds a stack
-    /// `ModeKey` and clones an `Arc`, allocating nothing. The map itself
-    /// is bounded at [`MAX_RANKED_MODES`]: workloads that mint unbounded
-    /// distinct modes (e.g. a fresh `NoisyFull` seed per request) evict
-    /// the least-recently-used mode's cache instead of growing forever.
-    ranked_results: RwLock<HashMap<ModeKey, ModeSlot>>,
-    ranked_tick: std::sync::atomic::AtomicU64,
-    /// Counters of mode caches evicted from `ranked_results`, folded in so
-    /// [`Self::stats`] stays monotonic under mode churn — history must not
-    /// vanish with the victim.
-    ranked_evicted: RwLock<CacheSnapshot>,
-    result_capacity: usize,
-}
-
-/// Most distinct [`RankingMode`]s cached simultaneously. Real deployments
-/// use a handful; the bound only matters for mode-churning workloads.
-const MAX_RANKED_MODES: usize = 16;
-
-/// One mode's ranked-answer cache plus an LRU stamp for mode eviction.
-struct ModeSlot {
-    cache: Arc<GroupCache<RankedAnswer>>,
-    last_used: std::sync::atomic::AtomicU64,
+    /// Ranked answers, one `(group, query)` cache per ranking mode — the
+    /// bounded [`ModeCaches`] map shared with the cluster front.
+    ranked_results: ModeCaches<RankedAnswer>,
+    /// The version result caches key their entries by. It advances to the
+    /// repository version whenever a [`MutationEffect`] can change
+    /// answers (spec inserts, policy swaps) and stays put for execution
+    /// appends — so the write-heavy provenance path leaves every warm
+    /// `(group, query)` entry servable. Never ahead of `repo.version()`.
+    results_version: u64,
 }
 
 impl QueryEngine {
@@ -211,6 +204,7 @@ impl QueryEngine {
         result_capacity: usize,
     ) -> Self {
         let index = KeywordIndex::build(&repo);
+        let results_version = repo.version();
         QueryEngine {
             repo,
             registry,
@@ -219,10 +213,8 @@ impl QueryEngine {
             access: AccessCache::new(),
             keyword_results: GroupCache::new(result_capacity),
             private_results: [GroupCache::new(result_capacity), GroupCache::new(result_capacity)],
-            ranked_results: RwLock::new(HashMap::new()),
-            ranked_tick: std::sync::atomic::AtomicU64::new(0),
-            ranked_evicted: RwLock::new(CacheSnapshot::default()),
-            result_capacity,
+            ranked_results: ModeCaches::new(result_capacity),
+            results_version,
         }
     }
 
@@ -246,13 +238,54 @@ impl QueryEngine {
         &self.views
     }
 
-    /// Apply a repository mutation. The version bump lazily invalidates
-    /// every cached view and result; the keyword index is rebuilt eagerly
-    /// (postings are not version-tagged).
-    pub fn mutate<R>(&mut self, f: impl FnOnce(&mut Repository) -> R) -> R {
-        let out = f(&mut self.repo);
-        self.index = KeywordIndex::build(&self.repo);
-        out
+    /// Apply a typed repository mutation, keying every layer's maintenance
+    /// on the returned [`MutationEffect`]:
+    ///
+    /// * **spec insert** — the keyword index *appends* the new spec's
+    ///   postings ([`KeywordIndex::refresh`], no full rebuild), cached
+    ///   views and access memos carry forward (existing specs and
+    ///   hierarchies are untouched), and [`Self::results_version`]
+    ///   advances so cached answers lazily invalidate;
+    /// * **policy swap** — zero index work, only the touched spec's views
+    ///   and access memo drop, results invalidate;
+    /// * **execution append** — zero index work, views and access memos
+    ///   carry forward, and results stay *warm*: provenance is not part
+    ///   of any keyword, private or ranked answer.
+    ///
+    /// A failed mutation (validation error) changes nothing anywhere.
+    pub fn mutate(&mut self, mutation: Mutation) -> Result<MutationEffect> {
+        let effect = self.repo.apply(mutation)?;
+        let version = self.repo.version();
+        // Append-only refresh: full rebuild only on a verified structural
+        // mismatch, which no typed mutation can cause.
+        self.index.refresh(&self.repo);
+        match effect {
+            MutationEffect::SpecInserted { .. } => {
+                // Existing views and access prefixes read only immutable
+                // state (spec structure, hierarchies); carry both forward.
+                self.views.advance(version);
+                self.access.advance(version);
+                self.results_version = version;
+            }
+            MutationEffect::ExecutionAppended { .. } => {
+                self.views.advance(version);
+                self.access.advance(version);
+            }
+            MutationEffect::PolicyChanged { spec } => {
+                self.views.invalidate_spec(spec, version);
+                self.access.invalidate_spec(spec, version);
+                self.results_version = version;
+            }
+        }
+        Ok(effect)
+    }
+
+    /// The version result caches are keyed by: advances on effects that
+    /// can change answers (inserts, policy swaps), holds still across
+    /// execution appends. The cluster's version vector is one of these per
+    /// shard.
+    pub fn results_version(&self) -> u64 {
+        self.results_version
     }
 
     /// Replace the registry (e.g. a group's access rule changed). Result
@@ -266,9 +299,7 @@ impl QueryEngine {
         for cache in &self.private_results {
             cache.clear();
         }
-        for slot in self.ranked_results.read().values() {
-            slot.cache.clear();
-        }
+        self.ranked_results.clear();
     }
 
     /// A lazy access resolver for `group` at the current repository
@@ -294,7 +325,7 @@ impl QueryEngine {
     /// pay rule resolution (E12's cold-path lever) — never the whole
     /// corpus, as the former eager `access_map` did.
     pub fn search_as(&self, group: &str, query_text: &str) -> Option<Arc<Vec<KeywordHit>>> {
-        let version = self.repo.version();
+        let version = self.results_version;
         if let Some(hit) = self.keyword_results.get(group, query_text, version) {
             return Some(hit);
         }
@@ -321,7 +352,7 @@ impl QueryEngine {
         query_text: &str,
         plan: Plan,
     ) -> Option<Arc<PrivateSearchOutcome>> {
-        let version = self.repo.version();
+        let version = self.results_version;
         let cache = &self.private_results[plan.slot()];
         if let Some(hit) = cache.get(group, query_text, version) {
             return Some(hit);
@@ -340,53 +371,10 @@ impl QueryEngine {
         Some(outcome)
     }
 
-    /// The `(group, query)` cache serving `mode`, created on first use.
-    /// The warm path is a read-locked map probe with a stack [`ModeKey`]
-    /// plus an `Arc` clone — no allocation, unlike the former
-    /// `format!("{mode:?}…")` composite key built per probe. A new mode
-    /// beyond [`MAX_RANKED_MODES`] evicts the least-recently-used mode's
-    /// cache, so mode-churning traffic cannot grow the map unboundedly.
-    fn ranked_cache(&self, mode: RankingMode) -> Arc<GroupCache<RankedAnswer>> {
-        use std::sync::atomic::Ordering;
-        let key = mode.cache_key();
-        let tick = self.ranked_tick.fetch_add(1, Ordering::Relaxed) + 1;
-        if let Some(slot) = self.ranked_results.read().get(&key) {
-            slot.last_used.store(tick, Ordering::Relaxed);
-            return Arc::clone(&slot.cache);
-        }
-        let mut guard = self.ranked_results.write();
-        if let Some(slot) = guard.get(&key) {
-            // A racing request created the slot between our locks.
-            slot.last_used.store(tick, Ordering::Relaxed);
-            return Arc::clone(&slot.cache);
-        }
-        if guard.len() >= MAX_RANKED_MODES {
-            let victim = guard
-                .iter()
-                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
-                .map(|(k, _)| *k)
-                .expect("nonempty at capacity");
-            if let Some(slot) = guard.remove(&victim) {
-                // Fold the victim's counters so stats() never goes backwards.
-                let mut evicted = self.ranked_evicted.write();
-                *evicted = evicted.merge(CacheSnapshot::of(slot.cache.stats()));
-            }
-        }
-        let cache = Arc::new(GroupCache::new(self.result_capacity));
-        guard.insert(
-            key,
-            ModeSlot {
-                cache: Arc::clone(&cache),
-                last_used: std::sync::atomic::AtomicU64::new(tick),
-            },
-        );
-        cache
-    }
-
     /// Ranked keyword search: the cached hit list for `(group, query)`
     /// scored under `mode`, itself cached per `(group, query)` in a
-    /// per-[`ModeKey`] cache, so repeated ranked queries skip the TF
-    /// re-tokenization pass entirely — and the warm probe is
+    /// per-mode cache ([`ModeCaches`]), so repeated ranked queries skip
+    /// the TF re-tokenization pass entirely — and the warm probe is
     /// allocation-free like the other layers.
     pub fn ranked_search_as(
         &self,
@@ -395,8 +383,8 @@ impl QueryEngine {
         mode: RankingMode,
     ) -> Option<(Arc<Vec<KeywordHit>>, Arc<RankedAnswer>)> {
         let hits = self.search_as(group, query_text)?;
-        let version = self.repo.version();
-        let cache = self.ranked_cache(mode);
+        let version = self.results_version;
+        let cache = self.ranked_results.cache(mode);
         let ranked = cache.get_or_compute(group, query_text, version, || {
             let query = KeywordQuery::parse(query_text);
             let profiles = profiles_for_hits(&self.repo, &hits, &query.terms);
@@ -411,12 +399,7 @@ impl QueryEngine {
 
     /// Counters of every cache layer.
     pub fn stats(&self) -> EngineStats {
-        let ranked = {
-            let guard = self.ranked_results.read();
-            self.ranked_evicted
-                .read()
-                .merge(CacheSnapshot::sum(guard.values().map(|slot| slot.cache.stats())))
-        };
+        let ranked = self.ranked_results.snapshot();
         EngineStats {
             views: CacheSnapshot::of(self.views.stats()),
             keyword: CacheSnapshot::of(self.keyword_results.stats()),
@@ -430,6 +413,7 @@ impl QueryEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::modes::MAX_RANKED_MODES;
     use ppwf_core::policy::{AccessLevel, Policy};
     use ppwf_model::fixtures;
     use ppwf_repo::principals::ViewRule;
@@ -494,13 +478,80 @@ mod tests {
         let mut e = engine();
         let before = e.search_as("researchers", "risk").unwrap();
         assert_eq!(before.len(), 1);
-        e.mutate(|repo| {
-            let (spec, _) = fixtures::disease_susceptibility();
-            repo.insert_spec(spec, Policy::public()).unwrap();
-        });
+        let (spec, _) = fixtures::disease_susceptibility();
+        let effect = e.mutate(Mutation::InsertSpec { spec, policy: Policy::public() }).unwrap();
+        assert_eq!(effect.inserted_id(), Some(SpecId(1)));
         let after = e.search_as("researchers", "risk").unwrap();
         assert_eq!(after.len(), 2, "stale single-spec answer served after insert");
         assert!(e.stats().keyword.invalidations >= 1);
+    }
+
+    #[test]
+    fn insert_appends_to_the_index_without_rebuilding() {
+        let mut e = engine();
+        assert_eq!(e.index().full_builds(), 1);
+        let docs = e.index().docs_indexed();
+        let (spec, _) = fixtures::disease_susceptibility();
+        e.mutate(Mutation::InsertSpec { spec, policy: Policy::public() }).unwrap();
+        assert_eq!(e.index().full_builds(), 1, "insert must append, not rebuild");
+        assert_eq!(e.index().docs_indexed(), docs * 2, "only the new spec's modules indexed");
+        assert_eq!(e.index().doc_count(), 30);
+    }
+
+    #[test]
+    fn execution_appends_leave_results_warm_and_index_untouched() {
+        let mut e = engine();
+        let before = e.search_as("researchers", "risk").unwrap();
+        let (full_builds, docs) = (e.index().full_builds(), e.index().docs_indexed());
+        let exec = {
+            let entry = e.repo().entry(SpecId(0)).unwrap();
+            fixtures::disease_susceptibility_execution(&entry.spec)
+        };
+        let effect = e.mutate(Mutation::AddExecution { spec: SpecId(0), exec }).unwrap();
+        assert!(!effect.changes_visible_state());
+        assert_eq!(
+            (e.index().full_builds(), e.index().docs_indexed()),
+            (full_builds, docs),
+            "provenance appends must cost zero index work"
+        );
+        let after = e.search_as("researchers", "risk").unwrap();
+        assert!(Arc::ptr_eq(&before, &after), "the cached answer must survive the append");
+        let stats = e.stats();
+        assert_eq!(stats.keyword.invalidations, 0, "nothing was invalidated");
+        assert_eq!(stats.access.misses, 1, "and the access memo was not re-resolved");
+        // A *cold* query whose minimal view coincides reuses the carried-
+        // forward view instead of rebuilding it at the new version.
+        let view_misses = stats.views.misses;
+        e.search_as("researchers", "database, pubmed").unwrap();
+        let stats = e.stats();
+        assert_eq!(stats.views.invalidations, 0, "appends must not stale any view");
+        assert!(
+            stats.views.hits > 0 || stats.views.misses > view_misses,
+            "second query must consult the view cache"
+        );
+    }
+
+    #[test]
+    fn policy_swap_invalidates_results_and_only_the_touched_access_memo() {
+        let mut e = engine();
+        let (spec, _) = fixtures::disease_susceptibility();
+        e.mutate(Mutation::InsertSpec { spec, policy: Policy::public() }).unwrap();
+        // Warm: resolves both specs' rules (one candidate posting each).
+        e.search_as("researchers", "database").unwrap();
+        assert_eq!(e.stats().access.misses, 2);
+        let (full_builds, docs) = (e.index().full_builds(), e.index().docs_indexed());
+
+        e.mutate(Mutation::SetPolicy { spec: SpecId(0), policy: Policy::public() }).unwrap();
+        assert_eq!(
+            (e.index().full_builds(), e.index().docs_indexed()),
+            (full_builds, docs),
+            "policy swaps must cost zero index work"
+        );
+        // Results are stale (policies gate privacy-filtered answers)...
+        e.search_as("researchers", "database").unwrap();
+        assert!(e.stats().keyword.invalidations >= 1);
+        // ...but only the swapped spec's access rule re-resolved.
+        assert_eq!(e.stats().access.misses, 3, "exactly one re-resolution, not the corpus");
     }
 
     #[test]
@@ -545,7 +596,7 @@ mod tests {
             assert!(lookups >= last_lookups, "ranked counters went backwards");
             last_lookups = lookups;
         }
-        assert!(e.ranked_results.read().len() <= MAX_RANKED_MODES);
+        assert!(e.ranked_results.mode_count() <= MAX_RANKED_MODES);
         assert_eq!(
             last_lookups,
             3 * MAX_RANKED_MODES as u64,
@@ -563,7 +614,7 @@ mod tests {
             e.ranked_search_as("researchers", "query", RankingMode::ExactFull).unwrap();
         }
         assert!(
-            e.ranked_results.read().contains_key(&RankingMode::ExactFull.cache_key()),
+            e.ranked_results.has_mode(&RankingMode::ExactFull.cache_key()),
             "the constantly-touched mode must not be the eviction victim"
         );
     }

@@ -31,13 +31,14 @@ pub mod cluster;
 pub mod engine;
 pub mod exec_match;
 pub mod keyword;
+pub(crate) mod modes;
 pub mod privacy_exec;
 pub mod private_provenance;
 pub mod ranking;
 pub mod route;
 pub mod structural;
 
-pub use cluster::{ClusterStats, EngineCluster, Mutation};
+pub use cluster::{ClusterStats, EngineCluster, Mutation, MutationEffect, RankedHits};
 pub use engine::{EngineStats, Plan, QueryEngine, RankedAnswer};
 pub use keyword::{KeywordHit, KeywordQuery};
 pub use route::{Router, ShardStrategy};

@@ -1,0 +1,116 @@
+//! A bounded map of per-[`RankingMode`] result caches, shared by the
+//! single engine's ranked path and the cluster-front ranked cache.
+//!
+//! Ranked answers are cached per `(group, query)` like every other query
+//! class, but the ranking *mode* is part of the answer's identity — and
+//! modes carry `f64` parameters, so they key an outer map of caches
+//! rather than a fixed array like `Plan`. The warm probe builds a stack
+//! [`ModeKey`] and clones an `Arc`, allocating nothing. The map itself is
+//! bounded at [`MAX_RANKED_MODES`]: workloads that mint unbounded distinct
+//! modes (e.g. a fresh `NoisyFull` seed per request) evict the
+//! least-recently-used mode's cache instead of growing forever, and
+//! evicted caches fold their counters into a tombstone so statistics stay
+//! monotone under mode churn.
+
+use crate::engine::CacheSnapshot;
+use crate::ranking::{ModeKey, RankingMode};
+use parking_lot::RwLock;
+use ppwf_repo::cache::GroupCache;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Most distinct [`RankingMode`]s cached simultaneously. Real deployments
+/// use a handful; the bound only matters for mode-churning workloads.
+pub(crate) const MAX_RANKED_MODES: usize = 16;
+
+/// One mode's result cache plus an LRU stamp for mode eviction.
+struct ModeSlot<V> {
+    cache: Arc<GroupCache<V>>,
+    last_used: AtomicU64,
+}
+
+/// The bounded per-mode cache map. `V` is whatever the owner caches per
+/// `(group, query)` — the engine stores `RankedAnswer`s, the cluster front
+/// stores fully merged hit lists with their ranking.
+pub(crate) struct ModeCaches<V> {
+    slots: RwLock<HashMap<ModeKey, ModeSlot<V>>>,
+    tick: AtomicU64,
+    /// Counters of evicted mode caches, folded in so [`Self::snapshot`]
+    /// stays monotonic under mode churn — history must not vanish with
+    /// the victim.
+    evicted: RwLock<CacheSnapshot>,
+    /// Capacity of each per-mode [`GroupCache`].
+    per_mode_capacity: usize,
+}
+
+impl<V> ModeCaches<V> {
+    pub(crate) fn new(per_mode_capacity: usize) -> Self {
+        ModeCaches {
+            slots: RwLock::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            evicted: RwLock::new(CacheSnapshot::default()),
+            per_mode_capacity,
+        }
+    }
+
+    /// The `(group, query)` cache serving `mode`, created on first use.
+    /// The warm path is a read-locked map probe plus an `Arc` clone. A new
+    /// mode beyond [`MAX_RANKED_MODES`] evicts the least-recently-used
+    /// mode's cache.
+    pub(crate) fn cache(&self, mode: RankingMode) -> Arc<GroupCache<V>> {
+        let key = mode.cache_key();
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(slot) = self.slots.read().get(&key) {
+            slot.last_used.store(tick, Ordering::Relaxed);
+            return Arc::clone(&slot.cache);
+        }
+        let mut guard = self.slots.write();
+        if let Some(slot) = guard.get(&key) {
+            // A racing request created the slot between our locks.
+            slot.last_used.store(tick, Ordering::Relaxed);
+            return Arc::clone(&slot.cache);
+        }
+        if guard.len() >= MAX_RANKED_MODES {
+            let victim = guard
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k)
+                .expect("nonempty at capacity");
+            if let Some(slot) = guard.remove(&victim) {
+                // Fold the victim's counters so stats never go backwards.
+                let mut evicted = self.evicted.write();
+                *evicted = evicted.merge(CacheSnapshot::of(slot.cache.stats()));
+            }
+        }
+        let cache = Arc::new(GroupCache::new(self.per_mode_capacity));
+        guard.insert(key, ModeSlot { cache: Arc::clone(&cache), last_used: AtomicU64::new(tick) });
+        cache
+    }
+
+    /// Summed counters across every live mode cache plus evicted history.
+    pub(crate) fn snapshot(&self) -> CacheSnapshot {
+        let guard = self.slots.read();
+        self.evicted.read().merge(CacheSnapshot::sum(guard.values().map(|slot| slot.cache.stats())))
+    }
+
+    /// Clear every mode's cache (e.g. after a registry swap), keeping the
+    /// mode slots themselves.
+    pub(crate) fn clear(&self) {
+        for slot in self.slots.read().values() {
+            slot.cache.clear();
+        }
+    }
+
+    /// Number of live mode slots (test instrument for the churn bound).
+    #[cfg(test)]
+    pub(crate) fn mode_count(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    /// Whether `key`'s cache is currently live (test instrument).
+    #[cfg(test)]
+    pub(crate) fn has_mode(&self, key: &ModeKey) -> bool {
+        self.slots.read().contains_key(key)
+    }
+}

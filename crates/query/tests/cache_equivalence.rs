@@ -144,10 +144,10 @@ proptest! {
         for g in GROUPS {
             engine.search_as(g, "kw0, kw1").unwrap();
         }
-        engine.mutate(|repo| {
-            let spec = generate_spec(&SpecParams { seed: seed ^ 0xABCD, ..SpecParams::default() });
-            repo.insert_spec(spec, Policy::public()).unwrap();
-        });
+        let spec = generate_spec(&SpecParams { seed: seed ^ 0xABCD, ..SpecParams::default() });
+        engine
+            .mutate(ppwf_repo::mutation::Mutation::InsertSpec { spec, policy: Policy::public() })
+            .unwrap();
         let mut reference_repo = random_repo(seed, 2);
         let spec = generate_spec(&SpecParams { seed: seed ^ 0xABCD, ..SpecParams::default() });
         reference_repo.insert_spec(spec, Policy::public()).unwrap();

@@ -181,13 +181,13 @@ proptest! {
             for q in QUERIES {
                 for mode in modes {
                     let (rhits, rranked) = single.ranked_search_as(group, q, mode).unwrap();
-                    let (chits, cranked) = cluster.ranked_search_as(group, q, mode).unwrap();
-                    prop_assert!(hits_identical(&rhits, &chits));
-                    prop_assert_eq!(&rranked.order, &cranked.order,
+                    let clustered = cluster.ranked_search_as(group, q, mode).unwrap();
+                    prop_assert!(hits_identical(&rhits, &clustered.hits));
+                    prop_assert_eq!(&rranked.order, &clustered.ranked.order,
                         "order diverged for group {}, query {:?}, mode {:?}", group, q, mode);
-                    prop_assert_eq!(&rranked.scores, &cranked.scores,
+                    prop_assert_eq!(&rranked.scores, &clustered.ranked.scores,
                         "scores diverged (IDF not corpus-global?) for {:?}", mode);
-                    for (a, b) in rranked.profiles.iter().zip(&cranked.profiles) {
+                    for (a, b) in rranked.profiles.iter().zip(&clustered.ranked.profiles) {
                         prop_assert_eq!(&a.visible, &b.visible);
                         prop_assert_eq!(&a.hidden, &b.hidden);
                     }
@@ -252,11 +252,12 @@ proptest! {
         let id = cluster
             .mutate(Mutation::InsertSpec { spec: fresh_spec.clone(), policy: Policy::public() })
             .unwrap()
+            .inserted_id()
             .expect("insert returns id");
         prop_assert_eq!(id.index(), specs, "global ids stay dense");
-        single.mutate(|repo| {
-            repo.insert_spec(fresh_spec, Policy::public()).unwrap();
-        });
+        single
+            .mutate(Mutation::InsertSpec { spec: fresh_spec, policy: Policy::public() })
+            .unwrap();
 
         // Append an execution to an existing spec.
         let exec = {
@@ -271,9 +272,9 @@ proptest! {
                 exec: exec.clone(),
             })
             .unwrap();
-        single.mutate(|repo| {
-            repo.add_execution(ppwf_repo::repository::SpecId(1), exec).unwrap();
-        });
+        single
+            .mutate(Mutation::AddExecution { spec: ppwf_repo::repository::SpecId(1), exec })
+            .unwrap();
 
         // Swap a policy.
         cluster
@@ -282,9 +283,12 @@ proptest! {
                 policy: Policy::public(),
             })
             .unwrap();
-        single.mutate(|repo| {
-            repo.set_policy(ppwf_repo::repository::SpecId(0), Policy::public()).unwrap();
-        });
+        single
+            .mutate(Mutation::SetPolicy {
+                spec: ppwf_repo::repository::SpecId(0),
+                policy: Policy::public(),
+            })
+            .unwrap();
 
         for g in GROUPS {
             for q in QUERIES {

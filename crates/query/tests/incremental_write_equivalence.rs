@@ -1,0 +1,274 @@
+//! Correctness of the incremental write pipeline: typed mutations must be
+//! invisible in every read structure they maintain.
+//!
+//! Property 1 (index bit-equivalence): across randomized mutation
+//! sequences — spec inserts, execution appends, policy swaps — a
+//! [`KeywordIndex`] maintained by `refresh` is bit-identical to a fresh
+//! full build of the final corpus: postings (specs, modules, workflows,
+//! term frequencies, order), `doc_count`, and the df/idf memo's answers.
+//! The build counters prove *how* it got there: execution appends and
+//! policy swaps perform zero index work, inserts append exactly the new
+//! specs' modules, and a full rebuild never fires.
+//!
+//! Property 2 (front-cache staleness): a cluster serving through its
+//! version-vectored front cache never serves a stale merged answer across
+//! routed writes — after every mutation, cluster answers equal a fresh
+//! cacheless evaluation of the mutated corpus — while execution appends
+//! demonstrably keep the front cache warm (same `Arc`, no new scatter).
+//!
+//! Property 3 (no over-invalidation): a policy swap re-resolves at most
+//! the touched spec's access rule per group; every other memoized prefix
+//! keeps serving, pinned by the resolver touch counters.
+
+use ppwf_core::policy::{AccessLevel, Policy};
+use ppwf_model::exec::{Executor, HashOracle};
+use ppwf_query::cluster::{EngineCluster, Mutation, MutationEffect};
+use ppwf_query::engine::QueryEngine;
+use ppwf_query::keyword::{search_filtered, KeywordHit, KeywordQuery};
+use ppwf_repo::keyword_index::KeywordIndex;
+use ppwf_repo::principals::{PrincipalRegistry, ViewRule};
+use ppwf_repo::repository::{Repository, SpecId};
+use ppwf_workloads::genspec::{generate_spec, SpecParams};
+use proptest::prelude::*;
+
+const QUERIES: [&str; 6] = ["kw0", "kw0, kw1", "kw2", "kw1, kw3", "kw5", "kw0, kw2"];
+const GROUPS: [&str; 3] = ["public", "analysts", "researchers"];
+
+fn registry() -> PrincipalRegistry {
+    let mut registry = PrincipalRegistry::new();
+    registry.add_group("public", AccessLevel(0), ViewRule::RootOnly);
+    registry.add_group("analysts", AccessLevel(2), ViewRule::MaxDepth(1));
+    registry.add_group("researchers", AccessLevel(4), ViewRule::Full);
+    registry
+}
+
+fn random_repo(seed: u64, specs: usize) -> Repository {
+    let mut repo = Repository::new();
+    for i in 0..specs as u64 {
+        let spec =
+            generate_spec(&SpecParams { seed: seed.wrapping_add(i), ..SpecParams::default() });
+        repo.insert_spec(spec, Policy::public()).unwrap();
+    }
+    repo
+}
+
+/// Materialize the `i`-th random mutation against the current repository
+/// state: 0 → insert, 1 → execution append, 2 → policy swap.
+fn mutation_of(kind: u8, seed: u64, repo: &Repository) -> Mutation {
+    match kind % 3 {
+        0 => Mutation::InsertSpec {
+            spec: generate_spec(&SpecParams { seed: seed ^ 0xFACE, ..SpecParams::default() }),
+            policy: Policy::public(),
+        },
+        1 => {
+            let target = SpecId((seed % repo.len() as u64) as u32);
+            let exec = Executor::new(&repo.entry(target).unwrap().spec)
+                .run(&mut HashOracle)
+                .expect("stored specs execute");
+            Mutation::AddExecution { spec: target, exec }
+        }
+        _ => Mutation::SetPolicy {
+            spec: SpecId((seed % repo.len() as u64) as u32),
+            policy: Policy::public(),
+        },
+    }
+}
+
+fn hits_identical(a: &[KeywordHit], b: &[KeywordHit]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.spec == y.spec && x.prefix == y.prefix && x.matched == y.matched)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A refreshed index is bit-identical to a full rebuild of the final
+    /// corpus — postings, doc_count, df/idf — and the counters prove the
+    /// work was incremental: zero for execution appends and policy swaps,
+    /// per-spec for inserts, no full rebuild ever.
+    #[test]
+    fn incremental_index_equals_full_rebuild(
+        seed in any::<u64>(),
+        specs in 2usize..5,
+        writes in proptest::collection::vec((0u8..3, any::<u64>()), 1..10),
+    ) {
+        let mut repo = random_repo(seed, specs);
+        let mut idx = KeywordIndex::build(&repo);
+        prop_assert_eq!(idx.full_builds(), 1);
+
+        for &(kind, wseed) in &writes {
+            let mutation = mutation_of(kind, wseed, &repo);
+            let (full_builds, docs_indexed) = (idx.full_builds(), idx.docs_indexed());
+            let effect = repo.apply(mutation).unwrap();
+            idx.refresh(&repo);
+            prop_assert_eq!(idx.full_builds(), full_builds, "refresh must never fully rebuild");
+            match effect {
+                MutationEffect::SpecInserted { spec } => {
+                    let added = repo
+                        .entry(spec)
+                        .unwrap()
+                        .spec
+                        .modules()
+                        .filter(|m| !m.kind.is_distinguished())
+                        .count();
+                    prop_assert_eq!(
+                        idx.docs_indexed(),
+                        docs_indexed + added,
+                        "insert must index exactly the new spec's modules"
+                    );
+                }
+                MutationEffect::ExecutionAppended { .. }
+                | MutationEffect::PolicyChanged { .. } => {
+                    prop_assert_eq!(
+                        idx.docs_indexed(),
+                        docs_indexed,
+                        "structure-free writes must perform zero index work"
+                    );
+                }
+            }
+            prop_assert!(!idx.is_stale(&repo));
+        }
+
+        // Bit-equivalence against a fresh build of the final corpus.
+        let fresh = KeywordIndex::build(&repo);
+        prop_assert_eq!(idx.doc_count(), fresh.doc_count());
+        prop_assert_eq!(idx.term_count(), fresh.term_count());
+        for q in QUERIES {
+            for term in &KeywordQuery::parse(q).terms {
+                prop_assert_eq!(
+                    idx.lookup_query_term(term),
+                    fresh.lookup_query_term(term),
+                    "postings diverged on {:?}", term
+                );
+                prop_assert_eq!(idx.df(term), fresh.df(term));
+                prop_assert_eq!(idx.df_cached(term), fresh.df_cached(term));
+                prop_assert_eq!(idx.idf_cached(term).to_bits(), fresh.idf_cached(term).to_bits());
+            }
+        }
+    }
+
+    /// Routed writes never let the cluster front serve a stale merged
+    /// answer: after every mutation, every group's answer equals a fresh
+    /// cacheless evaluation of the mutated corpus.
+    #[test]
+    fn front_cache_stays_fresh_under_routed_writes(
+        seed in any::<u64>(),
+        specs in 2usize..5,
+        shards in 2usize..4,
+        writes in proptest::collection::vec((0u8..3, any::<u64>()), 1..6),
+    ) {
+        let mut cluster = EngineCluster::new(random_repo(seed, specs), registry(), shards);
+        let mut mirror = random_repo(seed, specs);
+        // Warm every front entry so staleness would be observable.
+        for g in GROUPS {
+            for q in QUERIES {
+                cluster.search_as(g, q).unwrap();
+            }
+        }
+        for &(kind, wseed) in &writes {
+            let mutation = mutation_of(kind, wseed, &mirror);
+            cluster.mutate(mutation.clone()).unwrap();
+            mirror.apply(mutation).unwrap();
+            let reference_index = KeywordIndex::build(&mirror);
+            let reference_registry = registry();
+            for g in GROUPS {
+                let access = reference_registry.access_map(&mirror, g).unwrap();
+                for q in QUERIES {
+                    let served = cluster.search_as(g, q).unwrap();
+                    let fresh = search_filtered(
+                        &mirror,
+                        &reference_index,
+                        &KeywordQuery::parse(q),
+                        &access,
+                    );
+                    prop_assert!(
+                        hits_identical(&fresh, &served),
+                        "stale front answer for group {} query {:?} after {:?} write",
+                        g, q, kind % 3
+                    );
+                }
+            }
+        }
+    }
+
+    /// Execution appends keep the whole warm path warm: the front cache
+    /// serves the identical `Arc`, no shard sees a new lookup, and no
+    /// registry view rebuilds.
+    #[test]
+    fn execution_appends_keep_every_cache_warm(
+        seed in any::<u64>(),
+        specs in 2usize..5,
+        shards in 2usize..4,
+    ) {
+        let mut cluster = EngineCluster::new(random_repo(seed, specs), registry(), shards);
+        let warmed: Vec<_> =
+            GROUPS.iter().map(|g| cluster.search_as(g, "kw0, kw1").unwrap()).collect();
+        let before = cluster.stats();
+        let vector = cluster.version_vector();
+
+        let exec = Executor::new(&cluster.entry(SpecId(0)).unwrap().spec)
+            .run(&mut HashOracle)
+            .unwrap();
+        let effect = cluster.mutate(Mutation::AddExecution { spec: SpecId(0), exec }).unwrap();
+        prop_assert!(!effect.changes_visible_state());
+        prop_assert_eq!(cluster.version_vector(), vector);
+        prop_assert_eq!(cluster.registry_view_rebuilds(), 0);
+
+        for (g, old) in GROUPS.iter().zip(&warmed) {
+            let again = cluster.search_as(g, "kw0, kw1").unwrap();
+            prop_assert!(
+                std::sync::Arc::ptr_eq(old, &again),
+                "group {} lost its warm merged answer to a provenance append", g
+            );
+        }
+        let after = cluster.stats();
+        prop_assert_eq!(after.front.hits, before.front.hits + GROUPS.len() as u64);
+        prop_assert_eq!(
+            after.aggregate.keyword.hits + after.aggregate.keyword.misses,
+            before.aggregate.keyword.hits + before.aggregate.keyword.misses,
+            "warm front hits must not reach any shard"
+        );
+    }
+
+    /// Policy swaps re-resolve at most the touched spec per group — the
+    /// resolver touch counters prove the access memo is invalidated
+    /// per-spec, never wholesale.
+    #[test]
+    fn policy_swap_does_not_over_invalidate_access_memos(
+        seed in any::<u64>(),
+        specs in 2usize..6,
+        target in any::<u64>(),
+    ) {
+        let mut engine = QueryEngine::new(random_repo(seed, specs), registry());
+        // Warm the access memos across every group and query.
+        for g in GROUPS {
+            for q in QUERIES {
+                engine.search_as(g, q).unwrap();
+            }
+        }
+        let warm_misses = engine.stats().access.misses;
+        // Re-running the stream must resolve nothing new (memo complete).
+        for g in GROUPS {
+            for q in QUERIES {
+                engine.search_as(g, q).unwrap();
+            }
+        }
+        prop_assert_eq!(engine.stats().access.misses, warm_misses);
+
+        let spec = SpecId((target % specs as u64) as u32);
+        engine.mutate(Mutation::SetPolicy { spec, policy: Policy::public() }).unwrap();
+        for g in GROUPS {
+            for q in QUERIES {
+                engine.search_as(g, q).unwrap();
+            }
+        }
+        let after = engine.stats().access.misses;
+        prop_assert!(
+            after <= warm_misses + GROUPS.len() as u64,
+            "policy swap on one spec re-resolved {} rules across {} groups — over-invalidation",
+            after - warm_misses, GROUPS.len()
+        );
+    }
+}

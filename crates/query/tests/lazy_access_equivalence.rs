@@ -202,8 +202,8 @@ proptest! {
                     "cold cluster({}) diverged for group {}, query {:?}", shards, group, q
                 );
                 prop_assert!(hits_identical(&reference, &warm));
-                let (_, ranked) =
-                    cluster.ranked_search_as(group, q, RankingMode::ExactFull).unwrap();
+                let answer = cluster.ranked_search_as(group, q, RankingMode::ExactFull).unwrap();
+                let ranked = &answer.ranked;
                 let profiles = profiles_for_hits(&repo, &reference, &query.terms);
                 let idfs = idfs_for_terms(&index, &query.terms);
                 let scores: Vec<f64> = profiles
@@ -315,12 +315,15 @@ proptest! {
         for g in GROUPS {
             engine.search_as(g, "kw0, kw1").unwrap();
         }
-        // Mutate: insert a spec; lazy memos must re-resolve at the new
-        // version.
+        // Mutate: insert a spec; answers must reflect it afterwards (the
+        // access memo itself carries forward — hierarchies are immutable).
         let fresh = generate_spec(&SpecParams { seed: seed ^ 0xE12, ..SpecParams::default() });
-        engine.mutate(|repo| {
-            repo.insert_spec(fresh, Policy::public()).unwrap();
-        });
+        engine
+            .mutate(ppwf_repo::mutation::Mutation::InsertSpec {
+                spec: fresh,
+                policy: Policy::public(),
+            })
+            .unwrap();
         let repo_now = {
             let mut r = random_repo(seed, specs);
             let fresh = generate_spec(&SpecParams { seed: seed ^ 0xE12, ..SpecParams::default() });

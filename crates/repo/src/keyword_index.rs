@@ -18,7 +18,7 @@
 //!   consecutive name tokens.
 
 use crate::principals::SpecAccess;
-use crate::repository::{Repository, SpecId};
+use crate::repository::{Repository, SpecEntry, SpecId};
 use parking_lot::RwLock;
 use ppwf_model::ids::{ModuleId, WorkflowId};
 use std::collections::HashMap;
@@ -45,6 +45,40 @@ pub fn tokenize(text: &str) -> Vec<String> {
         .collect()
 }
 
+/// A cheap identity check for one spec's *indexed text*: postings depend
+/// only on module names, keyword tags and workflow placement (executions
+/// and policies shape nothing in the index), so a matching fingerprint
+/// means every posting of that spec is still valid. Spec ids are
+/// append-only today, which makes this defensive — but
+/// [`KeywordIndex::refresh`] verifies rather than assumes, so the
+/// fingerprint hashes the text itself, not just counts: an in-place
+/// rename that preserved every count would still be caught.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SpecTextFingerprint {
+    modules: usize,
+    text: u64,
+}
+
+impl SpecTextFingerprint {
+    fn of(entry: &SpecEntry) -> Self {
+        let mut h = crate::fnv::Fnv1a::new();
+        let mut modules = 0usize;
+        for module in entry.spec.modules() {
+            if module.kind.is_distinguished() {
+                continue;
+            }
+            modules += 1;
+            h.mix_u64(module.id.0 as u64);
+            h.mix_u64(module.workflow.index() as u64);
+            h.mix_bytes(module.name.as_bytes());
+            for tag in &module.keywords {
+                h.mix_bytes(tag.as_bytes());
+            }
+        }
+        SpecTextFingerprint { modules, text: h.finish() }
+    }
+}
+
 /// The index.
 #[derive(Debug, Default)]
 pub struct KeywordIndex {
@@ -55,6 +89,17 @@ pub struct KeywordIndex {
     module_tokens: HashMap<(SpecId, ModuleId), Vec<String>>,
     /// Number of indexed modules (documents) — the IDF denominator.
     doc_count: usize,
+    /// Per-spec text fingerprints, in id order — what
+    /// [`Self::refresh`]'s fast path verifies before trusting its
+    /// append-only invariant.
+    fingerprints: Vec<SpecTextFingerprint>,
+    /// Lifetime count of full builds (the incrementality instrument's
+    /// denominator: refreshes that could append never move it).
+    full_builds: usize,
+    /// Lifetime count of modules indexed — full builds move it by the
+    /// whole corpus, appends by the new specs' modules only, and
+    /// execution appends / policy swaps not at all.
+    docs_indexed: usize,
     /// Repository version this index was built at.
     built_at: u64,
     /// Per-query-term document-frequency memo ([`Self::df_cached`]). The
@@ -72,46 +117,67 @@ pub struct KeywordIndex {
 /// terms of a real stream are cached long before it fills.
 const DF_MEMO_CAP: usize = 4096;
 
+/// Index every proper module of one spec into `terms`/`phrases`/
+/// `module_tokens`; returns the number of modules (documents) indexed.
+/// Shared by [`KeywordIndex::build`] (whole corpus) and
+/// [`KeywordIndex::refresh`] (appended specs only).
+fn index_entry(
+    sid: SpecId,
+    entry: &SpecEntry,
+    terms: &mut HashMap<String, Vec<Posting>>,
+    phrases: &mut HashMap<String, Vec<Posting>>,
+    module_tokens: &mut HashMap<(SpecId, ModuleId), Vec<String>>,
+) -> usize {
+    let mut docs = 0usize;
+    for module in entry.spec.modules() {
+        if module.kind.is_distinguished() {
+            continue;
+        }
+        docs += 1;
+        let name_tokens = tokenize(&module.name);
+        let mut tf: HashMap<String, u32> = HashMap::new();
+        for t in &name_tokens {
+            *tf.entry(t.clone()).or_insert(0) += 1;
+        }
+        for tag in &module.keywords {
+            let tag_tokens = tokenize(tag);
+            let norm = tag_tokens.join(" ");
+            for t in tag_tokens {
+                *tf.entry(t).or_insert(0) += 1;
+            }
+            if !norm.is_empty() {
+                phrases.entry(norm).or_default().push(Posting {
+                    spec: sid,
+                    module: module.id,
+                    workflow: module.workflow,
+                    tf: 1,
+                });
+            }
+        }
+        for (term, count) in tf {
+            terms.entry(term).or_default().push(Posting {
+                spec: sid,
+                module: module.id,
+                workflow: module.workflow,
+                tf: count,
+            });
+        }
+        module_tokens.insert((sid, module.id), name_tokens);
+    }
+    docs
+}
+
 impl KeywordIndex {
     /// Build the index over every module of every specification.
     pub fn build(repo: &Repository) -> Self {
         let mut idx = KeywordIndex { built_at: repo.version(), ..KeywordIndex::default() };
+        idx.full_builds = 1;
         for (sid, entry) in repo.entries() {
-            for module in entry.spec.modules() {
-                if module.kind.is_distinguished() {
-                    continue;
-                }
-                idx.doc_count += 1;
-                let name_tokens = tokenize(&module.name);
-                let mut tf: HashMap<String, u32> = HashMap::new();
-                for t in &name_tokens {
-                    *tf.entry(t.clone()).or_insert(0) += 1;
-                }
-                for tag in &module.keywords {
-                    for t in tokenize(tag) {
-                        *tf.entry(t).or_insert(0) += 1;
-                    }
-                    let norm = tokenize(tag).join(" ");
-                    if !norm.is_empty() {
-                        idx.phrases.entry(norm).or_default().push(Posting {
-                            spec: sid,
-                            module: module.id,
-                            workflow: module.workflow,
-                            tf: 1,
-                        });
-                    }
-                }
-                for (term, count) in tf {
-                    idx.terms.entry(term).or_default().push(Posting {
-                        spec: sid,
-                        module: module.id,
-                        workflow: module.workflow,
-                        tf: count,
-                    });
-                }
-                idx.module_tokens.insert((sid, module.id), name_tokens);
-            }
+            idx.doc_count +=
+                index_entry(sid, entry, &mut idx.terms, &mut idx.phrases, &mut idx.module_tokens);
+            idx.fingerprints.push(SpecTextFingerprint::of(entry));
         }
+        idx.docs_indexed = idx.doc_count;
         // Deterministic posting order, grouped by (spec, workflow).
         for list in idx.terms.values_mut() {
             list.sort_by_key(|p| (p.spec, p.workflow, p.module));
@@ -122,9 +188,110 @@ impl KeywordIndex {
         idx
     }
 
+    /// Bring the index up to date with `repo`, incrementally when the
+    /// mutation history allows it — the
+    /// [`ReachIndex::refresh`](crate::reach_index::ReachIndex::refresh)
+    /// discipline applied to postings. Repository mutations are
+    /// append-only for indexing purposes: new specs append postings (their
+    /// ids sort after every existing posting, so per-term order survives
+    /// concatenation), while execution appends and policy swaps leave
+    /// every module's text untouched — so the common refresh appends the
+    /// new specs' postings, bumps `doc_count` and re-tags `built_at`
+    /// without re-tokenizing a single existing module. A full rebuild
+    /// happens only when an existing spec's text fingerprint changed (or
+    /// the repository shrank), which no current mutation can cause; the
+    /// fast path *verifies* the invariant it rides on rather than
+    /// assuming it.
+    ///
+    /// The per-term [`Self::df_cached`] memo is invalidated **per touched
+    /// term**, not wholesale: a memoized df can only change when the
+    /// appended specs post its token (or its leading phrase token), and
+    /// `doc_count` lives outside the memo, so untouched terms keep their
+    /// entries across the write.
+    pub fn refresh(&mut self, repo: &Repository) {
+        if repo.version() == self.built_at {
+            return;
+        }
+        let changed = repo.len() < self.fingerprints.len()
+            || repo
+                .entries()
+                .take(self.fingerprints.len())
+                .zip(&self.fingerprints)
+                .any(|((_, e), fp)| SpecTextFingerprint::of(e) != *fp);
+        if changed {
+            let (full_builds, docs_indexed) = (self.full_builds, self.docs_indexed);
+            *self = KeywordIndex::build(repo);
+            self.full_builds += full_builds;
+            self.docs_indexed += docs_indexed;
+            return;
+        }
+        let mut new_terms: HashMap<String, Vec<Posting>> = HashMap::new();
+        let mut new_phrases: HashMap<String, Vec<Posting>> = HashMap::new();
+        for (sid, entry) in repo.entries().skip(self.fingerprints.len()) {
+            let docs =
+                index_entry(sid, entry, &mut new_terms, &mut new_phrases, &mut self.module_tokens);
+            self.doc_count += docs;
+            self.docs_indexed += docs;
+            self.fingerprints.push(SpecTextFingerprint::of(entry));
+        }
+        if !new_terms.is_empty() || !new_phrases.is_empty() {
+            // Drop only the memo entries the append could have changed: a
+            // term's df moves iff the new specs post its (first) token or
+            // its exact phrase tag. Keys are memoized verbatim, so
+            // normalize before probing the touched sets.
+            self.df_memo.write().retain(|k, _| {
+                let tokens = tokenize(k);
+                match tokens.split_first() {
+                    None => true, // tokenless keys always have df 0
+                    Some((first, rest)) => {
+                        !new_terms.contains_key(first.as_str())
+                            && (rest.is_empty() || !new_phrases.contains_key(&tokens.join(" ")))
+                    }
+                }
+            });
+        }
+        for (term, mut postings) in new_terms {
+            postings.sort_by_key(|p| (p.spec, p.workflow, p.module));
+            self.terms.entry(term).or_default().extend(postings);
+        }
+        for (phrase, mut postings) in new_phrases {
+            postings.sort_by_key(|p| (p.spec, p.workflow, p.module));
+            self.phrases.entry(phrase).or_default().extend(postings);
+        }
+        self.built_at = repo.version();
+    }
+
     /// Repository version the index reflects.
     pub fn built_at(&self) -> u64 {
         self.built_at
+    }
+
+    /// Whether the repository has mutated since this index last built or
+    /// refreshed; stale indexes answer for a repository state that no
+    /// longer exists.
+    pub fn is_stale(&self, repo: &Repository) -> bool {
+        repo.version() != self.built_at
+    }
+
+    /// Lifetime count of full builds — the incrementality instrument:
+    /// refreshes that could append (or re-tag) never move it.
+    pub fn full_builds(&self) -> usize {
+        self.full_builds
+    }
+
+    /// Lifetime count of modules indexed. A refresh that appended `k`
+    /// specs moves this by their module count, a full rebuild by the whole
+    /// corpus, and execution appends / policy swaps by exactly zero — the
+    /// "zero index work" assertion the write-path tests pin down.
+    pub fn docs_indexed(&self) -> usize {
+        self.docs_indexed
+    }
+
+    /// Whether `term`'s document frequency is currently memoized —
+    /// instrument for the per-term (not wholesale) memo invalidation
+    /// tests.
+    pub fn df_memoized(&self, term: &str) -> bool {
+        self.df_memo.read().contains_key(term)
     }
 
     /// Number of indexed modules.
@@ -393,6 +560,105 @@ mod tests {
         assert!(idx.idf("reformat") > idx.idf("query"));
         // Unknown terms get the maximum idf.
         assert!(idx.idf("nonexistent") >= idx.idf("reformat"));
+    }
+
+    #[test]
+    fn refresh_appends_without_rebuilding() {
+        let mut r = repo();
+        let mut idx = KeywordIndex::build(&r);
+        assert_eq!(idx.full_builds(), 1);
+        assert_eq!(idx.docs_indexed(), 15);
+
+        // Execution appends and policy swaps: re-tag only, zero work.
+        let exec = {
+            let entry = r.entry(SpecId(0)).unwrap();
+            fixtures::disease_susceptibility_execution(&entry.spec)
+        };
+        r.add_execution(SpecId(0), exec).unwrap();
+        assert!(idx.is_stale(&r));
+        idx.refresh(&r);
+        assert!(!idx.is_stale(&r));
+        assert_eq!(idx.full_builds(), 1, "execution append must not rebuild");
+        assert_eq!(idx.docs_indexed(), 15, "execution append must index nothing");
+        r.set_policy(SpecId(0), Policy::public()).unwrap();
+        idx.refresh(&r);
+        assert_eq!((idx.full_builds(), idx.docs_indexed()), (1, 15));
+
+        // Spec inserts append exactly the new specs' postings.
+        let (spec, _) = fixtures::disease_susceptibility();
+        r.insert_spec(spec, Policy::public()).unwrap();
+        idx.refresh(&r);
+        assert_eq!(idx.full_builds(), 1, "append path must not rebuild");
+        assert_eq!(idx.docs_indexed(), 30, "only the new spec's modules indexed");
+        assert_eq!(idx.doc_count(), 30);
+
+        // The refreshed index is bit-identical to a fresh build.
+        let fresh = KeywordIndex::build(&r);
+        assert_eq!(idx.doc_count(), fresh.doc_count());
+        assert_eq!(idx.term_count(), fresh.term_count());
+        for term in ["database", "query", "risk", "disorder risks", "expand snp"] {
+            assert_eq!(idx.lookup_query_term(term), fresh.lookup_query_term(term), "{term:?}");
+            assert_eq!(idx.df(term), fresh.df(term));
+            assert_eq!(idx.df_cached(term), fresh.df_cached(term));
+        }
+    }
+
+    #[test]
+    fn refresh_invalidates_df_memo_per_touched_term_only() {
+        let mut r = repo();
+        let mut idx = KeywordIndex::build(&r);
+        // Memoize a term the fixture corpus touches on every insert, one
+        // phrase, and one absent term.
+        let df_database = idx.df_cached("database");
+        idx.df_cached("disorder risks");
+        idx.df_cached("unobtainium");
+        assert!(idx.df_memoized("database") && idx.df_memoized("unobtainium"));
+
+        // An execution append leaves the memo alone wholesale.
+        let exec = {
+            let entry = r.entry(SpecId(0)).unwrap();
+            fixtures::disease_susceptibility_execution(&entry.spec)
+        };
+        r.add_execution(SpecId(0), exec).unwrap();
+        idx.refresh(&r);
+        assert!(idx.df_memoized("database"), "structure-free refresh kept the memo");
+        assert!(idx.df_memoized("disorder risks"));
+
+        // Inserting another fixture spec touches "database" and the
+        // "disorder risks" tag but cannot touch the absent term.
+        let (spec, _) = fixtures::disease_susceptibility();
+        r.insert_spec(spec, Policy::public()).unwrap();
+        idx.refresh(&r);
+        assert!(!idx.df_memoized("database"), "touched term must drop from the memo");
+        assert!(!idx.df_memoized("disorder risks"), "touched phrase must drop too");
+        assert!(idx.df_memoized("unobtainium"), "untouched term must survive the append");
+        assert_eq!(idx.df_cached("database"), df_database * 2, "recomputed df sees both specs");
+        assert_eq!(idx.df_cached("unobtainium"), 0);
+    }
+
+    #[test]
+    fn refresh_rebuilds_on_structural_mismatch() {
+        // A shrunken repository breaks the append-only invariant: refresh
+        // must detect it (fingerprint count) and fall back to a rebuild.
+        let mut big = Repository::new();
+        for _ in 0..2 {
+            let (spec, _) = fixtures::disease_susceptibility();
+            big.insert_spec(spec, Policy::public()).unwrap();
+        }
+        let mut idx = KeywordIndex::build(&big);
+        let small = repo();
+        idx.refresh(&small);
+        assert_eq!(idx.full_builds(), 2, "mismatch must force a verified full rebuild");
+        assert_eq!(idx.doc_count(), 15);
+        assert_eq!(idx.lookup("database"), KeywordIndex::build(&small).lookup("database"));
+    }
+
+    #[test]
+    fn refresh_is_idempotent_when_current() {
+        let r = repo();
+        let mut idx = KeywordIndex::build(&r);
+        idx.refresh(&r);
+        assert_eq!((idx.full_builds(), idx.docs_indexed()), (1, 15), "up-to-date refresh no-ops");
     }
 
     #[test]

@@ -11,9 +11,16 @@
 //! * [`repository`] — multi-spec, multi-execution store with binary
 //!   persistence (one repository for all privilege levels, per the paper's
 //!   argument against per-level copies),
+//! * [`mutation`] — the typed write vocabulary ([`Mutation`]) and its
+//!   invalidation contract ([`MutationEffect`]): every serving layer keys
+//!   its index maintenance and cache invalidation on what a write
+//!   *actually* changed, so the dominant write — provenance accruing over
+//!   repeated executions — costs no index or cache work at all,
 //! * [`keyword_index`] — an inverted index whose postings carry their
 //!   privacy classification (the owning workflow), so privilege filtering
-//!   is a per-posting O(1) check instead of a per-level index,
+//!   is a per-posting O(1) check instead of a per-level index; kept
+//!   current incrementally by [`keyword_index::KeywordIndex::refresh`]
+//!   (append-only, fingerprint-verified),
 //! * [`reach_index`] — materialized reachability over full expansions,
 //!   with visibility-filtered lookups per access view,
 //! * [`cache`] — a user-group-keyed, version-invalidated result cache,
@@ -31,7 +38,9 @@
 //!   the eager whole-corpus map kept as the benchmark baseline.
 
 pub mod cache;
+pub(crate) mod fnv;
 pub mod keyword_index;
+pub mod mutation;
 pub mod pool;
 pub mod principals;
 pub mod reach_index;
@@ -40,6 +49,7 @@ pub mod scan;
 pub mod stats;
 pub mod view_cache;
 
+pub use mutation::{Mutation, MutationEffect};
 pub use pool::WorkerPool;
 pub use principals::{AccessCache, AccessPrefix, AccessResolver, SpecAccess};
 pub use repository::{Repository, SpecEntry, SpecId};

@@ -1,0 +1,170 @@
+//! Typed repository mutations and their effects — the one write path every
+//! serving layer shares.
+//!
+//! The paper's repository is write-heavy by nature: every workflow
+//! execution appends provenance, and specifications and policies evolve
+//! alongside. The serving layers above the store (a single
+//! `QueryEngine`, a sharded `EngineCluster`) each need to know *what* a
+//! write changed to invalidate precisely — an opaque
+//! `FnOnce(&mut Repository)` forces them to assume the worst (rebuild
+//! every index, drop every cache). [`Mutation`] makes the write vocabulary
+//! explicit and [`MutationEffect`] reports exactly what changed, so each
+//! layer invalidates only what the effect can reach:
+//!
+//! * a **spec insert** appends postings and closure rows and can change
+//!   any group's answers;
+//! * an **execution append** — the paper's dominant write, provenance
+//!   accruing over repeated executions — touches no specification text,
+//!   no hierarchy and no policy, so keyword indexes, access-view memos
+//!   and `(group, query)` result caches all stay valid;
+//! * a **policy swap** can change privacy-filtered answers for the touched
+//!   spec but leaves index postings (classification is the owning
+//!   workflow, not the policy) and every *other* spec's state untouched.
+
+use crate::repository::{Repository, SpecId};
+use ppwf_core::policy::Policy;
+use ppwf_model::exec::Execution;
+use ppwf_model::spec::Specification;
+use ppwf_model::Result;
+
+/// A typed repository write. All mutations — engine-level and routed
+/// cluster writes alike — flow through this vocabulary, so effects (and
+/// therefore invalidation) are decided by type, not by convention.
+#[derive(Clone, Debug)]
+pub enum Mutation {
+    /// Insert a specification (yields its new id).
+    InsertSpec {
+        /// The specification.
+        spec: Specification,
+        /// Its privacy policy.
+        policy: Policy,
+    },
+    /// Record an execution of an existing spec.
+    AddExecution {
+        /// Target spec id.
+        spec: SpecId,
+        /// The execution.
+        exec: Execution,
+    },
+    /// Replace the policy of an existing spec.
+    SetPolicy {
+        /// Target spec id.
+        spec: SpecId,
+        /// The new policy.
+        policy: Policy,
+    },
+}
+
+/// What a successfully applied [`Mutation`] changed — the invalidation
+/// contract serving layers key their maintenance on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutationEffect {
+    /// A new specification exists: indexes append its entries, answer
+    /// caches are stale.
+    SpecInserted {
+        /// The id the spec was assigned.
+        spec: SpecId,
+    },
+    /// Provenance accrued on an existing spec: no specification text,
+    /// hierarchy or policy changed, so search indexes and answer caches
+    /// remain valid.
+    ExecutionAppended {
+        /// The spec that gained an execution.
+        spec: SpecId,
+    },
+    /// The spec's privacy policy changed: privacy-filtered answers for it
+    /// are stale; index postings and other specs are untouched.
+    PolicyChanged {
+        /// The spec whose policy was replaced.
+        spec: SpecId,
+    },
+}
+
+impl MutationEffect {
+    /// The spec the mutation touched (for inserts, the new id).
+    pub fn spec(&self) -> SpecId {
+        match self {
+            MutationEffect::SpecInserted { spec }
+            | MutationEffect::ExecutionAppended { spec }
+            | MutationEffect::PolicyChanged { spec } => *spec,
+        }
+    }
+
+    /// The newly assigned id, when the mutation was an insert.
+    pub fn inserted_id(&self) -> Option<SpecId> {
+        match self {
+            MutationEffect::SpecInserted { spec } => Some(*spec),
+            _ => None,
+        }
+    }
+
+    /// Whether the mutation can change principal-visible state — the
+    /// answers a group may receive, or how registry overrides map onto
+    /// specs. Spec inserts and policy swaps can; execution appends never
+    /// do (provenance is not part of any keyword, private or ranked
+    /// answer), which is what lets the write-heavy append path leave every
+    /// result cache warm.
+    pub fn changes_visible_state(&self) -> bool {
+        !matches!(self, MutationEffect::ExecutionAppended { .. })
+    }
+}
+
+impl Repository {
+    /// Apply a typed mutation; the returned [`MutationEffect`] tells the
+    /// caller exactly what maintenance the write requires. Validation
+    /// happens before any state change, so an `Err` leaves the repository
+    /// (and its version counter) untouched.
+    pub fn apply(&mut self, mutation: Mutation) -> Result<MutationEffect> {
+        match mutation {
+            Mutation::InsertSpec { spec, policy } => {
+                self.insert_spec(spec, policy).map(|spec| MutationEffect::SpecInserted { spec })
+            }
+            Mutation::AddExecution { spec, exec } => {
+                self.add_execution(spec, exec).map(|()| MutationEffect::ExecutionAppended { spec })
+            }
+            Mutation::SetPolicy { spec, policy } => {
+                self.set_policy(spec, policy).map(|()| MutationEffect::PolicyChanged { spec })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppwf_model::fixtures;
+
+    #[test]
+    fn apply_reports_effects() {
+        let mut repo = Repository::new();
+        let (spec, _) = fixtures::disease_susceptibility();
+        let exec = fixtures::disease_susceptibility_execution(&spec);
+        let effect = repo.apply(Mutation::InsertSpec { spec, policy: Policy::public() }).unwrap();
+        assert_eq!(effect, MutationEffect::SpecInserted { spec: SpecId(0) });
+        assert_eq!(effect.inserted_id(), Some(SpecId(0)));
+        assert!(effect.changes_visible_state());
+
+        let effect = repo.apply(Mutation::AddExecution { spec: SpecId(0), exec }).unwrap();
+        assert_eq!(effect, MutationEffect::ExecutionAppended { spec: SpecId(0) });
+        assert_eq!(effect.inserted_id(), None);
+        assert!(!effect.changes_visible_state(), "provenance appends change no answer");
+
+        let effect =
+            repo.apply(Mutation::SetPolicy { spec: SpecId(0), policy: Policy::public() }).unwrap();
+        assert_eq!(effect, MutationEffect::PolicyChanged { spec: SpecId(0) });
+        assert!(effect.changes_visible_state());
+        assert_eq!(effect.spec(), SpecId(0));
+    }
+
+    #[test]
+    fn failed_apply_leaves_repository_untouched() {
+        let mut repo = Repository::new();
+        let (spec, _) = fixtures::disease_susceptibility();
+        repo.apply(Mutation::InsertSpec { spec, policy: Policy::public() }).unwrap();
+        let version = repo.version();
+        assert!(repo
+            .apply(Mutation::SetPolicy { spec: SpecId(9), policy: Policy::public() })
+            .is_err());
+        assert_eq!(repo.version(), version, "rejected writes must not bump the version");
+    }
+}

@@ -227,8 +227,12 @@ impl SpecAccess for HashMap<SpecId, Prefix> {
 /// One group's lazily filled, repository-version-tagged view memo.
 #[derive(Debug)]
 struct GroupMemo {
-    /// Repository version the memoized prefixes were resolved at.
-    version: u64,
+    /// Repository version the memoized prefixes are valid at. Atomic so
+    /// the typed-mutation path can carry a memo forward
+    /// ([`AccessCache::advance`]) without rebuilding it: access rules
+    /// resolve against hierarchies, which are immutable once inserted, so
+    /// append-shaped writes cannot stale a resolved prefix.
+    version: std::sync::atomic::AtomicU64,
     /// Lazily resolved `spec → prefix` products.
     prefixes: RwLock<HashMap<SpecId, Arc<Prefix>>>,
 }
@@ -274,6 +278,39 @@ impl AccessCache {
         self.groups.read().get(group).map_or(0, |m| m.prefixes.read().len())
     }
 
+    /// Carry every group memo forward to `version` *unchanged* — the
+    /// typed-mutation fast path for writes that cannot stale a resolved
+    /// prefix. Access rules resolve against a spec's hierarchy, which is
+    /// immutable once inserted: spec inserts add specs no memo has seen,
+    /// and execution appends touch no hierarchy at all, so the memoized
+    /// products stay exact and only the version tag moves. Without this,
+    /// every write dropped every group's memo wholesale via the version
+    /// mismatch in [`Self::resolver`].
+    pub fn advance(&self, version: u64) {
+        use std::sync::atomic::Ordering;
+        for memo in self.groups.read().values() {
+            memo.version.store(version, Ordering::Release);
+        }
+    }
+
+    /// Per-spec invalidation for a policy swap on `spec`: drop only that
+    /// spec's memoized prefix in every group, then carry the memos forward
+    /// to `version`. Today's view rules resolve from the hierarchy alone,
+    /// so even the touched spec's prefix is technically still exact — the
+    /// eviction is the conservative contract (a future rule may consult
+    /// the policy) at per-spec cost instead of a whole-registry drop. The
+    /// touch-counter tests pin down that *only* the swapped spec
+    /// re-resolves afterwards.
+    pub fn invalidate_spec(&self, spec: SpecId, version: u64) {
+        use std::sync::atomic::Ordering;
+        for memo in self.groups.read().values() {
+            if memo.prefixes.write().remove(&spec).is_some() {
+                self.stats.record_invalidation();
+            }
+            memo.version.store(version, Ordering::Release);
+        }
+    }
+
     /// A lazy resolver for `name`'s views over `repo` at its current
     /// version. Returns `None` for unknown groups. A stale memo (older
     /// repository version) is replaced wholesale — hierarchies may have
@@ -284,10 +321,11 @@ impl AccessCache {
         repo: &'a Repository,
         name: &str,
     ) -> Option<AccessResolver<'a>> {
+        use std::sync::atomic::Ordering;
         let group = registry.group(name)?;
         let version = repo.version();
         if let Some(memo) = self.groups.read().get(name) {
-            if memo.version == version {
+            if memo.version.load(Ordering::Acquire) == version {
                 return Some(AccessResolver::new(repo, group, Arc::clone(memo), &self.stats));
             }
         }
@@ -295,12 +333,15 @@ impl AccessCache {
         // Re-check under the write lock: a racing resolver may have
         // refreshed the memo already.
         if let Some(memo) = guard.get(name) {
-            if memo.version == version {
+            if memo.version.load(Ordering::Acquire) == version {
                 return Some(AccessResolver::new(repo, group, Arc::clone(memo), &self.stats));
             }
             self.stats.record_invalidation();
         }
-        let memo = Arc::new(GroupMemo { version, prefixes: RwLock::new(HashMap::new()) });
+        let memo = Arc::new(GroupMemo {
+            version: std::sync::atomic::AtomicU64::new(version),
+            prefixes: RwLock::new(HashMap::new()),
+        });
         guard.insert(name.to_string(), Arc::clone(&memo));
         Some(AccessResolver::new(repo, group, memo, &self.stats))
     }
@@ -516,6 +557,55 @@ mod tests {
         resolver.resolve(SpecId(0)).unwrap();
         assert_eq!(cache.stats().invalidations(), 1, "stale memo dropped");
         assert_eq!(cache.stats().misses(), 2, "post-mutation touch re-resolves");
+    }
+
+    #[test]
+    fn advance_carries_memos_across_appends() {
+        let mut r = repo();
+        let mut reg = PrincipalRegistry::new();
+        reg.add_group("g", AccessLevel(1), ViewRule::Full);
+        let cache = AccessCache::new();
+        cache.resolver(&reg, &r, "g").unwrap().resolve(SpecId(0)).unwrap();
+        assert_eq!(cache.stats().misses(), 1);
+
+        // An execution append cannot stale any prefix: advance instead of
+        // dropping, and the next touch is a memo hit, not a re-resolution.
+        let exec = {
+            let entry = r.entry(SpecId(0)).unwrap();
+            fixtures::disease_susceptibility_execution(&entry.spec)
+        };
+        r.add_execution(SpecId(0), exec).unwrap();
+        cache.advance(r.version());
+        cache.resolver(&reg, &r, "g").unwrap().resolve(SpecId(0)).unwrap();
+        assert_eq!(cache.stats().misses(), 1, "advanced memo must serve the touch");
+        assert_eq!(cache.stats().invalidations(), 0, "nothing dropped");
+    }
+
+    #[test]
+    fn invalidate_spec_drops_only_the_touched_memo() {
+        let mut r = repo();
+        let (spec, _) = fixtures::disease_susceptibility();
+        r.insert_spec(spec, Policy::public()).unwrap();
+        let mut reg = PrincipalRegistry::new();
+        reg.add_group("g", AccessLevel(1), ViewRule::Full);
+        let cache = AccessCache::new();
+        {
+            let resolver = cache.resolver(&reg, &r, "g").unwrap();
+            resolver.resolve(SpecId(0)).unwrap();
+            resolver.resolve(SpecId(1)).unwrap();
+        }
+        assert_eq!(cache.stats().misses(), 2);
+
+        // Policy swap on spec 0: only its memo entry drops.
+        r.set_policy(SpecId(0), Policy::public()).unwrap();
+        cache.invalidate_spec(SpecId(0), r.version());
+        assert_eq!(cache.memoized_len("g"), 1, "the untouched spec's memo survives");
+        assert_eq!(cache.stats().invalidations(), 1);
+        let resolver = cache.resolver(&reg, &r, "g").unwrap();
+        resolver.resolve(SpecId(1)).unwrap();
+        assert_eq!(cache.stats().misses(), 2, "untouched spec must not re-resolve");
+        resolver.resolve(SpecId(0)).unwrap();
+        assert_eq!(cache.stats().misses(), 3, "touched spec re-resolves exactly once");
     }
 
     #[test]

@@ -104,27 +104,21 @@ struct SpecFingerprint {
 
 impl SpecFingerprint {
     fn of(entry: &crate::repository::SpecEntry) -> Self {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = FNV_OFFSET;
-        let mut mix = |v: u64| {
-            h ^= v;
-            h = h.wrapping_mul(FNV_PRIME);
-        };
+        let mut h = crate::fnv::Fnv1a::new();
         for e in entry.spec.edges() {
-            mix(e.from.0 as u64);
-            mix(e.to.0 as u64);
-            mix(e.workflow.index() as u64);
+            h.mix_u64(e.from.0 as u64);
+            h.mix_u64(e.to.0 as u64);
+            h.mix_u64(e.workflow.index() as u64);
         }
         for m in entry.spec.modules() {
-            mix(m.id.0 as u64);
-            mix(m.workflow.index() as u64);
+            h.mix_u64(m.id.0 as u64);
+            h.mix_u64(m.workflow.index() as u64);
         }
         SpecFingerprint {
             modules: entry.spec.module_count(),
             workflows: entry.hierarchy.len(),
             edges: entry.spec.edge_count(),
-            structure: h,
+            structure: h.finish(),
         }
     }
 }

@@ -8,7 +8,12 @@
 //! on the hierarchy's upper lattice). The cache keys views by
 //! `(SpecId, Prefix)` and tags entries with the repository version at build
 //! time, so any repository mutation invalidates stale entries lazily —
-//! the same discipline as [`crate::cache::GroupCache`].
+//! the same discipline as [`crate::cache::GroupCache`]. Typed-mutation
+//! owners can do better than the raw version tag: [`ViewCache::advance`]
+//! carries every entry forward across writes that cannot stale a view
+//! (spec inserts, execution appends — views read only immutable spec
+//! structure), and [`ViewCache::invalidate_spec`] drops one spec's views
+//! on a policy swap instead of the whole cache going cold.
 //!
 //! Entries are `Arc<SpecView>`: consumers share one materialized view, and
 //! because `DiGraph` memoizes its own transitive closure, the first
@@ -63,6 +68,34 @@ impl ViewCache {
     /// Drop everything.
     pub fn clear(&self) {
         self.inner.write().clear();
+    }
+
+    /// Carry every cached view forward to `version` *unchanged* — the
+    /// typed-mutation fast path for writes that cannot stale a view.
+    /// `SpecView::build` reads only the spec's structure, its hierarchy
+    /// and the prefix, all immutable once a spec is inserted, so spec
+    /// inserts and execution appends leave every cached view exact; only
+    /// the version tag needs to move.
+    pub fn advance(&self, version: u64) {
+        let mut guard = self.inner.write();
+        for inner in guard.values_mut() {
+            for entry in inner.values_mut() {
+                entry.version = version;
+            }
+        }
+    }
+
+    /// Per-spec invalidation for a policy swap on `spec`: drop only that
+    /// spec's cached views, then carry the rest forward to `version`.
+    /// Views do not read policies today, so even the dropped entries are
+    /// technically still exact — the eviction is the conservative
+    /// contract at per-spec cost, mirroring
+    /// [`AccessCache::invalidate_spec`](crate::principals::AccessCache::invalidate_spec).
+    pub fn invalidate_spec(&self, spec: SpecId, version: u64) {
+        if self.inner.write().remove(&spec).is_some() {
+            self.stats.record_invalidation();
+        }
+        self.advance(version);
     }
 
     fn next_tick(&self) -> u64 {
@@ -159,6 +192,44 @@ mod tests {
         let after = cache.view(&r, SpecId(0), &full).unwrap();
         assert!(!Arc::ptr_eq(&before, &after), "stale view served after mutation");
         assert!(cache.stats().invalidations() >= 1);
+    }
+
+    #[test]
+    fn advance_carries_views_across_structure_free_writes() {
+        let mut r = repo();
+        let cache = ViewCache::new(8);
+        let full = Prefix::full(&r.entry(SpecId(0)).unwrap().hierarchy);
+        let before = cache.view(&r, SpecId(0), &full).unwrap();
+        // An execution append cannot stale a view: advance instead of
+        // letting the version tag invalidate.
+        let exec = {
+            let entry = r.entry(SpecId(0)).unwrap();
+            fixtures::disease_susceptibility_execution(&entry.spec)
+        };
+        r.add_execution(SpecId(0), exec).unwrap();
+        cache.advance(r.version());
+        let after = cache.view(&r, SpecId(0), &full).unwrap();
+        assert!(Arc::ptr_eq(&before, &after), "advanced view must keep serving");
+        assert_eq!(cache.stats().invalidations(), 0);
+    }
+
+    #[test]
+    fn invalidate_spec_drops_only_the_touched_views() {
+        let mut r = repo();
+        let (spec, _) = fixtures::disease_susceptibility();
+        r.insert_spec(spec, Policy::public()).unwrap();
+        let cache = ViewCache::new(8);
+        let full0 = Prefix::full(&r.entry(SpecId(0)).unwrap().hierarchy);
+        let full1 = Prefix::full(&r.entry(SpecId(1)).unwrap().hierarchy);
+        cache.view(&r, SpecId(0), &full0).unwrap();
+        let kept = cache.view(&r, SpecId(1), &full1).unwrap();
+
+        r.set_policy(SpecId(0), Policy::public()).unwrap();
+        cache.invalidate_spec(SpecId(0), r.version());
+        assert_eq!(cache.len(), 1, "only the swapped spec's views drop");
+        let after = cache.view(&r, SpecId(1), &full1).unwrap();
+        assert!(Arc::ptr_eq(&kept, &after), "untouched spec's view must keep serving");
+        assert_eq!(cache.stats().invalidations(), 1);
     }
 
     #[test]
