@@ -1,0 +1,94 @@
+//! E14 — async serving through the criterion harness.
+//!
+//! The JSON emitter (`--bin e14_async_serving`) owns the acceptance run
+//! (whole-stream throughput at fixed concurrency, which criterion's
+//! per-op iteration model cannot express). This harness times the
+//! per-request *dispatch kernels* the throughput gap is made of:
+//!
+//! * `warm_request` — one warm request per iteration: `submit_inline` is
+//!   the async front's warm path (front probe + ready ticket),
+//!   `blocking_call` the bare blocking cluster probe it wraps — their
+//!   difference is the front's bookkeeping overhead;
+//! * `dispatch` — one *cold-start shaped* request per iteration:
+//!   `thread_spawn` prices the blocking per-thread model's spawn+join,
+//!   `async_submit` the front's queue+fan-out+ticket-wait round trip on
+//!   the pool. The spawn-vs-queue gap is the E14 lever; both serve the
+//!   same warm query so only dispatch cost differs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppwf_bench::{e11_corpus, e11_query_log, e11_repo, standard_registry};
+use ppwf_query::cluster::EngineCluster;
+use ppwf_query::route::ShardStrategy;
+use ppwf_query::serve::{ServeFront, ServeRequest};
+use ppwf_repo::pool::WorkerPool;
+use std::sync::Arc;
+
+fn bench_async_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_async_serving");
+    group.sample_size(10);
+
+    let specs = 256;
+    let corpus = e11_corpus(specs, 17);
+    let log = e11_query_log(&corpus, 32, 17 ^ 0x5EED);
+    let query = log[0].clone();
+
+    let blocking = Arc::new(EngineCluster::with_config(
+        e11_repo(&corpus),
+        standard_registry(),
+        4,
+        ShardStrategy::RoundRobin,
+        Arc::new(WorkerPool::new(2)),
+    ));
+    let front = ServeFront::new(EngineCluster::with_config(
+        e11_repo(&corpus),
+        standard_registry(),
+        4,
+        ShardStrategy::RoundRobin,
+        Arc::new(WorkerPool::new(2)),
+    ));
+    // Warm both serving stacks on the probe query.
+    blocking.search_as("researchers", &query).unwrap();
+    front
+        .submit(ServeRequest::Keyword { group: "researchers".into(), query: query.clone() })
+        .wait();
+
+    group.bench_with_input(BenchmarkId::new("warm_request", "blocking_call"), &specs, |b, _| {
+        b.iter(|| blocking.search_as("researchers", &query).unwrap().len())
+    });
+    group.bench_with_input(BenchmarkId::new("warm_request", "submit_inline"), &specs, |b, _| {
+        b.iter(|| {
+            let ticket = front.submit(ServeRequest::Keyword {
+                group: "researchers".into(),
+                query: query.clone(),
+            });
+            match ticket.wait().answer {
+                ppwf_query::serve::QueryAnswer::Keyword(Some(h)) => h.len(),
+                _ => unreachable!("warm keyword answer"),
+            }
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("dispatch", "thread_spawn"), &specs, |b, _| {
+        b.iter(|| {
+            let cluster = Arc::clone(&blocking);
+            let q = query.clone();
+            std::thread::spawn(move || cluster.search_as("researchers", &q).unwrap().len())
+                .join()
+                .unwrap()
+        })
+    });
+    let pool = Arc::new(WorkerPool::new(2));
+    group.bench_with_input(BenchmarkId::new("dispatch", "pool_submit"), &specs, |b, _| {
+        b.iter(|| {
+            let cluster = Arc::clone(&blocking);
+            let q = query.clone();
+            pool.submit(move || cluster.search_as("researchers", &q).unwrap().len()).wait()
+        })
+    });
+
+    group.finish();
+    front.quiesce();
+}
+
+criterion_group!(benches, bench_async_serving);
+criterion_main!(benches);

@@ -254,6 +254,34 @@ pub fn e13_write_stream(
         .collect()
 }
 
+/// The E14 request stream: a warm-heavy serving mix scheduled over the
+/// standard three groups. `distinct` controls the working set (the log
+/// cycles, so a server's caches see production-like repetition);
+/// `write_every` turns every n-th slot into a write marker the driver
+/// fills from [`e13_write_stream`]. Closed-loop lanes carry the requested
+/// `concurrency`.
+pub fn e14_schedule(
+    corpus: &[ppwf_model::spec::Specification],
+    requests: usize,
+    distinct: usize,
+    concurrency: usize,
+    write_every: usize,
+    seed: u64,
+) -> Vec<ppwf_workloads::ScheduledRequest> {
+    let log = e11_query_log(corpus, distinct, seed ^ 0x5EED);
+    assert!(!log.is_empty(), "E14 needs a nonempty query pool");
+    ppwf_workloads::schedule_requests(
+        &log,
+        &ppwf_workloads::ScheduleParams {
+            seed: seed ^ 0xE14,
+            requests,
+            groups: E10_GROUPS.len(),
+            write_every,
+            arrival: ppwf_workloads::ArrivalSchedule::ClosedLoop { clients: concurrency },
+        },
+    )
+}
+
 /// A random layered DAG with `n` nodes and edge probability `p` (%), plus
 /// unit-ish random edge weights — the flat-graph substrate for E3/E4.
 pub fn layered_dag(seed: u64, n: usize, p_percent: u32) -> (DiGraph<u32, ()>, Vec<u64>) {

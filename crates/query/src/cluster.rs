@@ -179,8 +179,11 @@ impl EngineCluster {
     /// tagging. Components never decrease and every answer-changing write
     /// strictly increases exactly one of them, so two equal sums can only
     /// arise from the identical vector — the scalar is collision-free
-    /// without storing the whole vector per entry.
-    fn front_epoch(&self) -> u64 {
+    /// without storing the whole vector per entry. The async serving
+    /// front's fence leans on the same property: an admitted read's epoch
+    /// cannot move while the read is in flight, because mutations drain
+    /// in-flight reads first.
+    pub(crate) fn front_epoch(&self) -> u64 {
         self.shards.iter().map(|s| s.results_version()).sum()
     }
 
@@ -226,7 +229,7 @@ impl EngineCluster {
     /// Shards that could contribute to `query`: every term must have a
     /// possible posting in the shard's index (AND semantics make the rest
     /// unreachable). Pure pruning — never changes an answer.
-    fn target_shards(&self, query: &KeywordQuery) -> Vec<usize> {
+    pub(crate) fn target_shards(&self, query: &KeywordQuery) -> Vec<usize> {
         if query.terms.is_empty() {
             return Vec::new();
         }
@@ -262,6 +265,27 @@ impl EngineCluster {
         }
     }
 
+    /// The serving pool (shared with the async front, so scoped scatter
+    /// jobs and non-blocking shard tasks drain one queue).
+    pub(crate) fn pool_handle(&self) -> Arc<WorkerPool> {
+        Arc::clone(&self.pool)
+    }
+
+    /// The cluster-front keyword cache (async front probes it inline).
+    pub(crate) fn front_keyword_cache(&self) -> &GroupCache<Vec<KeywordHit>> {
+        &self.front_keyword
+    }
+
+    /// The cluster-front private-search cache for `plan`.
+    pub(crate) fn front_private_cache(&self, plan: Plan) -> &GroupCache<PrivateSearchOutcome> {
+        &self.front_private[plan.slot()]
+    }
+
+    /// The cluster-front ranked cache serving `mode`.
+    pub(crate) fn front_ranked_cache(&self, mode: RankingMode) -> Arc<GroupCache<RankedHits>> {
+        self.front_ranked.cache(mode)
+    }
+
     fn remap_hit(&self, shard: usize, h: &KeywordHit) -> KeywordHit {
         KeywordHit {
             spec: self.router.global_of(shard, h.spec),
@@ -290,8 +314,23 @@ impl EngineCluster {
         let per_shard = self.scatter(&targets, |shard| {
             shard.search_as(group, query_text).expect("group registered on every shard")
         });
+        Some(self.gather_keyword(group, query_text, epoch, &targets, &per_shard))
+    }
+
+    /// The keyword gather stage, shared bitwise between the blocking path
+    /// above and the async front's shard-task continuation: remap each
+    /// shard's hits to global ids, merge in global spec order, publish to
+    /// the front cache at `epoch`.
+    pub(crate) fn gather_keyword(
+        &self,
+        group: &str,
+        query_text: &str,
+        epoch: u64,
+        targets: &[usize],
+        per_shard: &[Arc<Vec<KeywordHit>>],
+    ) -> Arc<Vec<KeywordHit>> {
         let mut merged = Vec::new();
-        for (&s, hits) in targets.iter().zip(&per_shard) {
+        for (&s, hits) in targets.iter().zip(per_shard) {
             merged.extend(hits.iter().map(|h| self.remap_hit(s, h)));
         }
         if targets.len() > 1 {
@@ -300,7 +339,7 @@ impl EngineCluster {
         }
         let merged = Arc::new(merged);
         self.front_keyword.insert(group, query_text, epoch, Arc::clone(&merged));
-        Some(merged)
+        merged
     }
 
     /// Privacy-preserving search under an explicit plan; per-shard hits are
@@ -326,9 +365,24 @@ impl EngineCluster {
                 .private_search_as(group, query_text, plan)
                 .expect("group registered on every shard")
         });
+        Some(self.gather_private(group, query_text, plan, epoch, &targets, &per_shard))
+    }
+
+    /// The private-search gather stage (see [`Self::gather_keyword`]):
+    /// merge hits in global spec order and sum the plans' per-spec cost
+    /// counters, so the totals equal the single-engine figures.
+    pub(crate) fn gather_private(
+        &self,
+        group: &str,
+        query_text: &str,
+        plan: Plan,
+        epoch: u64,
+        targets: &[usize],
+        per_shard: &[Arc<PrivateSearchOutcome>],
+    ) -> Arc<PrivateSearchOutcome> {
         let mut hits = Vec::new();
         let (mut views_built, mut zoom_steps, mut discarded) = (0usize, 0usize, 0usize);
-        for (&s, outcome) in targets.iter().zip(&per_shard) {
+        for (&s, outcome) in targets.iter().zip(per_shard) {
             views_built += outcome.views_built;
             zoom_steps += outcome.zoom_steps;
             discarded += outcome.discarded;
@@ -336,8 +390,8 @@ impl EngineCluster {
         }
         hits.sort_by_key(|h| h.spec);
         let outcome = Arc::new(PrivateSearchOutcome { hits, views_built, zoom_steps, discarded });
-        front.insert(group, query_text, epoch, Arc::clone(&outcome));
-        Some(outcome)
+        self.front_private[plan.slot()].insert(group, query_text, epoch, Arc::clone(&outcome));
+        outcome
     }
 
     /// Ranked keyword search. Shards contribute hits and TF profiles (both
@@ -359,51 +413,66 @@ impl EngineCluster {
         self.registry.group(group)?;
         let query = KeywordQuery::parse(query_text);
         let targets = self.target_shards(&query);
-        if targets.is_empty() {
+        let idfs = if targets.is_empty() {
             // No shard can contribute a hit; the IDF statistics would go
             // unused (scores of an empty profile set), so skip collecting
             // them — this is the fast-reject path the query mix leans on.
-            let empty = Arc::new(RankedHits {
-                hits: Vec::new(),
-                ranked: RankedAnswer {
-                    order: Vec::new(),
-                    scores: Vec::new(),
-                    profiles: Vec::new(),
-                },
-            });
-            front.insert(group, query_text, epoch, Arc::clone(&empty));
-            return Some(empty);
-        }
-        let doc_counts: Vec<usize> = self.shards.iter().map(|s| s.index().doc_count()).collect();
-        // Per-shard dfs go through each index's per-term memo: the first
-        // request per term per index build materializes (phrases verify
-        // adjacency over postings), every later gather is a map probe.
-        let dfs_per_term: Vec<Vec<usize>> = query
-            .terms
-            .iter()
-            .map(|t| self.shards.iter().map(|s| s.index().df_cached(t)).collect())
-            .collect();
-        let idfs = idfs_from_shard_counts(&doc_counts, &dfs_per_term);
-
+            Vec::new()
+        } else {
+            self.ranked_corpus_idfs(&query)
+        };
         let per_shard = self.scatter(&targets, |shard| {
             shard
                 .ranked_search_as(group, query_text, mode)
                 .expect("group registered on every shard")
         });
+        Some(self.gather_ranked(group, query_text, mode, epoch, &idfs, &targets, &per_shard))
+    }
+
+    /// Corpus-global IDFs for `query` over *all* shards — including ones
+    /// the scatter prunes, whose document counts still shape the
+    /// statistics. Per-shard dfs go through each index's per-term memo:
+    /// the first request per term per index build materializes (phrases
+    /// verify adjacency over postings), every later gather is a map probe.
+    pub(crate) fn ranked_corpus_idfs(&self, query: &KeywordQuery) -> Vec<f64> {
+        let doc_counts: Vec<usize> = self.shards.iter().map(|s| s.index().doc_count()).collect();
+        let dfs_per_term: Vec<Vec<usize>> = query
+            .terms
+            .iter()
+            .map(|t| self.shards.iter().map(|s| s.index().df_cached(t)).collect())
+            .collect();
+        idfs_from_shard_counts(&doc_counts, &dfs_per_term)
+    }
+
+    /// The ranked gather stage (see [`Self::gather_keyword`]): remap and
+    /// merge hits with their TF profiles in global spec order, rescore
+    /// every profile with the corpus-global `idfs`, publish at `epoch`.
+    /// Scores and order come out bit-identical to a single engine.
+    #[allow(clippy::too_many_arguments)] // the gather stage's full context, threaded not stored
+    pub(crate) fn gather_ranked(
+        &self,
+        group: &str,
+        query_text: &str,
+        mode: RankingMode,
+        epoch: u64,
+        idfs: &[f64],
+        targets: &[usize],
+        per_shard: &[(Arc<Vec<KeywordHit>>, Arc<RankedAnswer>)],
+    ) -> Arc<RankedHits> {
         let mut rows: Vec<(KeywordHit, crate::ranking::TfProfile)> = Vec::new();
-        for (&s, (hits, ranked)) in targets.iter().zip(&per_shard) {
+        for (&s, (hits, ranked)) in targets.iter().zip(per_shard) {
             for (i, h) in hits.iter().enumerate() {
                 rows.push((self.remap_hit(s, h), ranked.profiles[i].clone()));
             }
         }
         rows.sort_by_key(|(h, _)| h.spec);
         let (hits, profiles): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
-        let scores: Vec<f64> = profiles.iter().map(|p| score_with_idfs(&idfs, p, mode)).collect();
+        let scores: Vec<f64> = profiles.iter().map(|p| score_with_idfs(idfs, p, mode)).collect();
         let order = rank_by_scores(&scores);
         let answer =
             Arc::new(RankedHits { hits, ranked: RankedAnswer { order, scores, profiles } });
-        front.insert(group, query_text, epoch, Arc::clone(&answer));
-        Some(answer)
+        self.front_ranked.cache(mode).insert(group, query_text, epoch, Arc::clone(&answer));
+        answer
     }
 
     /// Apply a routed, typed mutation — the same [`Mutation`] vocabulary

@@ -82,6 +82,19 @@ pub struct RankedAnswer {
     pub profiles: Vec<TfProfile>,
 }
 
+impl RankedAnswer {
+    /// Whether two answers are *bit*-identical: same order and scores
+    /// whose `f64` bit patterns match exactly (no epsilon, no NaN
+    /// surprises). This is the equality the serving-equivalence suites
+    /// assert — an async or sharded path that merely approximates the
+    /// single engine's ranking is a divergence, not a rounding artifact.
+    pub fn bitwise_eq(&self, other: &RankedAnswer) -> bool {
+        self.order == other.order
+            && self.scores.len() == other.scores.len()
+            && self.scores.iter().zip(&other.scores).all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
 /// Point-in-time counters of one cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheSnapshot {

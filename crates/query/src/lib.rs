@@ -26,6 +26,11 @@
 //!   [`Router`](route::Router) over N shard engines, scattered on a
 //!   persistent worker pool and gathered into answers bit-identical to a
 //!   single engine (experiment E11).
+//! * [`serve`] — the asynchronous serving front: typed requests admitted
+//!   through a read/write fence, fanned out as independent per-shard pool
+//!   jobs and gathered into [`Ticket`](ppwf_repo::ticket::Ticket)
+//!   completions, so a small fixed pool multiplexes many in-flight
+//!   queries (experiment E14).
 
 pub mod cluster;
 pub mod engine;
@@ -36,9 +41,11 @@ pub mod privacy_exec;
 pub mod private_provenance;
 pub mod ranking;
 pub mod route;
+pub mod serve;
 pub mod structural;
 
 pub use cluster::{ClusterStats, EngineCluster, Mutation, MutationEffect, RankedHits};
 pub use engine::{EngineStats, Plan, QueryEngine, RankedAnswer};
 pub use keyword::{KeywordHit, KeywordQuery};
 pub use route::{Router, ShardStrategy};
+pub use serve::{QueryAnswer, ServeFront, ServeRequest, ServeResponse, ServeStats};

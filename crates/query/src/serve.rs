@@ -1,0 +1,880 @@
+//! The asynchronous serving front: many in-flight cluster queries
+//! multiplexed on a small fixed worker pool.
+//!
+//! [`EngineCluster`]'s entry points are *blocking*: one OS thread submits
+//! one query and cannot do anything else until the scatter/gather
+//! finishes, so a serving tier holds at most one query in flight per
+//! thread. The [`ServeFront`] inverts that: [`ServeFront::submit`] accepts
+//! a typed [`ServeRequest`], returns a [`Ticket`] immediately, and the
+//! query executes as **independent per-shard pool jobs** — not one
+//! blocking job per query — whose last finisher runs the gather stage and
+//! completes the ticket. A single submitting thread can therefore keep
+//! dozens of queries in flight over a 2-thread pool, and the pool's queue,
+//! not a thread-per-request stack, is the concurrency ceiling.
+//!
+//! **Write/read ordering (the version fence).** Interleaving mutations
+//! with multiplexed reads is where privacy bugs live: a response assembled
+//! from shard answers at two different repository versions could stitch a
+//! pre-policy-swap shard view onto a post-swap one — a leak, not just a
+//! wrong answer. The front therefore runs a FIFO admission queue with a
+//! read/write fence:
+//!
+//! * reads admit **concurrently** (each bumps the in-flight reader count
+//!   before its shard jobs are spawned);
+//! * a mutation at the head of the queue **drains**: it waits until every
+//!   admitted read has completed, then runs exclusively (behind the
+//!   cluster's write lock), then reopens admission.
+//!
+//! Consequently an admitted read's version-vector epoch cannot move while
+//! the read is in flight — every response is computed entirely at one
+//! epoch the fence admitted, and is bit-identical to the blocking cluster
+//! serving the same request at that version (`gather_*` stages are
+//! *shared code*, not parallel implementations). Warm requests sidestep
+//! all of it: a front-cache hit completes inline on the submitting thread
+//! ([`Ticket::ready`]) without touching the queue — serving the current
+//! epoch's merged answer, which corresponds to ordering the read before
+//! any still-queued mutation (an admissible sequential cut, since those
+//! mutations have not been applied yet).
+//!
+//! [`ServeStats`] surfaces the serving health an operator watches: the
+//! in-flight high-water mark (how much multiplexing actually happened),
+//! admission-queue depth, fence waits, and completion-latency buckets.
+
+use crate::cluster::{EngineCluster, RankedHits};
+use crate::engine::Plan;
+use crate::keyword::{KeywordHit, KeywordQuery};
+use crate::privacy_exec::PrivateSearchOutcome;
+use crate::ranking::RankingMode;
+use parking_lot::RwLock;
+use ppwf_model::Result;
+use ppwf_repo::mutation::{Mutation, MutationEffect};
+use ppwf_repo::pool::WorkerPool;
+use ppwf_repo::ticket::{Ticket, TicketCompleter};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A typed serving request — the front's whole vocabulary. Queries carry
+/// the user group (privacy is per-group, never per-connection), mutations
+/// the same typed [`Mutation`]s the blocking write path consumes.
+#[derive(Clone, Debug)]
+pub enum ServeRequest {
+    /// Privilege-filtered keyword search.
+    Keyword {
+        /// Requesting user group.
+        group: String,
+        /// Query text (comma-separated terms).
+        query: String,
+    },
+    /// Privacy-preserving search under an explicit plan.
+    Private {
+        /// Requesting user group.
+        group: String,
+        /// Query text.
+        query: String,
+        /// Evaluation plan.
+        plan: Plan,
+    },
+    /// Ranked keyword search.
+    Ranked {
+        /// Requesting user group.
+        group: String,
+        /// Query text.
+        query: String,
+        /// Ranking mode.
+        mode: RankingMode,
+    },
+    /// A typed repository mutation, fenced against in-flight reads.
+    /// Boxed: mutations carry whole specifications, and the request enum
+    /// travels through queues by value.
+    Mutate(Box<Mutation>),
+}
+
+impl ServeRequest {
+    /// Convenience constructor for a fenced mutation request.
+    pub fn mutate(mutation: Mutation) -> ServeRequest {
+        ServeRequest::Mutate(Box::new(mutation))
+    }
+
+    fn is_write(&self) -> bool {
+        matches!(self, ServeRequest::Mutate(_))
+    }
+}
+
+/// A completed answer. Query variants are `None` for unknown groups,
+/// mirroring the blocking entry points.
+#[derive(Debug)]
+pub enum QueryAnswer {
+    /// Answer to [`ServeRequest::Keyword`].
+    Keyword(Option<Arc<Vec<KeywordHit>>>),
+    /// Answer to [`ServeRequest::Private`].
+    Private(Option<Arc<PrivateSearchOutcome>>),
+    /// Answer to [`ServeRequest::Ranked`].
+    Ranked(Option<Arc<RankedHits>>),
+    /// Outcome of [`ServeRequest::Mutate`].
+    Mutated(Result<MutationEffect>),
+}
+
+/// A response: the answer plus the version-vector epoch it was computed
+/// at — single-valued for the whole response, by the fence. Tests replay
+/// the request log sequentially and check each response bit-identical to
+/// the reference state at exactly this epoch.
+#[derive(Debug)]
+pub struct ServeResponse {
+    /// The cluster epoch ([`EngineCluster`] version-vector sum) the answer
+    /// was computed at; for mutations, the epoch after application.
+    pub epoch: u64,
+    /// The typed answer.
+    pub answer: QueryAnswer,
+}
+
+/// Upper bounds (µs, inclusive) of the completion-latency buckets in
+/// [`ServeStats::latency_counts`]; the last bucket is unbounded.
+pub const LATENCY_BOUNDS_US: [u64; 7] = [4, 16, 64, 256, 1024, 4096, 16384];
+
+/// Point-in-time serving counters. Monotone except `queue_depth` (a
+/// gauge).
+#[derive(Clone, Debug, Default)]
+pub struct ServeStats {
+    /// Requests accepted by [`ServeFront::submit`].
+    pub submitted: u64,
+    /// Responses completed (inline or via the queue).
+    pub completed: u64,
+    /// Warm front-cache hits completed inline — these never touched the
+    /// admission queue or the pool.
+    pub warm_inline: u64,
+    /// Mutations applied.
+    pub mutations: u64,
+    /// Pump passes that found a mutation at the head of the queue still
+    /// fenced behind in-flight reads.
+    pub fence_waits: u64,
+    /// High-water mark of concurrently in-flight admitted requests
+    /// (reads in flight plus an active writer) — the multiplexing
+    /// instrument: blocking per-thread serving pins this at the thread
+    /// count, the async front takes it to the admission window.
+    pub in_flight_high_water: u64,
+    /// Current admission-queue depth (requests accepted, not yet
+    /// admitted past the fence).
+    pub queue_depth: u64,
+    /// High-water mark of the admission queue.
+    pub queue_high_water: u64,
+    /// Completion-latency histogram; bucket `i` counts responses with
+    /// submit→complete latency ≤ [`LATENCY_BOUNDS_US`]`[i]` µs (last
+    /// bucket: everything slower).
+    pub latency_counts: [u64; LATENCY_BOUNDS_US.len() + 1],
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    warm_inline: AtomicU64,
+    mutations: AtomicU64,
+    fence_waits: AtomicU64,
+    in_flight_high_water: AtomicU64,
+    queue_high_water: AtomicU64,
+    latency: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
+}
+
+impl Counters {
+    fn record_latency(&self, started: Instant) {
+        let us = started.elapsed().as_micros() as u64;
+        let bucket = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn raise_high_water(slot: &AtomicU64, observed: u64) {
+        slot.fetch_max(observed, Ordering::Relaxed);
+    }
+}
+
+/// One accepted request waiting behind the fence.
+struct Queued {
+    req: ServeRequest,
+    completer: TicketCompleter<ServeResponse>,
+    submitted: Instant,
+}
+
+/// Admission state, guarded by one mutex: the FIFO queue plus the fence's
+/// two counters. Held only for queue surgery — never across query work.
+struct Admission {
+    queue: VecDeque<Queued>,
+    readers_in_flight: usize,
+    writer_active: bool,
+}
+
+struct Shared {
+    cluster: RwLock<EngineCluster>,
+    pool: Arc<WorkerPool>,
+    admission: Mutex<Admission>,
+    counters: Counters,
+}
+
+/// The asynchronous serving front. See the module docs.
+pub struct ServeFront {
+    shared: Arc<Shared>,
+}
+
+impl ServeFront {
+    /// Serve `cluster` on its own worker pool.
+    pub fn new(cluster: EngineCluster) -> Self {
+        let pool = cluster.pool_handle();
+        Self::with_pool(cluster, pool)
+    }
+
+    /// Serve `cluster`, running shard tasks and mutations on `pool`
+    /// (normally the same pool the cluster's blocking scatter uses, so
+    /// all work drains one queue).
+    pub fn with_pool(cluster: EngineCluster, pool: Arc<WorkerPool>) -> Self {
+        ServeFront {
+            shared: Arc::new(Shared {
+                cluster: RwLock::new(cluster),
+                pool,
+                admission: Mutex::new(Admission {
+                    queue: VecDeque::new(),
+                    readers_in_flight: 0,
+                    writer_active: false,
+                }),
+                counters: Counters::default(),
+            }),
+        }
+    }
+
+    /// Accept a request. Never blocks on query work: warm front-cache
+    /// hits complete inline (no queue, no pool), everything else is
+    /// admission-queued and executed as pool jobs. The ticket resolves
+    /// whenever the response is ready; dropping it un-awaited is fine.
+    pub fn submit(&self, req: ServeRequest) -> Ticket<ServeResponse> {
+        let shared = &self.shared;
+        shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let submitted = Instant::now();
+        if !req.is_write() {
+            // Warm path: probe the cluster front without blocking. If a
+            // writer holds (or waits on) the cluster lock, `try_read`
+            // fails and the request queues behind the mutation instead —
+            // exactly the FIFO ordering the fence wants.
+            if let Some(cluster) = shared.cluster.try_read() {
+                if let Some(answer) = probe_front(&cluster, &req) {
+                    let epoch = cluster.front_epoch();
+                    drop(cluster);
+                    shared.counters.warm_inline.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.record_latency(submitted);
+                    return Ticket::ready(ServeResponse { epoch, answer });
+                }
+            }
+        }
+        let (ticket, completer) = Ticket::pending(Some(Arc::clone(&shared.pool)));
+        {
+            let mut admission = shared.admission.lock().expect("admission");
+            admission.queue.push_back(Queued { req, completer, submitted });
+            Counters::raise_high_water(
+                &shared.counters.queue_high_water,
+                admission.queue.len() as u64,
+            );
+        }
+        pump(shared);
+        ticket
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.shared.counters;
+        let queue_depth = self.shared.admission.lock().expect("admission").queue.len() as u64;
+        let mut latency_counts = [0u64; LATENCY_BOUNDS_US.len() + 1];
+        for (out, counter) in latency_counts.iter_mut().zip(&c.latency) {
+            *out = counter.load(Ordering::Relaxed);
+        }
+        ServeStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            warm_inline: c.warm_inline.load(Ordering::Relaxed),
+            mutations: c.mutations.load(Ordering::Relaxed),
+            fence_waits: c.fence_waits.load(Ordering::Relaxed),
+            in_flight_high_water: c.in_flight_high_water.load(Ordering::Relaxed),
+            queue_depth,
+            queue_high_water: c.queue_high_water.load(Ordering::Relaxed),
+            latency_counts,
+        }
+    }
+
+    /// Run `f` against the cluster under the read lock — the inspection
+    /// hatch tests and stats use (e.g. [`EngineCluster::stats`],
+    /// [`EngineCluster::version_vector`]). Do not call from inside a pool
+    /// job while a mutation might be queued: the read lock can then wait
+    /// on the writer.
+    pub fn with_cluster<R>(&self, f: impl FnOnce(&EngineCluster) -> R) -> R {
+        f(&self.shared.cluster.read())
+    }
+
+    /// Block until every accepted request has completed, helping the pool
+    /// while waiting. Intended for test/bench teardown; normal operation
+    /// never needs a barrier.
+    pub fn quiesce(&self) {
+        loop {
+            {
+                let c = &self.shared.counters;
+                let admission = self.shared.admission.lock().expect("admission");
+                if admission.queue.is_empty()
+                    && admission.readers_in_flight == 0
+                    && !admission.writer_active
+                    && c.completed.load(Ordering::Relaxed) == c.submitted.load(Ordering::Relaxed)
+                {
+                    return;
+                }
+            }
+            if !self.shared.pool.help_one() {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Probe the cluster-front caches for `req` at the current epoch. A hit
+/// is the fully merged answer — one hash probe plus an `Arc` clone.
+fn probe_front(cluster: &EngineCluster, req: &ServeRequest) -> Option<QueryAnswer> {
+    let epoch = cluster.front_epoch();
+    match req {
+        ServeRequest::Keyword { group, query } => cluster
+            .front_keyword_cache()
+            .get(group, query, epoch)
+            .map(|hit| QueryAnswer::Keyword(Some(hit))),
+        ServeRequest::Private { group, query, plan } => cluster
+            .front_private_cache(*plan)
+            .get(group, query, epoch)
+            .map(|hit| QueryAnswer::Private(Some(hit))),
+        ServeRequest::Ranked { group, query, mode } => cluster
+            .front_ranked_cache(*mode)
+            .get(group, query, epoch)
+            .map(|hit| QueryAnswer::Ranked(Some(hit))),
+        ServeRequest::Mutate(_) => None,
+    }
+}
+
+/// Admit as much of the queue as the fence allows. Runs after every
+/// submit and every completion, on whichever thread got there — the
+/// admission lock makes pumps mutually exclusive per decision, and the
+/// loop re-checks after each dispatch so no admissible request is left
+/// waiting for the next event.
+fn pump(shared: &Arc<Shared>) {
+    loop {
+        let queued = {
+            let mut admission = shared.admission.lock().expect("admission");
+            if admission.writer_active {
+                return;
+            }
+            let Some(head) = admission.queue.front() else { return };
+            if head.req.is_write() {
+                if admission.readers_in_flight > 0 {
+                    // The fence: the mutation waits for in-flight reads
+                    // to drain; the last completion re-pumps.
+                    shared.counters.fence_waits.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                admission.writer_active = true;
+                Counters::raise_high_water(&shared.counters.in_flight_high_water, 1);
+                admission.queue.pop_front().expect("head exists")
+            } else {
+                admission.readers_in_flight += 1;
+                let in_flight = admission.readers_in_flight as u64;
+                Counters::raise_high_water(&shared.counters.in_flight_high_water, in_flight);
+                admission.queue.pop_front().expect("head exists")
+            }
+        };
+        if queued.req.is_write() {
+            // Nothing admits past an active writer; its completion job
+            // clears the flag and re-pumps.
+            dispatch_write(shared, queued);
+            return;
+        }
+        // A read that completed without fanning out (warm, unknown group,
+        // fully pruned) releases its fence slot here, in the loop — never
+        // by recursing into pump — so a long run of inline-completable
+        // reads costs constant stack.
+        if dispatch_read(shared, queued) {
+            shared.admission.lock().expect("admission").readers_in_flight -= 1;
+        }
+    }
+}
+
+/// Run the mutation as one exclusive pool job: every admitted read has
+/// drained, so the write lock is uncontended (modulo inline warm probes,
+/// which never block — `try_read` yields to a waiting writer).
+fn dispatch_write(shared: &Arc<Shared>, queued: Queued) {
+    let pool = Arc::clone(&shared.pool);
+    let shared = Arc::clone(shared);
+    let Queued { req, completer, submitted } = queued;
+    let ServeRequest::Mutate(mutation) = req else {
+        unreachable!("write dispatch requires Mutate")
+    };
+    pool.exec(move || {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut cluster = shared.cluster.write();
+            let result = cluster.mutate(*mutation);
+            let epoch = cluster.front_epoch();
+            drop(cluster);
+            ServeResponse { epoch, answer: QueryAnswer::Mutated(result) }
+        }));
+        match outcome {
+            Ok(response) => {
+                shared.counters.mutations.fetch_add(1, Ordering::Relaxed);
+                // Count before completing: once the ticket resolves, its
+                // owner may read stats, and quiesce() keys on
+                // completed == submitted.
+                shared.counters.record_latency(submitted);
+                completer.complete(response);
+            }
+            Err(payload) => {
+                // A panicked request is still a completed request — the
+                // counter parity (and so quiesce()) must not wedge on it;
+                // its latency lands in a bucket like any other response.
+                shared.counters.record_latency(submitted);
+                completer.complete_with_panic(payload);
+            }
+        }
+        shared.admission.lock().expect("admission").writer_active = false;
+        pump(&shared);
+    });
+}
+
+/// What one shard task produced for its gather.
+enum ShardPart {
+    Keyword(Arc<Vec<KeywordHit>>),
+    Private(Arc<PrivateSearchOutcome>),
+    Ranked((Arc<Vec<KeywordHit>>, Arc<crate::engine::RankedAnswer>)),
+}
+
+/// How the gather finishes a read — fixed at planning time.
+enum ReadKind {
+    Keyword,
+    Private(Plan),
+    Ranked {
+        mode: RankingMode,
+        /// Corpus-global IDFs, collected once at planning (cheap memo
+        /// probes) so shard tasks stay independent.
+        idfs: Vec<f64>,
+    },
+}
+
+/// The continuation shared by one read's shard tasks: parts land in
+/// `slots`, and whichever task decrements `remaining` to zero runs the
+/// gather and completes the ticket. No thread ever blocks waiting for
+/// another shard.
+struct Gather {
+    shared: Arc<Shared>,
+    group: String,
+    query_text: String,
+    kind: ReadKind,
+    epoch: u64,
+    targets: Vec<usize>,
+    slots: Vec<Mutex<Option<ShardPart>>>,
+    remaining: AtomicUsize,
+    completer: Mutex<Option<TicketCompleter<ServeResponse>>>,
+    panicked: AtomicBool,
+    submitted: Instant,
+}
+
+/// Plan an admitted read and fan its shard tasks out as independent pool
+/// jobs. Planning (front re-probe, group check, index-gated target
+/// selection, ranked IDF collection) is memo-probe cheap and runs on the
+/// admitting thread; all per-shard query work goes to the pool. Returns
+/// `true` if the read completed without fanning out (the caller then
+/// releases its fence slot).
+fn dispatch_read(shared: &Arc<Shared>, queued: Queued) -> bool {
+    let Queued { req, completer, submitted } = queued;
+    let cluster = shared.cluster.read();
+    let epoch = cluster.front_epoch();
+    // The request may have warmed while queued (an identical read ahead
+    // of it); serve it without shard work, like the inline path.
+    if let Some(answer) = probe_front(&cluster, &req) {
+        drop(cluster);
+        shared.counters.warm_inline.fetch_add(1, Ordering::Relaxed);
+        shared.counters.record_latency(submitted);
+        completer.complete(ServeResponse { epoch, answer });
+        return true;
+    }
+    let (group, query_text, kind) = match req {
+        ServeRequest::Keyword { group, query } => (group, query, ReadKind::Keyword),
+        ServeRequest::Private { group, query, plan } => (group, query, ReadKind::Private(plan)),
+        ServeRequest::Ranked { group, query, mode } => {
+            let idfs = if cluster.registry().group(&group).is_some() {
+                cluster.ranked_corpus_idfs(&KeywordQuery::parse(&query))
+            } else {
+                Vec::new()
+            };
+            (group, query, ReadKind::Ranked { mode, idfs })
+        }
+        ServeRequest::Mutate(_) => unreachable!("read dispatch requires a query"),
+    };
+    if cluster.registry().group(&group).is_none() {
+        let answer = match kind {
+            ReadKind::Keyword => QueryAnswer::Keyword(None),
+            ReadKind::Private(_) => QueryAnswer::Private(None),
+            ReadKind::Ranked { .. } => QueryAnswer::Ranked(None),
+        };
+        drop(cluster);
+        shared.counters.record_latency(submitted);
+        completer.complete(ServeResponse { epoch, answer });
+        return true;
+    }
+    let query = KeywordQuery::parse(&query_text);
+    let targets = cluster.target_shards(&query);
+    let gather = Arc::new(Gather {
+        shared: Arc::clone(shared),
+        group,
+        query_text,
+        kind,
+        epoch,
+        remaining: AtomicUsize::new(targets.len()),
+        slots: targets.iter().map(|_| Mutex::new(None)).collect(),
+        targets,
+        completer: Mutex::new(Some(completer)),
+        panicked: AtomicBool::new(false),
+        submitted,
+    });
+    if gather.targets.is_empty() {
+        // Index gating pruned every shard: gather an empty answer (which
+        // also publishes it to the front cache) without any pool work.
+        gather.finalize(&cluster);
+        return true;
+    }
+    drop(cluster);
+    for slot in 0..gather.targets.len() {
+        let gather = Arc::clone(&gather);
+        shared.pool.exec(move || gather.run_shard_task(slot));
+    }
+    false
+}
+
+/// Decrement the reader fence and re-pump (a drained fence may admit a
+/// waiting mutation).
+fn finish_read(shared: &Arc<Shared>) {
+    shared.admission.lock().expect("admission").readers_in_flight -= 1;
+    pump(shared);
+}
+
+impl Gather {
+    /// One shard's task: query the shard engine under the cluster read
+    /// lock, deposit the part, and — as the last finisher — gather.
+    fn run_shard_task(self: &Arc<Self>, slot: usize) {
+        let shard = self.targets[slot];
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let cluster = self.shared.cluster.read();
+            debug_assert_eq!(
+                cluster.front_epoch(),
+                self.epoch,
+                "fence violated: epoch moved under an in-flight read"
+            );
+            let engine = &cluster.shards()[shard];
+            let registered = "group registered on every shard";
+            match &self.kind {
+                ReadKind::Keyword => ShardPart::Keyword(
+                    engine.search_as(&self.group, &self.query_text).expect(registered),
+                ),
+                ReadKind::Private(plan) => ShardPart::Private(
+                    engine
+                        .private_search_as(&self.group, &self.query_text, *plan)
+                        .expect(registered),
+                ),
+                ReadKind::Ranked { mode, .. } => ShardPart::Ranked(
+                    engine
+                        .ranked_search_as(&self.group, &self.query_text, *mode)
+                        .expect(registered),
+                ),
+            }
+        }));
+        match outcome {
+            Ok(part) => *self.slots[slot].lock().expect("gather slot") = Some(part),
+            Err(payload) => {
+                self.panicked.store(true, Ordering::SeqCst);
+                // The ticket learns of the panic immediately; the fence
+                // still waits for the remaining shard tasks below.
+                if let Some(completer) = self.completer.lock().expect("gather completer").take() {
+                    // A panicked read still completes (counter parity for
+                    // quiesce); its latency buckets like any response.
+                    self.shared.counters.record_latency(self.submitted);
+                    completer.complete_with_panic(payload);
+                }
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            if !self.panicked.load(Ordering::SeqCst) {
+                let cluster = self.shared.cluster.read();
+                self.finalize(&cluster);
+            }
+            finish_read(&self.shared);
+        }
+    }
+
+    /// The gather continuation: merge the parts through the cluster's
+    /// shared gather stages (bit-identical to the blocking path) and
+    /// complete the ticket.
+    fn finalize(&self, cluster: &EngineCluster) {
+        let parts: Vec<ShardPart> = self
+            .slots
+            .iter()
+            .map(|s| s.lock().expect("gather slot").take().expect("all shard parts deposited"))
+            .collect();
+        let answer = match &self.kind {
+            ReadKind::Keyword => {
+                let per_shard: Vec<_> = parts
+                    .into_iter()
+                    .map(|p| match p {
+                        ShardPart::Keyword(hits) => hits,
+                        _ => unreachable!("keyword gather got a foreign part"),
+                    })
+                    .collect();
+                QueryAnswer::Keyword(Some(cluster.gather_keyword(
+                    &self.group,
+                    &self.query_text,
+                    self.epoch,
+                    &self.targets,
+                    &per_shard,
+                )))
+            }
+            ReadKind::Private(plan) => {
+                let per_shard: Vec<_> = parts
+                    .into_iter()
+                    .map(|p| match p {
+                        ShardPart::Private(outcome) => outcome,
+                        _ => unreachable!("private gather got a foreign part"),
+                    })
+                    .collect();
+                QueryAnswer::Private(Some(cluster.gather_private(
+                    &self.group,
+                    &self.query_text,
+                    *plan,
+                    self.epoch,
+                    &self.targets,
+                    &per_shard,
+                )))
+            }
+            ReadKind::Ranked { mode, idfs } => {
+                let per_shard: Vec<_> = parts
+                    .into_iter()
+                    .map(|p| match p {
+                        ShardPart::Ranked(pair) => pair,
+                        _ => unreachable!("ranked gather got a foreign part"),
+                    })
+                    .collect();
+                QueryAnswer::Ranked(Some(cluster.gather_ranked(
+                    &self.group,
+                    &self.query_text,
+                    *mode,
+                    self.epoch,
+                    idfs,
+                    &self.targets,
+                    &per_shard,
+                )))
+            }
+        };
+        if let Some(completer) = self.completer.lock().expect("gather completer").take() {
+            self.shared.counters.record_latency(self.submitted);
+            completer.complete(ServeResponse { epoch: self.epoch, answer });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppwf_core::policy::{AccessLevel, Policy};
+    use ppwf_model::fixtures;
+    use ppwf_repo::principals::{PrincipalRegistry, ViewRule};
+    use ppwf_repo::repository::{Repository, SpecId};
+
+    fn registry() -> PrincipalRegistry {
+        let mut registry = PrincipalRegistry::new();
+        registry.add_group("public", AccessLevel(0), ViewRule::RootOnly);
+        registry.add_group("researchers", AccessLevel(3), ViewRule::Full);
+        registry
+    }
+
+    fn corpus(n: usize) -> Repository {
+        let mut repo = Repository::new();
+        for _ in 0..n {
+            let (spec, _) = fixtures::disease_susceptibility();
+            repo.insert_spec(spec, Policy::public()).unwrap();
+        }
+        repo
+    }
+
+    fn front(specs: usize, shards: usize, threads: usize) -> ServeFront {
+        let pool = Arc::new(WorkerPool::new(threads));
+        let cluster = EngineCluster::with_config(
+            corpus(specs),
+            registry(),
+            shards,
+            crate::route::ShardStrategy::RoundRobin,
+            Arc::clone(&pool),
+        );
+        ServeFront::with_pool(cluster, pool)
+    }
+
+    fn keyword(group: &str, query: &str) -> ServeRequest {
+        ServeRequest::Keyword { group: group.into(), query: query.into() }
+    }
+
+    #[test]
+    fn answers_match_the_blocking_cluster() {
+        let front = front(5, 2, 2);
+        let blocking = EngineCluster::new(corpus(5), registry(), 2);
+        for (group, query) in
+            [("researchers", "risk"), ("public", "risk"), ("researchers", "database")]
+        {
+            let response = front.submit(keyword(group, query)).wait();
+            let QueryAnswer::Keyword(Some(hits)) = response.answer else {
+                panic!("expected a keyword answer")
+            };
+            let reference = blocking.search_as(group, query).unwrap();
+            assert_eq!(hits.len(), reference.len(), "{group}/{query}");
+            for (a, b) in hits.iter().zip(reference.iter()) {
+                assert_eq!(a.spec, b.spec);
+                assert_eq!(a.prefix, b.prefix);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_requests_complete_inline() {
+        let front = front(4, 2, 2);
+        let cold = front.submit(keyword("researchers", "risk")).wait();
+        let stats = front.stats();
+        assert_eq!(stats.warm_inline, 0);
+        let warm_ticket = front.submit(keyword("researchers", "risk"));
+        assert!(warm_ticket.is_complete(), "warm hit must complete at submit time");
+        let warm = warm_ticket.wait();
+        assert_eq!(warm.epoch, cold.epoch);
+        let (QueryAnswer::Keyword(Some(a)), QueryAnswer::Keyword(Some(b))) =
+            (&cold.answer, &warm.answer)
+        else {
+            panic!("expected keyword answers")
+        };
+        assert!(Arc::ptr_eq(a, b), "warm answer must share the merged Arc");
+        assert_eq!(front.stats().warm_inline, 1);
+    }
+
+    #[test]
+    fn unknown_group_answers_none() {
+        let front = front(2, 2, 1);
+        let response = front.submit(keyword("nobody", "risk")).wait();
+        assert!(matches!(response.answer, QueryAnswer::Keyword(None)));
+    }
+
+    #[test]
+    fn mutations_fence_and_apply_in_order() {
+        let front = front(3, 2, 2);
+        let before = front.submit(keyword("researchers", "risk")).wait();
+        let QueryAnswer::Keyword(Some(hits)) = &before.answer else { panic!() };
+        assert_eq!(hits.len(), 3);
+        let (spec, _) = fixtures::disease_susceptibility();
+        let effect = front
+            .submit(ServeRequest::mutate(Mutation::InsertSpec { spec, policy: Policy::public() }))
+            .wait();
+        let QueryAnswer::Mutated(Ok(MutationEffect::SpecInserted { spec })) = effect.answer else {
+            panic!("expected a successful insert")
+        };
+        assert_eq!(spec, SpecId(3));
+        assert!(effect.epoch > before.epoch, "answer-changing write must move the epoch");
+        let after = front.submit(keyword("researchers", "risk")).wait();
+        let QueryAnswer::Keyword(Some(hits)) = &after.answer else { panic!() };
+        assert_eq!(hits.len(), 4, "stale answer served after a fenced insert");
+        assert_eq!(front.stats().mutations, 1);
+    }
+
+    #[test]
+    fn multiplexes_many_in_flight_requests() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let cluster = EngineCluster::with_config(
+            corpus(6),
+            registry(),
+            3,
+            crate::route::ShardStrategy::RoundRobin,
+            Arc::clone(&pool),
+        );
+        let front = ServeFront::with_pool(cluster, Arc::clone(&pool));
+        // Plug both workers so no shard job can complete while the burst
+        // is being submitted: every cold read must then be concurrently
+        // in flight, which is the multiplexing claim itself — one
+        // submitting thread, many admitted queries, zero extra threads.
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let rx = std::sync::Mutex::new(release_rx);
+        let barrier = Arc::new(rx);
+        for _ in 0..2 {
+            let barrier = Arc::clone(&barrier);
+            pool.exec(move || {
+                let _ = barrier.lock().unwrap().recv();
+            });
+        }
+        let queries =
+            ["risk", "database", "Database, Disorder Risks", "pubmed", "database, pubmed"];
+        let tickets: Vec<_> = (0..10)
+            .map(|i| {
+                let group = if i % 2 == 0 { "researchers" } else { "public" };
+                front.submit(keyword(group, queries[i % queries.len()]))
+            })
+            .collect();
+        let stats = front.stats();
+        assert_eq!(
+            stats.in_flight_high_water, 10,
+            "all cold requests must be admitted and in flight at once"
+        );
+        release_tx.send(()).unwrap();
+        release_tx.send(()).unwrap();
+        for t in tickets {
+            let response = t.wait();
+            assert!(matches!(response.answer, QueryAnswer::Keyword(Some(_))));
+        }
+        let stats = front.stats();
+        assert_eq!(stats.completed, 10);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.latency_counts.iter().sum::<u64>(), 10);
+        front.quiesce();
+    }
+
+    #[test]
+    fn private_and_ranked_serve_through_the_front() {
+        let front = front(4, 2, 2);
+        let response = front
+            .submit(ServeRequest::Private {
+                group: "public".into(),
+                query: "risk".into(),
+                plan: Plan::FilterThenSearch,
+            })
+            .wait();
+        assert!(matches!(response.answer, QueryAnswer::Private(Some(_))));
+        let response = front
+            .submit(ServeRequest::Ranked {
+                group: "researchers".into(),
+                query: "database".into(),
+                mode: RankingMode::ExactFull,
+            })
+            .wait();
+        let QueryAnswer::Ranked(Some(answer)) = response.answer else { panic!() };
+        let blocking = EngineCluster::new(corpus(4), registry(), 2);
+        let reference =
+            blocking.ranked_search_as("researchers", "database", RankingMode::ExactFull).unwrap();
+        assert_eq!(answer.ranked.scores, reference.ranked.scores, "f64 bits must agree");
+        assert_eq!(answer.ranked.order, reference.ranked.order);
+    }
+
+    #[test]
+    fn one_thread_pool_cannot_deadlock() {
+        let front = front(4, 3, 1);
+        let tickets: Vec<_> =
+            (0..8).map(|_| front.submit(keyword("researchers", "risk"))).collect();
+        let (spec, _) = fixtures::disease_susceptibility();
+        let mutation = front
+            .submit(ServeRequest::mutate(Mutation::InsertSpec { spec, policy: Policy::public() }));
+        for t in tickets {
+            t.wait();
+        }
+        assert!(matches!(mutation.wait().answer, QueryAnswer::Mutated(Ok(_))));
+        front.quiesce();
+    }
+}

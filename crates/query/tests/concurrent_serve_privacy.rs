@@ -1,0 +1,331 @@
+//! Privacy under concurrency: the multiplexed serving front must uphold
+//! the same group-isolation guarantees the blocking stack proves in
+//! `lazy_access_equivalence` and `cluster_equivalence` — under racing
+//! policy swaps and interleaved multi-group traffic, where a stale memo
+//! or a mis-keyed front-cache entry becomes a *leak*, not just a wrong
+//! answer.
+//!
+//! * **No cross-group leakage through the front cache.** Groups with
+//!   different privileges querying the same strings concurrently each get
+//!   exactly their own reference answer (checked bit-for-bit per group),
+//!   and where the reference answers differ between groups, the served
+//!   answers differ too — a shared front-cache entry would fail both.
+//! * **No stale access views across racing `SetPolicy` swaps.** Reads
+//!   race a stream of policy swaps; every response must match the
+//!   sequential reference at the epoch its fence admitted, which a stale
+//!   `AccessCache` memo (resolved pre-swap, served post-swap) cannot.
+//! * **The resolver touch-counter invariant, multiplexed.** PR 3 proved
+//!   rule resolution never leaves the candidate postings union per
+//!   query; here the *aggregate* across a whole concurrent run stays
+//!   within the per-shard postings-union × groups budget (plus one
+//!   re-resolution per group per swap) — concurrency must not create
+//!   hidden resolution work on inadmissible specs, because resolution is
+//!   timing-observable.
+
+use ppwf_core::policy::{AccessLevel, Policy};
+use ppwf_query::cluster::EngineCluster;
+use ppwf_query::keyword::{KeywordHit, KeywordQuery};
+use ppwf_query::route::ShardStrategy;
+use ppwf_query::serve::{QueryAnswer, ServeFront, ServeRequest, ServeResponse};
+use ppwf_repo::mutation::Mutation;
+use ppwf_repo::pool::WorkerPool;
+use ppwf_repo::principals::{PrincipalRegistry, ViewRule};
+use ppwf_repo::repository::{Repository, SpecId};
+use ppwf_workloads::genspec::{generate_spec, SpecParams};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+const QUERIES: [&str; 5] = ["kw0", "kw0, kw1", "kw2", "kw1, kw3", "kw0, kw2"];
+const GROUPS: [&str; 3] = ["public", "analysts", "researchers"];
+
+fn registry(specs: usize) -> PrincipalRegistry {
+    let mut registry = PrincipalRegistry::new();
+    registry.add_group("public", AccessLevel(0), ViewRule::RootOnly);
+    let analysts = registry.add_group("analysts", AccessLevel(2), ViewRule::MaxDepth(1));
+    let researchers = registry.add_group("researchers", AccessLevel(4), ViewRule::Full);
+    registry.set_override(analysts, SpecId(0), ViewRule::Full);
+    if specs > 1 {
+        registry.set_override(researchers, SpecId(1), ViewRule::RootOnly);
+    }
+    registry
+}
+
+fn random_repo(seed: u64, specs: usize) -> Repository {
+    let mut repo = Repository::new();
+    for i in 0..specs as u64 {
+        let spec =
+            generate_spec(&SpecParams { seed: seed.wrapping_add(i), ..SpecParams::default() });
+        repo.insert_spec(spec, Policy::public()).unwrap();
+    }
+    repo
+}
+
+fn hits_identical(a: &[KeywordHit], b: &[KeywordHit]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.spec == y.spec && x.prefix == y.prefix && x.matched == y.matched)
+}
+
+fn front_of(seed: u64, specs: usize, shards: usize, threads: usize) -> ServeFront {
+    let pool = Arc::new(WorkerPool::new(threads));
+    let cluster = EngineCluster::with_config(
+        random_repo(seed, specs),
+        registry(specs),
+        shards,
+        ShardStrategy::RoundRobin,
+        Arc::clone(&pool),
+    );
+    ServeFront::with_pool(cluster, pool)
+}
+
+fn reference_of(seed: u64, specs: usize, shards: usize) -> EngineCluster {
+    EngineCluster::with_config(
+        random_repo(seed, specs),
+        registry(specs),
+        shards,
+        ShardStrategy::RoundRobin,
+        Arc::new(WorkerPool::new(1)),
+    )
+}
+
+fn keyword(group: &str, query: &str) -> ServeRequest {
+    ServeRequest::Keyword { group: group.into(), query: query.into() }
+}
+
+fn keyword_hits(response: &ServeResponse) -> &Arc<Vec<KeywordHit>> {
+    match &response.answer {
+        QueryAnswer::Keyword(Some(hits)) => hits,
+        other => panic!("expected a keyword answer, got {other:?}"),
+    }
+}
+
+/// Upper bound on legitimate rule resolutions for a run: for every shard,
+/// each queried group may resolve at most the union of the shard's
+/// candidate postings over all queried terms — the multiplexed extension
+/// of `filter_plan_resolves_only_postings_union`.
+fn resolution_budget(front: &ServeFront, queries: &[&str], groups: usize) -> u64 {
+    front.with_cluster(|cluster| {
+        let mut budget = 0u64;
+        for shard in cluster.shards() {
+            let mut union: HashSet<SpecId> = HashSet::new();
+            for q in queries {
+                for term in &KeywordQuery::parse(q).terms {
+                    union.extend(shard.index().lookup_query_term(term).iter().map(|p| p.spec));
+                }
+            }
+            budget += (union.len() * groups) as u64;
+        }
+        budget
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Interleaved multi-group traffic over one front: each group's
+    /// answers are exactly its own reference's, and where references
+    /// differ across groups the served answers differ too — the shared
+    /// front cache never crosses group lines.
+    #[test]
+    fn groups_stay_isolated_under_interleaving(
+        seed in any::<u64>(),
+        specs in 2usize..6,
+        shards in 1usize..4,
+        threads in 1usize..3,
+    ) {
+        let front = front_of(seed, specs, shards, threads);
+        let reference = reference_of(seed, specs, shards);
+        // All groups submit all queries from racing client threads.
+        let mut responses: Vec<(usize, usize, ServeResponse)> = Vec::new();
+        std::thread::scope(|scope| {
+            let front = &front;
+            let handles: Vec<_> = GROUPS
+                .iter()
+                .enumerate()
+                .map(|(g, group)| {
+                    scope.spawn(move || {
+                        let tickets: Vec<_> = (0..2 * QUERIES.len())
+                            .map(|i| {
+                                let q = QUERIES[i % QUERIES.len()];
+                                (i % QUERIES.len(), front.submit(keyword(group, q)))
+                            })
+                            .collect();
+                        tickets
+                            .into_iter()
+                            .map(|(q, t)| (g, q, t.wait()))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                responses.extend(h.join().expect("group client"));
+            }
+        });
+        front.quiesce();
+        for (g, q, response) in &responses {
+            let expect = reference.search_as(GROUPS[*g], QUERIES[*q]).expect("known group");
+            prop_assert!(
+                hits_identical(keyword_hits(response), &expect),
+                "group {} got a foreign answer for {:?}", GROUPS[*g], QUERIES[*q]
+            );
+        }
+        // Where privileges separate the references, they must separate
+        // the served answers (belt to the bitwise check's suspenders).
+        for (q, query) in QUERIES.iter().enumerate() {
+            let public = reference.search_as("public", query).unwrap();
+            let researchers = reference.search_as("researchers", query).unwrap();
+            if !hits_identical(&public, &researchers) {
+                let served_public = responses
+                    .iter()
+                    .find(|(g, rq, _)| *g == 0 && rq == &q)
+                    .map(|(_, _, r)| keyword_hits(r))
+                    .expect("public served");
+                let served_researchers = responses
+                    .iter()
+                    .find(|(g, rq, _)| *g == 2 && rq == &q)
+                    .map(|(_, _, r)| keyword_hits(r))
+                    .expect("researchers served");
+                prop_assert!(
+                    !hits_identical(served_public, served_researchers),
+                    "privilege boundary vanished for {:?}", QUERIES[q]
+                );
+            }
+        }
+    }
+
+    /// Reads racing a stream of `SetPolicy` swaps: every answer matches
+    /// the sequential reference at its fenced epoch, so no stale access
+    /// memo or front-cache entry survives a swap into a later serving.
+    #[test]
+    fn policy_swaps_never_serve_stale_views(
+        seed in any::<u64>(),
+        specs in 2usize..5,
+        shards in 1usize..4,
+        threads in 1usize..3,
+        swap_targets in proptest::collection::vec(0usize..4, 1..5),
+    ) {
+        let front = front_of(seed, specs, shards, threads);
+        let swaps: Vec<Mutation> = swap_targets
+            .iter()
+            .map(|&t| Mutation::SetPolicy {
+                spec: SpecId((t % specs) as u32),
+                policy: Policy::public(),
+            })
+            .collect();
+        let mut read_responses: Vec<(usize, usize, ServeResponse)> = Vec::new();
+        let mut swap_epochs: Vec<u64> = Vec::new();
+        std::thread::scope(|scope| {
+            let front = &front;
+            let swaps = &swaps;
+            let swapper = scope.spawn(move || {
+                let tickets: Vec<_> = swaps
+                    .iter()
+                    .map(|m| front.submit(ServeRequest::mutate(m.clone())))
+                    .collect();
+                tickets.into_iter().map(|t| t.wait().epoch).collect::<Vec<_>>()
+            });
+            let handles: Vec<_> = GROUPS
+                .iter()
+                .enumerate()
+                .map(|(g, group)| {
+                    scope.spawn(move || {
+                        let tickets: Vec<_> = (0..2 * QUERIES.len())
+                            .map(|i| {
+                                let q = QUERIES[i % QUERIES.len()];
+                                (i % QUERIES.len(), front.submit(keyword(group, q)))
+                            })
+                            .collect();
+                        tickets
+                            .into_iter()
+                            .map(|(q, t)| (g, q, t.wait()))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                read_responses.extend(h.join().expect("group client"));
+            }
+            swap_epochs = swapper.join().expect("swapper");
+        });
+        front.quiesce();
+
+        // Sequential replay over the swap prefixes.
+        let mut reference = reference_of(seed, specs, shards);
+        let mut remaining = read_responses;
+        for k in 0..=swaps.len() {
+            let epoch: u64 = reference.version_vector().iter().sum();
+            let mut unserved = Vec::new();
+            for (g, q, response) in remaining {
+                if response.epoch == epoch {
+                    let expect =
+                        reference.search_as(GROUPS[g], QUERIES[q]).expect("known group");
+                    prop_assert!(
+                        hits_identical(keyword_hits(&response), &expect),
+                        "stale or foreign answer for {} {:?} at swap prefix {}",
+                        GROUPS[g], QUERIES[q], k
+                    );
+                } else {
+                    unserved.push((g, q, response));
+                }
+            }
+            remaining = unserved;
+            if k < swaps.len() {
+                reference.mutate(swaps[k].clone()).expect("swap valid");
+                let replay_epoch: u64 = reference.version_vector().iter().sum();
+                prop_assert_eq!(swap_epochs[k], replay_epoch, "swap {} epoch diverged", k);
+            }
+        }
+        prop_assert!(
+            remaining.is_empty(),
+            "{} responses matched no swap prefix (fence violated)", remaining.len()
+        );
+    }
+
+    /// The touch-counter invariant on the multiplexed path: a concurrent
+    /// read-only run resolves no access rule outside the per-shard
+    /// candidate postings unions, and racing swaps add at most one
+    /// re-resolution per group per swapped spec.
+    #[test]
+    fn multiplexed_resolution_stays_within_the_postings_budget(
+        seed in any::<u64>(),
+        specs in 2usize..6,
+        shards in 1usize..4,
+        swaps in 0usize..4,
+    ) {
+        let front = front_of(seed, specs, shards, 2);
+        std::thread::scope(|scope| {
+            let front = &front;
+            for (g, group) in GROUPS.iter().enumerate() {
+                scope.spawn(move || {
+                    let tickets: Vec<_> = (0..2 * QUERIES.len())
+                        .map(|i| front.submit(keyword(group, QUERIES[(i + g) % QUERIES.len()])))
+                        .collect();
+                    for t in tickets {
+                        t.wait();
+                    }
+                });
+            }
+            scope.spawn(move || {
+                for s in 0..swaps {
+                    front
+                        .submit(ServeRequest::mutate(Mutation::SetPolicy {
+                            spec: SpecId((s % specs) as u32),
+                            policy: Policy::public(),
+                        }))
+                        .wait();
+                }
+            });
+        });
+        front.quiesce();
+        let budget = resolution_budget(&front, &QUERIES, GROUPS.len())
+            + (swaps * GROUPS.len()) as u64;
+        let resolved = front.with_cluster(|c| c.stats().aggregate.access.misses);
+        prop_assert!(
+            resolved <= budget,
+            "{} rule resolutions exceed the postings-union budget {} — \
+             the multiplexed path resolved inadmissible specs", resolved, budget
+        );
+    }
+}

@@ -28,7 +28,12 @@
 //!   [`SpecView`](ppwf_model::expand::SpecView)s (with their transitive
 //!   closures riding along), the query layer's view fast path,
 //! * [`pool`] — the persistent worker pool scans and the query layer's
-//!   scatter/gather run on (no per-call thread spawns),
+//!   scatter/gather run on (no per-call thread spawns), with both a
+//!   blocking scoped API and a non-blocking `submit`/`exec` path,
+//! * [`ticket`] — [`Ticket`](ticket::Ticket)/[`TicketCompleter`]
+//!   (ticket::TicketCompleter) completion handles the async serving front
+//!   multiplexes in-flight queries with (park/notify wakeups, caller
+//!   helping, per-ticket panic propagation),
 //! * [`scan`] — parallel repository scans (on the pool) for the non-indexed
 //!   baseline the benchmarks compare against,
 //! * [`stats`] — repository statistics for operators,
@@ -47,6 +52,7 @@ pub mod reach_index;
 pub mod repository;
 pub mod scan;
 pub mod stats;
+pub mod ticket;
 pub mod view_cache;
 
 pub use mutation::{Mutation, MutationEffect};

@@ -18,7 +18,17 @@
 //! * **Panic propagation.** A panicking job poisons nothing: the panic is
 //!   captured, the scope completes its remaining jobs, and the payload is
 //!   re-thrown from `scope` on the submitting thread — workers survive.
+//!
+//! Next to the blocking scoped API sits the **non-blocking submission
+//! path** the async serving front multiplexes on: [`WorkerPool::submit`]
+//! queues an owned (`'static`) job and returns a
+//! [`Ticket`](crate::ticket::Ticket) completion handle immediately, and
+//! [`WorkerPool::exec`] queues a fire-and-forget job for code that manages
+//! its own completion (the query layer's shard-task gathers). Both share
+//! the one queue and the same workers with scoped jobs, so helping,
+//! fairness and shutdown stay uniform across the two APIs.
 
+use crate::ticket::Ticket;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -143,6 +153,54 @@ impl WorkerPool {
             .collect()
     }
 
+    /// Queue an owned job and return a [`Ticket`] for its result. The
+    /// call never blocks: the job runs on whichever worker (or helping
+    /// waiter) pops it, and the ticket's owner collects the value — or
+    /// the job's panic, re-thrown to exactly that owner — whenever it
+    /// chooses. Dropping the ticket un-awaited leaks nothing.
+    pub fn submit<T, F>(self: &Arc<Self>, f: F) -> Ticket<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (ticket, completer) = Ticket::pending(Some(Arc::clone(self)));
+        self.exec(move || match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(value) => completer.complete(value),
+            Err(payload) => completer.complete_with_panic(payload),
+        });
+        ticket
+    }
+
+    /// Queue a fire-and-forget owned job. The worker loop catches panics,
+    /// so a misbehaving job cannot take a worker down; callers that need
+    /// the panic delivered somewhere should wrap the body themselves (as
+    /// [`Self::submit`] does).
+    pub fn exec<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.push(Box::new(f));
+    }
+
+    /// Pop and run one queued job on the calling thread, if any; returns
+    /// whether a job ran. This is the helping primitive both the scope
+    /// `WaitGuard` and [`Ticket::wait`] spin on.
+    pub fn help_one(&self) -> bool {
+        match self.shared.pop() {
+            Some(job) => {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Jobs currently queued (not yet picked up). A point-in-time gauge
+    /// for serving stats; racing submitters make it advisory only.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("pool queue").len()
+    }
+
     fn push(&self, job: Job) {
         self.shared.queue.lock().expect("pool queue").push_back(job);
         self.shared.work_ready.notify_one();
@@ -247,8 +305,7 @@ impl Drop for WaitGuard<'_> {
             // pools safe, and single-core hosts fast. One job per check, so
             // a scope whose own jobs are already done returns immediately
             // instead of draining unrelated queue depth.
-            if let Some(job) = self.pool.shared.pop() {
-                let _ = catch_unwind(AssertUnwindSafe(job));
+            if self.pool.help_one() {
                 continue;
             }
             let pending = self.state.lock.lock().expect("scope state");
@@ -343,6 +400,37 @@ mod tests {
         let b = Arc::as_ptr(WorkerPool::global());
         assert_eq!(a, b);
         assert!(WorkerPool::global().threads() >= 1);
+    }
+
+    #[test]
+    fn submit_returns_a_working_ticket() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let tickets: Vec<_> = (0..16u64).map(|i| pool.submit(move || i * 3)).collect();
+        let out: Vec<u64> = tickets.into_iter().map(|t| t.wait()).collect();
+        assert_eq!(out, (0..16u64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn submit_on_one_thread_pool_helps_itself() {
+        // The only worker may be busy; the waiter must drain the queue.
+        let pool = Arc::new(WorkerPool::new(1));
+        let inner = Arc::clone(&pool);
+        let t = pool.submit(move || {
+            let subs: Vec<_> = (0..4u64).map(|i| inner.submit(move || i + 1)).collect();
+            subs.into_iter().map(|t| t.wait()).sum::<u64>()
+        });
+        assert_eq!(t.wait(), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn submitted_panic_reaches_only_its_ticket() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let bad = pool.submit(|| -> u32 { panic!("submitted job exploded") });
+        let good = pool.submit(|| 5u32);
+        assert_eq!(good.wait(), 5);
+        let caught = catch_unwind(AssertUnwindSafe(move || bad.wait()));
+        assert!(caught.is_err(), "panic must re-throw from the owning ticket");
+        assert_eq!(pool.run(vec![|| 9u32]), vec![9], "workers survive");
     }
 
     #[test]

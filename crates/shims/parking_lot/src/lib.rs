@@ -26,6 +26,16 @@ impl<T> RwLock<T> {
         self.0.read().expect("rwlock poisoned")
     }
 
+    /// Acquire shared access without blocking; `None` if a writer holds
+    /// or is waiting for the lock (matching parking_lot's `try_read`).
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("rwlock poisoned"),
+        }
+    }
+
     /// Acquire exclusive access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().expect("rwlock poisoned")
@@ -73,6 +83,18 @@ mod tests {
         assert_eq!(*l.read(), 1);
         *l.write() += 1;
         assert_eq!(*l.read(), 2);
+    }
+
+    #[test]
+    fn try_read_shares_but_never_blocks() {
+        let l = RwLock::new(3);
+        let r = l.read();
+        assert_eq!(l.try_read().map(|g| *g), Some(3), "readers share");
+        drop(r);
+        let w = l.write();
+        assert!(l.try_read().is_none(), "writer excludes try_read");
+        drop(w);
+        assert!(l.try_read().is_some());
     }
 
     #[test]

@@ -36,6 +36,23 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count after environment override: a set `PROPTEST_CASES`
+    /// replaces the configured count, mirroring the real crate's env
+    /// handling — this is how CI's scheduled soak job runs the
+    /// concurrency suites at higher iteration counts without code
+    /// changes.
+    pub fn resolved_cases(&self) -> u32 {
+        self.cases_with_override(std::env::var("PROPTEST_CASES").ok().as_deref())
+    }
+
+    /// [`Self::resolved_cases`] with the override value injected — the
+    /// testable core, so the parsing rules can be pinned without
+    /// mutating the process-global environment (which would race other
+    /// tests in the binary and break under an ambient `PROPTEST_CASES`).
+    pub fn cases_with_override(&self, raw: Option<&str>) -> u32 {
+        raw.and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or(self.cases)
+    }
 }
 
 impl Default for ProptestConfig {
@@ -504,10 +521,11 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
+                let cases = config.resolved_cases();
                 let mut accepted: u32 = 0;
                 let mut attempts: u64 = 0;
-                let max_attempts: u64 = (config.cases as u64).saturating_mul(20).max(200);
-                while accepted < config.cases && attempts < max_attempts {
+                let max_attempts: u64 = (cases as u64).saturating_mul(20).max(200);
+                while accepted < cases && attempts < max_attempts {
                     attempts += 1;
                     let mut case_rng = $crate::case_rng(stringify!($name), attempts);
                     $(let $pat = $crate::Strategy::gen_value(&($strat), &mut case_rng);)+
@@ -538,6 +556,22 @@ macro_rules! __proptest_impl {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn env_override_scales_cases() {
+        // Exercise the injected core, not the process-global variable:
+        // mutating the real env would race the proptest!-macro tests in
+        // this binary and fail under an ambient PROPTEST_CASES.
+        let config = crate::ProptestConfig::with_cases(8);
+        assert_eq!(config.cases_with_override(None), 8);
+        assert_eq!(config.cases_with_override(Some("123")), 123);
+        assert_eq!(
+            config.cases_with_override(Some("not-a-number")),
+            8,
+            "garbage falls back to the configured count"
+        );
+        assert_eq!(config.cases_with_override(Some("0")), 8, "zero cannot disable a suite");
+    }
 
     #[test]
     fn string_pattern_shapes() {

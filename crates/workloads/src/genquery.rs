@@ -125,6 +125,87 @@ pub fn generate_query_log(corpus: &[Specification], params: &QueryLogParams) -> 
     log
 }
 
+/// How a request log is released against a serving front — the axis the
+/// async-serving experiment (E14) sweeps. The schedule fixes *when* a
+/// request may be issued; the driver enforces it.
+#[derive(Clone, Copy, Debug)]
+pub enum ArrivalSchedule {
+    /// `clients` logical clients, each issuing its next request only
+    /// after its previous one completed. Throughput and latency stay
+    /// coupled: a slow server slows the offered load down with it, which
+    /// flatters tail latency — the classic closed-loop benchmarking trap.
+    ClosedLoop {
+        /// Number of concurrent logical clients (the concurrency level).
+        clients: usize,
+    },
+    /// Requests released in fixed-size bursts regardless of completions,
+    /// decoupling arrivals from service like real open traffic. A server
+    /// that falls behind accumulates in-flight work instead of throttling
+    /// its clients — exactly what a multiplexing front must absorb.
+    OpenLoop {
+        /// Requests released together per burst.
+        burst: usize,
+    },
+}
+
+/// Knobs for [`schedule_requests`].
+#[derive(Clone, Debug)]
+pub struct ScheduleParams {
+    /// RNG seed for group assignment.
+    pub seed: u64,
+    /// Total requests to schedule (reads plus write markers).
+    pub requests: usize,
+    /// Number of user groups to spread requests over (group indices are
+    /// `0..groups`; the caller maps them to registry names).
+    pub groups: usize,
+    /// Every `write_every`-th request is a write marker (0 = reads only).
+    /// The caller substitutes typed mutations for markers, keeping this
+    /// generator free of repository types.
+    pub write_every: usize,
+    /// Release discipline.
+    pub arrival: ArrivalSchedule,
+}
+
+/// One scheduled request: which lane releases it, who asks, and what —
+/// `query` is `None` for write markers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduledRequest {
+    /// Release lane: the client index under [`ArrivalSchedule::ClosedLoop`]
+    /// (a lane issues its requests strictly in order, one at a time), the
+    /// burst index under [`ArrivalSchedule::OpenLoop`] (all requests of a
+    /// burst are released together).
+    pub lane: usize,
+    /// Requesting group index in `0..groups`.
+    pub group: usize,
+    /// Query text, or `None` for a write marker.
+    pub query: Option<String>,
+}
+
+/// Spread a query log over groups and release lanes. Queries cycle
+/// through `log` (so a log shorter than `requests` produces the warm
+/// repetitions a serving cache feeds on); group assignment is seeded and
+/// uniform; write markers replace every `write_every`-th request.
+pub fn schedule_requests(log: &[String], params: &ScheduleParams) -> Vec<ScheduledRequest> {
+    assert!(!log.is_empty(), "schedule needs a query log");
+    assert!(params.groups > 0, "schedule needs at least one group");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    (0..params.requests)
+        .map(|i| {
+            let lane = match params.arrival {
+                ArrivalSchedule::ClosedLoop { clients } => i % clients.max(1),
+                ArrivalSchedule::OpenLoop { burst } => i / burst.max(1),
+            };
+            let group = rng.gen_range(0..params.groups);
+            let write = params.write_every > 0 && (i + 1) % params.write_every == 0;
+            ScheduledRequest {
+                lane,
+                group,
+                query: if write { None } else { Some(log[i % log.len()].clone()) },
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +253,60 @@ mod tests {
                 assert!(vocabulary.contains(term), "term {term:?} not in corpus");
             }
         }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_lane_correct() {
+        let log: Vec<String> = (0..7).map(|i| format!("q{i}")).collect();
+        let p = ScheduleParams {
+            seed: 3,
+            requests: 40,
+            groups: 3,
+            write_every: 5,
+            arrival: ArrivalSchedule::ClosedLoop { clients: 4 },
+        };
+        let a = schedule_requests(&log, &p);
+        let b = schedule_requests(&log, &p);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), 40);
+        for (i, r) in a.iter().enumerate() {
+            assert_eq!(r.lane, i % 4, "closed loop lanes are client indices");
+            assert!(r.group < 3);
+        }
+        let writes = a.iter().filter(|r| r.query.is_none()).count();
+        assert_eq!(writes, 8, "every 5th request is a write marker");
+    }
+
+    #[test]
+    fn open_loop_bursts_share_a_lane() {
+        let log: Vec<String> = (0..3).map(|i| format!("q{i}")).collect();
+        let p = ScheduleParams {
+            seed: 9,
+            requests: 24,
+            groups: 2,
+            write_every: 0,
+            arrival: ArrivalSchedule::OpenLoop { burst: 6 },
+        };
+        let schedule = schedule_requests(&log, &p);
+        for (i, r) in schedule.iter().enumerate() {
+            assert_eq!(r.lane, i / 6, "bursts are release lanes");
+            assert!(r.query.is_some(), "write_every = 0 emits reads only");
+        }
+        assert_eq!(schedule.last().unwrap().lane, 3);
+    }
+
+    #[test]
+    fn short_logs_cycle_for_warm_repetitions() {
+        let log = vec!["hot".to_string()];
+        let p = ScheduleParams {
+            seed: 1,
+            requests: 10,
+            groups: 1,
+            write_every: 0,
+            arrival: ArrivalSchedule::ClosedLoop { clients: 2 },
+        };
+        let schedule = schedule_requests(&log, &p);
+        assert!(schedule.iter().all(|r| r.query.as_deref() == Some("hot")));
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   module-privacy experiments,
 //! * [`genquery`] — corpus-driven query logs for the serving experiments
 //!   (arity mix, co-occurring vs cross term pairs, corpus-Zipf popularity —
-//!   the knob that makes shard selectivity measurable in E11).
+//!   the knob that makes shard selectivity measurable in E11), plus
+//!   open- vs closed-loop request schedules for the async-serving
+//!   experiment (E14).
 //!
 //! Everything is deterministic under a caller-provided seed.
 
@@ -24,5 +26,8 @@ pub mod genquery;
 pub mod genspec;
 pub mod zipf;
 
-pub use genquery::{generate_query_log, QueryLogParams};
+pub use genquery::{
+    generate_query_log, schedule_requests, ArrivalSchedule, QueryLogParams, ScheduleParams,
+    ScheduledRequest,
+};
 pub use genspec::{generate_spec, SpecParams};
