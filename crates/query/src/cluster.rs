@@ -57,6 +57,8 @@ use ppwf_repo::cache::GroupCache;
 use ppwf_repo::pool::WorkerPool;
 use ppwf_repo::principals::PrincipalRegistry;
 use ppwf_repo::repository::{Repository, SpecEntry, SpecId};
+use ppwf_repo::storage::StorageBackend;
+use ppwf_repo::wal::{DurabilityPolicy, DurabilityStats, DurableLog, RecoveryStats, WalResult};
 use std::sync::Arc;
 
 pub use ppwf_repo::mutation::{Mutation, MutationEffect};
@@ -113,6 +115,11 @@ pub struct EngineCluster {
     /// the instrument proving rebuilds run only for writes that change
     /// principal-visible state (never execution appends).
     registry_view_rebuilds: u64,
+    /// When present, every routed mutation is appended here — with
+    /// *global* spec ids, before any shard applies it — so one log
+    /// captures the whole cluster's write history. See
+    /// [`Self::attach_durability`].
+    durability: Option<DurableLog>,
 }
 
 /// Capacity of each cluster-front cache (same default as a shard's
@@ -163,7 +170,71 @@ impl EngineCluster {
             front_private: [GroupCache::new(FRONT_CAPACITY), GroupCache::new(FRONT_CAPACITY)],
             front_ranked: ModeCaches::new(FRONT_CAPACITY),
             registry_view_rebuilds: 0,
+            durability: None,
         }
+    }
+
+    /// Recover `(snapshot, WAL suffix)` from `backend`, partition the
+    /// recovered corpus across `shards` engines and attach the log — the
+    /// cluster restart path. Replay rebuilds the *global* repository (the
+    /// log records global ids), and the standard ingest split then
+    /// re-partitions it exactly as the original construction did, so the
+    /// recovered cluster answers bit-identically to the pre-crash one.
+    pub fn open_durable(
+        backend: Arc<dyn StorageBackend>,
+        policy: DurabilityPolicy,
+        registry: PrincipalRegistry,
+        shards: usize,
+        strategy: ShardStrategy,
+        pool: Arc<WorkerPool>,
+    ) -> WalResult<(Self, RecoveryStats)> {
+        let opened = DurableLog::open(backend, policy)?;
+        let mut cluster =
+            EngineCluster::with_config(opened.repository, registry, shards, strategy, pool);
+        cluster.durability = Some(opened.log);
+        Ok((cluster, opened.recovery))
+    }
+
+    /// Attach a durable log: from here on, [`Self::mutate`] validates,
+    /// appends (global ids) and only then routes every mutation, and
+    /// snapshots the assembled global corpus on the log's cadence. If the
+    /// log is empty while the cluster already holds specs, a baseline
+    /// snapshot is written first so recovery always has a base covering
+    /// the pre-log history.
+    pub fn attach_durability(&mut self, mut log: DurableLog) -> WalResult<()> {
+        if log.is_empty() && self.spec_count() > 0 {
+            let mut image = self.assemble_repository();
+            // The log starts at sequence 0: version then counts mutations
+            // since the baseline — see [`Repository::set_version`].
+            image.set_version(log.stats().last_seq);
+            log.snapshot_now(&image)?;
+        }
+        self.durability = Some(log);
+        Ok(())
+    }
+
+    /// Durability counters, when a log is attached.
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        self.durability.as_ref().map(|log| log.stats())
+    }
+
+    /// The cluster's corpus re-assembled as one global repository: entries
+    /// in global id order, each shard-held entry cloned back whole — the
+    /// snapshot image. Its `version` counts entries, not the mutation
+    /// history (shard partitioning does not preserve the global mutation
+    /// counter); the durable call sites re-stamp it with the log's
+    /// acknowledged sequence number ([`Repository::set_version`]) so
+    /// snapshot + suffix replay ends bit-identical to a sequential replay
+    /// of the whole history, and the rebuilt cluster re-partitions the
+    /// entries exactly as original construction did.
+    pub fn assemble_repository(&self) -> Repository {
+        let mut repo = Repository::new();
+        for global in 0..self.router.spec_count() {
+            let entry =
+                self.entry(SpecId(global as u32)).expect("router-tracked id must resolve").clone();
+            repo.insert_entry(entry);
+        }
+        repo
     }
 
     /// The cluster-wide version vector: shard `s`'s component is its
@@ -483,22 +554,99 @@ impl EngineCluster {
     /// needs no explicit invalidation at all, because the owning shard's
     /// version-vector component moves (or, for execution appends,
     /// deliberately does not).
+    ///
+    /// With durability attached, the mutation is validated against the
+    /// *global* corpus first (mirroring every check the routed apply runs,
+    /// so the log never holds a record that fails on replay), appended —
+    /// and per the log's policy fsynced — with its global ids, and only
+    /// then routed to the owning shard. An `Err` from the append means
+    /// nothing was acknowledged and no shard changed.
     pub fn mutate(&mut self, mutation: Mutation) -> Result<MutationEffect> {
+        if self.durability.is_some() {
+            self.check_global(&mutation)?;
+        }
+        if let Some(log) = self.durability.as_mut() {
+            log.append(&mutation)?;
+        }
+        let effect = match mutation {
+            Mutation::InsertSpec { spec, policy } => self
+                .insert_spec_routed(spec, policy)
+                .map(|spec| MutationEffect::SpecInserted { spec }),
+            Mutation::AddExecution { spec, exec } => self
+                .add_execution_routed(spec, exec)
+                .map(|()| MutationEffect::ExecutionAppended { spec }),
+            Mutation::SetPolicy { spec, policy } => self
+                .set_policy_routed(spec, policy)
+                .map(|()| MutationEffect::PolicyChanged { spec }),
+        }?;
+        if self.durability.as_ref().is_some_and(|log| log.snapshot_due()) {
+            let mut image = self.assemble_repository();
+            let log = self.durability.as_mut().expect("presence checked above");
+            // Stamp the image with the acknowledged sequence number so the
+            // snapshot carries the global mutation count the assembly lost
+            // — see [`Repository::set_version`].
+            image.set_version(log.stats().last_seq);
+            log.snapshot_if_due(&image);
+        }
+        Ok(effect)
+    }
+
+    /// The validation the routed apply would run, without applying — the
+    /// cluster-level analogue of [`Repository::check`], against global
+    /// ids. Keeping it in lockstep with `insert_spec_routed` /
+    /// `add_execution` / `set_policy` is what makes appended records
+    /// replayable by construction.
+    fn check_global(&self, mutation: &Mutation) -> Result<()> {
         match mutation {
-            Mutation::InsertSpec { spec, policy } => {
-                self.insert_spec(spec, policy).map(|spec| MutationEffect::SpecInserted { spec })
-            }
+            Mutation::InsertSpec { spec, policy } => policy.validate(spec),
             Mutation::AddExecution { spec, exec } => {
-                self.add_execution(spec, exec).map(|()| MutationEffect::ExecutionAppended { spec })
+                exec.check_invariants()?;
+                let entry = self.entry(*spec).ok_or(ModelError::BadId {
+                    kind: "spec",
+                    index: spec.index(),
+                    len: self.router.spec_count(),
+                })?;
+                if exec.spec_name() != entry.spec.name() {
+                    return Err(ModelError::invalid(format!(
+                        "execution of `{}` added under spec `{}`",
+                        exec.spec_name(),
+                        entry.spec.name()
+                    )));
+                }
+                Ok(())
             }
             Mutation::SetPolicy { spec, policy } => {
-                self.set_policy(spec, policy).map(|()| MutationEffect::PolicyChanged { spec })
+                let entry = self.entry(*spec).ok_or(ModelError::BadId {
+                    kind: "spec",
+                    index: spec.index(),
+                    len: self.router.spec_count(),
+                })?;
+                policy.validate(&entry.spec)
             }
         }
     }
 
-    /// Insert a specification; returns its global id.
+    /// Insert a specification; returns its global id. Routes through
+    /// [`Self::mutate`], so with durability attached the insert is logged
+    /// like any other write.
     pub fn insert_spec(&mut self, spec: Specification, policy: Policy) -> Result<SpecId> {
+        let effect = self.mutate(Mutation::InsertSpec { spec, policy })?;
+        Ok(effect.inserted_id().expect("insert effect carries the new id"))
+    }
+
+    /// Record an execution of the spec with global id `spec`. Routes
+    /// through [`Self::mutate`] (durable when a log is attached).
+    pub fn add_execution(&mut self, spec: SpecId, exec: Execution) -> Result<()> {
+        self.mutate(Mutation::AddExecution { spec, exec }).map(|_| ())
+    }
+
+    /// Replace the policy of the spec with global id `spec`. Routes
+    /// through [`Self::mutate`] (durable when a log is attached).
+    pub fn set_policy(&mut self, spec: SpecId, policy: Policy) -> Result<()> {
+        self.mutate(Mutation::SetPolicy { spec, policy }).map(|_| ())
+    }
+
+    fn insert_spec_routed(&mut self, spec: Specification, policy: Policy) -> Result<SpecId> {
         // Validate before assigning a global id, so a rejected insert never
         // burns a router slot (the inner insert re-validates, infallibly).
         policy.validate(&spec)?;
@@ -511,8 +659,7 @@ impl EngineCluster {
         Ok(global)
     }
 
-    /// Record an execution of the spec with global id `spec`.
-    pub fn add_execution(&mut self, spec: SpecId, exec: Execution) -> Result<()> {
+    fn add_execution_routed(&mut self, spec: SpecId, exec: Execution) -> Result<()> {
         let (shard, local) = self.router.locate(spec).ok_or(ModelError::BadId {
             kind: "spec",
             index: spec.index(),
@@ -523,8 +670,7 @@ impl EngineCluster {
         Ok(())
     }
 
-    /// Replace the policy of the spec with global id `spec`.
-    pub fn set_policy(&mut self, spec: SpecId, policy: Policy) -> Result<()> {
+    fn set_policy_routed(&mut self, spec: SpecId, policy: Policy) -> Result<()> {
         let (shard, local) = self.router.locate(spec).ok_or(ModelError::BadId {
             kind: "spec",
             index: spec.index(),

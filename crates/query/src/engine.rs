@@ -46,7 +46,9 @@ use ppwf_repo::keyword_index::KeywordIndex;
 use ppwf_repo::mutation::{Mutation, MutationEffect};
 use ppwf_repo::principals::{AccessCache, AccessResolver, PrincipalRegistry};
 use ppwf_repo::repository::Repository;
+use ppwf_repo::storage::StorageBackend;
 use ppwf_repo::view_cache::ViewCache;
+use ppwf_repo::wal::{DurabilityPolicy, DurabilityStats, DurableLog, RecoveryStats, WalResult};
 use std::sync::Arc;
 
 /// Which privacy-preserving evaluation plan to run (Sec. 4's contrast).
@@ -200,6 +202,9 @@ pub struct QueryEngine {
     /// appends — so the write-heavy provenance path leaves every warm
     /// `(group, query)` entry servable. Never ahead of `repo.version()`.
     results_version: u64,
+    /// When present, every mutation is appended (and, per policy, fsynced)
+    /// here *before* it is applied — see [`Self::attach_durability`].
+    durability: Option<DurableLog>,
 }
 
 impl QueryEngine {
@@ -228,7 +233,44 @@ impl QueryEngine {
             private_results: [GroupCache::new(result_capacity), GroupCache::new(result_capacity)],
             ranked_results: ModeCaches::new(result_capacity),
             results_version,
+            durability: None,
         }
+    }
+
+    /// Recover `(snapshot, WAL suffix)` from `backend` and assemble an
+    /// engine over the recovered repository with durability attached —
+    /// the restart path. The rebuilt keyword index is bit-identical to
+    /// the never-crashed engine's, and because every replayed record was
+    /// checksum-verified the engine keeps using the trusted-epoch refresh
+    /// fast path from the first post-recovery write.
+    pub fn open_durable(
+        backend: Arc<dyn StorageBackend>,
+        policy: DurabilityPolicy,
+        registry: PrincipalRegistry,
+    ) -> WalResult<(Self, RecoveryStats)> {
+        let opened = DurableLog::open(backend, policy)?;
+        let mut engine = QueryEngine::new(opened.repository, registry);
+        engine.durability = Some(opened.log);
+        Ok((engine, opened.recovery))
+    }
+
+    /// Attach a durable log: from here on, [`Self::mutate`] appends (and,
+    /// per the log's policy, fsyncs) every mutation before applying it,
+    /// and snapshots on the log's cadence. If the log is empty while the
+    /// repository is not (durability bolted onto a pre-loaded corpus), a
+    /// baseline snapshot is written first so recovery always has a base
+    /// covering the pre-log history.
+    pub fn attach_durability(&mut self, mut log: DurableLog) -> WalResult<()> {
+        if log.is_empty() && !self.repo.is_empty() {
+            log.snapshot_now(&self.repo)?;
+        }
+        self.durability = Some(log);
+        Ok(())
+    }
+
+    /// Durability counters, when a log is attached.
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        self.durability.as_ref().map(|log| log.stats())
     }
 
     /// The repository (read-only; mutations go through [`Self::mutate`]).
@@ -266,12 +308,27 @@ impl QueryEngine {
     ///   of any keyword, private or ranked answer.
     ///
     /// A failed mutation (validation error) changes nothing anywhere.
+    ///
+    /// With durability attached, the mutation is validated against the
+    /// current state first (so the log never holds a record that fails on
+    /// replay), then appended — and per the log's policy fsynced — and
+    /// only then applied; an `Err` from the append means nothing was
+    /// acknowledged and nothing changed in memory. Snapshots fire on the
+    /// log's cadence after the apply.
     pub fn mutate(&mut self, mutation: Mutation) -> Result<MutationEffect> {
+        if let Some(log) = &mut self.durability {
+            self.repo.check(&mutation)?;
+            log.append(&mutation)?;
+        }
         let effect = self.repo.apply(mutation)?;
         let version = self.repo.version();
-        // Append-only refresh: full rebuild only on a verified structural
-        // mismatch, which no typed mutation can cause.
-        self.index.refresh(&self.repo);
+        // Trusted-epoch refresh: the engine owns this repository and every
+        // write is a typed mutation (checked just above when durable), so
+        // the per-write O(corpus) fingerprint verification scan is
+        // structurally redundant — `refresh_trusted` appends in O(new
+        // specs) and degrades to the verifying rebuild if the invariant is
+        // ever broken.
+        self.index.refresh_trusted(&self.repo);
         match effect {
             MutationEffect::SpecInserted { .. } => {
                 // Existing views and access prefixes read only immutable
@@ -289,6 +346,9 @@ impl QueryEngine {
                 self.access.invalidate_spec(spec, version);
                 self.results_version = version;
             }
+        }
+        if let Some(log) = &mut self.durability {
+            log.snapshot_if_due(&self.repo);
         }
         Ok(effect)
     }

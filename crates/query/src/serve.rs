@@ -39,6 +39,19 @@
 //! [`ServeStats`] surfaces the serving health an operator watches: the
 //! in-flight high-water mark (how much multiplexing actually happened),
 //! admission-queue depth, fence waits, and completion-latency buckets.
+//!
+//! **Durability.** When the underlying cluster has a
+//! [`DurableLog`](ppwf_repo::wal::DurableLog) attached
+//! ([`EngineCluster::attach_durability`]), the fenced write path is
+//! durable for free: a mutation runs exclusively behind the cluster's
+//! write lock, where [`EngineCluster::mutate`] validates, appends (and
+//! per policy fsyncs) the record *before* applying it. A
+//! [`QueryAnswer::Mutated`] carrying `Ok` therefore acknowledges a
+//! *durable* write, and because the fence serializes mutations FIFO, the
+//! acknowledged set after a crash is always a prefix of the submitted
+//! mutation order — exactly what [`ppwf_repo::Repository::recover`]
+//! rebuilds. An `Err` answer (validation or log failure) acknowledges
+//! nothing and changes nothing.
 
 use crate::cluster::{EngineCluster, RankedHits};
 use crate::engine::Plan;
@@ -310,6 +323,13 @@ impl ServeFront {
     /// on the writer.
     pub fn with_cluster<R>(&self, f: impl FnOnce(&EngineCluster) -> R) -> R {
         f(&self.shared.cluster.read())
+    }
+
+    /// Durability counters of the underlying cluster, when a log is
+    /// attached (`None` otherwise). Takes the cluster read lock — same
+    /// caveat as [`Self::with_cluster`].
+    pub fn durability_stats(&self) -> Option<ppwf_repo::wal::DurabilityStats> {
+        self.shared.cluster.read().durability_stats()
     }
 
     /// Block until every accepted request has completed, helping the pool

@@ -1,0 +1,251 @@
+//! Durability through the async serving front: a [`ServeFront`] over a
+//! durable [`EngineCluster`] serves a mixed read/mutate stream while the
+//! storage backend dies mid-stream.
+//!
+//! The fence serializes mutations FIFO and [`EngineCluster::mutate`]
+//! appends (and fsyncs) each record *before* applying it, so the
+//! contract under crash is sharp:
+//!
+//! * the acknowledged mutations — tickets resolving
+//!   [`QueryAnswer::Mutated`]`(Ok)` — form a **prefix** of the submitted
+//!   mutation order (after the first storage failure every later mutation
+//!   is refused, never half-applied);
+//! * recovery rebuilds exactly that acknowledged prefix, bit-identical to
+//!   a sequential reference replay, and a cluster re-opened over the
+//!   survivors answers every query identically to a reference cluster
+//!   built from that replay;
+//! * no response is ever computed past the last acknowledged epoch: every
+//!   read's epoch is ≤ the epoch of the final acknowledged state, because
+//!   refused mutations change nothing visible.
+
+use std::sync::Arc;
+
+use ppwf_core::policy::{AccessLevel, Policy};
+use ppwf_model::exec::{Executor, HashOracle};
+use ppwf_query::cluster::{EngineCluster, Mutation};
+use ppwf_query::keyword::KeywordHit;
+use ppwf_query::route::ShardStrategy;
+use ppwf_query::serve::{QueryAnswer, ServeFront, ServeRequest};
+use ppwf_repo::pool::WorkerPool;
+use ppwf_repo::principals::{PrincipalRegistry, ViewRule};
+use ppwf_repo::repository::{Repository, SpecId};
+use ppwf_repo::storage::{FaultPlan, MemStorage, StorageBackend};
+use ppwf_repo::wal::DurabilityPolicy;
+use ppwf_workloads::genspec::{generate_spec, SpecParams};
+
+const QUERIES: [&str; 4] = ["kw0", "kw0, kw1", "kw2", "kw1, kw3"];
+const GROUPS: [&str; 3] = ["public", "analysts", "researchers"];
+const SHARDS: usize = 3;
+
+fn registry() -> PrincipalRegistry {
+    let mut registry = PrincipalRegistry::new();
+    registry.add_group("public", AccessLevel(0), ViewRule::RootOnly);
+    registry.add_group("analysts", AccessLevel(2), ViewRule::MaxDepth(1));
+    registry.add_group("researchers", AccessLevel(4), ViewRule::Full);
+    registry
+}
+
+/// Tight cadences so the crash lands among snapshots and rotations, not
+/// just raw appends.
+fn durability_policy() -> DurabilityPolicy {
+    DurabilityPolicy { fsync_each: true, snapshot_every: 4, segment_bytes: 4096 }
+}
+
+/// A deterministic mutation stream over an evolving global corpus:
+/// inserts keep the id space growing, execution appends and policy swaps
+/// hit live targets.
+fn mutation_stream(writes: usize, seed: u64) -> Vec<Mutation> {
+    let mut scratch = Repository::new();
+    let mut stream = Vec::with_capacity(writes);
+    for i in 0..writes as u64 {
+        let kind = if scratch.is_empty() { 0 } else { (seed.wrapping_add(i) >> 3) % 3 };
+        let mutation = match kind {
+            0 => Mutation::InsertSpec {
+                spec: generate_spec(&SpecParams {
+                    seed: seed ^ (i << 8) ^ 0xFACE,
+                    ..SpecParams::default()
+                }),
+                policy: Policy::public(),
+            },
+            1 => {
+                let target = SpecId(((seed ^ i) % scratch.len() as u64) as u32);
+                let exec = Executor::new(&scratch.entry(target).unwrap().spec)
+                    .run(&mut HashOracle)
+                    .expect("stored specs execute");
+                Mutation::AddExecution { spec: target, exec }
+            }
+            _ => Mutation::SetPolicy {
+                spec: SpecId(((seed ^ i) % scratch.len() as u64) as u32),
+                policy: Policy::public(),
+            },
+        };
+        scratch.apply(mutation.clone()).expect("generated mutation applies");
+        stream.push(mutation);
+    }
+    stream
+}
+
+fn replay_prefix(stream: &[Mutation], n: usize) -> Repository {
+    let mut repo = Repository::new();
+    for mutation in &stream[..n] {
+        repo.apply(mutation.clone()).expect("prefix replays");
+    }
+    repo
+}
+
+fn durable_cluster(
+    storage: &Arc<MemStorage>,
+    pool: &Arc<WorkerPool>,
+) -> (EngineCluster, ppwf_repo::wal::RecoveryStats) {
+    EngineCluster::open_durable(
+        Arc::clone(storage) as Arc<dyn StorageBackend>,
+        durability_policy(),
+        registry(),
+        SHARDS,
+        ShardStrategy::RoundRobin,
+        Arc::clone(pool),
+    )
+    .expect("open durable cluster")
+}
+
+fn hits_identical(a: &[KeywordHit], b: &[KeywordHit]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.spec == y.spec && x.prefix == y.prefix && x.matched == y.matched)
+}
+
+/// Total durable byte cost of the full stream, measured on a fault-free
+/// backend — the crash budget is set mid-way through it.
+fn durable_bytes_of(stream: &[Mutation]) -> u64 {
+    let trace = Arc::new(MemStorage::new());
+    let pool = Arc::new(WorkerPool::new(2));
+    let (mut cluster, _) = durable_cluster(&trace, &pool);
+    for mutation in stream {
+        cluster.mutate(mutation.clone()).expect("fault-free stream applies");
+    }
+    trace.bytes_appended()
+}
+
+#[test]
+fn acked_mutations_survive_a_mid_stream_crash() {
+    let stream = mutation_stream(32, 0xD007);
+    let budget = durable_bytes_of(&stream) / 2;
+
+    let storage = Arc::new(MemStorage::with_faults(FaultPlan {
+        crash_after_bytes: Some(budget),
+        ..FaultPlan::default()
+    }));
+    let pool = Arc::new(WorkerPool::new(3));
+    let (cluster, recovery) = durable_cluster(&storage, &pool);
+    assert_eq!(recovery.last_seq, 0, "fresh storage recovers empty");
+    let front = ServeFront::with_pool(cluster, Arc::clone(&pool));
+
+    // Mixed stream: every mutation is chased by reads across groups, so
+    // the fence is constantly draining readers when the crash hits.
+    let mut mutation_tickets = Vec::new();
+    let mut read_tickets = Vec::new();
+    for (i, mutation) in stream.iter().enumerate() {
+        mutation_tickets.push(front.submit(ServeRequest::mutate(mutation.clone())));
+        let group = GROUPS[i % GROUPS.len()];
+        let query = QUERIES[i % QUERIES.len()];
+        read_tickets
+            .push(front.submit(ServeRequest::Keyword { group: group.into(), query: query.into() }));
+    }
+    front.quiesce();
+    assert!(storage.crashed(), "the crash budget must fire mid-stream");
+
+    // Acknowledgements form a FIFO prefix of the submitted order.
+    let mut acked = 0usize;
+    let mut prefix_closed = false;
+    let mut last_ack_epoch = 0u64;
+    for (i, ticket) in mutation_tickets.into_iter().enumerate() {
+        let response = ticket.wait();
+        let QueryAnswer::Mutated(result) = &response.answer else {
+            panic!("mutation ticket resolved a non-mutation answer")
+        };
+        match result {
+            Ok(_) => {
+                assert!(
+                    !prefix_closed,
+                    "mutation {i} acknowledged after an earlier one was refused — not a prefix"
+                );
+                assert!(
+                    response.epoch >= last_ack_epoch,
+                    "acknowledged epochs must be monotone in FIFO order"
+                );
+                last_ack_epoch = response.epoch;
+                acked += 1;
+            }
+            Err(_) => prefix_closed = true,
+        }
+    }
+    assert!(acked > 0, "budget of half the stream must acknowledge something");
+    assert!(acked < stream.len(), "budget of half the stream must refuse something");
+
+    // No response was computed past the last acknowledged state: refused
+    // mutations change nothing visible, so the final epoch is the
+    // acknowledged epoch and every read is at or below it.
+    let final_epoch = front.with_cluster(|c| c.version_vector().iter().sum::<u64>());
+    assert!(final_epoch >= last_ack_epoch);
+    for ticket in read_tickets {
+        let response = ticket.wait();
+        assert!(matches!(response.answer, QueryAnswer::Keyword(Some(_))));
+        assert!(
+            response.epoch <= final_epoch,
+            "a read was served past the last acknowledged epoch"
+        );
+    }
+    let wal = front.durability_stats().expect("durable cluster reports stats");
+    assert_eq!(wal.appends, acked as u64);
+
+    // Reboot. The raw recovered image is bit-identical to a sequential
+    // reference replay of exactly the acknowledged prefix.
+    let reopened = Arc::new(storage.reopen());
+    let (recovered_repo, stats) =
+        Repository::recover(reopened.as_ref()).expect("recovery after crash");
+    let reference = replay_prefix(&stream, acked);
+    assert_eq!(stats.last_seq, acked as u64, "recovered seq != acknowledged count");
+    assert_eq!(
+        recovered_repo.save(),
+        reference.save(),
+        "recovered image diverges from the acknowledged prefix"
+    );
+
+    // A cluster re-opened over the survivors answers every query exactly
+    // like a reference cluster built from the replayed prefix.
+    let pool = Arc::new(WorkerPool::new(2));
+    let (recovered_cluster, recovery) = durable_cluster(&reopened, &pool);
+    assert_eq!(recovery.last_seq, acked as u64);
+    let reference_cluster = EngineCluster::new(reference, registry(), SHARDS);
+    for group in GROUPS {
+        for query in QUERIES {
+            let served = recovered_cluster.search_as(group, query).expect("known group");
+            let expected = reference_cluster.search_as(group, query).expect("known group");
+            assert!(
+                hits_identical(&served, &expected),
+                "recovered cluster diverges for group {group} query {query:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_free_serve_stream_recovers_in_full() {
+    let stream = mutation_stream(12, 0xBEEF);
+    let storage = Arc::new(MemStorage::new());
+    let pool = Arc::new(WorkerPool::new(2));
+    let (cluster, _) = durable_cluster(&storage, &pool);
+    let front = ServeFront::with_pool(cluster, Arc::clone(&pool));
+
+    let tickets: Vec<_> =
+        stream.iter().map(|m| front.submit(ServeRequest::mutate(m.clone()))).collect();
+    for ticket in tickets {
+        assert!(matches!(ticket.wait().answer, QueryAnswer::Mutated(Ok(_))));
+    }
+    front.quiesce();
+
+    let (recovered, stats) = Repository::recover(storage.as_ref()).expect("recovery");
+    assert_eq!(stats.last_seq, stream.len() as u64);
+    assert_eq!(recovered.save(), replay_prefix(&stream, stream.len()).save());
+}

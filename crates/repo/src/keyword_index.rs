@@ -100,6 +100,9 @@ pub struct KeywordIndex {
     /// whole corpus, appends by the new specs' modules only, and
     /// execution appends / policy swaps not at all.
     docs_indexed: usize,
+    /// Lifetime count of [`Self::refresh_trusted`] calls that skipped the
+    /// fingerprint verification scan — the trusted-epoch instrument.
+    trusted_refreshes: usize,
     /// Repository version this index was built at.
     built_at: u64,
     /// Per-query-term document-frequency memo ([`Self::df_cached`]). The
@@ -219,12 +222,55 @@ impl KeywordIndex {
                 .zip(&self.fingerprints)
                 .any(|((_, e), fp)| SpecTextFingerprint::of(e) != *fp);
         if changed {
-            let (full_builds, docs_indexed) = (self.full_builds, self.docs_indexed);
+            let (full_builds, docs_indexed, trusted) =
+                (self.full_builds, self.docs_indexed, self.trusted_refreshes);
             *self = KeywordIndex::build(repo);
             self.full_builds += full_builds;
             self.docs_indexed += docs_indexed;
+            self.trusted_refreshes = trusted;
             return;
         }
+        self.append_new_specs(repo);
+    }
+
+    /// [`Self::refresh`] minus the per-write O(corpus) fingerprint
+    /// verification scan — the **trusted-epoch fast path**.
+    ///
+    /// `refresh` *verifies* the append-only invariant it rides on by
+    /// re-fingerprinting every existing spec on every call, which is what
+    /// makes a write cost O(corpus) (~hundreds of µs at 1024 specs) even
+    /// when it appends nothing. That scan defends against exactly one
+    /// thing: an existing spec's indexed text changing behind the index's
+    /// back. A caller that *owns* the repository and feeds it only typed
+    /// [`Mutation`](crate::mutation::Mutation)s can rule that out
+    /// structurally — no mutation variant edits existing spec text — and
+    /// recovery re-establishes the same trust: every replayed record was
+    /// checksum-verified, so the rebuilt corpus is exactly a typed-write
+    /// history. Under that ownership contract this method is sound and
+    /// O(new specs) per call; without it (a repository mutated through
+    /// arbitrary `&mut` access), use `refresh`, which spends the scan to
+    /// verify instead of trusting.
+    ///
+    /// Defensively falls back to the verifying path when the repository
+    /// shrank — a state no typed mutation can produce — so misuse degrades
+    /// to a correct (full) rebuild, never to stale postings.
+    pub fn refresh_trusted(&mut self, repo: &Repository) {
+        if repo.version() == self.built_at {
+            return;
+        }
+        if repo.len() < self.fingerprints.len() {
+            self.refresh(repo);
+            return;
+        }
+        self.trusted_refreshes += 1;
+        self.append_new_specs(repo);
+    }
+
+    /// The shared append tail of [`Self::refresh`] /
+    /// [`Self::refresh_trusted`]: index specs beyond the fingerprinted
+    /// prefix, invalidate only the df-memo entries those postings could
+    /// move, and re-tag `built_at`.
+    fn append_new_specs(&mut self, repo: &Repository) {
         let mut new_terms: HashMap<String, Vec<Posting>> = HashMap::new();
         let mut new_phrases: HashMap<String, Vec<Posting>> = HashMap::new();
         for (sid, entry) in repo.entries().skip(self.fingerprints.len()) {
@@ -277,6 +323,12 @@ impl KeywordIndex {
     /// refreshes that could append (or re-tag) never move it.
     pub fn full_builds(&self) -> usize {
         self.full_builds
+    }
+
+    /// Lifetime count of trusted-epoch refreshes that skipped the
+    /// fingerprint verification scan (see [`Self::refresh_trusted`]).
+    pub fn trusted_refreshes(&self) -> usize {
+        self.trusted_refreshes
     }
 
     /// Lifetime count of modules indexed. A refresh that appended `k`
@@ -651,6 +703,54 @@ mod tests {
         assert_eq!(idx.full_builds(), 2, "mismatch must force a verified full rebuild");
         assert_eq!(idx.doc_count(), 15);
         assert_eq!(idx.lookup("database"), KeywordIndex::build(&small).lookup("database"));
+    }
+
+    #[test]
+    fn trusted_refresh_matches_verifying_refresh_bit_for_bit() {
+        let mut r = repo();
+        let mut trusted = KeywordIndex::build(&r);
+        let mut verifying = KeywordIndex::build(&r);
+
+        // Typed mutation history: inserts, an execution append, a policy
+        // swap — the exact write vocabulary the trust contract covers.
+        let (spec, _) = fixtures::disease_susceptibility();
+        r.insert_spec(spec, Policy::public()).unwrap();
+        trusted.refresh_trusted(&r);
+        verifying.refresh(&r);
+        let exec = {
+            let entry = r.entry(SpecId(0)).unwrap();
+            fixtures::disease_susceptibility_execution(&entry.spec)
+        };
+        r.add_execution(SpecId(0), exec).unwrap();
+        r.set_policy(SpecId(0), Policy::public()).unwrap();
+        trusted.refresh_trusted(&r);
+        verifying.refresh(&r);
+
+        assert_eq!(trusted.trusted_refreshes(), 2);
+        assert_eq!(verifying.trusted_refreshes(), 0);
+        assert_eq!(trusted.full_builds(), 1, "trusted path must never rebuild");
+        assert_eq!(trusted.doc_count(), verifying.doc_count());
+        assert_eq!(trusted.docs_indexed(), verifying.docs_indexed());
+        assert_eq!(trusted.built_at(), verifying.built_at());
+        for term in ["database", "query", "risk", "disorder risks", "expand snp"] {
+            assert_eq!(trusted.lookup_query_term(term), verifying.lookup_query_term(term));
+            assert_eq!(trusted.df(term), verifying.df(term));
+        }
+    }
+
+    #[test]
+    fn trusted_refresh_degrades_safely_on_shrunken_repository() {
+        let mut big = Repository::new();
+        for _ in 0..2 {
+            let (spec, _) = fixtures::disease_susceptibility();
+            big.insert_spec(spec, Policy::public()).unwrap();
+        }
+        let mut idx = KeywordIndex::build(&big);
+        let small = repo();
+        idx.refresh_trusted(&small);
+        assert_eq!(idx.full_builds(), 2, "shrink must fall back to the verified rebuild");
+        assert_eq!(idx.trusted_refreshes(), 0, "the fallback is not a trusted refresh");
+        assert_eq!(idx.doc_count(), 15);
     }
 
     #[test]

@@ -37,6 +37,17 @@
 //! * [`scan`] — parallel repository scans (on the pool) for the non-indexed
 //!   baseline the benchmarks compare against,
 //! * [`stats`] — repository statistics for operators,
+//! * [`storage`] — the injectable [`StorageBackend`](storage::StorageBackend)
+//!   the durability subsystem runs on: real files ([`storage::FsStorage`])
+//!   or the fault-injecting in-memory backend ([`storage::MemStorage`])
+//!   that can crash at byte N, tear tails, flip bytes and fail fsyncs,
+//! * [`wal`] — the segmented, checksummed write-ahead log of typed
+//!   mutations ([`wal::DurableLog`]) and crash recovery
+//!   ([`Repository::recover`]): torn final records are truncated, interior
+//!   corruption is a typed error, and the recovered state is bit-identical
+//!   to the never-crashed run,
+//! * [`snapshot`] — atomic (temp file + rename) repository checkpoints
+//!   that bound log length and recovery time,
 //! * [`principals`] — the user-group directory resolving per-spec access
 //!   views (the paper's "user groups" made concrete), lazily through the
 //!   memoized [`AccessCache`]/[`AccessResolver`] on the query path, with
@@ -51,12 +62,19 @@ pub mod principals;
 pub mod reach_index;
 pub mod repository;
 pub mod scan;
+pub mod snapshot;
 pub mod stats;
+pub mod storage;
 pub mod ticket;
 pub mod view_cache;
+pub mod wal;
 
 pub use mutation::{Mutation, MutationEffect};
 pub use pool::WorkerPool;
 pub use principals::{AccessCache, AccessPrefix, AccessResolver, SpecAccess};
 pub use repository::{Repository, SpecEntry, SpecId};
+pub use storage::{FaultPlan, FsStorage, MemStorage, StorageBackend};
 pub use view_cache::ViewCache;
+pub use wal::{
+    DurabilityPolicy, DurabilityStats, DurableLog, Opened, RecoveryStats, WalError, WalResult,
+};

@@ -76,6 +76,17 @@ impl Repository {
         self.version
     }
 
+    /// Overwrite the version counter. For checkpoint assembly only: a
+    /// re-assembled image (a sharded cluster collecting its entries back
+    /// into one global repository) loses the global mutation count, but a
+    /// durable snapshot must carry it — recovery replays the log suffix
+    /// on top, each record bumping the version by one, and ends
+    /// bit-identical to a sequential replay of the whole history only if
+    /// the snapshot was stamped with the sequence number it covers.
+    pub fn set_version(&mut self, version: u64) {
+        self.version = version;
+    }
+
     /// Insert a specification with its policy; validates the policy.
     pub fn insert_spec(&mut self, spec: Specification, policy: Policy) -> Result<SpecId> {
         policy.validate(&spec)?;
@@ -120,6 +131,62 @@ impl Repository {
         entry.policy = policy;
         self.version += 1;
         Ok(())
+    }
+
+    // -- validate-before-append ---------------------------------------------
+    //
+    // The WAL appends a mutation *before* applying it, so callers need to
+    // know it will succeed without mutating anything: a record that fails
+    // on replay would make a valid log unrecoverable. These mirror the
+    // checks of `insert_spec` / `add_execution` / `set_policy` exactly,
+    // minus the state change.
+
+    /// Would [`Self::insert_spec`] accept this pair? Checks without
+    /// mutating.
+    pub fn check_insert(&self, spec: &Specification, policy: &Policy) -> Result<()> {
+        policy.validate(spec)
+    }
+
+    /// Would [`Self::add_execution`] accept this pair? Checks without
+    /// mutating.
+    pub fn check_execution(&self, spec: SpecId, exec: &Execution) -> Result<()> {
+        exec.check_invariants()?;
+        let entry = self.entries.get(spec.index()).ok_or(ModelError::BadId {
+            kind: "spec",
+            index: spec.index(),
+            len: self.entries.len(),
+        })?;
+        if exec.spec_name() != entry.spec.name() {
+            return Err(ModelError::invalid(format!(
+                "execution of `{}` added under spec `{}`",
+                exec.spec_name(),
+                entry.spec.name()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Would [`Self::set_policy`] accept this pair? Checks without
+    /// mutating.
+    pub fn check_policy(&self, spec: SpecId, policy: &Policy) -> Result<()> {
+        let entry = self.entries.get(spec.index()).ok_or(ModelError::BadId {
+            kind: "spec",
+            index: spec.index(),
+            len: self.entries.len(),
+        })?;
+        policy.validate(&entry.spec)
+    }
+
+    /// Would applying this mutation (`Repository::apply`) succeed against
+    /// the current state? Composed from the per-variant checks; the
+    /// durable write path runs this before appending to the WAL.
+    pub fn check(&self, mutation: &crate::mutation::Mutation) -> Result<()> {
+        use crate::mutation::Mutation;
+        match mutation {
+            Mutation::InsertSpec { spec, policy } => self.check_insert(spec, policy),
+            Mutation::AddExecution { spec, exec } => self.check_execution(*spec, exec),
+            Mutation::SetPolicy { spec, policy } => self.check_policy(*spec, policy),
+        }
     }
 
     /// Ingest a pre-validated entry whole — the shard-construction fast
@@ -229,7 +296,14 @@ impl Repository {
     }
 }
 
-fn encode_policy(p: &Policy) -> Bytes {
+/// Policy wire codec, shared by [`Repository::save`]/[`Repository::load`]
+/// and the WAL's mutation records (`crate::wal`), so a policy serializes
+/// identically whether it travels in a snapshot or in a log record.
+pub(crate) mod policy_codec {
+    pub(crate) use super::{decode_policy, encode_policy};
+}
+
+pub(crate) fn encode_policy(p: &Policy) -> Bytes {
     let mut b = BytesMut::new();
     let mut channels: Vec<(&String, &AccessLevel)> = p.channel_levels.iter().collect();
     channels.sort();
@@ -256,7 +330,7 @@ fn encode_policy(p: &Policy) -> Bytes {
     b.freeze()
 }
 
-fn decode_policy(mut bytes: &[u8]) -> Result<Policy> {
+pub(crate) fn decode_policy(mut bytes: &[u8]) -> Result<Policy> {
     fn need(bytes: &[u8], n: usize) -> Result<()> {
         if bytes.len() < n {
             Err(ModelError::codec("truncated policy"))

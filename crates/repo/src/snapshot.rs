@@ -1,0 +1,204 @@
+//! Atomic repository snapshots: the checkpoint half of the durability
+//! pair (`crate::wal` is the log half).
+//!
+//! A snapshot file `snap-<through_seq:016x>.snap` holds the full
+//! [`Repository::save`] image of the state produced by applying every
+//! mutation with sequence number ≤ `through_seq`:
+//!
+//! ```text
+//! [b"PPWFSNAP"] [u8 version=1] [u64 through_seq (LE)]
+//! [u32 payload_len (LE)] [payload = Repository::save bytes]
+//! [u64 FNV-1a checksum of everything above (LE)]
+//! ```
+//!
+//! Snapshots are written via [`StorageBackend::write_atomic`] (temp file
+//! plus rename), so a crash mid-snapshot leaves either the old file set
+//! or the new one — never a half-written image. Recovery picks the
+//! snapshot with the highest `through_seq`; older snapshots and fully
+//! covered log segments are pruned after a successful write, but leftover
+//! files from a crash-during-prune are harmless (the newest snapshot
+//! wins, and replay skips records it covers).
+
+use crate::fnv::Fnv1a;
+use crate::repository::Repository;
+use crate::storage::StorageBackend;
+use crate::wal::{WalError, WalResult};
+
+const MAGIC: &[u8; 8] = b"PPWFSNAP";
+const VERSION: u8 = 1;
+/// Magic + version + through_seq + payload length.
+const HEADER: usize = 8 + 1 + 8 + 4;
+
+/// The file name of the snapshot covering mutations through `through_seq`.
+pub fn file_name(through_seq: u64) -> String {
+    format!("snap-{through_seq:016x}.snap")
+}
+
+/// Parse a snapshot file name back to its `through_seq`.
+pub fn parse_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("snap-")?.strip_suffix(".snap")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Atomically write a snapshot of `repo` covering mutations through
+/// `through_seq`.
+pub(crate) fn write(
+    backend: &dyn StorageBackend,
+    through_seq: u64,
+    repo: &Repository,
+) -> WalResult<()> {
+    let payload = repo.save();
+    let mut buf = Vec::with_capacity(HEADER + payload.len() + 8);
+    buf.extend_from_slice(MAGIC);
+    buf.push(VERSION);
+    buf.extend_from_slice(&through_seq.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&payload);
+    let mut h = Fnv1a::new();
+    h.mix_bytes(&buf);
+    let sum = h.finish();
+    buf.extend_from_slice(&sum.to_le_bytes());
+    backend.write_atomic(&file_name(through_seq), &buf)?;
+    Ok(())
+}
+
+fn corrupt(name: &str, detail: impl Into<String>) -> WalError {
+    WalError::Snapshot { name: name.to_string(), detail: detail.into() }
+}
+
+/// Decode and re-validate one snapshot file.
+pub(crate) fn load(backend: &dyn StorageBackend, name: &str) -> WalResult<(Repository, u64)> {
+    let bytes =
+        backend.read(name)?.ok_or_else(|| corrupt(name, "snapshot vanished during recovery"))?;
+    if bytes.len() < HEADER + 8 {
+        return Err(corrupt(
+            name,
+            format!("{} bytes is shorter than a snapshot header", bytes.len()),
+        ));
+    }
+    let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored_sum = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+    let mut h = Fnv1a::new();
+    h.mix_bytes(body);
+    if h.finish() != stored_sum {
+        return Err(corrupt(name, "checksum mismatch"));
+    }
+    if &body[..8] != MAGIC {
+        return Err(corrupt(name, "bad magic"));
+    }
+    let version = body[8];
+    if version != VERSION {
+        return Err(corrupt(name, format!("unsupported snapshot version {version}")));
+    }
+    let through_seq = u64::from_le_bytes(body[9..17].try_into().expect("8 bytes"));
+    if parse_name(name) != Some(through_seq) {
+        return Err(corrupt(
+            name,
+            format!("file name disagrees with embedded through_seq {through_seq}"),
+        ));
+    }
+    let len = u32::from_le_bytes(body[17..HEADER].try_into().expect("4 bytes")) as usize;
+    let payload = &body[HEADER..];
+    if payload.len() != len {
+        return Err(corrupt(
+            name,
+            format!("payload is {} bytes, header says {len}", payload.len()),
+        ));
+    }
+    let repo = Repository::load(payload).map_err(|e| corrupt(name, e.to_string()))?;
+    Ok((repo, through_seq))
+}
+
+/// Load the snapshot with the highest `through_seq` among `names`, or an
+/// empty repository (covering through sequence 0) when none exists.
+pub(crate) fn load_latest(
+    backend: &dyn StorageBackend,
+    names: &[String],
+) -> WalResult<(Repository, u64)> {
+    let latest =
+        names.iter().filter_map(|n| parse_name(n).map(|s| (s, n.as_str()))).max_by_key(|(s, _)| *s);
+    match latest {
+        None => Ok((Repository::new(), 0)),
+        Some((_, name)) => load(backend, name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+    use ppwf_core::policy::Policy;
+    use ppwf_model::fixtures;
+
+    fn sample() -> Repository {
+        let mut repo = Repository::new();
+        let (spec, _) = fixtures::disease_susceptibility();
+        let exec = fixtures::disease_susceptibility_execution(&spec);
+        let id = repo.insert_spec(spec, Policy::public()).unwrap();
+        repo.add_execution(id, exec).unwrap();
+        repo
+    }
+
+    #[test]
+    fn name_round_trips() {
+        assert_eq!(parse_name(&file_name(0)), Some(0));
+        assert_eq!(parse_name(&file_name(u64::MAX)), Some(u64::MAX));
+        assert_eq!(parse_name("wal-0000000000000001.log"), None);
+        assert_eq!(parse_name("snap-xyz.snap"), None);
+    }
+
+    #[test]
+    fn write_load_round_trip_is_bit_identical() {
+        let storage = MemStorage::new();
+        let repo = sample();
+        write(&storage, 7, &repo).unwrap();
+        let (loaded, through) = load_latest(&storage, &storage.list().unwrap()).unwrap();
+        assert_eq!(through, 7);
+        assert_eq!(loaded.save(), repo.save());
+    }
+
+    #[test]
+    fn latest_snapshot_wins() {
+        let storage = MemStorage::new();
+        write(&storage, 3, &Repository::new()).unwrap();
+        let repo = sample();
+        write(&storage, 9, &repo).unwrap();
+        let (loaded, through) = load_latest(&storage, &storage.list().unwrap()).unwrap();
+        assert_eq!(through, 9);
+        assert_eq!(loaded.save(), repo.save());
+    }
+
+    #[test]
+    fn empty_backend_yields_empty_repository() {
+        let storage = MemStorage::new();
+        let (repo, through) = load_latest(&storage, &storage.list().unwrap()).unwrap();
+        assert_eq!(through, 0);
+        assert!(repo.is_empty());
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error() {
+        let storage = MemStorage::new();
+        let repo = sample();
+        write(&storage, 4, &repo).unwrap();
+        let name = file_name(4);
+        storage.flip_byte(&name, 40);
+        match load(&storage, &name) {
+            Err(WalError::Snapshot { name: n, detail }) => {
+                assert_eq!(n, name);
+                assert!(detail.contains("checksum"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected Snapshot error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected() {
+        let storage = MemStorage::new();
+        write(&storage, 2, &sample()).unwrap();
+        let name = file_name(2);
+        let len = storage.len_of(&name).unwrap();
+        storage.tear(&name, len / 2);
+        assert!(matches!(load(&storage, &name), Err(WalError::Snapshot { .. })));
+    }
+}

@@ -1,0 +1,287 @@
+//! Crash-matrix recovery equivalence: for randomized mutation sequences,
+//! a crash injected at *every* durable byte boundary (and at sampled
+//! interior offsets of every record) must recover a repository — and the
+//! indexes rebuilt over it, down to the ranked f64 df/idf bits — that is
+//! bit-identical to a sequential reference replay of exactly the
+//! acknowledged prefix. A torn suffix is never resurrected, an
+//! acknowledged write is never lost, and a corrupted *interior* record is
+//! a typed [`WalError::Corrupt`] — never a panic, never a silent skip.
+//!
+//! The schedule comes from [`ppwf_workloads::gencrash`]: the fault-free
+//! run records each mutation's durable byte cost (record framing plus any
+//! snapshot its cadence triggered), and the matrix then replays the same
+//! stream against a [`MemStorage`] armed with `crash_after_bytes` at each
+//! scheduled offset. Small `snapshot_every` / `segment_bytes` knobs make
+//! crashes land before, inside, and after snapshots and rotations.
+
+use std::sync::Arc;
+
+use ppwf_core::policy::Policy;
+use ppwf_model::exec::{Executor, HashOracle};
+use ppwf_repo::keyword_index::KeywordIndex;
+use ppwf_repo::repository::{Repository, SpecId};
+use ppwf_repo::storage::{FaultPlan, MemStorage, StorageBackend};
+use ppwf_repo::wal::{DurabilityPolicy, DurableLog, WalError};
+use ppwf_repo::Mutation;
+use ppwf_workloads::gencrash::{crash_schedule, CrashScheduleParams};
+use ppwf_workloads::genspec::{generate_spec, SpecParams};
+use proptest::prelude::*;
+
+/// Generated specs draw their keywords from the `kw{rank}` vocabulary.
+const TERMS: [&str; 6] = ["kw0", "kw1", "kw2", "kw3", "kw5", "kw7"];
+
+/// Tight cadences so a short stream still exercises snapshot pruning and
+/// segment rotation, and the crash matrix straddles both.
+fn tight_policy() -> DurabilityPolicy {
+    DurabilityPolicy { fsync_each: true, snapshot_every: 3, segment_bytes: 2048 }
+}
+
+/// Materialize a deterministic mutation stream from `(kind, seed)` pairs:
+/// 0 → spec insert, 1 → execution append, 2 → policy swap, each built
+/// against the evolving state (the first write is always an insert so
+/// id-targeting kinds have a live target).
+fn mutation_stream(writes: &[(u8, u64)]) -> Vec<Mutation> {
+    let mut scratch = Repository::new();
+    let mut stream = Vec::with_capacity(writes.len());
+    for (i, &(kind, seed)) in writes.iter().enumerate() {
+        let kind = if scratch.is_empty() { 0 } else { kind % 3 };
+        let mutation = match kind {
+            0 => Mutation::InsertSpec {
+                spec: generate_spec(&SpecParams {
+                    seed: seed ^ ((i as u64) << 8) ^ 0xFACE,
+                    ..SpecParams::default()
+                }),
+                policy: Policy::public(),
+            },
+            1 => {
+                let target = SpecId((seed % scratch.len() as u64) as u32);
+                let exec = Executor::new(&scratch.entry(target).unwrap().spec)
+                    .run(&mut HashOracle)
+                    .expect("stored specs execute");
+                Mutation::AddExecution { spec: target, exec }
+            }
+            _ => Mutation::SetPolicy {
+                spec: SpecId((seed % scratch.len() as u64) as u32),
+                policy: Policy::public(),
+            },
+        };
+        scratch.apply(mutation.clone()).expect("generated mutation applies");
+        stream.push(mutation);
+    }
+    stream
+}
+
+/// Drive `stream` through a fresh durable log over `storage` until the
+/// backend dies (or the stream ends). Returns the acknowledged count —
+/// mutations whose `append` returned `Ok` — and each acknowledged
+/// mutation's durable byte delta (its record plus any snapshot the
+/// cadence triggered on its heels).
+fn drive(
+    storage: &Arc<MemStorage>,
+    stream: &[Mutation],
+    policy: DurabilityPolicy,
+) -> (usize, Vec<u64>) {
+    let backend: Arc<dyn StorageBackend> = Arc::clone(storage) as Arc<dyn StorageBackend>;
+    let opened = DurableLog::open(backend, policy).expect("open on fresh storage");
+    let mut log = opened.log;
+    let mut repo = opened.repository;
+    let mut deltas = Vec::new();
+    let mut acked = 0;
+    for mutation in stream {
+        let before = storage.bytes_appended();
+        repo.check(mutation).expect("pre-validated stream");
+        if log.append(mutation).is_err() {
+            break;
+        }
+        acked += 1;
+        repo.apply(mutation.clone()).expect("checked mutation applies");
+        log.snapshot_if_due(&repo);
+        deltas.push(storage.bytes_appended() - before);
+    }
+    (acked, deltas)
+}
+
+/// The sequential reference: apply the first `n` mutations to a fresh
+/// in-memory repository, no durability anywhere.
+fn replay_prefix(stream: &[Mutation], n: usize) -> Repository {
+    let mut repo = Repository::new();
+    for mutation in &stream[..n] {
+        repo.apply(mutation.clone()).expect("prefix replays");
+    }
+    repo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The matrix itself: every record boundary, the first header byte of
+    /// every record, and sampled interior offsets. Recovery after each
+    /// crash is byte-for-byte the acknowledged prefix, and the rebuilt
+    /// keyword index matches the reference down to idf mantissa bits.
+    #[test]
+    fn recovery_is_bit_identical_at_every_crash_offset(
+        seed in any::<u64>(),
+        writes in proptest::collection::vec((0u8..3, any::<u64>()), 3..9),
+    ) {
+        let stream = mutation_stream(&writes);
+        let policy = tight_policy();
+
+        // Fault-free trace run: byte deltas feed the crash schedule, and
+        // the trace itself must recover bit-identically.
+        let trace = Arc::new(MemStorage::new());
+        let (acked, deltas) = drive(&trace, &stream, policy);
+        prop_assert_eq!(acked, stream.len(), "fault-free run must ack everything");
+        let full_reference = replay_prefix(&stream, stream.len());
+        let (trace_recovered, trace_stats) = Repository::recover(trace.as_ref()).unwrap();
+        prop_assert_eq!(trace_recovered.save(), full_reference.save());
+        prop_assert_eq!(trace_stats.last_seq, stream.len() as u64);
+
+        let schedule =
+            crash_schedule(&deltas, &CrashScheduleParams { seed, interior_per_record: 2 });
+        for &offset in &schedule {
+            let storage = Arc::new(MemStorage::with_faults(FaultPlan {
+                crash_after_bytes: Some(offset),
+                ..FaultPlan::default()
+            }));
+            let (acked, _) = drive(&storage, &stream, policy);
+
+            // Reboot: only the surviving bytes, a clean fault plan.
+            let reopened = storage.reopen();
+            let (recovered, stats) = match Repository::recover(&reopened) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    return Err(TestCaseError::Fail(format!(
+                        "crash at byte {offset}: recovery failed: {e}"
+                    )))
+                }
+            };
+
+            // Exactly the acknowledged prefix: nothing acknowledged is
+            // lost, nothing torn is resurrected.
+            let reference = replay_prefix(&stream, acked);
+            prop_assert_eq!(
+                stats.last_seq, acked as u64,
+                "crash at byte {}: recovered seq != acknowledged count", offset
+            );
+            prop_assert_eq!(
+                recovered.save(), reference.save(),
+                "crash at byte {}: recovered image diverges from reference replay", offset
+            );
+
+            // Index rebuild bit-equivalence, ranked f64 bits included.
+            let idx_recovered = KeywordIndex::build(&recovered);
+            let idx_reference = KeywordIndex::build(&reference);
+            prop_assert_eq!(idx_recovered.doc_count(), idx_reference.doc_count());
+            prop_assert_eq!(idx_recovered.term_count(), idx_reference.term_count());
+            for term in TERMS {
+                prop_assert_eq!(
+                    idx_recovered.lookup_query_term(term),
+                    idx_reference.lookup_query_term(term),
+                    "postings diverged on {:?} at crash byte {}", term, offset
+                );
+                prop_assert_eq!(idx_recovered.df(term), idx_reference.df(term));
+                prop_assert_eq!(
+                    idx_recovered.idf_cached(term).to_bits(),
+                    idx_reference.idf_cached(term).to_bits(),
+                    "ranked idf bits diverged on {:?} at crash byte {}", term, offset
+                );
+            }
+        }
+    }
+
+    /// Corrupting an *interior* record (a checksum byte of a record with
+    /// durable successors) is a typed `WalError::Corrupt` — recovery must
+    /// refuse the log rather than skip the record or panic.
+    #[test]
+    fn interior_corruption_is_rejected_not_skipped(
+        seed in any::<u64>(),
+        writes in proptest::collection::vec((0u8..3, any::<u64>()), 4..9),
+        victim in any::<u64>(),
+    ) {
+        let stream = mutation_stream(&writes);
+        // One fat segment, no snapshots: every record stays in the log and
+        // every record but the last has durable successors.
+        let policy = DurabilityPolicy {
+            fsync_each: true,
+            snapshot_every: 0,
+            segment_bytes: u64::MAX,
+        };
+        let storage = Arc::new(MemStorage::new());
+        let (acked, deltas) = drive(&storage, &stream, policy);
+        prop_assert_eq!(acked, stream.len());
+
+        let segments: Vec<String> = storage
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter(|name| name.ends_with(".log"))
+            .collect();
+        prop_assert_eq!(segments.len(), 1, "expected a single fat segment");
+        let segment = &segments[0];
+
+        // Flip a checksum byte (record-relative offset 5) of a non-final
+        // record: an unambiguous interior corruption.
+        let victim = (victim % (acked as u64 - 1)) as usize;
+        let record_start: u64 = deltas[..victim].iter().sum();
+        storage.flip_byte(segment, record_start as usize + 5);
+
+        // `seed` keeps the generated corpus varied across cases even
+        // though this property never samples offsets from it.
+        let _ = seed;
+
+        match Repository::recover(storage.as_ref()) {
+            Err(WalError::Corrupt { .. }) => {}
+            Err(other) => {
+                return Err(TestCaseError::Fail(format!(
+                    "interior corruption surfaced as {other:?}, want WalError::Corrupt"
+                )))
+            }
+            Ok((repo, stats)) => {
+                return Err(TestCaseError::Fail(format!(
+                    "interior corruption silently accepted: {} specs, last_seq {}",
+                    repo.len(),
+                    stats.last_seq
+                )))
+            }
+        }
+    }
+}
+
+/// A torn tail plus later re-append: after recovering from a crash
+/// mid-record, the log must accept new writes and the *second* recovery
+/// must see old prefix + new suffix with contiguous sequence numbers.
+#[test]
+fn log_reopens_and_extends_after_a_torn_tail() {
+    let stream = mutation_stream(&[(0, 11), (1, 12), (2, 13), (0, 14), (1, 15)]);
+    let policy = tight_policy();
+
+    // Crash inside the fourth record: acked = 3.
+    let trace = Arc::new(MemStorage::new());
+    let (_, deltas) = drive(&trace, &stream, policy);
+    let crash_at: u64 = deltas[..3].iter().sum::<u64>() + 7;
+    let storage = Arc::new(MemStorage::with_faults(FaultPlan {
+        crash_after_bytes: Some(crash_at),
+        ..FaultPlan::default()
+    }));
+    let (acked, _) = drive(&storage, &stream, policy);
+    assert_eq!(acked, 3);
+
+    // Reboot, recover, and append the remaining writes through a reopened
+    // log — the torn record is truncated, then overwritten by the retry.
+    let reopened: Arc<dyn StorageBackend> = Arc::new(storage.reopen());
+    let opened = DurableLog::open(Arc::clone(&reopened), policy).unwrap();
+    assert_eq!(opened.recovery.last_seq, 3);
+    assert!(opened.recovery.truncated_bytes > 0, "the torn tail should have been truncated");
+    let mut log = opened.log;
+    let mut repo = opened.repository;
+    for mutation in &stream[3..] {
+        repo.check(mutation).unwrap();
+        log.append(mutation).unwrap();
+        repo.apply(mutation.clone()).unwrap();
+        log.snapshot_if_due(&repo);
+    }
+
+    let (recovered, stats) = Repository::recover(reopened.as_ref()).unwrap();
+    assert_eq!(stats.last_seq, stream.len() as u64);
+    assert_eq!(recovered.save(), replay_prefix(&stream, stream.len()).save());
+}

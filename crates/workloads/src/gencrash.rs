@@ -1,0 +1,120 @@
+//! Crash-schedule generation for the durability experiments.
+//!
+//! A crash-recovery test is only as strong as where it crashes. Testing a
+//! handful of hand-picked offsets misses the interesting boundaries: the
+//! byte *before* a record header completes, the byte *inside* a length
+//! field, the last byte of a checksum, the first byte after a snapshot's
+//! rename. This module turns a recorded append trace — the byte length of
+//! each durable record, in order — into a deterministic crash schedule
+//! that covers:
+//!
+//! * **every record boundary** (a crash exactly between records: the
+//!   clean-truncation cases),
+//! * **interior offsets of every record** (a torn record mid-write:
+//!   header fragments, half-written lengths, bodies cut at every sampled
+//!   position),
+//!
+//! bounded to a budget by deterministic interior sampling, so the
+//! crash-matrix property test stays fast while still probing unaligned
+//! offsets. Everything is reproducible from the caller's seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs for [`crash_schedule`].
+#[derive(Clone, Debug)]
+pub struct CrashScheduleParams {
+    /// RNG seed — equal trace and params ⇒ identical schedule.
+    pub seed: u64,
+    /// Interior offsets sampled per record, in addition to its boundary.
+    /// 0 produces a boundaries-only schedule.
+    pub interior_per_record: usize,
+}
+
+impl Default for CrashScheduleParams {
+    fn default() -> Self {
+        CrashScheduleParams { seed: 1, interior_per_record: 2 }
+    }
+}
+
+/// Build a sorted, deduplicated list of crash offsets (total appended
+/// bytes after which power fails) from `record_lens`, the byte length of
+/// each appended record in append order.
+///
+/// The schedule always contains offset 0 (crash before anything lands)
+/// and every record boundary; `interior_per_record` adds that many
+/// deterministically sampled offsets strictly inside each record. Offsets
+/// are cumulative over the whole trace, matching the fault-injecting
+/// backend's `crash_after_bytes` budget semantics.
+pub fn crash_schedule(record_lens: &[u64], params: &CrashScheduleParams) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut offsets = vec![0u64];
+    let mut cumulative = 0u64;
+    for &len in record_lens {
+        for _ in 0..params.interior_per_record.min(len.saturating_sub(1) as usize) {
+            offsets.push(cumulative + rng.gen_range(1..len));
+        }
+        // Always probe the first header byte of a record: the smallest
+        // possible torn fragment, easy to mishandle as "empty tail".
+        if len > 1 {
+            offsets.push(cumulative + 1);
+        }
+        cumulative += len;
+        offsets.push(cumulative);
+    }
+    offsets.sort_unstable();
+    offsets.dedup();
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_covers_every_boundary() {
+        let lens = [10u64, 7, 23];
+        let schedule = crash_schedule(&lens, &CrashScheduleParams::default());
+        for boundary in [0u64, 10, 17, 40] {
+            assert!(schedule.contains(&boundary), "missing boundary {boundary}");
+        }
+        // Every offset is within the trace.
+        assert!(schedule.iter().all(|&o| o <= 40));
+        // Sorted and deduplicated.
+        assert!(schedule.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn interior_offsets_land_strictly_inside_records() {
+        let lens = [100u64, 50];
+        let params = CrashScheduleParams { seed: 7, interior_per_record: 5 };
+        let schedule = crash_schedule(&lens, &params);
+        let boundaries = [0u64, 100, 150];
+        let interior: Vec<u64> =
+            schedule.iter().copied().filter(|o| !boundaries.contains(o)).collect();
+        assert!(!interior.is_empty());
+        for o in interior {
+            assert!(o < 150, "offset {o} past the trace");
+            assert!(!boundaries.contains(&o));
+        }
+        // First-header-byte probes are always present.
+        assert!(schedule.contains(&1) && schedule.contains(&101));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let lens = [64u64; 16];
+        let params = CrashScheduleParams { seed: 42, interior_per_record: 3 };
+        assert_eq!(crash_schedule(&lens, &params), crash_schedule(&lens, &params));
+        let other = CrashScheduleParams { seed: 43, interior_per_record: 3 };
+        assert_ne!(crash_schedule(&lens, &params), crash_schedule(&lens, &other));
+    }
+
+    #[test]
+    fn boundaries_only_when_no_interior_requested() {
+        let lens = [5u64, 5];
+        let params = CrashScheduleParams { seed: 1, interior_per_record: 0 };
+        let schedule = crash_schedule(&lens, &params);
+        assert_eq!(schedule, vec![0, 1, 5, 6, 10]);
+    }
+}

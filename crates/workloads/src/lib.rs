@@ -16,16 +16,21 @@
 //!   (arity mix, co-occurring vs cross term pairs, corpus-Zipf popularity —
 //!   the knob that makes shard selectivity measurable in E11), plus
 //!   open- vs closed-loop request schedules for the async-serving
-//!   experiment (E14).
+//!   experiment (E14),
+//! * [`gencrash`] — deterministic crash schedules (every record boundary
+//!   plus sampled interior offsets) for the durability crash-matrix and
+//!   E15 recovery experiments.
 //!
 //! Everything is deterministic under a caller-provided seed.
 
+pub mod gencrash;
 pub mod genexec;
 pub mod genmodule;
 pub mod genquery;
 pub mod genspec;
 pub mod zipf;
 
+pub use gencrash::{crash_schedule, CrashScheduleParams};
 pub use genquery::{
     generate_query_log, schedule_requests, ArrivalSchedule, QueryLogParams, ScheduleParams,
     ScheduledRequest,

@@ -2,12 +2,13 @@
 # Regenerate the machine-readable experiment baselines.
 #
 # Usage:
-#   scripts/bench_json.sh            # E10 + E11 + E12 + E13 + E14, defaults
+#   scripts/bench_json.sh            # E10 + E11 + E12 + E13 + E14 + E15, defaults
 #   scripts/bench_json.sh e10 [...]  # only E10; extra args passed through
 #   scripts/bench_json.sh e11 [...]  # only E11; extra args passed through
 #   scripts/bench_json.sh e12 [...]  # only E12; extra args passed through
 #   scripts/bench_json.sh e13 [...]  # only E13; extra args passed through
 #   scripts/bench_json.sh e14 [...]  # only E14; extra args passed through
+#   scripts/bench_json.sh e15 [...]  # only E15; extra args passed through
 #
 # Every binary exits non-zero when its acceptance threshold fails (E10:
 # warm cache ≥5x uncached; E11: 4-shard cold serving above a ≥0.7x
@@ -17,8 +18,10 @@
 # full per-write rebuilds, no cold/warm read regression, cluster front
 # cache within 1.2x of the single engine warm; E14: async serving ≥2x
 # blocking thread-per-request at concurrency 8 on a 2-thread pool, with
-# bit-identical answers), so this script doubles as a perf smoke test
-# in CI.
+# bit-identical answers; E15: trusted-epoch index refresh ≥5x the
+# verifying refresh at 1024 specs, durable engine reads within 1.2x of
+# a fresh build, every recovery asserted bit-identical), so this script
+# doubles as a perf smoke test in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,11 +44,14 @@ case "$which" in
   e14)
     cargo run --release -p ppwf-bench --bin e14_async_serving -- "$@"
     ;;
+  e15)
+    cargo run --release -p ppwf-bench --bin e15_durability -- "$@"
+    ;;
   all)
     # The binaries take disjoint flag sets, so 'all' accepts no
     # passthrough args — target one binary to customize a run.
     if [[ $# -gt 0 ]]; then
-      echo "extra args need an explicit target: bench_json.sh {e10|e11|e12|e13|e14} $*" >&2
+      echo "extra args need an explicit target: bench_json.sh {e10|e11|e12|e13|e14|e15} $*" >&2
       exit 2
     fi
     cargo run --release -p ppwf-bench --bin e10_query_cache
@@ -53,9 +59,10 @@ case "$which" in
     cargo run --release -p ppwf-bench --bin e12_lazy_access
     cargo run --release -p ppwf-bench --bin e13_incremental_writes
     cargo run --release -p ppwf-bench --bin e14_async_serving
+    cargo run --release -p ppwf-bench --bin e15_durability
     ;;
   *)
-    echo "unknown target '$which' (expected e10, e11, e12, e13, e14, or all)" >&2
+    echo "unknown target '$which' (expected e10, e11, e12, e13, e14, e15, or all)" >&2
     exit 2
     ;;
 esac
