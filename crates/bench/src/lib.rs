@@ -140,6 +140,29 @@ pub fn e11_query_log(
     )
 }
 
+/// The E16 query log: multi-term AND queries only (`two_term_fraction:
+/// 1.0`), the cold-kernel target shape — each query's answer is the
+/// *intersection* of its terms' candidate specs, usually far smaller than
+/// either term's postings, so intersection-first evaluation has real
+/// work to skip. Distinct strings keep one pass fully cold.
+pub fn e16_query_log(
+    corpus: &[ppwf_model::spec::Specification],
+    count: usize,
+    seed: u64,
+) -> Vec<String> {
+    ppwf_workloads::generate_query_log(
+        corpus,
+        &ppwf_workloads::QueryLogParams {
+            seed,
+            count,
+            two_term_fraction: 1.0,
+            same_module_fraction: 0.5,
+            flatten_popularity: 1.0,
+            distinct: true,
+        },
+    )
+}
+
 /// The E12 registry: the three standard groups plus `extra` tiers with
 /// varied default rules and a sprinkle of per-spec overrides. "Large
 /// registry" here means *many groups over a large corpus* — the eager plan

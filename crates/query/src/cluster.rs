@@ -20,7 +20,8 @@
 //! * **Corpus-global ranking statistics.** TF-IDF scores depend on corpus
 //!   document counts; shard-local IDFs would drift. The cluster sums
 //!   per-shard `(doc_count, df)` into global IDFs and rescores gathered
-//!   profiles with [`score_with_idfs`] — bitwise the single engine's math.
+//!   profiles with [`scores_for_profiles`] — bitwise the single engine's
+//!   math.
 //! * **Index-gated scatter.** A shard whose index lacks some query term
 //!   cannot contribute a hit (AND semantics), so the router skips it before
 //!   any access-map resolution. This is pure pruning: it never changes an
@@ -47,7 +48,7 @@ use crate::engine::{CacheSnapshot, EngineStats, Plan, QueryEngine, RankedAnswer}
 use crate::keyword::{KeywordHit, KeywordQuery};
 use crate::modes::ModeCaches;
 use crate::privacy_exec::PrivateSearchOutcome;
-use crate::ranking::{idfs_from_shard_counts, rank_by_scores, score_with_idfs, RankingMode};
+use crate::ranking::{idfs_from_shard_counts, rank_by_scores, scores_for_profiles, RankingMode};
 use crate::route::{Router, ShardStrategy};
 use ppwf_core::policy::Policy;
 use ppwf_model::exec::Execution;
@@ -538,7 +539,7 @@ impl EngineCluster {
         }
         rows.sort_by_key(|(h, _)| h.spec);
         let (hits, profiles): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
-        let scores: Vec<f64> = profiles.iter().map(|p| score_with_idfs(idfs, p, mode)).collect();
+        let scores = scores_for_profiles(idfs, &profiles, mode);
         let order = rank_by_scores(&scores);
         let answer =
             Arc::new(RankedHits { hits, ranked: RankedAnswer { order, scores, profiles } });

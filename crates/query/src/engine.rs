@@ -38,7 +38,7 @@ use crate::privacy_exec::{
     filter_then_search_cached, search_then_zoom_out_cached, PrivateSearchOutcome,
 };
 use crate::ranking::{
-    idfs_for_terms, profiles_for_hits, rank_by_scores, score_with_idfs, RankingMode, TfProfile,
+    idfs_for_terms, profiles_for_hits, rank_by_scores, scores_for_profiles, RankingMode, TfProfile,
 };
 use ppwf_model::Result;
 use ppwf_repo::cache::{CacheStats, GroupCache};
@@ -462,8 +462,7 @@ impl QueryEngine {
             let query = KeywordQuery::parse(query_text);
             let profiles = profiles_for_hits(&self.repo, &hits, &query.terms);
             let idfs = idfs_for_terms(&self.index, &query.terms);
-            let scores: Vec<f64> =
-                profiles.iter().map(|p| score_with_idfs(&idfs, p, mode)).collect();
+            let scores = scores_for_profiles(&idfs, &profiles, mode);
             let order = rank_by_scores(&scores);
             RankedAnswer { order, scores, profiles }
         });

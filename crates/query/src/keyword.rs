@@ -14,7 +14,8 @@
 use ppwf_model::expand::SpecView;
 use ppwf_model::hierarchy::Prefix;
 use ppwf_model::ids::{ModuleId, WorkflowId};
-use ppwf_repo::keyword_index::{tokenize, KeywordIndex, Posting};
+use ppwf_repo::keyword_index::{filter_postings, tokenize, KeywordIndex};
+use ppwf_repo::postings::{with_scratch, QueryScratch};
 use ppwf_repo::principals::SpecAccess;
 use ppwf_repo::repository::{Repository, SpecId};
 use ppwf_repo::scan::scan_specs;
@@ -132,7 +133,7 @@ fn minimal_cover(
 /// Index-backed search over the whole repository (no privacy filtering —
 /// the administrator's plan). Hits are ordered by spec id.
 pub fn search(repo: &Repository, index: &KeywordIndex, query: &KeywordQuery) -> Vec<KeywordHit> {
-    search_with_postings(repo, query, None, |term| index.lookup_query_term(term))
+    search_with_index(repo, index, query, None, None::<&HashMap<SpecId, Prefix>>)
 }
 
 /// [`search`] with answer views fetched through `views` instead of built
@@ -143,7 +144,7 @@ pub fn search_with_cache(
     query: &KeywordQuery,
     views: &ViewCache,
 ) -> Vec<KeywordHit> {
-    search_with_postings(repo, query, Some(views), |term| index.lookup_query_term(term))
+    search_with_index(repo, index, query, Some(views), None::<&HashMap<SpecId, Prefix>>)
 }
 
 /// Index-backed search with privilege filtering: only postings whose
@@ -161,7 +162,7 @@ pub fn search_filtered(
     query: &KeywordQuery,
     access: &impl SpecAccess,
 ) -> Vec<KeywordHit> {
-    search_with_postings(repo, query, None, |term| index.lookup_filtered(term, access))
+    search_with_index(repo, index, query, None, Some(access))
 }
 
 /// [`search_filtered`] with answer views fetched through `views` — the
@@ -173,45 +174,84 @@ pub fn search_filtered_with_cache(
     access: &impl SpecAccess,
     views: &ViewCache,
 ) -> Vec<KeywordHit> {
-    search_with_postings(repo, query, Some(views), |term| index.lookup_filtered(term, access))
+    search_with_index(repo, index, query, Some(views), Some(access))
 }
 
-fn search_with_postings(
+/// The cold-path kernel pipeline behind every index-backed entry point:
+///
+/// 1. **Candidate discovery** — intersect the terms' spec supersets over
+///    the block-compressed lists (galloping skips / bitmap AND), so specs
+///    that cannot satisfy the AND semantics never materialize a posting.
+/// 2. **Restricted gather** — decode only the candidate specs' blocks per
+///    term, then privilege-filter in place (one prefix resolution per
+///    spec run; with a lazy resolver only candidate specs resolve).
+/// 3. **Vec-indexed assembly** — per-`(spec, term)` module lists live in
+///    a flat scratch table addressed by candidate rank, replacing the old
+///    per-posting `HashMap<SpecId, _>` insert.
+///
+/// All intermediate buffers come from the thread-local [`QueryScratch`],
+/// so a pool worker reuses one arena across every query it serves.
+fn search_with_index<A: SpecAccess + ?Sized>(
     repo: &Repository,
+    index: &KeywordIndex,
     query: &KeywordQuery,
     views: Option<&ViewCache>,
-    lookup: impl Fn(&str) -> Vec<Posting>,
+    access: Option<&A>,
 ) -> Vec<KeywordHit> {
     if query.terms.is_empty() {
         return Vec::new();
     }
-    // Gather candidates per (spec, term).
-    let mut per_spec: HashMap<SpecId, Vec<Vec<ModuleId>>> = HashMap::new();
-    for (ti, term) in query.terms.iter().enumerate() {
-        for p in lookup(term) {
-            let slot =
-                per_spec.entry(p.spec).or_insert_with(|| vec![Vec::new(); query.terms.len()]);
-            slot[ti].push(p.module);
+    with_scratch(|s| {
+        let QueryScratch { postings, seed, block, specs, specs_b, mods, .. } = s;
+        if !index.candidate_specs_into(&query.terms, specs_b, specs) || specs.is_empty() {
+            return Vec::new();
         }
-    }
-    let mut hits = Vec::new();
-    let mut spec_ids: Vec<SpecId> = per_spec.keys().copied().collect();
-    spec_ids.sort();
-    for sid in spec_ids {
-        let cands = &per_spec[&sid];
-        if cands.iter().any(|c| c.is_empty()) {
-            continue; // AND semantics: every term must match
+        let cands: &[u32] = specs;
+        let nterms = query.terms.len();
+        let slots = cands.len() * nterms;
+        for m in mods.iter_mut() {
+            m.clear();
         }
-        let entry = repo.entry(sid).expect("posting references live spec");
-        let named: Vec<(String, Vec<ModuleId>)> =
-            query.terms.iter().cloned().zip(cands.iter().cloned()).collect();
-        if let Some((prefix, matched)) = minimal_cover(entry, &named) {
-            let view =
-                build_view(repo, views, sid, &prefix).expect("minimal cover prefix is valid");
-            hits.push(KeywordHit { spec: sid, prefix, view, matched });
+        if mods.len() < slots {
+            mods.resize_with(slots, Vec::new);
         }
-    }
-    hits
+        // A single term's candidates are exactly (or, for a phrase, a
+        // superset of) its own specs — nothing to restrict against.
+        let restrict = if nterms > 1 { Some(cands) } else { None };
+        for (ti, term) in query.terms.iter().enumerate() {
+            index.lookup_normalized_into(term, restrict, block, seed, postings);
+            if let Some(a) = access {
+                filter_postings(postings, a);
+            }
+            if postings.is_empty() {
+                // No admissible posting anywhere for this term: the AND
+                // semantics reject every candidate.
+                return Vec::new();
+            }
+            for p in postings.iter() {
+                let rank =
+                    cands.binary_search(&p.spec.0).expect("gathered posting spec is a candidate");
+                mods[rank * nterms + ti].push(p.module);
+            }
+        }
+        let mut hits = Vec::new();
+        for (rank, &spec) in cands.iter().enumerate() {
+            let row = &mut mods[rank * nterms..(rank + 1) * nterms];
+            if row.iter().any(|c| c.is_empty()) {
+                continue; // AND semantics: every term must match
+            }
+            let sid = SpecId(spec);
+            let entry = repo.entry(sid).expect("posting references live spec");
+            let named: Vec<(String, Vec<ModuleId>)> =
+                query.terms.iter().cloned().zip(row.iter_mut().map(std::mem::take)).collect();
+            if let Some((prefix, matched)) = minimal_cover(entry, &named) {
+                let view =
+                    build_view(repo, views, sid, &prefix).expect("minimal cover prefix is valid");
+                hits.push(KeywordHit { spec: sid, prefix, view, matched });
+            }
+        }
+        hits
+    })
 }
 
 /// Scan-backed search (no index): tokenizes every module of every spec per

@@ -26,6 +26,7 @@
 use ppwf_core::dp::LaplaceMechanism;
 use ppwf_model::hierarchy::Prefix;
 use ppwf_repo::keyword_index::{tokenize, KeywordIndex};
+use ppwf_repo::postings::with_scratch;
 use ppwf_repo::repository::{Repository, SpecId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -154,7 +155,16 @@ pub fn profiles_for_hits(
 /// statistics via [`KeywordIndex::idf_from_counts`], which is what keeps
 /// sharded ranked answers bit-identical to single-engine ones.
 pub fn idfs_for_terms(index: &KeywordIndex, terms: &[String]) -> Vec<f64> {
-    terms.iter().map(|t| index.idf_cached(t)).collect()
+    let mut out = Vec::with_capacity(terms.len());
+    idfs_for_terms_into(index, terms, &mut out);
+    out
+}
+
+/// Slice-shaped form of [`idfs_for_terms`]: clears and fills `out`, so
+/// callers on the cold path reuse one buffer across queries.
+pub fn idfs_for_terms_into(index: &KeywordIndex, terms: &[String], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(terms.iter().map(|t| index.idf_cached(t)));
 }
 
 /// Score one profile under a mode. IDF weights come from the index.
@@ -196,6 +206,80 @@ pub fn score_with_idfs(idfs: &[f64], profile: &TfProfile, mode: RankingMode) -> 
             tf_weight * idf
         })
         .sum()
+}
+
+/// Batch form of [`score_with_idfs`] over many profiles at once — the
+/// shape the engine's `ranked_search_as` and the cluster's gather stage
+/// evaluate on the cold path.
+///
+/// Scores are **bit-identical** to mapping [`score_with_idfs`] over the
+/// profiles: the flat staging pass computes each per-term tf with the
+/// same expressions, the weight pass applies the identical
+/// `1 + ln(tf)` transform, and each row's dot product accumulates
+/// `weight * idf` in term order starting from `0.0`, exactly as the
+/// per-profile iterator sum does. No reassociation, no FMA contraction
+/// (Rust never contracts `a * b + c` implicitly). The payoff is layout:
+/// one flat `f64` array staged in the thread-local
+/// [`QueryScratch`](ppwf_repo::postings::QueryScratch), one elementwise
+/// transform loop the compiler can vectorize, one branch-free dot loop
+/// per row — instead of a per-term `match` on the mode per profile.
+pub fn scores_for_profiles(idfs: &[f64], profiles: &[TfProfile], mode: RankingMode) -> Vec<f64> {
+    let mut out = Vec::with_capacity(profiles.len());
+    scores_for_profiles_into(idfs, profiles, mode, &mut out);
+    out
+}
+
+/// [`scores_for_profiles`] writing into a caller-owned buffer (cleared
+/// first). Borrows the thread-local query scratch internally — callers
+/// must not invoke it from inside their own
+/// [`with_scratch`](ppwf_repo::postings::with_scratch) closure, or the
+/// staging pass silently falls back to a fresh allocation.
+pub fn scores_for_profiles_into(
+    idfs: &[f64],
+    profiles: &[TfProfile],
+    mode: RankingMode,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    let nt = idfs.len();
+    if nt == 0 {
+        // `chunks_exact(0)` panics; a zero-term query scores everything 0.
+        out.resize(profiles.len(), 0.0);
+        return;
+    }
+    if matches!(mode, RankingMode::NoisyFull { .. }) {
+        // Each profile draws from its own freshly seeded RNG stream; the
+        // per-profile path already does exactly that, so delegate rather
+        // than replicate the noise sequencing.
+        out.extend(profiles.iter().map(|p| score_with_idfs(idfs, p, mode)));
+        return;
+    }
+    with_scratch(|scratch| {
+        let tf = &mut scratch.tf_flat;
+        tf.clear();
+        tf.reserve(profiles.len() * nt);
+        for p in profiles {
+            match mode {
+                RankingMode::ExactFull => tf.extend((0..nt).map(|ti| p.total(ti) as f64)),
+                RankingMode::VisibleOnly => tf.extend(p.visible[..nt].iter().map(|&v| v as f64)),
+                RankingMode::BucketizedFull { base } => {
+                    assert!(base > 1.0, "bucket base must exceed 1");
+                    tf.extend((0..nt).map(|ti| (1.0 + p.total(ti) as f64).log(base).floor()));
+                }
+                RankingMode::NoisyFull { .. } => unreachable!("delegated above"),
+            }
+        }
+        for w in tf.iter_mut() {
+            *w = if *w > 0.0 { 1.0 + w.ln() } else { 0.0 };
+        }
+        out.extend(tf.chunks_exact(nt).map(|row| {
+            let mut sum = 0.0;
+            for (w, idf) in row.iter().zip(idfs) {
+                sum += w * idf;
+            }
+            sum
+        }));
+    });
 }
 
 /// Sum shard-local `(doc_count, df)` pairs into corpus-global IDFs. Each
@@ -438,6 +522,35 @@ mod tests {
     fn rank_by_scores_stable() {
         let order = rank_by_scores(&[1.0, 3.0, 3.0, 0.5]);
         assert_eq!(order, vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn batch_scores_bit_identical_to_per_profile() {
+        let idfs = vec![1.3, 0.7, 2.25];
+        let profiles: Vec<TfProfile> = (0..17u64)
+            .map(|i| TfProfile {
+                visible: vec![i % 5, (i * 3) % 7, i],
+                hidden: vec![(i * 7) % 11, 0, i % 2],
+            })
+            .collect();
+        for mode in [
+            RankingMode::ExactFull,
+            RankingMode::VisibleOnly,
+            RankingMode::BucketizedFull { base: 2.0 },
+            RankingMode::NoisyFull { epsilon: 0.7, seed: 42 },
+        ] {
+            let batch = scores_for_profiles(&idfs, &profiles, mode);
+            assert_eq!(batch.len(), profiles.len());
+            for (p, s) in profiles.iter().zip(&batch) {
+                assert_eq!(
+                    s.to_bits(),
+                    score_with_idfs(&idfs, p, mode).to_bits(),
+                    "batch score diverged under {mode:?}"
+                );
+            }
+        }
+        // Zero-term query: defined as all-zero scores, no panic.
+        assert_eq!(scores_for_profiles(&[], &profiles, RankingMode::ExactFull), vec![0.0; 17]);
     }
 
     #[test]

@@ -17,25 +17,14 @@
 //! * multi-word phrases (`"disorder risks"`) match whole keyword tags or
 //!   consecutive name tokens.
 
+use crate::postings::{intersect_term_specs, with_scratch, PostingList, QueryScratch, TermLists};
 use crate::principals::SpecAccess;
 use crate::repository::{Repository, SpecEntry, SpecId};
 use parking_lot::RwLock;
-use ppwf_model::ids::{ModuleId, WorkflowId};
+use ppwf_model::ids::ModuleId;
 use std::collections::HashMap;
 
-/// One match location for a term.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Posting {
-    /// Owning specification.
-    pub spec: SpecId,
-    /// Matching module.
-    pub module: ModuleId,
-    /// Privacy classification: the workflow that must be visible for this
-    /// posting to be admissible.
-    pub workflow: WorkflowId,
-    /// Term frequency within the module's text (name tokens + tags).
-    pub tf: u32,
-}
+pub use crate::postings::Posting;
 
 /// Lowercase alphanumeric tokenization.
 pub fn tokenize(text: &str) -> Vec<String> {
@@ -82,9 +71,12 @@ impl SpecTextFingerprint {
 /// The index.
 #[derive(Debug, Default)]
 pub struct KeywordIndex {
-    terms: HashMap<String, Vec<Posting>>,
+    /// Block-compressed per-token postings (see [`crate::postings`]);
+    /// appends land in each list's uncompressed tail and seal lazily on
+    /// first lookup.
+    terms: HashMap<String, PostingList>,
     /// Whole keyword tags, normalized, for phrase matching.
-    phrases: HashMap<String, Vec<Posting>>,
+    phrases: HashMap<String, PostingList>,
     /// Name token sequences per module, for consecutive-token phrases.
     module_tokens: HashMap<(SpecId, ModuleId), Vec<String>>,
     /// Number of indexed modules (documents) — the IDF denominator.
@@ -140,7 +132,13 @@ fn index_entry(
         let name_tokens = tokenize(&module.name);
         let mut tf: HashMap<String, u32> = HashMap::new();
         for t in &name_tokens {
-            *tf.entry(t.clone()).or_insert(0) += 1;
+            // Clone the token only on first sight; repeats bump in place.
+            match tf.get_mut(t.as_str()) {
+                Some(count) => *count += 1,
+                None => {
+                    tf.insert(t.clone(), 1);
+                }
+            }
         }
         for tag in &module.keywords {
             let tag_tokens = tokenize(tag);
@@ -175,19 +173,23 @@ impl KeywordIndex {
     pub fn build(repo: &Repository) -> Self {
         let mut idx = KeywordIndex { built_at: repo.version(), ..KeywordIndex::default() };
         idx.full_builds = 1;
+        let mut terms: HashMap<String, Vec<Posting>> = HashMap::new();
+        let mut phrases: HashMap<String, Vec<Posting>> = HashMap::new();
         for (sid, entry) in repo.entries() {
             idx.doc_count +=
-                index_entry(sid, entry, &mut idx.terms, &mut idx.phrases, &mut idx.module_tokens);
+                index_entry(sid, entry, &mut terms, &mut phrases, &mut idx.module_tokens);
             idx.fingerprints.push(SpecTextFingerprint::of(entry));
         }
         idx.docs_indexed = idx.doc_count;
-        // Deterministic posting order, grouped by (spec, workflow).
-        for list in idx.terms.values_mut() {
-            list.sort_by_key(|p| (p.spec, p.workflow, p.module));
-        }
-        for list in idx.phrases.values_mut() {
-            list.sort_by_key(|p| (p.spec, p.workflow, p.module));
-        }
+        // Deterministic posting order, grouped by (spec, workflow). The
+        // lists stay unsealed until their first lookup (block compression
+        // is a read-path cost, never a build/refresh one).
+        let into_list = |(t, mut v): (String, Vec<Posting>)| {
+            v.sort_by_key(|p: &Posting| (p.spec, p.workflow, p.module));
+            (t, PostingList::from_postings(v))
+        };
+        idx.terms = terms.into_iter().map(into_list).collect();
+        idx.phrases = phrases.into_iter().map(into_list).collect();
         idx
     }
 
@@ -298,11 +300,11 @@ impl KeywordIndex {
         }
         for (term, mut postings) in new_terms {
             postings.sort_by_key(|p| (p.spec, p.workflow, p.module));
-            self.terms.entry(term).or_default().extend(postings);
+            self.terms.entry(term).or_default().append_sorted(postings);
         }
         for (phrase, mut postings) in new_phrases {
             postings.sort_by_key(|p| (p.spec, p.workflow, p.module));
-            self.phrases.entry(phrase).or_default().extend(postings);
+            self.phrases.entry(phrase).or_default().append_sorted(postings);
         }
         self.built_at = repo.version();
     }
@@ -356,37 +358,126 @@ impl KeywordIndex {
         self.terms.len()
     }
 
-    /// All postings of a single term (unfiltered).
-    pub fn lookup(&self, term: &str) -> &[Posting] {
-        self.terms.get(&term.to_lowercase()).map(|v| v.as_slice()).unwrap_or(&[])
+    /// All postings of a single term (unfiltered), decoded.
+    pub fn lookup(&self, term: &str) -> Vec<Posting> {
+        self.terms.get(&term.to_lowercase()).map(|l| l.to_vec()).unwrap_or_default()
+    }
+
+    /// The raw block-compressed list of an already-normalized single
+    /// token — the kernel surface (block skips, bitmap membership) that
+    /// intersection and the criterion benches probe directly.
+    pub fn term_postings(&self, token: &str) -> Option<&PostingList> {
+        self.terms.get(token)
+    }
+
+    /// The raw whole-tag list of a normalized phrase.
+    pub fn phrase_postings(&self, phrase: &str) -> Option<&PostingList> {
+        self.phrases.get(phrase)
     }
 
     /// Postings of a query term or phrase. Phrases match whole keyword tags
     /// or consecutive module-name tokens.
     pub fn lookup_query_term(&self, term: &str) -> Vec<Posting> {
-        let tokens = tokenize(term);
-        match tokens.len() {
-            0 => Vec::new(),
-            1 => self.lookup(&tokens[0]).to_vec(),
-            _ => {
-                let mut out: Vec<Posting> =
-                    self.phrases.get(&tokens.join(" ")).cloned().unwrap_or_default();
-                // Consecutive name tokens: seed with the first token's
-                // postings, then verify adjacency.
-                for p in self.lookup(&tokens[0]) {
-                    if out.iter().any(|q| q.spec == p.spec && q.module == p.module) {
-                        continue;
-                    }
-                    if let Some(seq) = self.module_tokens.get(&(p.spec, p.module)) {
-                        if seq.windows(tokens.len()).any(|w| w == tokens.as_slice()) {
-                            out.push(*p);
-                        }
-                    }
+        let normalized = tokenize(term).join(" ");
+        let mut out = Vec::new();
+        with_scratch(|s| {
+            let QueryScratch { seed, block, .. } = s;
+            self.lookup_normalized_into(&normalized, None, block, seed, &mut out);
+        });
+        out
+    }
+
+    /// Kernel form of [`Self::lookup_query_term`]: `term` must already be
+    /// normalized (lowercased, single-space-joined — the form
+    /// `KeywordQuery::parse` produces), `restrict` optionally limits
+    /// decoding to the given sorted candidate specs (blocks outside the
+    /// set are skipped, not decoded), and the caller supplies the block /
+    /// phrase-seed scratch instead of allocating per call. `out` is
+    /// cleared first and receives postings in `(spec, workflow, module)`
+    /// order.
+    pub fn lookup_normalized_into(
+        &self,
+        term: &str,
+        restrict: Option<&[u32]>,
+        block: &mut Vec<Posting>,
+        seed: &mut Vec<Posting>,
+        out: &mut Vec<Posting>,
+    ) {
+        out.clear();
+        let mut words = term.split(' ').filter(|w| !w.is_empty());
+        let Some(first) = words.next() else { return };
+        if words.next().is_none() {
+            if let Some(list) = self.terms.get(first) {
+                match restrict {
+                    Some(specs) => list.gather_specs_into(specs, block, out),
+                    None => list.decode_into(out),
                 }
-                out.sort_by_key(|p| (p.spec, p.workflow, p.module));
-                out
+            }
+            return;
+        }
+        // Phrase: whole-tag postings, then consecutive-name-token hits
+        // seeded from the first token's postings and verified for
+        // adjacency.
+        if let Some(list) = self.phrases.get(term) {
+            match restrict {
+                Some(specs) => list.gather_specs_into(specs, block, out),
+                None => list.decode_into(out),
             }
         }
+        seed.clear();
+        if let Some(list) = self.terms.get(first) {
+            match restrict {
+                Some(specs) => list.gather_specs_into(specs, block, seed),
+                None => list.decode_into(seed),
+            }
+        }
+        let tokens: Vec<&str> = term.split(' ').filter(|w| !w.is_empty()).collect();
+        for p in seed.iter() {
+            if out.iter().any(|q| q.spec == p.spec && q.module == p.module) {
+                continue;
+            }
+            if let Some(seq) = self.module_tokens.get(&(p.spec, p.module)) {
+                if seq
+                    .windows(tokens.len())
+                    .any(|w| w.iter().map(String::as_str).eq(tokens.iter().copied()))
+                {
+                    out.push(*p);
+                }
+            }
+        }
+        out.sort_by_key(|p| (p.spec, p.workflow, p.module));
+    }
+
+    /// Sorted candidate specs for an AND query over normalized `terms`:
+    /// the galloping/bitwise intersection of every term's spec superset
+    /// (see [`TermLists`]). Returns `false` when some term has no posting
+    /// list at all — the query provably has no hits; `true` with an empty
+    /// `out` means the intersection itself came up empty. Touches no
+    /// access state: candidate discovery is privilege-oblivious, exactly
+    /// like the per-term candidate postings it summarizes.
+    pub fn candidate_specs_into(
+        &self,
+        terms: &[String],
+        tmp: &mut Vec<u32>,
+        out: &mut Vec<u32>,
+    ) -> bool {
+        out.clear();
+        let mut groups = Vec::with_capacity(terms.len());
+        for term in terms {
+            let mut words = term.split(' ').filter(|w| !w.is_empty());
+            let Some(first) = words.next() else { return false };
+            let group = if words.next().is_none() {
+                TermLists { primary: self.terms.get(first), seed: None }
+            } else {
+                TermLists { primary: self.phrases.get(term.as_str()), seed: self.terms.get(first) }
+            };
+            if group.primary.is_none() && group.seed.is_none() {
+                return false;
+            }
+            groups.push(group);
+        }
+        intersect_term_specs(&groups, tmp, out);
+        true
     }
 
     /// Privilege-filtered postings: only those whose workflow lies inside
@@ -398,17 +489,9 @@ impl KeywordIndex {
     /// know are invisible. Postings are sorted by `(spec, workflow,
     /// module)`, so consecutive same-spec postings share one prefix fetch.
     pub fn lookup_filtered<A: SpecAccess + ?Sized>(&self, term: &str, access: &A) -> Vec<Posting> {
-        let mut current: Option<(SpecId, Option<crate::principals::AccessPrefix<'_>>)> = None;
-        self.lookup_query_term(term)
-            .into_iter()
-            .filter(|p| {
-                if current.as_ref().map(|(sid, _)| *sid) != Some(p.spec) {
-                    current = Some((p.spec, access.prefix_of(p.spec)));
-                }
-                let (_, prefix) = current.as_ref().expect("just filled");
-                prefix.as_ref().is_some_and(|pre| pre.contains(p.workflow))
-            })
-            .collect()
+        let mut out = self.lookup_query_term(term);
+        filter_postings(&mut out, access);
+        out
     }
 
     /// Document frequency of a query term or phrase (number of matching
@@ -483,6 +566,24 @@ impl KeywordIndex {
     pub fn idf(&self, term: &str) -> f64 {
         Self::idf_from_counts(self.doc_count, self.df(term))
     }
+}
+
+/// Drop inadmissible postings in place: only those whose workflow lies
+/// inside `access`'s view for their spec survive. Postings arrive sorted
+/// by `(spec, workflow, module)`, so consecutive same-spec postings share
+/// one prefix fetch — with a lazy
+/// [`AccessResolver`](crate::principals::AccessResolver) this resolves
+/// once per candidate spec run (block-at-a-time, never per posting), and
+/// only for specs actually present in the candidate postings.
+pub fn filter_postings<A: SpecAccess + ?Sized>(postings: &mut Vec<Posting>, access: &A) {
+    let mut current: Option<(SpecId, Option<crate::principals::AccessPrefix<'_>>)> = None;
+    postings.retain(|p| {
+        if current.as_ref().map(|(sid, _)| *sid) != Some(p.spec) {
+            current = Some((p.spec, access.prefix_of(p.spec)));
+        }
+        let (_, prefix) = current.as_ref().expect("just filled");
+        prefix.as_ref().is_some_and(|pre| pre.contains(p.workflow))
+    });
 }
 
 #[cfg(test)]

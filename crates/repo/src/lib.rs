@@ -21,6 +21,10 @@
 //!   is a per-posting O(1) check instead of a per-level index; kept
 //!   current incrementally by [`keyword_index::KeywordIndex::refresh`]
 //!   (append-only, fingerprint-verified),
+//! * [`postings`] — the block-compressed posting lists under that index
+//!   (uvarint delta blocks with skip entries, density-chosen dense
+//!   bitmaps, galloping/bitwise multi-term intersection) plus the
+//!   thread-local per-query scratch arena the cold path runs on,
 //! * [`reach_index`] — materialized reachability over full expansions,
 //!   with visibility-filtered lookups per access view,
 //! * [`cache`] — a user-group-keyed, version-invalidated result cache,
@@ -58,6 +62,7 @@ pub(crate) mod fnv;
 pub mod keyword_index;
 pub mod mutation;
 pub mod pool;
+pub mod postings;
 pub mod principals;
 pub mod reach_index;
 pub mod repository;

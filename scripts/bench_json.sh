@@ -2,13 +2,14 @@
 # Regenerate the machine-readable experiment baselines.
 #
 # Usage:
-#   scripts/bench_json.sh            # E10 + E11 + E12 + E13 + E14 + E15, defaults
+#   scripts/bench_json.sh            # E10 + E11 + E12 + E13 + E14 + E15 + E16, defaults
 #   scripts/bench_json.sh e10 [...]  # only E10; extra args passed through
 #   scripts/bench_json.sh e11 [...]  # only E11; extra args passed through
 #   scripts/bench_json.sh e12 [...]  # only E12; extra args passed through
 #   scripts/bench_json.sh e13 [...]  # only E13; extra args passed through
 #   scripts/bench_json.sh e14 [...]  # only E14; extra args passed through
 #   scripts/bench_json.sh e15 [...]  # only E15; extra args passed through
+#   scripts/bench_json.sh e16 [...]  # only E16; extra args passed through
 #
 # Every binary exits non-zero when its acceptance threshold fails (E10:
 # warm cache ≥5x uncached; E11: 4-shard cold serving above a ≥0.7x
@@ -20,8 +21,10 @@
 # blocking thread-per-request at concurrency 8 on a 2-thread pool, with
 # bit-identical answers; E15: trusted-epoch index refresh ≥5x the
 # verifying refresh at 1024 specs, durable engine reads within 1.2x of
-# a fresh build, every recovery asserted bit-identical), so this script
-# doubles as a perf smoke test in CI.
+# a fresh build, every recovery asserted bit-identical; E16: cold
+# selective multi-term search ≥3x the pre-E16 flat-Vec dataflow at 2048
+# specs, warm probe and per-write refresh no-regression, every answer
+# verified identical), so this script doubles as a perf smoke test in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,11 +50,14 @@ case "$which" in
   e15)
     cargo run --release -p ppwf-bench --bin e15_durability -- "$@"
     ;;
+  e16)
+    cargo run --release -p ppwf-bench --bin e16_cold_kernels -- "$@"
+    ;;
   all)
     # The binaries take disjoint flag sets, so 'all' accepts no
     # passthrough args — target one binary to customize a run.
     if [[ $# -gt 0 ]]; then
-      echo "extra args need an explicit target: bench_json.sh {e10|e11|e12|e13|e14|e15} $*" >&2
+      echo "extra args need an explicit target: bench_json.sh {e10|e11|e12|e13|e14|e15|e16} $*" >&2
       exit 2
     fi
     cargo run --release -p ppwf-bench --bin e10_query_cache
@@ -60,9 +66,10 @@ case "$which" in
     cargo run --release -p ppwf-bench --bin e13_incremental_writes
     cargo run --release -p ppwf-bench --bin e14_async_serving
     cargo run --release -p ppwf-bench --bin e15_durability
+    cargo run --release -p ppwf-bench --bin e16_cold_kernels
     ;;
   *)
-    echo "unknown target '$which' (expected e10, e11, e12, e13, e14, e15, or all)" >&2
+    echo "unknown target '$which' (expected e10, e11, e12, e13, e14, e15, e16, or all)" >&2
     exit 2
     ;;
 esac
