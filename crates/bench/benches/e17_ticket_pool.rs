@@ -1,0 +1,61 @@
+//! E17 — the warm-path ticket allocation kernel through criterion.
+//!
+//! A serving-front cache hit is a probe plus a completed ticket; the
+//! ticket used to cost a fresh `Arc<State>` per hit. This harness pins
+//! the kernel underneath: [`Ticket::ready`] (allocate every time)
+//! against [`TicketPool::ready`] (recycle a consumed slot), in the two
+//! shapes the front actually sees — strictly sequential consume-then-
+//! reissue (every `ready` recycles) and a window of live tickets (the
+//! pool must skip live slots before recycling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppwf_repo::ticket::{Ticket, TicketPool};
+
+/// The serving front's warm-hit payload shape: a small value behind an
+/// epoch, cheap to move, the allocation is the cost being measured.
+type Payload = (u64, u64);
+
+fn bench_ticket_ready(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ticket_ready");
+
+    // Sequential: each ticket is consumed before the next is issued —
+    // the pool's best case, every `ready` after the first recycles.
+    group.bench_function("fresh_alloc_sequential", |b| {
+        b.iter(|| {
+            let t: Ticket<Payload> = Ticket::ready((1, 2));
+            t.wait()
+        })
+    });
+    group.bench_function("pooled_sequential", |b| {
+        let pool: TicketPool<Payload> = TicketPool::new(64);
+        b.iter(|| {
+            let t = pool.ready((1, 2));
+            t.wait()
+        });
+        assert!(pool.reused() > 0, "sequential reissue must recycle");
+    });
+
+    // Windowed: `live` tickets outstanding at once, so the pool scans
+    // past live slots — the front under concurrent warm hits.
+    for live in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("fresh_alloc_window", live), &live, |b, &live| {
+            b.iter(|| {
+                let window: Vec<Ticket<Payload>> =
+                    (0..live).map(|i| Ticket::ready((i as u64, 0))).collect();
+                window.into_iter().map(|t| t.wait().0).sum::<u64>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pooled_window", live), &live, |b, &live| {
+            let pool = TicketPool::new(64);
+            b.iter(|| {
+                let window: Vec<Ticket<Payload>> =
+                    (0..live).map(|i| pool.ready((i as u64, 0))).collect();
+                window.into_iter().map(|t| t.wait().0).sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ticket_ready);
+criterion_main!(benches);

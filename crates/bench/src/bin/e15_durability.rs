@@ -157,7 +157,12 @@ fn append_pass(
     stream: &[Mutation],
     fsync_each: bool,
 ) -> (f64, u64) {
-    let policy = DurabilityPolicy { fsync_each, snapshot_every: 0, segment_bytes: 1 << 20 };
+    let policy = DurabilityPolicy {
+        fsync_each,
+        snapshot_every: 0,
+        segment_bytes: 1 << 20,
+        ..DurabilityPolicy::default()
+    };
     let opened = DurableLog::open(backend, policy).expect("open fresh log");
     let mut log = opened.log;
     let mut repo = opened.repository;
@@ -183,7 +188,12 @@ fn recovery_time_us(
     reps: usize,
 ) -> f64 {
     let storage = Arc::new(MemStorage::new());
-    let policy = DurabilityPolicy { fsync_each: false, snapshot_every, segment_bytes: 1 << 18 };
+    let policy = DurabilityPolicy {
+        fsync_each: false,
+        snapshot_every,
+        segment_bytes: 1 << 18,
+        ..DurabilityPolicy::default()
+    };
     let opened =
         DurableLog::open(Arc::clone(&storage) as Arc<dyn StorageBackend>, policy).expect("open");
     let mut log = opened.log;
@@ -355,8 +365,12 @@ fn main() {
     // independent engine pairs (order alternated to cancel
     // measurement-order bias) and compare per-side minima.
     const COLD_REPS: usize = 3;
-    let wal_policy =
-        DurabilityPolicy { fsync_each: true, snapshot_every: 64, segment_bytes: 1 << 18 };
+    let wal_policy = DurabilityPolicy {
+        fsync_each: true,
+        snapshot_every: 64,
+        segment_bytes: 1 << 18,
+        ..DurabilityPolicy::default()
+    };
     let mut durable_write_us = 0.0f64;
     let mut wal_appends = 0u64;
     let (mut fresh_cold_us, mut durable_cold_us) = (f64::INFINITY, f64::INFINITY);

@@ -59,7 +59,9 @@ use ppwf_repo::pool::WorkerPool;
 use ppwf_repo::principals::PrincipalRegistry;
 use ppwf_repo::repository::{Repository, SpecEntry, SpecId};
 use ppwf_repo::storage::StorageBackend;
-use ppwf_repo::wal::{DurabilityPolicy, DurabilityStats, DurableLog, RecoveryStats, WalResult};
+use ppwf_repo::wal::{
+    DurabilityPolicy, DurabilityStats, DurableLog, GroupCommit, RecoveryStats, WalResult,
+};
 use std::sync::Arc;
 
 pub use ppwf_repo::mutation::{Mutation, MutationEffect};
@@ -192,7 +194,11 @@ impl EngineCluster {
         let opened = DurableLog::open(backend, policy)?;
         let mut cluster =
             EngineCluster::with_config(opened.repository, registry, shards, strategy, pool);
-        cluster.durability = Some(opened.log);
+        let mut log = opened.log;
+        if log.policy().background_snapshots {
+            log.set_snapshot_pool(Arc::clone(&cluster.pool));
+        }
+        cluster.durability = Some(log);
         Ok((cluster, opened.recovery))
     }
 
@@ -210,8 +216,24 @@ impl EngineCluster {
             image.set_version(log.stats().last_seq);
             log.snapshot_now(&image)?;
         }
+        if log.policy().background_snapshots {
+            log.set_snapshot_pool(Arc::clone(&self.pool));
+        }
         self.durability = Some(log);
         Ok(())
+    }
+
+    /// The group-commit knobs of the attached log's policy, if any — the
+    /// serving front caches this at construction to size its batched
+    /// admission drains.
+    pub fn group_commit_policy(&self) -> Option<GroupCommit> {
+        self.durability.as_ref().and_then(|log| log.policy().group_commit)
+    }
+
+    /// Whether the attached log has a background snapshot job in flight
+    /// (test/bench quiescing; the write path never waits on this).
+    pub fn background_snapshot_in_flight(&self) -> bool {
+        self.durability.as_ref().is_some_and(|log| log.background_snapshot_in_flight())
     }
 
     /// Durability counters, when a log is attached.
@@ -569,7 +591,96 @@ impl EngineCluster {
         if let Some(log) = self.durability.as_mut() {
             log.append(&mutation)?;
         }
-        let effect = match mutation {
+        let effect = self.apply_routed(mutation)?;
+        self.snapshot_on_cadence();
+        Ok(effect)
+    }
+
+    /// Apply a run of mutations with group-committed durability: each
+    /// mutation validates individually against the current global state
+    /// (`check_global` stays per-record, so the log never holds an
+    /// unreplayable record), maximal valid runs append as **one** WAL
+    /// batch record — one fsync acknowledges the whole run — applies
+    /// follow in sequence order, and the returned outcomes (effect plus
+    /// the [`Self::front_epoch`] after that mutation) are bit-identical
+    /// to calling [`Self::mutate`] once per element, in order.
+    ///
+    /// Validating the whole run against the *pre-run* state is sound
+    /// because the mutation vocabulary is append-only and its checks are
+    /// monotone: an `InsertSpec` check is state-independent, and
+    /// `AddExecution` / `SetPolicy` need only entry existence and the
+    /// immutable spec structure, neither of which a predecessor can
+    /// revoke. A mutation that *fails* the pre-run check flushes the
+    /// pending run first and re-validates against the updated state —
+    /// exactly the state the sequential reference would have shown it.
+    ///
+    /// Without an attached log this degenerates to sequential
+    /// [`Self::mutate`] calls (there is no fsync to amortize).
+    pub fn mutate_batch(&mut self, mutations: Vec<Mutation>) -> Vec<(Result<MutationEffect>, u64)> {
+        if self.durability.is_none() {
+            return mutations
+                .into_iter()
+                .map(|mutation| {
+                    let result = self.mutate(mutation);
+                    (result, self.front_epoch())
+                })
+                .collect();
+        }
+        let mut out = Vec::with_capacity(mutations.len());
+        let mut run: Vec<Mutation> = Vec::new();
+        for mutation in mutations {
+            match self.check_global(&mutation) {
+                Ok(()) => run.push(mutation),
+                Err(e) => {
+                    if run.is_empty() {
+                        out.push((Err(e), self.front_epoch()));
+                    } else {
+                        self.flush_run(&mut run, &mut out);
+                        match self.check_global(&mutation) {
+                            Ok(()) => run.push(mutation),
+                            Err(e) => out.push((Err(e), self.front_epoch())),
+                        }
+                    }
+                }
+            }
+        }
+        self.flush_run(&mut run, &mut out);
+        self.snapshot_on_cadence();
+        out
+    }
+
+    /// Append `run` as one group-commit record, apply it in order, and
+    /// push each mutation's outcome. A failed append acknowledges
+    /// nothing: every member reports the durability error and no shard
+    /// changes — the same all-or-nothing contract as a single append.
+    fn flush_run(&mut self, run: &mut Vec<Mutation>, out: &mut Vec<(Result<MutationEffect>, u64)>) {
+        if run.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(run);
+        let log = self.durability.as_mut().expect("flush_run is the durable path");
+        if let Err(e) = log.append_batch(&batch) {
+            // Mirror the single-append error shape (`From<WalError>`).
+            let detail = e.to_string();
+            for _ in &batch {
+                out.push((
+                    Err(ModelError::invalid(format!("durability: {detail}"))),
+                    self.front_epoch(),
+                ));
+            }
+            return;
+        }
+        for mutation in batch {
+            let effect = self.apply_routed(mutation);
+            debug_assert!(effect.is_ok(), "a checked, appended mutation must apply");
+            out.push((effect, self.front_epoch()));
+        }
+    }
+
+    /// Route one validated (and, when durable, already-appended) mutation
+    /// to its owning shard.
+    fn apply_routed(&mut self, mutation: Mutation) -> Result<MutationEffect> {
+        match mutation {
             Mutation::InsertSpec { spec, policy } => self
                 .insert_spec_routed(spec, policy)
                 .map(|spec| MutationEffect::SpecInserted { spec }),
@@ -579,17 +690,27 @@ impl EngineCluster {
             Mutation::SetPolicy { spec, policy } => self
                 .set_policy_routed(spec, policy)
                 .map(|()| MutationEffect::PolicyChanged { spec }),
-        }?;
-        if self.durability.as_ref().is_some_and(|log| log.snapshot_due()) {
+        }
+    }
+
+    /// Cadence snapshots for the durable write paths: assemble the global
+    /// image, stamp it with the acknowledged sequence number (the
+    /// assembly loses the global mutation count — see
+    /// [`Repository::set_version`]), and hand it to the log — inline, or
+    /// as a background pool job when the policy opts in.
+    fn snapshot_on_cadence(&mut self) {
+        // The in-flight check keeps a busy background snapshot from
+        // charging the write path a wasted image assembly every cadence.
+        if self
+            .durability
+            .as_ref()
+            .is_some_and(|log| log.snapshot_due() && !log.background_snapshot_in_flight())
+        {
             let mut image = self.assemble_repository();
             let log = self.durability.as_mut().expect("presence checked above");
-            // Stamp the image with the acknowledged sequence number so the
-            // snapshot carries the global mutation count the assembly lost
-            // — see [`Repository::set_version`].
             image.set_version(log.stats().last_seq);
-            log.snapshot_if_due(&image);
+            log.snapshot_if_due_image(image);
         }
-        Ok(effect)
     }
 
     /// The validation the routed apply would run, without applying — the

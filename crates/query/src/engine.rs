@@ -273,6 +273,24 @@ impl QueryEngine {
         self.durability.as_ref().map(|log| log.stats())
     }
 
+    /// Route the attached log's cadence snapshots to `pool`; takes effect
+    /// when the log's policy opts in
+    /// ([`ppwf_repo::wal::DurabilityPolicy::background_snapshots`]), so
+    /// [`Self::mutate`]'s snapshot pause shrinks to one repository clone.
+    pub fn set_snapshot_pool(&mut self, pool: Arc<ppwf_repo::pool::WorkerPool>) {
+        if let Some(log) = &mut self.durability {
+            log.set_snapshot_pool(pool);
+        }
+    }
+
+    /// Block until no background snapshot is in flight (test/bench
+    /// teardown; the write path never waits).
+    pub fn wait_for_background_snapshots(&self) {
+        if let Some(log) = &self.durability {
+            log.wait_for_background_snapshot();
+        }
+    }
+
     /// The repository (read-only; mutations go through [`Self::mutate`]).
     pub fn repo(&self) -> &Repository {
         &self.repo

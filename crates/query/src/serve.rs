@@ -52,6 +52,21 @@
 //! mutation order — exactly what [`ppwf_repo::Repository::recover`]
 //! rebuilds. An `Err` answer (validation or log failure) acknowledges
 //! nothing and changes nothing.
+//!
+//! **Group commit.** When the log's policy carries a
+//! [`GroupCommit`](ppwf_repo::wal::GroupCommit) mode, the fence drains in
+//! *batches*: the pump pops the whole consecutive run of mutations at the
+//! head of the queue (never past a queued read — FIFO is preserved), the
+//! write job may hold the batch open up to `max_delay_us` and re-drain
+//! late arrivals, and [`EngineCluster::mutate_batch`] validates each
+//! record individually, appends valid runs as single WAL records (one
+//! fsync per run) and applies them in sequence order. Every ticket in the
+//! batch completes only after the fsync covering its record returned,
+//! with its own per-record epoch — durable-on-acknowledge, amortized, and
+//! bit-identical to dispatching the mutations one at a time. Warm inline
+//! completions also recycle their ticket allocations through a
+//! [`TicketPool`], so a front-cache hit allocates nothing on the hot
+//! path.
 
 use crate::cluster::{EngineCluster, RankedHits};
 use crate::engine::Plan;
@@ -62,7 +77,8 @@ use parking_lot::RwLock;
 use ppwf_model::Result;
 use ppwf_repo::mutation::{Mutation, MutationEffect};
 use ppwf_repo::pool::WorkerPool;
-use ppwf_repo::ticket::{Ticket, TicketCompleter};
+use ppwf_repo::ticket::{Ticket, TicketCompleter, TicketPool};
+use ppwf_repo::wal::GroupCommit;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -160,6 +176,14 @@ pub struct ServeStats {
     pub warm_inline: u64,
     /// Mutations applied.
     pub mutations: u64,
+    /// Fenced write dispatches (each runs one batch of ≥ 1 mutations);
+    /// `mutations / write_batches` is the realized amortization factor.
+    pub write_batches: u64,
+    /// Largest mutation batch one dispatch ran.
+    pub max_write_batch: u64,
+    /// Warm inline completions served from a recycled ticket allocation
+    /// (see [`TicketPool`]).
+    pub warm_ticket_reuses: u64,
     /// Pump passes that found a mutation at the head of the queue still
     /// fenced behind in-flight reads.
     pub fence_waits: u64,
@@ -177,6 +201,12 @@ pub struct ServeStats {
     /// submit→complete latency ≤ [`LATENCY_BOUNDS_US`]`[i]` µs (last
     /// bucket: everything slower).
     pub latency_counts: [u64; LATENCY_BOUNDS_US.len() + 1],
+    /// Durability counters of the underlying cluster (batch-size
+    /// histogram, fsyncs saved, snapshot pause timings …), when a log is
+    /// attached *and* the cluster read lock was free at the moment
+    /// [`ServeFront::stats`] probed it; always populated once the front
+    /// has quiesced.
+    pub durability: Option<ppwf_repo::wal::DurabilityStats>,
 }
 
 #[derive(Default)]
@@ -185,6 +215,13 @@ struct Counters {
     completed: AtomicU64,
     warm_inline: AtomicU64,
     mutations: AtomicU64,
+    /// Mutations submitted but not yet completed — the group-commit
+    /// sibling test: a batch is held open for `max_delay_us` only while
+    /// more writes than it already holds are in flight somewhere (queued
+    /// or about to queue), so a lone writer never pays the delay.
+    writes_in_flight: AtomicU64,
+    write_batches: AtomicU64,
+    max_write_batch: AtomicU64,
     fence_waits: AtomicU64,
     in_flight_high_water: AtomicU64,
     queue_high_water: AtomicU64,
@@ -222,11 +259,22 @@ struct Admission {
     writer_active: bool,
 }
 
+/// Slots the warm-ticket slab retains; sized past any realistic number of
+/// simultaneously live warm tickets so steady-state warm serving reuses.
+const WARM_TICKET_SLOTS: usize = 64;
+
 struct Shared {
     cluster: RwLock<EngineCluster>,
     pool: Arc<WorkerPool>,
     admission: Mutex<Admission>,
     counters: Counters,
+    /// The attached log's group-commit knobs, cached at construction (the
+    /// policy is immutable for a log's lifetime): `Some` lets the pump
+    /// and the write job drain consecutive mutations into one batch,
+    /// `None` keeps the one-at-a-time dispatch.
+    write_batch: Option<GroupCommit>,
+    /// Recycled allocations for warm inline completions.
+    warm_tickets: TicketPool<ServeResponse>,
 }
 
 /// The asynchronous serving front. See the module docs.
@@ -245,6 +293,7 @@ impl ServeFront {
     /// (normally the same pool the cluster's blocking scatter uses, so
     /// all work drains one queue).
     pub fn with_pool(cluster: EngineCluster, pool: Arc<WorkerPool>) -> Self {
+        let write_batch = cluster.group_commit_policy();
         ServeFront {
             shared: Arc::new(Shared {
                 cluster: RwLock::new(cluster),
@@ -255,6 +304,8 @@ impl ServeFront {
                     writer_active: false,
                 }),
                 counters: Counters::default(),
+                write_batch,
+                warm_tickets: TicketPool::new(WARM_TICKET_SLOTS),
             }),
         }
     }
@@ -266,6 +317,9 @@ impl ServeFront {
     pub fn submit(&self, req: ServeRequest) -> Ticket<ServeResponse> {
         let shared = &self.shared;
         shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        if req.is_write() {
+            shared.counters.writes_in_flight.fetch_add(1, Ordering::Relaxed);
+        }
         let submitted = Instant::now();
         if !req.is_write() {
             // Warm path: probe the cluster front without blocking. If a
@@ -278,7 +332,7 @@ impl ServeFront {
                     drop(cluster);
                     shared.counters.warm_inline.fetch_add(1, Ordering::Relaxed);
                     shared.counters.record_latency(submitted);
-                    return Ticket::ready(ServeResponse { epoch, answer });
+                    return shared.warm_tickets.ready(ServeResponse { epoch, answer });
                 }
             }
         }
@@ -308,11 +362,19 @@ impl ServeFront {
             completed: c.completed.load(Ordering::Relaxed),
             warm_inline: c.warm_inline.load(Ordering::Relaxed),
             mutations: c.mutations.load(Ordering::Relaxed),
+            write_batches: c.write_batches.load(Ordering::Relaxed),
+            max_write_batch: c.max_write_batch.load(Ordering::Relaxed),
+            warm_ticket_reuses: self.shared.warm_tickets.reused(),
             fence_waits: c.fence_waits.load(Ordering::Relaxed),
             in_flight_high_water: c.in_flight_high_water.load(Ordering::Relaxed),
             queue_depth,
             queue_high_water: c.queue_high_water.load(Ordering::Relaxed),
             latency_counts,
+            durability: self
+                .shared
+                .cluster
+                .try_read()
+                .and_then(|cluster| cluster.durability_stats()),
         }
     }
 
@@ -397,21 +459,33 @@ fn pump(shared: &Arc<Shared>) {
                     return;
                 }
                 admission.writer_active = true;
-                Counters::raise_high_water(&shared.counters.in_flight_high_water, 1);
-                admission.queue.pop_front().expect("head exists")
-            } else {
-                admission.readers_in_flight += 1;
-                let in_flight = admission.readers_in_flight as u64;
-                Counters::raise_high_water(&shared.counters.in_flight_high_water, in_flight);
-                admission.queue.pop_front().expect("head exists")
+                // Batched admission draining: the whole consecutive run
+                // of mutations at the head goes to one dispatch, capped
+                // by the policy's max_batch (1 without group commit).
+                // The drain never reaches past the first queued read, so
+                // FIFO order — and the fence semantics — are untouched.
+                let max_batch = shared.write_batch.map_or(1, |g| g.max_batch.max(1));
+                let mut batch = vec![admission.queue.pop_front().expect("head exists")];
+                while batch.len() < max_batch
+                    && admission.queue.front().is_some_and(|next| next.req.is_write())
+                {
+                    batch.push(admission.queue.pop_front().expect("peeked write"));
+                }
+                Counters::raise_high_water(
+                    &shared.counters.in_flight_high_water,
+                    batch.len() as u64,
+                );
+                drop(admission);
+                // Nothing admits past an active writer; its completion
+                // job clears the flag and re-pumps.
+                dispatch_write(shared, batch);
+                return;
             }
+            admission.readers_in_flight += 1;
+            let in_flight = admission.readers_in_flight as u64;
+            Counters::raise_high_water(&shared.counters.in_flight_high_water, in_flight);
+            admission.queue.pop_front().expect("head exists")
         };
-        if queued.req.is_write() {
-            // Nothing admits past an active writer; its completion job
-            // clears the flag and re-pumps.
-            dispatch_write(shared, queued);
-            return;
-        }
         // A read that completed without fanning out (warm, unknown group,
         // fully pruned) releases its fence slot here, in the loop — never
         // by recursing into pump — so a long run of inline-completable
@@ -422,39 +496,90 @@ fn pump(shared: &Arc<Shared>) {
     }
 }
 
-/// Run the mutation as one exclusive pool job: every admitted read has
-/// drained, so the write lock is uncontended (modulo inline warm probes,
-/// which never block — `try_read` yields to a waiting writer).
-fn dispatch_write(shared: &Arc<Shared>, queued: Queued) {
+/// Run a batch of fenced mutations as one exclusive pool job: every
+/// admitted read has drained, so the write lock is uncontended (modulo
+/// inline warm probes, which never block — `try_read` yields to a
+/// waiting writer). With group commit configured, the job may hold the
+/// batch open for `max_delay_us` and then top it up with mutations that
+/// queued behind the fence meanwhile (safe: `writer_active` keeps the
+/// pump off the queue, and the top-up stops at the first queued read, so
+/// FIFO order holds). [`EngineCluster::mutate_batch`] then appends valid
+/// runs as single WAL records — every ticket completes only after the
+/// fsync covering its record returned, with its own per-record epoch.
+fn dispatch_write(shared: &Arc<Shared>, batch: Vec<Queued>) {
     let pool = Arc::clone(&shared.pool);
     let shared = Arc::clone(shared);
-    let Queued { req, completer, submitted } = queued;
-    let ServeRequest::Mutate(mutation) = req else {
-        unreachable!("write dispatch requires Mutate")
-    };
     pool.exec(move || {
+        let mut batch = batch;
+        if let Some(group) = shared.write_batch {
+            if group.max_delay_us > 0
+                && batch.len() < group.max_batch
+                && shared.counters.writes_in_flight.load(Ordering::Relaxed) > batch.len() as u64
+            {
+                // The documented latency cost of group commit: the first
+                // record waits up to max_delay for peers to share its
+                // fsync — but only when such peers exist (more writes in
+                // flight than the batch holds); a lone writer's batch
+                // goes straight to the fsync.
+                std::thread::sleep(std::time::Duration::from_micros(group.max_delay_us));
+            }
+            let mut admission = shared.admission.lock().expect("admission");
+            while batch.len() < group.max_batch.max(1)
+                && admission.queue.front().is_some_and(|next| next.req.is_write())
+            {
+                batch.push(admission.queue.pop_front().expect("peeked write"));
+            }
+        }
+        let mut mutations = Vec::with_capacity(batch.len());
+        let mut handles = Vec::with_capacity(batch.len());
+        for queued in batch {
+            let Queued { req, completer, submitted } = queued;
+            let ServeRequest::Mutate(mutation) = req else {
+                unreachable!("write dispatch requires Mutate")
+            };
+            mutations.push(*mutation);
+            handles.push((completer, submitted));
+        }
+        let count = handles.len() as u64;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mut cluster = shared.cluster.write();
-            let result = cluster.mutate(*mutation);
-            let epoch = cluster.front_epoch();
+            let outcomes = cluster.mutate_batch(mutations);
             drop(cluster);
-            ServeResponse { epoch, answer: QueryAnswer::Mutated(result) }
+            outcomes
         }));
         match outcome {
-            Ok(response) => {
-                shared.counters.mutations.fetch_add(1, Ordering::Relaxed);
-                // Count before completing: once the ticket resolves, its
-                // owner may read stats, and quiesce() keys on
-                // completed == submitted.
-                shared.counters.record_latency(submitted);
-                completer.complete(response);
+            Ok(outcomes) => {
+                debug_assert_eq!(outcomes.len() as u64, count);
+                shared.counters.mutations.fetch_add(count, Ordering::Relaxed);
+                shared.counters.write_batches.fetch_add(1, Ordering::Relaxed);
+                Counters::raise_high_water(&shared.counters.max_write_batch, count);
+                for ((result, epoch), (completer, submitted)) in outcomes.into_iter().zip(handles) {
+                    // Count before completing: once a ticket resolves,
+                    // its owner may read stats, and quiesce() keys on
+                    // completed == submitted.
+                    shared.counters.writes_in_flight.fetch_sub(1, Ordering::Relaxed);
+                    shared.counters.record_latency(submitted);
+                    completer
+                        .complete(ServeResponse { epoch, answer: QueryAnswer::Mutated(result) });
+                }
             }
             Err(payload) => {
-                // A panicked request is still a completed request — the
-                // counter parity (and so quiesce()) must not wedge on it;
-                // its latency lands in a bucket like any other response.
-                shared.counters.record_latency(submitted);
-                completer.complete_with_panic(payload);
+                // A panicked batch still completes every ticket — the
+                // counter parity (and so quiesce()) must not wedge on it.
+                // The payload is not clonable: the first ticket re-throws
+                // the real payload, peers a marker naming the shared
+                // cause.
+                let mut payload = Some(payload);
+                for (completer, submitted) in handles {
+                    shared.counters.writes_in_flight.fetch_sub(1, Ordering::Relaxed);
+                    shared.counters.record_latency(submitted);
+                    match payload.take() {
+                        Some(p) => completer.complete_with_panic(p),
+                        None => completer.complete_with_panic(Box::new(
+                            "a mutation batched with this one panicked the write job",
+                        )),
+                    }
+                }
             }
         }
         shared.admission.lock().expect("admission").writer_active = false;
@@ -855,6 +980,117 @@ mod tests {
         assert_eq!(stats.queue_depth, 0);
         assert_eq!(stats.latency_counts.iter().sum::<u64>(), 10);
         front.quiesce();
+    }
+
+    /// A durable front over `MemStorage`; `group` batches queued writes.
+    fn durable_front(
+        threads: usize,
+        group: Option<ppwf_repo::wal::GroupCommit>,
+    ) -> (ServeFront, Arc<WorkerPool>) {
+        use ppwf_repo::storage::{MemStorage, StorageBackend};
+        use ppwf_repo::wal::DurabilityPolicy;
+        let pool = Arc::new(WorkerPool::new(threads));
+        let policy =
+            DurabilityPolicy { group_commit: group, snapshot_every: 0, ..Default::default() };
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemStorage::new());
+        let (cluster, _) = EngineCluster::open_durable(
+            backend,
+            policy,
+            registry(),
+            2,
+            crate::route::ShardStrategy::RoundRobin,
+            Arc::clone(&pool),
+        )
+        .expect("open durable cluster on fresh storage");
+        (ServeFront::with_pool(cluster, Arc::clone(&pool)), pool)
+    }
+
+    /// Queued writes behind the fence drain as ONE WAL batch under one
+    /// fsync, apply in submission order, and hand out per-record epochs
+    /// bit-identical to a sequential unbatched reference.
+    #[test]
+    fn queued_writes_batch_into_one_fsync() {
+        use ppwf_repo::wal::GroupCommit;
+        let (front, pool) = durable_front(2, Some(GroupCommit { max_batch: 8, max_delay_us: 0 }));
+        // Plug both workers so the write job cannot run until every
+        // mutation is queued: the batch drain must then cover all five.
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let barrier = Arc::new(std::sync::Mutex::new(release_rx));
+        for _ in 0..2 {
+            let barrier = Arc::clone(&barrier);
+            pool.exec(move || {
+                let _ = barrier.lock().unwrap().recv();
+            });
+        }
+        let tickets: Vec<_> = (0..5)
+            .map(|_| {
+                let (spec, _) = fixtures::disease_susceptibility();
+                front.submit(ServeRequest::mutate(Mutation::InsertSpec {
+                    spec,
+                    policy: Policy::public(),
+                }))
+            })
+            .collect();
+        release_tx.send(()).unwrap();
+        release_tx.send(()).unwrap();
+        let epochs: Vec<u64> = tickets
+            .into_iter()
+            .map(|t| {
+                let response = t.wait();
+                assert!(matches!(response.answer, QueryAnswer::Mutated(Ok(_))));
+                response.epoch
+            })
+            .collect();
+        front.quiesce();
+        let stats = front.stats();
+        assert_eq!(stats.mutations, 5);
+        assert_eq!(stats.write_batches, 1, "all queued writes must drain as one batch");
+        assert_eq!(stats.max_write_batch, 5);
+        let wal = stats.durability.expect("durable front reports wal stats");
+        assert_eq!(wal.appends, 5, "appends keep counting durable mutations");
+        assert_eq!(wal.records, 1, "one physical record covers the batch");
+        assert_eq!(wal.syncs, 1, "one fsync acknowledges the whole batch");
+        assert_eq!(wal.fsyncs_saved, 4);
+
+        // Sequential unbatched reference: same stream, same epochs, same
+        // final image.
+        let (reference, _ref_pool) = durable_front(2, None);
+        let reference_epochs: Vec<u64> = (0..5)
+            .map(|_| {
+                let (spec, _) = fixtures::disease_susceptibility();
+                let response = reference
+                    .submit(ServeRequest::mutate(Mutation::InsertSpec {
+                        spec,
+                        policy: Policy::public(),
+                    }))
+                    .wait();
+                assert!(matches!(response.answer, QueryAnswer::Mutated(Ok(_))));
+                response.epoch
+            })
+            .collect();
+        assert_eq!(epochs, reference_epochs, "batched epochs must match sequential");
+        let batched = front.with_cluster(|c| c.assemble_repository().save());
+        let sequential = reference.with_cluster(|c| c.assemble_repository().save());
+        assert_eq!(batched, sequential, "batched apply must be bit-identical");
+    }
+
+    /// The second warm hit recycles the first's consumed ticket slot.
+    #[test]
+    fn warm_hits_reuse_pooled_tickets() {
+        let front = front(4, 2, 2);
+        front.submit(keyword("researchers", "risk")).wait();
+        let first_warm = front.submit(keyword("researchers", "risk"));
+        assert!(first_warm.is_complete());
+        first_warm.wait();
+        let second_warm = front.submit(keyword("researchers", "risk"));
+        second_warm.wait();
+        let stats = front.stats();
+        assert_eq!(stats.warm_inline, 2);
+        assert!(
+            stats.warm_ticket_reuses >= 1,
+            "a consumed warm ticket must be recycled, got {} reuses",
+            stats.warm_ticket_reuses
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ use ppwf_repo::pool::WorkerPool;
 use ppwf_repo::principals::{PrincipalRegistry, ViewRule};
 use ppwf_repo::repository::{Repository, SpecId};
 use ppwf_repo::storage::{FaultPlan, MemStorage, StorageBackend};
-use ppwf_repo::wal::DurabilityPolicy;
+use ppwf_repo::wal::{DurabilityPolicy, GroupCommit};
 use ppwf_workloads::genspec::{generate_spec, SpecParams};
 
 const QUERIES: [&str; 4] = ["kw0", "kw0, kw1", "kw2", "kw1, kw3"];
@@ -48,7 +48,12 @@ fn registry() -> PrincipalRegistry {
 /// Tight cadences so the crash lands among snapshots and rotations, not
 /// just raw appends.
 fn durability_policy() -> DurabilityPolicy {
-    DurabilityPolicy { fsync_each: true, snapshot_every: 4, segment_bytes: 4096 }
+    DurabilityPolicy {
+        fsync_each: true,
+        snapshot_every: 4,
+        segment_bytes: 4096,
+        ..DurabilityPolicy::default()
+    }
 }
 
 /// A deterministic mutation stream over an evolving global corpus:
@@ -93,19 +98,38 @@ fn replay_prefix(stream: &[Mutation], n: usize) -> Repository {
     repo
 }
 
-fn durable_cluster(
+/// Group-commit variant: queued mutations behind the fence drain as one
+/// WAL batch under one fsync. Background snapshots stay OFF here — the
+/// crash tests arm a byte budget that snapshot writes would consume
+/// nondeterministically from another thread.
+fn grouped_policy() -> DurabilityPolicy {
+    DurabilityPolicy {
+        group_commit: Some(GroupCommit { max_batch: 4, max_delay_us: 0 }),
+        ..durability_policy()
+    }
+}
+
+fn durable_cluster_with(
     storage: &Arc<MemStorage>,
     pool: &Arc<WorkerPool>,
+    policy: DurabilityPolicy,
 ) -> (EngineCluster, ppwf_repo::wal::RecoveryStats) {
     EngineCluster::open_durable(
         Arc::clone(storage) as Arc<dyn StorageBackend>,
-        durability_policy(),
+        policy,
         registry(),
         SHARDS,
         ShardStrategy::RoundRobin,
         Arc::clone(pool),
     )
     .expect("open durable cluster")
+}
+
+fn durable_cluster(
+    storage: &Arc<MemStorage>,
+    pool: &Arc<WorkerPool>,
+) -> (EngineCluster, ppwf_repo::wal::RecoveryStats) {
+    durable_cluster_with(storage, pool, durability_policy())
 }
 
 fn hits_identical(a: &[KeywordHit], b: &[KeywordHit]) -> bool {
@@ -228,6 +252,137 @@ fn acked_mutations_survive_a_mid_stream_crash() {
             );
         }
     }
+}
+
+/// Maximally-batched durable byte cost of the full stream on a fault-free
+/// backend: the floor for any batching the front actually realizes, so a
+/// budget of half of it always lands mid-stream.
+fn grouped_durable_bytes_of(stream: &[Mutation]) -> u64 {
+    let trace = Arc::new(MemStorage::new());
+    let pool = Arc::new(WorkerPool::new(2));
+    let (mut cluster, _) = durable_cluster_with(&trace, &pool, grouped_policy());
+    for chunk in stream.chunks(4) {
+        for (result, _) in cluster.mutate_batch(chunk.to_vec()) {
+            result.expect("fault-free stream applies");
+        }
+    }
+    trace.bytes_appended()
+}
+
+/// The crash contract survives group commit: a batch whose covering
+/// fsync never returned acknowledges NOTHING (no partially-acked batch),
+/// acknowledgements still form a FIFO prefix of submission order, and
+/// recovery rebuilds exactly that prefix bit-identically.
+#[test]
+fn group_commit_crash_acks_a_whole_batch_prefix() {
+    let stream = mutation_stream(32, 0xD007);
+    let budget = grouped_durable_bytes_of(&stream) / 2;
+
+    let storage = Arc::new(MemStorage::with_faults(FaultPlan {
+        crash_after_bytes: Some(budget),
+        ..FaultPlan::default()
+    }));
+    let pool = Arc::new(WorkerPool::new(3));
+    let (cluster, recovery) = durable_cluster_with(&storage, &pool, grouped_policy());
+    assert_eq!(recovery.last_seq, 0, "fresh storage recovers empty");
+    let front = ServeFront::with_pool(cluster, Arc::clone(&pool));
+
+    // Mutations chased by reads, so batches of varying size pile up
+    // behind the fence while readers drain.
+    let mut mutation_tickets = Vec::new();
+    for (i, mutation) in stream.iter().enumerate() {
+        mutation_tickets.push(front.submit(ServeRequest::mutate(mutation.clone())));
+        let group = GROUPS[i % GROUPS.len()];
+        let query = QUERIES[i % QUERIES.len()];
+        front.submit(ServeRequest::Keyword { group: group.into(), query: query.into() });
+    }
+    front.quiesce();
+    assert!(storage.crashed(), "the crash budget must fire mid-stream");
+
+    let mut acked = 0usize;
+    let mut prefix_closed = false;
+    for (i, ticket) in mutation_tickets.into_iter().enumerate() {
+        let response = ticket.wait();
+        let QueryAnswer::Mutated(result) = &response.answer else {
+            panic!("mutation ticket resolved a non-mutation answer")
+        };
+        match result {
+            Ok(_) => {
+                assert!(
+                    !prefix_closed,
+                    "mutation {i} acknowledged after an earlier refusal — not a prefix \
+                     (a partially-acked batch?)"
+                );
+                acked += 1;
+            }
+            Err(_) => prefix_closed = true,
+        }
+    }
+    assert!(acked > 0, "half the batched byte cost must acknowledge something");
+    assert!(acked < stream.len(), "half the batched byte cost must refuse something");
+
+    let stats = front.stats();
+    let wal = stats.durability.expect("durable cluster reports stats");
+    assert_eq!(wal.appends, acked as u64, "acknowledged == durable mutations, exactly");
+    assert!(wal.records <= wal.appends, "batching can only shrink the record count");
+
+    // Reboot: bit-identical to the acknowledged prefix, whole batches only.
+    let reopened = Arc::new(storage.reopen());
+    let (recovered_repo, recovered_stats) =
+        Repository::recover(reopened.as_ref()).expect("recovery after crash");
+    assert_eq!(recovered_stats.last_seq, acked as u64, "recovered seq != acknowledged count");
+    assert_eq!(
+        recovered_repo.save(),
+        replay_prefix(&stream, acked).save(),
+        "recovered image diverges from the acknowledged prefix"
+    );
+}
+
+/// Fault-free group-commit serving with background snapshots ON: the
+/// cadence runs snapshots off-thread on the worker pool, the write path
+/// keeps acknowledging, and recovery over the pruned log is still
+/// bit-identical to the sequential reference.
+#[test]
+fn background_snapshots_prune_off_thread_and_recover() {
+    let stream = mutation_stream(24, 0xFEED);
+    let storage = Arc::new(MemStorage::new());
+    let pool = Arc::new(WorkerPool::new(3));
+    let policy = DurabilityPolicy { background_snapshots: true, ..grouped_policy() };
+    let (cluster, _) = durable_cluster_with(&storage, &pool, policy);
+    let front = ServeFront::with_pool(cluster, Arc::clone(&pool));
+
+    let tickets: Vec<_> =
+        stream.iter().map(|m| front.submit(ServeRequest::mutate(m.clone()))).collect();
+    for ticket in tickets {
+        assert!(matches!(ticket.wait().answer, QueryAnswer::Mutated(Ok(_))));
+    }
+    front.quiesce();
+    // Drain the in-flight snapshot (if any) before inspecting storage:
+    // the write path never waits on it, but recovery below must see a
+    // stable byte image.
+    while front.with_cluster(|c| c.background_snapshot_in_flight()) {
+        std::thread::yield_now();
+    }
+
+    let wal = front.durability_stats().expect("durable cluster reports stats");
+    assert_eq!(wal.appends, stream.len() as u64);
+    assert!(
+        wal.background_snapshots >= 1,
+        "the cadence must have run snapshots off-thread, got {:?}",
+        wal.background_snapshots
+    );
+    assert_eq!(wal.snapshots, wal.background_snapshots, "no inline snapshot may sneak in");
+
+    let (recovered, stats) = Repository::recover(storage.as_ref()).expect("recovery");
+    if stats.last_seq != stream.len() as u64 {
+        eprintln!("DEBUG wal stats: {wal:?}");
+        eprintln!("DEBUG recovery stats: {stats:?}");
+        for name in storage.list().unwrap() {
+            eprintln!("DEBUG file: {name}");
+        }
+    }
+    assert_eq!(stats.last_seq, stream.len() as u64);
+    assert_eq!(recovered.save(), replay_prefix(&stream, stream.len()).save());
 }
 
 #[test]

@@ -42,8 +42,10 @@ pub struct SpecEntry {
     pub executions: Vec<Execution>,
 }
 
-/// The repository.
-#[derive(Debug, Default)]
+/// The repository. `Clone` is what background snapshots freeze: the
+/// mutating thread clones the image and hands it to a pool job, trading
+/// the serialize-and-fsync pause for transient memory.
+#[derive(Clone, Debug, Default)]
 pub struct Repository {
     entries: Vec<SpecEntry>,
     version: u64,

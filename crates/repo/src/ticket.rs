@@ -28,6 +28,7 @@
 use crate::pool::WorkerPool;
 use std::any::Any;
 use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -137,6 +138,74 @@ impl<T> Ticket<T> {
     }
 }
 
+/// A bounded slab of completed-ticket allocations for hot inline paths.
+///
+/// [`Ticket::ready`] allocates a fresh `Arc<State>` per call — fine for
+/// cold queries, measurable on the serving front's warm path, where a
+/// front-cache hit is otherwise a single probe plus an `Arc` clone. A
+/// `TicketPool` recycles the allocation: [`TicketPool::ready`] hands back
+/// a slot whose previous ticket has been consumed or dropped, and
+/// allocates only when the pool is cold or every slot is still live.
+///
+/// Soundness of the reuse test: `Ticket` is not `Clone` and a pooled
+/// state is never handed to a completer, so the pool's own reference is
+/// the only one left exactly when `Arc::strong_count == 1` — and the slab
+/// lock is held across the check-and-clone, so two `ready` calls cannot
+/// claim the same slot.
+pub struct TicketPool<T> {
+    slots: Mutex<Vec<Arc<State<T>>>>,
+    capacity: usize,
+    reused: AtomicU64,
+    allocated: AtomicU64,
+}
+
+impl<T> TicketPool<T> {
+    /// A pool retaining up to `capacity` recycled allocations.
+    pub fn new(capacity: usize) -> Self {
+        TicketPool {
+            slots: Mutex::new(Vec::with_capacity(capacity.min(64))),
+            capacity,
+            reused: AtomicU64::new(0),
+            allocated: AtomicU64::new(0),
+        }
+    }
+
+    /// A ticket that is already complete — [`Ticket::ready`] semantics,
+    /// reusing a pooled allocation when one is free.
+    pub fn ready(&self, value: T) -> Ticket<T> {
+        let free = {
+            let slots = self.slots.lock().expect("ticket pool");
+            slots.iter().find(|state| Arc::strong_count(state) == 1).cloned()
+        };
+        if let Some(state) = free {
+            // Overwrite whatever the previous ticket left behind
+            // (`wait` leaves `Pending`, an unawaited drop leaves `Done`).
+            *state.slot.lock().expect("ticket state") = Slot::Done(value);
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            return Ticket { state, pool: None };
+        }
+        let state = Arc::new(State { slot: Mutex::new(Slot::Done(value)), done: Condvar::new() });
+        {
+            let mut slots = self.slots.lock().expect("ticket pool");
+            if slots.len() < self.capacity {
+                slots.push(Arc::clone(&state));
+            }
+        }
+        self.allocated.fetch_add(1, Ordering::Relaxed);
+        Ticket { state, pool: None }
+    }
+
+    /// Tickets served from a recycled allocation.
+    pub fn reused(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+
+    /// Tickets that had to allocate (pool cold, or every slot still live).
+    pub fn allocated(&self) -> u64 {
+        self.allocated.load(Ordering::Relaxed)
+    }
+}
+
 impl<T> TicketCompleter<T> {
     /// Complete the ticket with a value and wake every waiter. Completing
     /// consumes the handle; a second completion cannot exist.
@@ -190,6 +259,38 @@ mod tests {
         drop(completer);
         let caught = catch_unwind(AssertUnwindSafe(move || ticket.wait()));
         assert!(caught.is_err(), "abandoned ticket must not hang");
+    }
+
+    #[test]
+    fn ticket_pool_recycles_consumed_slots() {
+        let pool = TicketPool::new(4);
+        let a = pool.ready(1u32);
+        assert_eq!(pool.allocated(), 1);
+        // `a` is live: the slot cannot be reused under it.
+        let b = pool.ready(2u32);
+        assert_eq!(pool.allocated(), 2);
+        assert_eq!(pool.reused(), 0);
+        assert_eq!(a.wait(), 1);
+        assert_eq!(b.wait(), 2);
+        // Both consumed: the next two come from the slab.
+        let c = pool.ready(3u32);
+        let d = pool.ready(4u32);
+        assert_eq!(pool.reused(), 2);
+        assert_eq!(pool.allocated(), 2);
+        assert_eq!(c.wait(), 3);
+        assert_eq!(d.wait(), 4);
+    }
+
+    #[test]
+    fn ticket_pool_over_capacity_falls_back_to_fresh_allocations() {
+        let pool = TicketPool::new(1);
+        let live: Vec<Ticket<u32>> = (0..3).map(|i| pool.ready(i)).collect();
+        assert_eq!(pool.allocated(), 3, "live tickets force allocation");
+        for (i, t) in live.into_iter().enumerate() {
+            assert_eq!(t.wait(), i as u32);
+        }
+        let _again = pool.ready(9);
+        assert_eq!(pool.reused(), 1, "the single retained slot recycles");
     }
 
     #[test]

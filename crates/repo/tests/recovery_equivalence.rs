@@ -21,7 +21,7 @@ use ppwf_model::exec::{Executor, HashOracle};
 use ppwf_repo::keyword_index::KeywordIndex;
 use ppwf_repo::repository::{Repository, SpecId};
 use ppwf_repo::storage::{FaultPlan, MemStorage, StorageBackend};
-use ppwf_repo::wal::{DurabilityPolicy, DurableLog, WalError};
+use ppwf_repo::wal::{DurabilityPolicy, DurableLog, GroupCommit, WalError};
 use ppwf_repo::Mutation;
 use ppwf_workloads::gencrash::{crash_schedule, CrashScheduleParams};
 use ppwf_workloads::genspec::{generate_spec, SpecParams};
@@ -33,7 +33,12 @@ const TERMS: [&str; 6] = ["kw0", "kw1", "kw2", "kw3", "kw5", "kw7"];
 /// Tight cadences so a short stream still exercises snapshot pruning and
 /// segment rotation, and the crash matrix straddles both.
 fn tight_policy() -> DurabilityPolicy {
-    DurabilityPolicy { fsync_each: true, snapshot_every: 3, segment_bytes: 2048 }
+    DurabilityPolicy {
+        fsync_each: true,
+        snapshot_every: 3,
+        segment_bytes: 2048,
+        ..DurabilityPolicy::default()
+    }
 }
 
 /// Materialize a deterministic mutation stream from `(kind, seed)` pairs:
@@ -101,6 +106,55 @@ fn drive(
     (acked, deltas)
 }
 
+/// Group-commit variant of [`drive`]: split `stream` into runs whose
+/// lengths cycle through `run_lens`, append each run as ONE batch record
+/// via `append_batch`, and record the per-*batch* byte delta. Returns the
+/// acknowledged mutation count, the batch deltas, and the acknowledged
+/// batch sizes — `append_batch` acknowledges a run wholly or not at all,
+/// so `acked` is always the sum of `batch_sizes`. Snapshots stay out of
+/// the way (callers pass `snapshot_every: 0`), so the deltas are pure
+/// batch-record framing and the crash schedule probes the fsync window.
+fn drive_batched(
+    storage: &Arc<MemStorage>,
+    stream: &[Mutation],
+    policy: DurabilityPolicy,
+    run_lens: &[usize],
+) -> (usize, Vec<u64>, Vec<usize>) {
+    let backend: Arc<dyn StorageBackend> = Arc::clone(storage) as Arc<dyn StorageBackend>;
+    let opened = DurableLog::open(backend, policy).expect("open on fresh storage");
+    let mut log = opened.log;
+    let mut deltas = Vec::new();
+    let mut batch_sizes = Vec::new();
+    let mut acked = 0;
+    let mut start = 0;
+    let mut run = 0;
+    while start < stream.len() {
+        let len = run_lens[run % run_lens.len()].clamp(1, stream.len() - start);
+        run += 1;
+        let before = storage.bytes_appended();
+        if log.append_batch(&stream[start..start + len]).is_err() {
+            break;
+        }
+        acked += len;
+        deltas.push(storage.bytes_appended() - before);
+        batch_sizes.push(len);
+        start += len;
+    }
+    (acked, deltas, batch_sizes)
+}
+
+/// Tight group-commit policy for the batch crash matrix: batches are the
+/// durability unit, snapshots and rotation stay out of the byte trace.
+fn batch_policy() -> DurabilityPolicy {
+    DurabilityPolicy {
+        fsync_each: true,
+        group_commit: Some(GroupCommit { max_batch: 8, max_delay_us: 0 }),
+        snapshot_every: 0,
+        segment_bytes: u64::MAX,
+        ..DurabilityPolicy::default()
+    }
+}
+
 /// The sequential reference: apply the first `n` mutations to a fresh
 /// in-memory repository, no durability anywhere.
 fn replay_prefix(stream: &[Mutation], n: usize) -> Repository {
@@ -137,7 +191,10 @@ proptest! {
         prop_assert_eq!(trace_stats.last_seq, stream.len() as u64);
 
         let schedule =
-            crash_schedule(&deltas, &CrashScheduleParams { seed, interior_per_record: 2 });
+            crash_schedule(
+                &deltas,
+                &CrashScheduleParams { seed, interior_per_record: 2, ..Default::default() },
+            );
         for &offset in &schedule {
             let storage = Arc::new(MemStorage::with_faults(FaultPlan {
                 crash_after_bytes: Some(offset),
@@ -205,6 +262,7 @@ proptest! {
             fsync_each: true,
             snapshot_every: 0,
             segment_bytes: u64::MAX,
+            ..DurabilityPolicy::default()
         };
         let storage = Arc::new(MemStorage::new());
         let (acked, deltas) = drive(&storage, &stream, policy);
@@ -244,6 +302,124 @@ proptest! {
                 )))
             }
         }
+    }
+}
+
+proptest! {
+    // The batch matrix probes every byte of small batch records; a
+    // leaner case budget keeps the exhaustive schedules affordable in
+    // debug tier-1 runs (the nightly soak raises it via PROPTEST_CASES).
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Group-commit crash matrix: the stream is appended in multi-record
+    /// batches; batch records up to 256 bytes get **every** interior byte
+    /// probed and larger ones are densely sampled. A crash anywhere in a
+    /// batch's fsync window recovers exactly the previously-acked prefix
+    /// — whole batches only, never a partial one — and the recovered
+    /// image plus its rebuilt index are bit-identical to the sequential
+    /// reference replay of that prefix.
+    #[test]
+    fn group_commit_recovery_has_no_partial_batches(
+        seed in any::<u64>(),
+        writes in proptest::collection::vec((0u8..3, any::<u64>()), 4..8),
+        run_lens in proptest::collection::vec(1usize..5, 1..4),
+    ) {
+        let stream = mutation_stream(&writes);
+        let policy = batch_policy();
+
+        // Fault-free trace: per-batch byte deltas feed the crash schedule,
+        // and the trace itself must recover bit-identically.
+        let trace = Arc::new(MemStorage::new());
+        let (acked, deltas, batch_sizes) = drive_batched(&trace, &stream, policy, &run_lens);
+        prop_assert_eq!(acked, stream.len(), "fault-free run must ack everything");
+        let (trace_recovered, trace_stats) = Repository::recover(trace.as_ref()).unwrap();
+        prop_assert_eq!(trace_recovered.save(), replay_prefix(&stream, stream.len()).save());
+        prop_assert_eq!(trace_stats.last_seq, stream.len() as u64);
+
+        let schedule = crash_schedule(
+            &deltas,
+            &CrashScheduleParams { seed, interior_per_record: 4, exhaustive_max_len: 256 },
+        );
+        for &offset in &schedule {
+            let storage = Arc::new(MemStorage::with_faults(FaultPlan {
+                crash_after_bytes: Some(offset),
+                ..FaultPlan::default()
+            }));
+            let (acked, _, sizes) = drive_batched(&storage, &stream, policy, &run_lens);
+
+            // Whole batches only: the acked count is a batch-boundary
+            // prefix of the fault-free batching.
+            prop_assert_eq!(acked, sizes.iter().sum::<usize>());
+            prop_assert!(sizes.len() <= batch_sizes.len());
+            prop_assert_eq!(&batch_sizes[..sizes.len()], &sizes[..]);
+
+            let reopened = storage.reopen();
+            let (recovered, stats) = match Repository::recover(&reopened) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    return Err(TestCaseError::Fail(format!(
+                        "crash at byte {offset}: recovery failed: {e}"
+                    )))
+                }
+            };
+            prop_assert_eq!(
+                stats.last_seq, acked as u64,
+                "crash at byte {}: recovered seq != acknowledged count", offset
+            );
+            let reference = replay_prefix(&stream, acked);
+            prop_assert_eq!(
+                recovered.save(), reference.save(),
+                "crash at byte {}: recovered image diverges from reference", offset
+            );
+
+            // Index rebuild bit-equivalence, ranked f64 bits included.
+            let idx_recovered = KeywordIndex::build(&recovered);
+            let idx_reference = KeywordIndex::build(&reference);
+            for term in TERMS {
+                prop_assert_eq!(idx_recovered.df(term), idx_reference.df(term));
+                prop_assert_eq!(
+                    idx_recovered.idf_cached(term).to_bits(),
+                    idx_reference.idf_cached(term).to_bits(),
+                    "ranked idf bits diverged on {:?} at crash byte {}", term, offset
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic exhaustive tear of one 4-mutation batch: a crash at
+/// EVERY byte offset of the batch record (header, checksum, count,
+/// every payload byte, and both boundaries) recovers either nothing or
+/// the whole batch — no partially-acknowledged middle ground exists.
+#[test]
+fn a_torn_batch_record_never_acknowledges_partially() {
+    let stream = mutation_stream(&[(0, 21), (1, 22), (2, 23), (0, 24)]);
+    let policy = batch_policy();
+
+    let trace = Arc::new(MemStorage::new());
+    let (acked, deltas, _) = drive_batched(&trace, &stream, policy, &[4]);
+    assert_eq!(acked, 4, "fault-free run acks the whole batch");
+    assert_eq!(deltas.len(), 1, "one physical record covers the batch");
+    let total = deltas[0];
+
+    for offset in 0..=total {
+        let storage = Arc::new(MemStorage::with_faults(FaultPlan {
+            crash_after_bytes: Some(offset),
+            ..FaultPlan::default()
+        }));
+        let (acked, _, _) = drive_batched(&storage, &stream, policy, &[4]);
+        let expect = if offset >= total { 4 } else { 0 };
+        assert_eq!(acked, expect, "crash at byte {offset}: batch ack must be all-or-nothing");
+
+        let reopened = storage.reopen();
+        let (recovered, stats) = Repository::recover(&reopened)
+            .unwrap_or_else(|e| panic!("crash at byte {offset}: recovery failed: {e}"));
+        assert_eq!(stats.last_seq, acked as u64, "crash at byte {offset}");
+        assert_eq!(
+            recovered.save(),
+            replay_prefix(&stream, acked).save(),
+            "crash at byte {offset}: recovered image diverges"
+        );
     }
 }
 

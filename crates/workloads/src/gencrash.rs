@@ -29,11 +29,17 @@ pub struct CrashScheduleParams {
     /// Interior offsets sampled per record, in addition to its boundary.
     /// 0 produces a boundaries-only schedule.
     pub interior_per_record: usize,
+    /// Records no longer than this get **every** interior byte probed
+    /// instead of sampling — exhaustive tearing, what group-commit batch
+    /// records warrant: a crash at any byte of the batch's fsync window
+    /// must recover exactly the previously-acked prefix. Longer records
+    /// fall back to the sampled schedule. 0 (the default) disables.
+    pub exhaustive_max_len: u64,
 }
 
 impl Default for CrashScheduleParams {
     fn default() -> Self {
-        CrashScheduleParams { seed: 1, interior_per_record: 2 }
+        CrashScheduleParams { seed: 1, interior_per_record: 2, exhaustive_max_len: 0 }
     }
 }
 
@@ -51,8 +57,14 @@ pub fn crash_schedule(record_lens: &[u64], params: &CrashScheduleParams) -> Vec<
     let mut offsets = vec![0u64];
     let mut cumulative = 0u64;
     for &len in record_lens {
-        for _ in 0..params.interior_per_record.min(len.saturating_sub(1) as usize) {
-            offsets.push(cumulative + rng.gen_range(1..len));
+        if len > 0 && len <= params.exhaustive_max_len {
+            for interior in 1..len {
+                offsets.push(cumulative + interior);
+            }
+        } else {
+            for _ in 0..params.interior_per_record.min(len.saturating_sub(1) as usize) {
+                offsets.push(cumulative + rng.gen_range(1..len));
+            }
         }
         // Always probe the first header byte of a record: the smallest
         // possible torn fragment, easy to mishandle as "empty tail".
@@ -87,7 +99,7 @@ mod tests {
     #[test]
     fn interior_offsets_land_strictly_inside_records() {
         let lens = [100u64, 50];
-        let params = CrashScheduleParams { seed: 7, interior_per_record: 5 };
+        let params = CrashScheduleParams { seed: 7, interior_per_record: 5, ..Default::default() };
         let schedule = crash_schedule(&lens, &params);
         let boundaries = [0u64, 100, 150];
         let interior: Vec<u64> =
@@ -104,17 +116,33 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let lens = [64u64; 16];
-        let params = CrashScheduleParams { seed: 42, interior_per_record: 3 };
+        let params = CrashScheduleParams { seed: 42, interior_per_record: 3, ..Default::default() };
         assert_eq!(crash_schedule(&lens, &params), crash_schedule(&lens, &params));
-        let other = CrashScheduleParams { seed: 43, interior_per_record: 3 };
+        let other = CrashScheduleParams { seed: 43, interior_per_record: 3, ..Default::default() };
         assert_ne!(crash_schedule(&lens, &params), crash_schedule(&lens, &other));
     }
 
     #[test]
     fn boundaries_only_when_no_interior_requested() {
         let lens = [5u64, 5];
-        let params = CrashScheduleParams { seed: 1, interior_per_record: 0 };
+        let params = CrashScheduleParams { seed: 1, interior_per_record: 0, ..Default::default() };
         let schedule = crash_schedule(&lens, &params);
         assert_eq!(schedule, vec![0, 1, 5, 6, 10]);
+    }
+
+    #[test]
+    fn exhaustive_mode_probes_every_interior_byte_of_small_records() {
+        let lens = [6u64, 100];
+        let params = CrashScheduleParams { seed: 1, interior_per_record: 1, exhaustive_max_len: 8 };
+        let schedule = crash_schedule(&lens, &params);
+        // Record one (len 6 ≤ 8): offsets 0..=6 all present.
+        for o in 0..=6u64 {
+            assert!(schedule.contains(&o), "exhaustive record missing offset {o}");
+        }
+        // Record two (len 100 > 8): sampled, so strictly fewer than its
+        // 99 interior offsets appear.
+        let second_interior = schedule.iter().filter(|&&o| o > 6 && o < 106).count();
+        assert!(second_interior < 99, "long record must stay sampled");
+        assert!(schedule.contains(&106), "boundary always present");
     }
 }

@@ -2,7 +2,7 @@
 # Regenerate the machine-readable experiment baselines.
 #
 # Usage:
-#   scripts/bench_json.sh            # E10 + E11 + E12 + E13 + E14 + E15 + E16, defaults
+#   scripts/bench_json.sh            # E10 + E11 + E12 + E13 + E14 + E15 + E16 + E17, defaults
 #   scripts/bench_json.sh e10 [...]  # only E10; extra args passed through
 #   scripts/bench_json.sh e11 [...]  # only E11; extra args passed through
 #   scripts/bench_json.sh e12 [...]  # only E12; extra args passed through
@@ -10,6 +10,7 @@
 #   scripts/bench_json.sh e14 [...]  # only E14; extra args passed through
 #   scripts/bench_json.sh e15 [...]  # only E15; extra args passed through
 #   scripts/bench_json.sh e16 [...]  # only E16; extra args passed through
+#   scripts/bench_json.sh e17 [...]  # only E17; extra args passed through
 #
 # Every binary exits non-zero when its acceptance threshold fails (E10:
 # warm cache ≥5x uncached; E11: 4-shard cold serving above a ≥0.7x
@@ -24,7 +25,12 @@
 # a fresh build, every recovery asserted bit-identical; E16: cold
 # selective multi-term search ≥3x the pre-E16 flat-Vec dataflow at 2048
 # specs, warm probe and per-write refresh no-regression, every answer
-# verified identical), so this script doubles as a perf smoke test in CI.
+# verified identical; E17: group-commit WAL ≥4x per-record fsync on the
+# fsync-dominated policy-churn stream at 32 in flight (plus a ≥4x
+# fsync-count cut on the heavyweight mixed stream), single-writer and
+# read paths within 1.2x, background snapshots pause the mutating
+# thread no longer than inline, every final state bit-identical to a
+# sequential replay), so this script doubles as a perf smoke test in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,11 +59,14 @@ case "$which" in
   e16)
     cargo run --release -p ppwf-bench --bin e16_cold_kernels -- "$@"
     ;;
+  e17)
+    cargo run --release -p ppwf-bench --bin e17_group_commit -- "$@"
+    ;;
   all)
     # The binaries take disjoint flag sets, so 'all' accepts no
     # passthrough args — target one binary to customize a run.
     if [[ $# -gt 0 ]]; then
-      echo "extra args need an explicit target: bench_json.sh {e10|e11|e12|e13|e14|e15|e16} $*" >&2
+      echo "extra args need an explicit target: bench_json.sh {e10|e11|e12|e13|e14|e15|e16|e17} $*" >&2
       exit 2
     fi
     cargo run --release -p ppwf-bench --bin e10_query_cache
@@ -67,9 +76,10 @@ case "$which" in
     cargo run --release -p ppwf-bench --bin e14_async_serving
     cargo run --release -p ppwf-bench --bin e15_durability
     cargo run --release -p ppwf-bench --bin e16_cold_kernels
+    cargo run --release -p ppwf-bench --bin e17_group_commit
     ;;
   *)
-    echo "unknown target '$which' (expected e10, e11, e12, e13, e14, e15, e16, or all)" >&2
+    echo "unknown target '$which' (expected e10, e11, e12, e13, e14, e15, e16, e17, or all)" >&2
     exit 2
     ;;
 esac
