@@ -1,0 +1,656 @@
+//! E18 baseline emitter: pipelined WAL commit + copy-on-write chunked
+//! snapshots — overlapping the covering fsync with the next batch's
+//! apply, and snapshotting only what changed.
+//!
+//! ```bash
+//! cargo run --release -p ppwf-bench --bin e18_pipelined_commit -- \
+//!     [--out BENCH_e18_pipelined_commit.json] [--writes 384] [--seed 18] \
+//!     [--window 32] [--max-batch 2] [--deep-batch 16] \
+//!     [--min-pipelined-speedup 1.5] [--max-incremental-snapshot-ratio 0.5] \
+//!     [--min-chunk-reuse-ratio 0.5]
+//! ```
+//!
+//! Three measured sections:
+//!
+//! * **Pipelined vs grouped mixed stream.** The E17 mixed 1:2:1 stream
+//!   (inserts, execution appends, policy swaps) runs through a
+//!   [`ServeFront`] over real files ([`FsStorage`]) with `--window`
+//!   requests in flight, once under `DurabilityPolicy::grouped` (the E17
+//!   baseline) and once under `DurabilityPolicy::pipelined` — identical
+//!   batching knobs, the only delta is the commit pipeline. The **gated**
+//!   comparison runs at `--max-batch 2`, where per-batch fsync cost is on
+//!   the order of per-batch apply cost — the regime pipelining targets
+//!   (its theoretical ceiling is `(apply+fsync)/max(apply,fsync)`, maximal
+//!   when the two are equal). Gates: wall-clock speedup ≥
+//!   `--min-pipelined-speedup`, and structurally `overlapped_fsyncs > 0`
+//!   (an fsync actually ran while the front applied the next batch) with
+//!   `pipeline_depth_high_water ≥ 1`. The same pair at `--deep-batch`
+//!   (default 16, E17's shipped cap) is measured and reported
+//!   **unasserted**: there group commit has already amortized fsync to a
+//!   sliver of the batch, and the overlap win shrinks toward 1× — the
+//!   honest boundary, quantified. Every run must recover bit-identically
+//!   to a sequential replay before its time is believed.
+//! * **Crash matrix over in-flight frames.** A deterministic pipelined
+//!   append trace on fault-injected [`MemStorage`]: power fails at every
+//!   record boundary, at sampled interiors, and at **every byte of the
+//!   final in-flight frame** (`gencrash` `exhaustive_tail_records`). At
+//!   each offset, recovery must yield a batch-aligned prefix `n` with
+//!   `acked ≤ n ≤ appended`, bit-identical to the sequential replay of
+//!   those `n` mutations — every acknowledged write survives, nothing
+//!   torn is resurrected, no batch recovers partially. (The matrix is the
+//!   bench-side smoke of the exhaustive property suite in
+//!   `recovery_equivalence.rs`.)
+//! * **COW snapshot write volume.** A 128-spec corpus (8 content-addressed
+//!   chunks of 16) takes cadence snapshots while mutations stay confined
+//!   to chunk 0: the incremental chunked snapshot must write ≤
+//!   `--max-incremental-snapshot-ratio` of the whole-image byte volume
+//!   (gate, at 1/8 = 12.5% dirty chunks — inside the ≤25% acceptance
+//!   envelope), and reuse ≥ `--min-chunk-reuse-ratio` of its chunks by
+//!   reference (structural gate). Byte counts are exact, so this section
+//!   runs on [`MemStorage`].
+//!
+//! **Honest boundaries.** Pipelining buys at most the smaller of apply
+//! and fsync cost per batch: at deep batch caps (or on storage with
+//! near-free fsync) the win decays toward 1×, and the deep-batch numbers
+//! in the JSON show exactly that. Acknowledgement latency is unchanged —
+//! a ticket still waits for its covering fsync; only the *fence* lifts
+//! early, so reads admitted in the overlap window can observe
+//! applied-but-not-yet-acknowledged state (losable suffix data, never
+//! anything a client was told succeeded). COW chunking pays a chunk-index
+//! probe and a per-chunk manifest entry on every snapshot; with every
+//! chunk dirty it writes the whole image plus that overhead, and only
+//! wins when mutations have locality. The binary exits non-zero when any
+//! acceptance gate fails.
+
+use ppwf_bench::standard_registry;
+use ppwf_query::cluster::EngineCluster;
+use ppwf_query::route::ShardStrategy;
+use ppwf_query::serve::{QueryAnswer, ServeFront, ServeRequest, ServeStats};
+use ppwf_repo::mutation::Mutation;
+use ppwf_repo::pool::WorkerPool;
+use ppwf_repo::repository::Repository;
+use ppwf_repo::storage::{FaultPlan, FsStorage, MemStorage, StorageBackend};
+use ppwf_repo::wal::{DurabilityPolicy, DurabilityStats, DurableLog};
+use ppwf_workloads::gencrash::{crash_schedule, CrashScheduleParams};
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Config {
+    out: String,
+    writes: usize,
+    seed: u64,
+    window: usize,
+    max_batch: usize,
+    deep_batch: usize,
+    min_pipelined_speedup: f64,
+    max_incremental_snapshot_ratio: f64,
+    min_chunk_reuse_ratio: f64,
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        out: "BENCH_e18_pipelined_commit.json".to_string(),
+        writes: 384,
+        seed: 18,
+        window: 32,
+        max_batch: 2,
+        deep_batch: 16,
+        min_pipelined_speedup: 1.5,
+        max_incremental_snapshot_ratio: 0.5,
+        min_chunk_reuse_ratio: 0.5,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need =
+            |n: usize| args.get(n).unwrap_or_else(|| panic!("{} needs a value", args[n - 1]));
+        match args[i].as_str() {
+            "--out" => config.out = need(i + 1).clone(),
+            "--writes" => config.writes = need(i + 1).parse().expect("bad write count"),
+            "--seed" => config.seed = need(i + 1).parse().expect("bad seed"),
+            "--window" => config.window = need(i + 1).parse().expect("bad window"),
+            "--max-batch" => config.max_batch = need(i + 1).parse().expect("bad max batch"),
+            "--deep-batch" => config.deep_batch = need(i + 1).parse().expect("bad deep batch"),
+            "--min-pipelined-speedup" => {
+                config.min_pipelined_speedup = need(i + 1).parse().expect("bad threshold")
+            }
+            "--max-incremental-snapshot-ratio" => {
+                config.max_incremental_snapshot_ratio = need(i + 1).parse().expect("bad ratio")
+            }
+            "--min-chunk-reuse-ratio" => {
+                config.min_chunk_reuse_ratio = need(i + 1).parse().expect("bad ratio")
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 2;
+    }
+    config
+}
+
+/// The E17 mixed 1:2:1 stream: spec inserts, execution appends (the
+/// dominant write), and policy swaps, each built against evolving state.
+fn standalone_stream(writes: usize, seed: u64) -> Vec<Mutation> {
+    use ppwf_core::policy::Policy;
+    use ppwf_model::exec::{Executor, HashOracle};
+    use ppwf_repo::repository::SpecId;
+    use ppwf_workloads::genspec::{generate_spec, SpecParams};
+    let mut repo = Repository::new();
+    let mut out = Vec::with_capacity(writes);
+    for i in 0..writes as u64 {
+        let kind = if repo.is_empty() || i % 4 == 0 {
+            0
+        } else if i % 4 == 3 {
+            2
+        } else {
+            1
+        };
+        let mutation = match kind {
+            0 => Mutation::InsertSpec {
+                spec: generate_spec(&SpecParams { seed: seed ^ (i << 8), ..SpecParams::default() }),
+                policy: Policy::public(),
+            },
+            1 => {
+                let target = SpecId(((seed ^ i) % repo.len() as u64) as u32);
+                let exec = Executor::new(&repo.entry(target).unwrap().spec)
+                    .run(&mut HashOracle)
+                    .expect("stored specs execute");
+                Mutation::AddExecution { spec: target, exec }
+            }
+            _ => Mutation::SetPolicy {
+                spec: SpecId(((seed ^ i) % repo.len() as u64) as u32),
+                policy: Policy::public(),
+            },
+        };
+        repo.apply(mutation.clone()).expect("generated mutation applies");
+        out.push(mutation);
+    }
+    out
+}
+
+fn replay_prefix(stream: &[Mutation], n: usize) -> Repository {
+    let mut repo = Repository::new();
+    for mutation in &stream[..n] {
+        repo.apply(mutation.clone()).expect("prefix replays");
+    }
+    repo
+}
+
+/// Open a durable cluster over a fresh [`FsStorage`] root and push the
+/// stream through a [`ServeFront`] with up to `window` requests in
+/// flight. Returns (elapsed µs, WAL stats, serve stats, final image).
+fn front_mutation_pass(
+    root: &Path,
+    stream: &[Mutation],
+    policy: DurabilityPolicy,
+    window: usize,
+) -> (f64, DurabilityStats, ServeStats, Vec<u8>) {
+    let pool = Arc::new(WorkerPool::new(4));
+    let backend: Arc<dyn StorageBackend> =
+        Arc::new(FsStorage::open(root).expect("bench storage root"));
+    let (cluster, _) = EngineCluster::open_durable(
+        Arc::clone(&backend),
+        policy,
+        standard_registry(),
+        2,
+        ShardStrategy::RoundRobin,
+        Arc::clone(&pool),
+    )
+    .expect("open durable cluster on fresh storage");
+    let front = ServeFront::with_pool(cluster, Arc::clone(&pool));
+
+    let t = Instant::now();
+    let mut inflight = VecDeque::with_capacity(window);
+    for mutation in stream {
+        inflight.push_back(front.submit(ServeRequest::mutate(mutation.clone())));
+        if inflight.len() >= window.max(1) {
+            let response = inflight.pop_front().expect("non-empty window").wait();
+            assert!(
+                matches!(response.answer, QueryAnswer::Mutated(Ok(_))),
+                "durable mutation refused on healthy storage"
+            );
+        }
+    }
+    for ticket in inflight {
+        let response = ticket.wait();
+        assert!(
+            matches!(response.answer, QueryAnswer::Mutated(Ok(_))),
+            "durable mutation refused on healthy storage"
+        );
+    }
+    let us = t.elapsed().as_secs_f64() * 1e6;
+    front.quiesce();
+    front.with_cluster(|c| c.wait_for_pipeline());
+    let stats = front.stats();
+    let wal = stats.durability.expect("durable front reports WAL stats");
+    // No time is believed over an unverified log: replaying the WAL this
+    // pass wrote must rebuild the sequential reference exactly.
+    let (recovered, recovery) =
+        Repository::recover(backend.as_ref()).expect("recovery over healthy log");
+    assert_eq!(recovery.last_seq, stream.len() as u64, "durable log missed mutations");
+    (us, wal, stats, recovered.save().to_vec())
+}
+
+/// One grouped-vs-pipelined pair at a given batch cap, alternated minima
+/// over `reps` passes. Returns (grouped µs, pipelined µs, pipelined WAL
+/// stats from the fastest pipelined pass).
+fn paired_pass(
+    fs_root: &Path,
+    stream: &[Mutation],
+    reference_save: &[u8],
+    window: usize,
+    max_batch: usize,
+    reps: usize,
+    tag: &str,
+) -> (f64, f64, DurabilityStats) {
+    let grouped = DurabilityPolicy {
+        snapshot_every: 0,
+        segment_bytes: 1 << 20,
+        ..DurabilityPolicy::grouped(max_batch, 0)
+    };
+    let pipelined = DurabilityPolicy {
+        snapshot_every: 0,
+        segment_bytes: 1 << 20,
+        ..DurabilityPolicy::pipelined(max_batch, 0)
+    };
+    let (mut grp_us, mut pipe_us) = (f64::INFINITY, f64::INFINITY);
+    let mut pipe_wal: Option<DurabilityStats> = None;
+    for rep in 0..reps {
+        let grp_root = fs_root.join(format!("{tag}-grp-{rep}"));
+        let pipe_root = fs_root.join(format!("{tag}-pipe-{rep}"));
+        let run_grp = || {
+            let (us, wal, _, save) = front_mutation_pass(&grp_root, stream, grouped, window);
+            assert_eq!(save, reference_save, "grouped front diverged from sequential replay");
+            assert_eq!(wal.appends, stream.len() as u64);
+            us
+        };
+        let run_pipe = || {
+            let (us, wal, _, save) = front_mutation_pass(&pipe_root, stream, pipelined, window);
+            assert_eq!(save, reference_save, "pipelined front diverged from sequential replay");
+            assert_eq!(wal.appends, stream.len() as u64);
+            (us, wal)
+        };
+        let (g, (p, wal)) = if rep % 2 == 0 {
+            let g = run_grp();
+            let p = run_pipe();
+            (g, p)
+        } else {
+            let p = run_pipe();
+            let g = run_grp();
+            (g, p)
+        };
+        grp_us = grp_us.min(g);
+        if p < pipe_us {
+            pipe_us = p;
+            pipe_wal = Some(wal);
+        }
+    }
+    (grp_us, pipe_us, pipe_wal.expect("at least one rep"))
+}
+
+/// Drive `stream` through a pipelined log over `storage` in batches whose
+/// lengths cycle through `run_lens`; a batch counts as *acknowledged*
+/// only when its durability callback fires `Ok`. Returns
+/// (acked, appended, per-batch byte deltas, batch sizes).
+fn drive_pipelined(
+    storage: &Arc<MemStorage>,
+    pool: &Arc<WorkerPool>,
+    stream: &[Mutation],
+    run_lens: &[usize],
+) -> (usize, usize, Vec<u64>, Vec<usize>) {
+    let backend: Arc<dyn StorageBackend> = Arc::clone(storage) as Arc<dyn StorageBackend>;
+    let policy = DurabilityPolicy {
+        snapshot_every: 0,
+        segment_bytes: u64::MAX,
+        ..DurabilityPolicy::pipelined(8, 0)
+    };
+    let opened = DurableLog::open(backend, policy).expect("open on fresh storage");
+    let mut log = opened.log;
+    log.set_sync_pool(Arc::clone(pool));
+    let acked = Arc::new(AtomicUsize::new(0));
+    let mut appended = 0usize;
+    let mut deltas = Vec::new();
+    let mut batch_sizes = Vec::new();
+    let mut start = 0;
+    let mut run = 0;
+    while start < stream.len() {
+        let len = run_lens[run % run_lens.len()].clamp(1, stream.len() - start);
+        run += 1;
+        let before = storage.bytes_appended();
+        let acked_cb = Arc::clone(&acked);
+        let outcome = log.append_batch_pipelined(
+            &stream[start..start + len],
+            Box::new(move |verdict| {
+                if verdict.is_ok() {
+                    acked_cb.fetch_add(len, Ordering::SeqCst);
+                }
+            }),
+        );
+        if outcome.is_err() {
+            break;
+        }
+        appended += len;
+        deltas.push(storage.bytes_appended() - before);
+        batch_sizes.push(len);
+        start += len;
+    }
+    log.wait_for_pipeline();
+    (acked.load(Ordering::SeqCst), appended, deltas, batch_sizes)
+}
+
+fn main() {
+    let config = parse_args();
+    println!("== E18: pipelined WAL commit + copy-on-write chunked snapshots ==");
+    println!(
+        "{} writes · window {} · balanced batch {} · deep batch {} · seed {}",
+        config.writes, config.window, config.max_batch, config.deep_batch, config.seed
+    );
+
+    let stream = standalone_stream(config.writes, config.seed ^ 0xE18);
+    let reference_save = replay_prefix(&stream, stream.len()).save().to_vec();
+    let writes = stream.len() as f64;
+    let fs_root = std::env::temp_dir().join(format!("ppwf-e18-{}", std::process::id()));
+
+    // -- section A: pipelined vs grouped, mixed stream, real fsyncs ----------
+    // Balanced regime (gated): per-batch fsync on the order of per-batch
+    // apply — the regime the pipeline targets. Deep-batch regime
+    // (reported, unasserted): group commit has already amortized the
+    // fsync, so the residual win quantifies the honest boundary.
+    const REPS: usize = 3;
+    let (grp_us, pipe_us, pipe_wal) = paired_pass(
+        &fs_root,
+        &stream,
+        &reference_save,
+        config.window,
+        config.max_batch,
+        REPS,
+        "bal",
+    );
+    let speedup = grp_us / pipe_us;
+    let (deep_grp_us, deep_pipe_us, deep_wal) = paired_pass(
+        &fs_root,
+        &stream,
+        &reference_save,
+        config.window,
+        config.deep_batch,
+        REPS,
+        "deep",
+    );
+    let deep_speedup = deep_grp_us / deep_pipe_us;
+    println!("\n-- pipelined vs grouped ({} in flight, real fsync) --", config.window);
+    println!(
+        "balanced (max batch {}): grouped {:.1} µs/write · pipelined {:.1} µs/write · speedup {speedup:.2}x (gate ≥{:.1}x)",
+        config.max_batch,
+        grp_us / writes,
+        pipe_us / writes,
+        config.min_pipelined_speedup
+    );
+    println!(
+        "  pipeline depth high-water {} · overlapped fsyncs {} · syncs {} (saved {})",
+        pipe_wal.pipeline_depth_high_water,
+        pipe_wal.overlapped_fsyncs,
+        pipe_wal.syncs,
+        pipe_wal.fsyncs_saved
+    );
+    println!(
+        "deep batch (max batch {}): grouped {:.1} µs/write · pipelined {:.1} µs/write · speedup {deep_speedup:.2}x (unasserted — Amdahl residual)",
+        config.deep_batch,
+        deep_grp_us / writes,
+        deep_pipe_us / writes
+    );
+
+    // -- section B: crash matrix over in-flight frames -----------------------
+    let crash_stream = standalone_stream(14, config.seed ^ 0xC4A5);
+    let run_lens = [3usize, 2, 4, 1];
+    let crash_pool = Arc::new(WorkerPool::new(1));
+    let trace = Arc::new(MemStorage::new());
+    let (acked, appended, deltas, batch_sizes) =
+        drive_pipelined(&trace, &crash_pool, &crash_stream, &run_lens);
+    assert_eq!(acked, crash_stream.len(), "fault-free pipeline must ack everything");
+    assert_eq!(appended, crash_stream.len());
+    let mut aligned = vec![0usize];
+    for &size in &batch_sizes {
+        aligned.push(aligned.last().unwrap() + size);
+    }
+    let references: Vec<_> =
+        aligned.iter().map(|&n| replay_prefix(&crash_stream, n).save()).collect();
+    let schedule = crash_schedule(
+        &deltas,
+        &CrashScheduleParams {
+            seed: config.seed,
+            interior_per_record: 3,
+            exhaustive_tail_records: 1,
+            ..Default::default()
+        },
+    );
+    for &offset in &schedule {
+        let storage = Arc::new(MemStorage::with_faults(FaultPlan {
+            crash_after_bytes: Some(offset),
+            ..FaultPlan::default()
+        }));
+        let (acked, appended, _, _) =
+            drive_pipelined(&storage, &crash_pool, &crash_stream, &run_lens);
+        let reopened = storage.reopen();
+        let (recovered, stats) = Repository::recover(&reopened)
+            .unwrap_or_else(|e| panic!("crash at byte {offset}: recovery failed: {e}"));
+        let n = stats.last_seq as usize;
+        let at = aligned
+            .iter()
+            .position(|&a| a == n)
+            .unwrap_or_else(|| panic!("crash at byte {offset}: {n} is not a batch boundary"));
+        assert!(
+            acked <= n && n <= appended,
+            "crash at byte {offset}: recovered {n} outside acked {acked} ..= appended {appended}"
+        );
+        assert_eq!(
+            recovered.save(),
+            references[at],
+            "crash at byte {offset}: recovered image diverges from its prefix"
+        );
+    }
+    println!(
+        "\n-- crash matrix: {} offsets (every byte of the final in-flight frame) — all recovered a batch-aligned acked prefix bit-identically --",
+        schedule.len()
+    );
+
+    // -- section C: COW snapshot write volume --------------------------------
+    // 128 inserts fill 8 chunks; 64 policy swaps confined to chunk 0 then
+    // dirty 1 of 8 chunks (12.5%). Cadence 64 → snapshots at 64, 128, 192:
+    // the third is the incremental one the gates hold against.
+    let cow_stream = {
+        use ppwf_core::policy::{AccessLevel, Policy};
+        use ppwf_repo::repository::SpecId;
+        use ppwf_workloads::genspec::{generate_spec, SpecParams};
+        let mut out = Vec::with_capacity(192);
+        for i in 0..128u64 {
+            out.push(Mutation::InsertSpec {
+                spec: generate_spec(&SpecParams {
+                    seed: config.seed ^ (i << 8) ^ 0xC0,
+                    ..SpecParams::default()
+                }),
+                policy: Policy::public(),
+            });
+        }
+        for i in 0..64u64 {
+            let mut p = Policy::public();
+            p.protect_channel(format!("cow-{}", i % 5), AccessLevel(2));
+            out.push(Mutation::SetPolicy { spec: SpecId((i % 16) as u32), policy: p });
+        }
+        out
+    };
+    let cow_storage = Arc::new(MemStorage::new());
+    let cow_policy = DurabilityPolicy {
+        fsync_each: true,
+        background_snapshots: true,
+        snapshot_every: 64,
+        segment_bytes: u64::MAX,
+        ..DurabilityPolicy::default()
+    };
+    let opened = DurableLog::open(Arc::clone(&cow_storage) as Arc<dyn StorageBackend>, cow_policy)
+        .expect("open COW log on fresh storage");
+    let mut log = opened.log;
+    let mut repo = opened.repository;
+    log.set_snapshot_pool(Arc::new(WorkerPool::new(1)));
+    let mut at_second_snapshot: Option<DurabilityStats> = None;
+    for (i, mutation) in cow_stream.iter().enumerate() {
+        repo.check(mutation).expect("generated stream applies");
+        log.append(mutation).expect("healthy storage");
+        repo.apply(mutation.clone()).expect("checked mutation applies");
+        log.snapshot_if_due(&repo);
+        log.wait_for_background_snapshot();
+        if i + 1 == 128 {
+            at_second_snapshot = Some(log.stats());
+        }
+    }
+    let cow_wal = log.stats();
+    let s2 = at_second_snapshot.expect("second snapshot recorded");
+    assert_eq!(cow_wal.snapshots, 3, "cadence 64 over 192 writes must snapshot 3 times");
+    let incremental_bytes = cow_wal.snapshot_bytes_written - s2.snapshot_bytes_written;
+    let written_delta = cow_wal.snapshot_chunks_written - s2.snapshot_chunks_written;
+    let reused_delta = cow_wal.snapshot_chunks_reused - s2.snapshot_chunks_reused;
+    let dirty_fraction = written_delta as f64 / (written_delta + reused_delta) as f64;
+    let reuse_ratio = reused_delta as f64 / (written_delta + reused_delta) as f64;
+    // The whole-image comparator: a v1 snapshot of the same final state.
+    let whole_storage = Arc::new(MemStorage::new());
+    let whole_opened = DurableLog::open(
+        Arc::clone(&whole_storage) as Arc<dyn StorageBackend>,
+        DurabilityPolicy { snapshot_every: 0, ..DurabilityPolicy::default() },
+    )
+    .expect("open comparator log");
+    let mut whole_log = whole_opened.log;
+    whole_log.snapshot_now(&repo).expect("whole-image snapshot");
+    let whole_bytes = whole_log.stats().snapshot_bytes_written;
+    let incremental_ratio = incremental_bytes as f64 / whole_bytes as f64;
+    // Recovery over the chunked generations must still be bit-identical.
+    let (recovered, rstats) = Repository::recover(&*cow_storage).expect("COW recovery");
+    assert_eq!(rstats.last_seq, cow_stream.len() as u64);
+    assert!(rstats.snapshot_seq > 0, "recovery must start from a chunked snapshot");
+    assert_eq!(
+        recovered.save(),
+        replay_prefix(&cow_stream, cow_stream.len()).save(),
+        "COW-snapshotted log diverges from sequential replay"
+    );
+    println!("\n-- COW snapshot write volume (8 chunks, churn confined to chunk 0) --");
+    println!(
+        "incremental snapshot: {incremental_bytes} bytes, {written_delta} chunks written, {reused_delta} reused (dirty fraction {dirty_fraction:.3})"
+    );
+    println!(
+        "whole image: {whole_bytes} bytes → incremental ratio {incremental_ratio:.3} (gate ≤{:.2}) · reuse ratio {reuse_ratio:.3} (gate ≥{:.2})",
+        config.max_incremental_snapshot_ratio, config.min_chunk_reuse_ratio
+    );
+    let _ = std::fs::remove_dir_all(&fs_root);
+
+    let json = format!(
+        r#"{{
+  "experiment": "E18",
+  "title": "Pipelined WAL commit + copy-on-write chunked snapshots",
+  "seed": {seed},
+  "writes": {writes_n},
+  "window": {window},
+  "balanced_max_batch": {mb},
+  "deep_max_batch": {db},
+  "pipelined_vs_grouped_balanced": {{
+    "stream": "1:2:1 inserts, execution appends, policy swaps; per-batch fsync ~ per-batch apply (the regime pipelining targets)",
+    "grouped_us_per_write": {gu:.2},
+    "pipelined_us_per_write": {pu:.2},
+    "pipelined_speedup": {sp:.3},
+    "pipeline_depth_high_water": {dhw},
+    "overlapped_fsyncs": {ovl},
+    "pipelined_fsyncs": {pfs},
+    "pipelined_fsyncs_saved": {pfsv},
+    "final_state_bit_identical_to_sequential": true
+  }},
+  "pipelined_vs_grouped_deep_batch": {{
+    "note": "unasserted Amdahl residual: at this cap group commit has already amortized fsync to a sliver of the batch, so the overlap win decays toward 1x",
+    "grouped_us_per_write": {dgu:.2},
+    "pipelined_us_per_write": {dpu:.2},
+    "pipelined_speedup": {dsp:.3},
+    "overlapped_fsyncs": {dovl},
+    "final_state_bit_identical_to_sequential": true
+  }},
+  "crash_matrix": {{
+    "offsets": {offsets},
+    "schedule": "every record boundary, 3 sampled interiors per record, every byte of the final in-flight frame",
+    "contract": "recovery = batch-aligned prefix n with acked <= n <= appended, bit-identical to sequential replay of n",
+    "all_offsets_bit_identical": true
+  }},
+  "cow_snapshot": {{
+    "chunks": 8,
+    "dirty_fraction": {df:.3},
+    "incremental_snapshot_bytes": {ib},
+    "whole_image_bytes": {wb},
+    "incremental_ratio": {ir:.3},
+    "chunks_written": {cw},
+    "chunks_reused": {crr},
+    "chunk_reuse_ratio": {rr:.3},
+    "recovery_bit_identical": true
+  }},
+  "acceptance": {{
+    "min_pipelined_speedup": {mps:.2},
+    "overlap_count_positive": true,
+    "max_incremental_snapshot_ratio": {mis:.2},
+    "min_chunk_reuse_ratio": {mcr:.2},
+    "no_response_before_covering_fsync": true
+  }},
+  "note": "pipelining buys at most min(apply, fsync) per batch: the balanced regime is gated, the deep-batch regime quantifies the decay; acknowledgement latency is unchanged (a ticket still waits for its covering fsync) and reads admitted in the overlap window may observe applied-but-unacknowledged state; COW chunking pays a chunk-index probe and manifest entry per snapshot and wins only when mutations have locality"
+}}
+"#,
+        seed = config.seed,
+        writes_n = stream.len(),
+        window = config.window,
+        mb = config.max_batch,
+        db = config.deep_batch,
+        gu = grp_us / writes,
+        pu = pipe_us / writes,
+        sp = speedup,
+        dhw = pipe_wal.pipeline_depth_high_water,
+        ovl = pipe_wal.overlapped_fsyncs,
+        pfs = pipe_wal.syncs,
+        pfsv = pipe_wal.fsyncs_saved,
+        dgu = deep_grp_us / writes,
+        dpu = deep_pipe_us / writes,
+        dsp = deep_speedup,
+        dovl = deep_wal.overlapped_fsyncs,
+        offsets = schedule.len(),
+        df = dirty_fraction,
+        ib = incremental_bytes,
+        wb = whole_bytes,
+        ir = incremental_ratio,
+        cw = written_delta,
+        crr = reused_delta,
+        rr = reuse_ratio,
+        mps = config.min_pipelined_speedup,
+        mis = config.max_incremental_snapshot_ratio,
+        mcr = config.min_chunk_reuse_ratio,
+    );
+    std::fs::write(&config.out, &json).expect("write baseline JSON");
+    println!("\nbaseline written to {}", config.out);
+
+    assert!(
+        pipe_wal.overlapped_fsyncs > 0,
+        "E18 acceptance: at least one covering fsync must overlap the next batch's apply (structural)"
+    );
+    assert!(
+        pipe_wal.pipeline_depth_high_water >= 1,
+        "E18 acceptance: pipelined frames must pass through the sync queue"
+    );
+    assert!(
+        speedup >= config.min_pipelined_speedup,
+        "E18 acceptance: pipelined commit must be ≥{:.2}x the grouped baseline on the mixed stream at {} in flight, balanced batching (got {speedup:.2}x)",
+        config.min_pipelined_speedup,
+        config.window
+    );
+    assert!(
+        incremental_ratio <= config.max_incremental_snapshot_ratio,
+        "E18 acceptance: the incremental chunked snapshot must write ≤{:.2}x of the whole image at {:.1}% dirty chunks (got {incremental_ratio:.3})",
+        config.max_incremental_snapshot_ratio,
+        dirty_fraction * 100.0
+    );
+    assert!(
+        reuse_ratio >= config.min_chunk_reuse_ratio,
+        "E18 acceptance: ≥{:.2} of chunks must be reused by reference (structural, got {reuse_ratio:.3})",
+        config.min_chunk_reuse_ratio
+    );
+}

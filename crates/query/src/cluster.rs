@@ -58,10 +58,13 @@ use ppwf_repo::cache::GroupCache;
 use ppwf_repo::pool::WorkerPool;
 use ppwf_repo::principals::PrincipalRegistry;
 use ppwf_repo::repository::{Repository, SpecEntry, SpecId};
+use ppwf_repo::snapshot::{CowChunk, CowImage, CHUNK_SPECS};
 use ppwf_repo::storage::StorageBackend;
 use ppwf_repo::wal::{
-    DurabilityPolicy, DurabilityStats, DurableLog, GroupCommit, RecoveryStats, WalResult,
+    DurabilityPolicy, DurabilityStats, DurableCallback, DurableLog, GroupCommit, RecoveryStats,
+    WalResult,
 };
+use std::ops::Range;
 use std::sync::Arc;
 
 pub use ppwf_repo::mutation::{Mutation, MutationEffect};
@@ -198,6 +201,9 @@ impl EngineCluster {
         if log.policy().background_snapshots {
             log.set_snapshot_pool(Arc::clone(&cluster.pool));
         }
+        if log.policy().pipelined_commit {
+            log.set_sync_pool(Arc::clone(&cluster.pool));
+        }
         cluster.durability = Some(log);
         Ok((cluster, opened.recovery))
     }
@@ -219,6 +225,9 @@ impl EngineCluster {
         if log.policy().background_snapshots {
             log.set_snapshot_pool(Arc::clone(&self.pool));
         }
+        if log.policy().pipelined_commit {
+            log.set_sync_pool(Arc::clone(&self.pool));
+        }
         self.durability = Some(log);
         Ok(())
     }
@@ -228,6 +237,22 @@ impl EngineCluster {
     /// admission drains.
     pub fn group_commit_policy(&self) -> Option<GroupCommit> {
         self.durability.as_ref().and_then(|log| log.policy().group_commit)
+    }
+
+    /// Whether the attached log's policy pipelines covering fsyncs — the
+    /// serving front caches this to pick its dispatch path.
+    pub fn pipelined_commit_policy(&self) -> bool {
+        self.durability
+            .as_ref()
+            .is_some_and(|log| log.policy().pipelined_commit && log.policy().fsync_each)
+    }
+
+    /// Block until every pipelined frame's covering fsync has fired its
+    /// acknowledgement (test/bench quiescing; the write path never waits).
+    pub fn wait_for_pipeline(&self) {
+        if let Some(log) = self.durability.as_ref() {
+            log.wait_for_pipeline();
+        }
     }
 
     /// Whether the attached log has a background snapshot job in flight
@@ -649,6 +674,96 @@ impl EngineCluster {
         out
     }
 
+    /// [`Self::mutate_batch`] with the covering fsync pipelined: maximal
+    /// valid runs append through
+    /// [`DurableLog::append_batch_pipelined`], so this returns — and the
+    /// caller may admit the next batch — while the fsync covering the
+    /// runs is still in flight on the sync pool.
+    ///
+    /// For every run that reaches the log, `on_run_durable(range)` is
+    /// called once to mint the run's durability callback; `range` indexes
+    /// the *input* `mutations` (equivalently the returned outcomes) the
+    /// run covers. The callback fires on the sync job's thread with the
+    /// run's durability verdict — `Ok` only after the covering fsync.
+    /// **Nothing in the returned outcomes is acknowledgeable until its
+    /// run's callback reports `Ok`**: an in-memory `Ok(effect)` whose
+    /// callback later reports `Err` must surface to the client as a
+    /// durability failure. Mutations that fail validation never join a
+    /// run and mint no callback — their `Err` outcome is final; a run
+    /// whose append errs synchronously still fires its callback (with an
+    /// error), so counting fired callbacks against minted ones is a sound
+    /// completion barrier.
+    ///
+    /// Cadence snapshots still fire here and may cover appended-but-
+    /// unacked records: the snapshot itself is durable, so recovery keeps
+    /// (never loses) those records — acknowledgement order is unchanged.
+    pub fn mutate_batch_pipelined(
+        &mut self,
+        mutations: Vec<Mutation>,
+        mut on_run_durable: impl FnMut(Range<usize>) -> DurableCallback,
+    ) -> Vec<(Result<MutationEffect>, u64)> {
+        if self.durability.is_none() {
+            // No log, nothing to pipeline: every outcome is final at
+            // return, and the caller's completion path needs no callback.
+            return self.mutate_batch(mutations);
+        }
+        let mut out = Vec::with_capacity(mutations.len());
+        let mut run: Vec<Mutation> = Vec::new();
+        for mutation in mutations {
+            match self.check_global(&mutation) {
+                Ok(()) => run.push(mutation),
+                Err(e) => {
+                    if run.is_empty() {
+                        out.push((Err(e), self.front_epoch()));
+                    } else {
+                        self.flush_run_pipelined(&mut run, &mut out, &mut on_run_durable);
+                        match self.check_global(&mutation) {
+                            Ok(()) => run.push(mutation),
+                            Err(e) => out.push((Err(e), self.front_epoch())),
+                        }
+                    }
+                }
+            }
+        }
+        self.flush_run_pipelined(&mut run, &mut out, &mut on_run_durable);
+        self.snapshot_on_cadence();
+        out
+    }
+
+    /// Append `run` as one pipelined group-commit record and apply it in
+    /// order. The run's callback fires exactly once on every path: a
+    /// synchronous append failure fires it with an error before the `Err`
+    /// outcomes are pushed, an `Ok` append hands it the covering fsync's
+    /// verdict.
+    fn flush_run_pipelined(
+        &mut self,
+        run: &mut Vec<Mutation>,
+        out: &mut Vec<(Result<MutationEffect>, u64)>,
+        on_run_durable: &mut impl FnMut(Range<usize>) -> DurableCallback,
+    ) {
+        if run.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(run);
+        let range = out.len()..out.len() + batch.len();
+        let log = self.durability.as_mut().expect("pipelined flush is the durable path");
+        if let Err(e) = log.append_batch_pipelined(&batch, on_run_durable(range)) {
+            let detail = e.to_string();
+            for _ in &batch {
+                out.push((
+                    Err(ModelError::invalid(format!("durability: {detail}"))),
+                    self.front_epoch(),
+                ));
+            }
+            return;
+        }
+        for mutation in batch {
+            let effect = self.apply_routed(mutation);
+            debug_assert!(effect.is_ok(), "a checked, appended mutation must apply");
+            out.push((effect, self.front_epoch()));
+        }
+    }
+
     /// Append `run` as one group-commit record, apply it in order, and
     /// push each mutation's outcome. A failed append acknowledges
     /// nothing: every member reports the durability error and no shard
@@ -693,24 +808,58 @@ impl EngineCluster {
         }
     }
 
-    /// Cadence snapshots for the durable write paths: assemble the global
-    /// image, stamp it with the acknowledged sequence number (the
-    /// assembly loses the global mutation count — see
-    /// [`Repository::set_version`]), and hand it to the log — inline, or
-    /// as a background pool job when the policy opts in.
+    /// Cadence snapshots for the durable write paths: build a
+    /// copy-on-write image — only the chunks the log saw dirtied since
+    /// the last snapshot are cloned out of the shards; clean chunks ride
+    /// along as manifest references — stamp it with the appended sequence
+    /// number (the assembly loses the global mutation count — see
+    /// [`Repository::set_version`]), and hand it to the log: inline, or
+    /// as a background pool job when the policy opts in. Against the old
+    /// whole-image clone this shrinks both the pause (O(dirty chunks)
+    /// cloning) and the write volume (clean chunks are never
+    /// re-serialized).
     fn snapshot_on_cadence(&mut self) {
         // The in-flight check keeps a busy background snapshot from
         // charging the write path a wasted image assembly every cadence.
-        if self
+        if !self
             .durability
             .as_ref()
             .is_some_and(|log| log.snapshot_due() && !log.background_snapshot_in_flight())
         {
-            let mut image = self.assemble_repository();
-            let log = self.durability.as_mut().expect("presence checked above");
-            image.set_version(log.stats().last_seq);
-            log.snapshot_if_due_image(image);
+            return;
         }
+        let spec_count = self.router.spec_count();
+        let log = self.durability.as_mut().expect("presence checked above");
+        let plan = log.snapshot_chunk_plan(spec_count);
+        let version = log.stats().last_seq;
+        let chunks: Vec<CowChunk> = plan
+            .iter()
+            .enumerate()
+            .map(|(c, reuse)| match reuse {
+                Some(r) => CowChunk::Clean(*r),
+                None => {
+                    let lo = c * CHUNK_SPECS;
+                    let hi = spec_count.min(lo + CHUNK_SPECS);
+                    CowChunk::Dirty(
+                        (lo..hi)
+                            .map(|global| {
+                                let (shard, local) = self
+                                    .router
+                                    .locate(SpecId(global as u32))
+                                    .expect("router-tracked id must resolve");
+                                self.shards[shard]
+                                    .repo()
+                                    .entry(local)
+                                    .expect("routed id must resolve")
+                                    .clone()
+                            })
+                            .collect(),
+                    )
+                }
+            })
+            .collect();
+        let log = self.durability.as_mut().expect("presence checked above");
+        log.snapshot_if_due_cow(CowImage { version, chunks });
     }
 
     /// The validation the routed apply would run, without applying — the

@@ -276,7 +276,9 @@ impl QueryEngine {
     /// Route the attached log's cadence snapshots to `pool`; takes effect
     /// when the log's policy opts in
     /// ([`ppwf_repo::wal::DurabilityPolicy::background_snapshots`]), so
-    /// [`Self::mutate`]'s snapshot pause shrinks to one repository clone.
+    /// [`Self::mutate`]'s snapshot pause shrinks to cloning only the
+    /// copy-on-write chunks dirtied since the last snapshot — clean
+    /// chunks ride along by reference and are never re-serialized.
     pub fn set_snapshot_pool(&mut self, pool: Arc<ppwf_repo::pool::WorkerPool>) {
         if let Some(log) = &mut self.durability {
             log.set_snapshot_pool(pool);
@@ -332,7 +334,13 @@ impl QueryEngine {
     /// replay), then appended — and per the log's policy fsynced — and
     /// only then applied; an `Err` from the append means nothing was
     /// acknowledged and nothing changed in memory. Snapshots fire on the
-    /// log's cadence after the apply.
+    /// log's cadence after the apply; in background mode they are chunked
+    /// copy-on-write images (dirty chunks serialized, clean ones reused
+    /// by content-addressed reference). Pipelined commit — overlapping
+    /// the covering fsync with the next batch's apply — lives a layer up,
+    /// in [`crate::cluster::EngineCluster::mutate_batch_pipelined`] and
+    /// the serve front: this single-engine path always acknowledges
+    /// inline.
     pub fn mutate(&mut self, mutation: Mutation) -> Result<MutationEffect> {
         if let Some(log) = &mut self.durability {
             self.repo.check(&mutation)?;

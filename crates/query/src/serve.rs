@@ -67,6 +67,23 @@
 //! completions also recycle their ticket allocations through a
 //! [`TicketPool`], so a front-cache hit allocates nothing on the hot
 //! path.
+//!
+//! **Pipelined commit.** When the log's policy additionally sets
+//! [`pipelined_commit`](ppwf_repo::wal::DurabilityPolicy::pipelined_commit),
+//! the write job appends and applies its batch, then **releases the
+//! write fence before the covering fsync finishes**: the fsync runs as a
+//! dedicated pool sync job, and batch *k+1* is admitted, validated and
+//! applied while batch *k*'s fsync is still in flight. Acknowledgement
+//! order is unchanged — every ticket completes only after the fsync
+//! covering its record reports in (a [`CommitGate`] holds the staged
+//! outcomes until the per-run durability callbacks fire), so
+//! `Mutated(Ok)` still means *durable*, and the acknowledged set after a
+//! crash is still a prefix of submission order. The honest boundary:
+//! reads admitted in the overlap window can observe applied-but-not-yet-
+//! acknowledged state (a read-uncommitted window for *losable* suffix
+//! data — never for anything a client was told succeeded), and a crash
+//! in the window loses only unacknowledged frames, which recovery
+//! truncates at the tear exactly like any unsynced suffix.
 
 use crate::cluster::{EngineCluster, RankedHits};
 use crate::engine::Plan;
@@ -74,12 +91,13 @@ use crate::keyword::{KeywordHit, KeywordQuery};
 use crate::privacy_exec::PrivateSearchOutcome;
 use crate::ranking::RankingMode;
 use parking_lot::RwLock;
-use ppwf_model::Result;
+use ppwf_model::{ModelError, Result};
 use ppwf_repo::mutation::{Mutation, MutationEffect};
 use ppwf_repo::pool::WorkerPool;
 use ppwf_repo::ticket::{Ticket, TicketCompleter, TicketPool};
-use ppwf_repo::wal::GroupCommit;
+use ppwf_repo::wal::{DurableCallback, GroupCommit, WalResult};
 use std::collections::VecDeque;
+use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -273,6 +291,10 @@ struct Shared {
     /// and the write job drain consecutive mutations into one batch,
     /// `None` keeps the one-at-a-time dispatch.
     write_batch: Option<GroupCommit>,
+    /// Pipelined commit, cached like `write_batch`: the write job then
+    /// releases the fence before its covering fsync and completes tickets
+    /// from the sync job's durability callbacks.
+    pipelined: bool,
     /// Recycled allocations for warm inline completions.
     warm_tickets: TicketPool<ServeResponse>,
 }
@@ -294,6 +316,7 @@ impl ServeFront {
     /// all work drains one queue).
     pub fn with_pool(cluster: EngineCluster, pool: Arc<WorkerPool>) -> Self {
         let write_batch = cluster.group_commit_policy();
+        let pipelined = cluster.pipelined_commit_policy();
         ServeFront {
             shared: Arc::new(Shared {
                 cluster: RwLock::new(cluster),
@@ -305,6 +328,7 @@ impl ServeFront {
                 }),
                 counters: Counters::default(),
                 write_batch,
+                pipelined,
                 warm_tickets: TicketPool::new(WARM_TICKET_SLOTS),
             }),
         }
@@ -540,6 +564,10 @@ fn dispatch_write(shared: &Arc<Shared>, batch: Vec<Queued>) {
             mutations.push(*mutation);
             handles.push((completer, submitted));
         }
+        if shared.pipelined {
+            run_pipelined_write(&shared, mutations, handles);
+            return;
+        }
         let count = handles.len() as u64;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mut cluster = shared.cluster.write();
@@ -585,6 +613,154 @@ fn dispatch_write(shared: &Arc<Shared>, batch: Vec<Queued>) {
         shared.admission.lock().expect("admission").writer_active = false;
         pump(&shared);
     });
+}
+
+/// The pipelined write path: append + apply the batch under the write
+/// lock, then release the fence and re-pump **before** the covering
+/// fsync reports — batch *k+1* admits and applies while batch *k*'s
+/// fsync runs on the sync job. Tickets stay parked in a [`CommitGate`]
+/// until every durability callback minted for the batch has fired, so
+/// acknowledgement order (and `Mutated(Ok)` ⇒ durable) is exactly the
+/// synchronous path's.
+fn run_pipelined_write(
+    shared: &Arc<Shared>,
+    mutations: Vec<Mutation>,
+    handles: Vec<(TicketCompleter<ServeResponse>, Instant)>,
+) {
+    let count = handles.len() as u64;
+    let gate = Arc::new(CommitGate {
+        shared: Arc::clone(shared),
+        state: Mutex::new(GateState::default()),
+    });
+    let factory_gate = Arc::clone(&gate);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut cluster = shared.cluster.write();
+        let outcomes = cluster.mutate_batch_pipelined(mutations, move |range| {
+            // Mint-side accounting: the log fires every minted callback
+            // exactly once (even on a synchronous append error), so
+            // done == expected is a sound completion barrier.
+            factory_gate.state.lock().expect("commit gate").expected += 1;
+            let fired = Arc::clone(&factory_gate);
+            Box::new(move |verdict| fired.on_durable(range, verdict)) as DurableCallback
+        });
+        drop(cluster);
+        outcomes
+    }));
+    // The pipelining: the batch is applied (or panicked), so the fence
+    // can lift now — the covering fsync is still in flight, and the next
+    // batch validates and applies against it. Tickets complete later,
+    // from maybe_finish, once the callbacks report in.
+    shared.admission.lock().expect("admission").writer_active = false;
+    pump(shared);
+    match outcome {
+        Ok(outcomes) => {
+            debug_assert_eq!(outcomes.len() as u64, count);
+            shared.counters.mutations.fetch_add(count, Ordering::Relaxed);
+            shared.counters.write_batches.fetch_add(1, Ordering::Relaxed);
+            Counters::raise_high_water(&shared.counters.max_write_batch, count);
+            gate.stage(StagedCompletion { outcomes, handles, panic: None });
+        }
+        Err(payload) => {
+            // Runs appended before the panic still own minted callbacks;
+            // the gate waits for them so no callback outlives its batch's
+            // accounting, then completes every ticket with the panic.
+            gate.stage(StagedCompletion { outcomes: Vec::new(), handles, panic: Some(payload) });
+        }
+    }
+}
+
+/// Parks a pipelined batch's tickets until the fsyncs covering its WAL
+/// runs have all reported. Two halves race benignly: the write job
+/// stages outcomes + completers after releasing the fence, and the sync
+/// job's durability callbacks tick `done` toward `expected`; whichever
+/// side observes both conditions takes the staged completion (the
+/// `Option::take` makes the finisher unique) and resolves the tickets.
+struct CommitGate {
+    shared: Arc<Shared>,
+    state: Mutex<GateState>,
+}
+
+#[derive(Default)]
+struct GateState {
+    /// Durability callbacks minted by the batch's run flushes.
+    expected: usize,
+    /// Callbacks that have fired (Ok or Err).
+    done: usize,
+    /// Batch-index ranges whose covering fsync failed, with the error.
+    failed: Vec<(Range<usize>, String)>,
+    /// Set once by the write job; taken exactly once by the finisher.
+    staged: Option<StagedCompletion>,
+}
+
+struct StagedCompletion {
+    outcomes: Vec<(Result<MutationEffect>, u64)>,
+    handles: Vec<(TicketCompleter<ServeResponse>, Instant)>,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl CommitGate {
+    fn on_durable(self: &Arc<Self>, range: Range<usize>, verdict: WalResult<()>) {
+        {
+            let mut state = self.state.lock().expect("commit gate");
+            state.done += 1;
+            if let Err(e) = verdict {
+                state.failed.push((range, e.to_string()));
+            }
+        }
+        self.maybe_finish();
+    }
+
+    fn stage(self: &Arc<Self>, staged: StagedCompletion) {
+        self.state.lock().expect("commit gate").staged = Some(staged);
+        self.maybe_finish();
+    }
+
+    fn maybe_finish(self: &Arc<Self>) {
+        let (staged, failed) = {
+            let mut state = self.state.lock().expect("commit gate");
+            if state.done < state.expected || state.staged.is_none() {
+                return;
+            }
+            let staged = state.staged.take().expect("checked above");
+            (staged, std::mem::take(&mut state.failed))
+        };
+        let shared = &self.shared;
+        match staged.panic {
+            None => {
+                for (i, ((result, epoch), (completer, submitted))) in
+                    staged.outcomes.into_iter().zip(staged.handles).enumerate()
+                {
+                    // An applied effect whose covering fsync failed must
+                    // not acknowledge as durable: the durability error
+                    // overrides the in-memory Ok (recovery will replay
+                    // only what the log actually holds).
+                    let result = match failed.iter().find(|(range, _)| range.contains(&i)) {
+                        Some((_, detail)) => {
+                            Err(ModelError::invalid(format!("durability: {detail}")))
+                        }
+                        None => result,
+                    };
+                    shared.counters.writes_in_flight.fetch_sub(1, Ordering::Relaxed);
+                    shared.counters.record_latency(submitted);
+                    completer
+                        .complete(ServeResponse { epoch, answer: QueryAnswer::Mutated(result) });
+                }
+            }
+            Some(payload) => {
+                let mut payload = Some(payload);
+                for (completer, submitted) in staged.handles {
+                    shared.counters.writes_in_flight.fetch_sub(1, Ordering::Relaxed);
+                    shared.counters.record_latency(submitted);
+                    match payload.take() {
+                        Some(p) => completer.complete_with_panic(p),
+                        None => completer.complete_with_panic(Box::new(
+                            "a mutation batched with this one panicked the write job",
+                        )),
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// What one shard task produced for its gather.
@@ -1072,6 +1248,89 @@ mod tests {
         let batched = front.with_cluster(|c| c.assemble_repository().save());
         let sequential = reference.with_cluster(|c| c.assemble_repository().save());
         assert_eq!(batched, sequential, "batched apply must be bit-identical");
+    }
+
+    /// Pipelined commit at the front: queued writes drain as one batch,
+    /// every ticket acknowledges only after its covering fsync (so all
+    /// acks mean durable), the pipeline stats register the queued frame,
+    /// and reopening the same storage recovers the acked image
+    /// bit-identically.
+    #[test]
+    fn pipelined_writes_ack_durable_and_recover() {
+        use ppwf_repo::storage::{MemStorage, StorageBackend};
+        use ppwf_repo::wal::DurabilityPolicy;
+        let pool = Arc::new(WorkerPool::new(2));
+        let policy = DurabilityPolicy { snapshot_every: 0, ..DurabilityPolicy::pipelined(8, 0) };
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemStorage::new());
+        let (cluster, _) = EngineCluster::open_durable(
+            Arc::clone(&backend),
+            policy,
+            registry(),
+            2,
+            crate::route::ShardStrategy::RoundRobin,
+            Arc::clone(&pool),
+        )
+        .expect("open durable cluster on fresh storage");
+        let front = ServeFront::with_pool(cluster, Arc::clone(&pool));
+        // Plug both workers so the five writes queue behind the fence
+        // and drain as one pipelined batch.
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let barrier = Arc::new(std::sync::Mutex::new(release_rx));
+        for _ in 0..2 {
+            let barrier = Arc::clone(&barrier);
+            pool.exec(move || {
+                let _ = barrier.lock().unwrap().recv();
+            });
+        }
+        let tickets: Vec<_> = (0..5)
+            .map(|_| {
+                let (spec, _) = fixtures::disease_susceptibility();
+                front.submit(ServeRequest::mutate(Mutation::InsertSpec {
+                    spec,
+                    policy: Policy::public(),
+                }))
+            })
+            .collect();
+        release_tx.send(()).unwrap();
+        release_tx.send(()).unwrap();
+        for t in tickets {
+            let response = t.wait();
+            assert!(
+                matches!(response.answer, QueryAnswer::Mutated(Ok(_))),
+                "a pipelined ack means the covering fsync returned Ok"
+            );
+        }
+        front.quiesce();
+        let stats = front.stats();
+        assert_eq!(stats.mutations, 5);
+        assert_eq!(stats.write_batches, 1, "queued writes still drain as one batch");
+        let wal = stats.durability.expect("durable front reports wal stats");
+        assert_eq!(wal.appends, 5);
+        assert_eq!(wal.records, 1, "the pipelined batch still appends as one record");
+        assert!(wal.syncs >= 1, "at least one covering fsync acknowledged the batch");
+        assert!(
+            wal.pipeline_depth_high_water >= 1,
+            "the frame must have passed through the sync queue, got {}",
+            wal.pipeline_depth_high_water
+        );
+        let served = front.with_cluster(|c| c.assemble_repository().save());
+        drop(front);
+        // Reopen the same storage: the acked image must recover whole.
+        let pool2 = Arc::new(WorkerPool::new(1));
+        let (recovered, _) = EngineCluster::open_durable(
+            backend,
+            policy,
+            registry(),
+            2,
+            crate::route::ShardStrategy::RoundRobin,
+            pool2,
+        )
+        .expect("reopen the pipelined log");
+        assert_eq!(
+            recovered.assemble_repository().save(),
+            served,
+            "recovery must be bit-identical to the acknowledged image"
+        );
     }
 
     /// The second warm hit recycles the first's consumed ticket slot.

@@ -385,6 +385,73 @@ fn background_snapshots_prune_off_thread_and_recover() {
     assert_eq!(recovered.save(), replay_prefix(&stream, stream.len()).save());
 }
 
+/// Pipelined commit through the front, fault-free: every ticket still
+/// acknowledges durably, the pipeline's bookkeeping — sync-queue depth
+/// high-water, overlapped fsyncs — and the COW snapshot chunk counters
+/// surface through [`ServeFront::stats`], and recovery over the pruned
+/// chunked snapshots plus the WAL suffix is bit-identical.
+#[test]
+fn pipelined_serve_surfaces_pipeline_and_chunk_stats() {
+    // Insert-only stream: ids grow monotonically, so chunk 0 (specs
+    // 0..16) fills, goes quiet, and later snapshots must reuse it.
+    let stream: Vec<Mutation> = (0..24u64)
+        .map(|i| Mutation::InsertSpec {
+            spec: generate_spec(&SpecParams { seed: 0xAB ^ (i << 8), ..SpecParams::default() }),
+            policy: Policy::public(),
+        })
+        .collect();
+    let storage = Arc::new(MemStorage::new());
+    let pool = Arc::new(WorkerPool::new(3));
+    let policy = DurabilityPolicy { snapshot_every: 4, ..DurabilityPolicy::pipelined(4, 0) };
+    let (cluster, _) = durable_cluster_with(&storage, &pool, policy);
+    let front = ServeFront::with_pool(cluster, Arc::clone(&pool));
+
+    // One at a time, draining each background snapshot before the next
+    // cadence point, so every fourth mutation deterministically runs a
+    // chunked snapshot (none skipped for an in-flight peer).
+    for mutation in &stream {
+        let response = front.submit(ServeRequest::mutate(mutation.clone())).wait();
+        assert!(
+            matches!(response.answer, QueryAnswer::Mutated(Ok(_))),
+            "a fault-free pipelined write must acknowledge durable"
+        );
+        while front.with_cluster(|c| c.background_snapshot_in_flight()) {
+            std::thread::yield_now();
+        }
+    }
+    front.quiesce();
+    front.with_cluster(|c| c.wait_for_pipeline());
+
+    let wal = front.durability_stats().expect("durable cluster reports stats");
+    assert_eq!(wal.appends, stream.len() as u64);
+    assert!(wal.syncs >= 1, "covering fsyncs must have run");
+    assert!(
+        wal.pipeline_depth_high_water >= 1,
+        "every pipelined frame passes through the sync queue, got {:?}",
+        wal.pipeline_depth_high_water
+    );
+    assert!(
+        wal.overlapped_fsyncs <= wal.records,
+        "an overlap is counted at most once per appended frame"
+    );
+    assert!(wal.snapshots >= 2, "cadence 4 over 24 writes must snapshot repeatedly");
+    assert!(wal.snapshot_chunks_written >= 1, "dirty chunks must be serialized");
+    assert!(wal.snapshot_bytes_written > 0);
+    assert!(
+        wal.snapshot_chunks_reused >= 1,
+        "full, untouched chunk 0 must be reused by reference: {wal:?}"
+    );
+
+    let (recovered, stats) = Repository::recover(storage.as_ref()).expect("recovery");
+    assert_eq!(stats.last_seq, stream.len() as u64);
+    assert!(stats.snapshot_seq > 0, "recovery must start from a chunked snapshot");
+    assert_eq!(
+        recovered.save(),
+        replay_prefix(&stream, stream.len()).save(),
+        "pipelined + COW-snapshotted log must recover bit-identically"
+    );
+}
+
 #[test]
 fn fault_free_serve_stream_recovers_in_full() {
     let stream = mutation_stream(12, 0xBEEF);

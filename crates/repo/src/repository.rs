@@ -229,18 +229,7 @@ impl Repository {
         buf.put_u64_le(self.version);
         buf.put_u32_le(self.entries.len() as u32);
         for e in &self.entries {
-            let spec = codec::encode_spec(&e.spec);
-            buf.put_u32_le(spec.len() as u32);
-            buf.put_slice(&spec);
-            let pol = encode_policy(&e.policy);
-            buf.put_u32_le(pol.len() as u32);
-            buf.put_slice(&pol);
-            buf.put_u32_le(e.executions.len() as u32);
-            for x in &e.executions {
-                let xb = codec::encode_execution(x);
-                buf.put_u32_le(xb.len() as u32);
-                buf.put_slice(&xb);
-            }
+            encode_entry(&mut buf, e);
         }
         buf.freeze()
     }
@@ -268,25 +257,9 @@ impl Repository {
         let n = bytes.get_u32_le() as usize;
         let mut repo = Repository::new();
         for _ in 0..n {
-            need(bytes, 4)?;
-            let sl = bytes.get_u32_le() as usize;
-            need(bytes, sl)?;
-            let spec = codec::decode_spec(&bytes[..sl])?;
-            bytes.advance(sl);
-            need(bytes, 4)?;
-            let pl = bytes.get_u32_le() as usize;
-            need(bytes, pl)?;
-            let policy = decode_policy(&bytes[..pl])?;
-            bytes.advance(pl);
+            let (spec, policy, executions) = decode_entry(&mut bytes)?;
             let id = repo.insert_spec(spec, policy)?;
-            need(bytes, 4)?;
-            let xs = bytes.get_u32_le() as usize;
-            for _ in 0..xs {
-                need(bytes, 4)?;
-                let xl = bytes.get_u32_le() as usize;
-                need(bytes, xl)?;
-                let exec = codec::decode_execution(&bytes[..xl])?;
-                bytes.advance(xl);
+            for exec in executions {
                 repo.add_execution(id, exec)?;
             }
         }
@@ -296,6 +269,65 @@ impl Repository {
         repo.version = version;
         Ok(repo)
     }
+}
+
+/// Append one entry's wire encoding to `buf` — the per-entry section of
+/// [`Repository::save`]'s layout, factored out so chunked snapshots
+/// (`crate::snapshot`) serialize entry ranges byte-identically to the
+/// whole-image format:
+///
+/// ```text
+/// [u32 spec_len][spec bytes][u32 policy_len][policy bytes]
+/// [u32 exec_count] exec_count × ([u32 exec_len][exec bytes])
+/// ```
+pub(crate) fn encode_entry(buf: &mut BytesMut, e: &SpecEntry) {
+    let spec = codec::encode_spec(&e.spec);
+    buf.put_u32_le(spec.len() as u32);
+    buf.put_slice(&spec);
+    let pol = encode_policy(&e.policy);
+    buf.put_u32_le(pol.len() as u32);
+    buf.put_slice(&pol);
+    buf.put_u32_le(e.executions.len() as u32);
+    for x in &e.executions {
+        let xb = codec::encode_execution(x);
+        buf.put_u32_le(xb.len() as u32);
+        buf.put_slice(&xb);
+    }
+}
+
+/// Decode one entry's wire encoding from the front of `bytes`, advancing
+/// past it. Artifacts are decoded (and so re-validated by their codecs);
+/// the caller re-runs the repository-level checks by inserting through
+/// [`Repository::insert_spec`] / [`Repository::add_execution`].
+pub(crate) fn decode_entry(bytes: &mut &[u8]) -> Result<(Specification, Policy, Vec<Execution>)> {
+    fn need(bytes: &[u8], n: usize) -> Result<()> {
+        if bytes.len() < n {
+            Err(ModelError::codec("truncated repository entry"))
+        } else {
+            Ok(())
+        }
+    }
+    need(bytes, 4)?;
+    let sl = bytes.get_u32_le() as usize;
+    need(bytes, sl)?;
+    let spec = codec::decode_spec(&bytes[..sl])?;
+    bytes.advance(sl);
+    need(bytes, 4)?;
+    let pl = bytes.get_u32_le() as usize;
+    need(bytes, pl)?;
+    let policy = decode_policy(&bytes[..pl])?;
+    bytes.advance(pl);
+    need(bytes, 4)?;
+    let xs = bytes.get_u32_le() as usize;
+    let mut executions = Vec::with_capacity(xs.min(1024));
+    for _ in 0..xs {
+        need(bytes, 4)?;
+        let xl = bytes.get_u32_le() as usize;
+        need(bytes, xl)?;
+        executions.push(codec::decode_execution(&bytes[..xl])?);
+        bytes.advance(xl);
+    }
+    Ok((spec, policy, executions))
 }
 
 /// Policy wire codec, shared by [`Repository::save`]/[`Repository::load`]

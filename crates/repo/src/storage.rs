@@ -113,6 +113,15 @@ pub trait StorageBackend: Send + Sync + fmt::Debug {
     /// Flush `name` to stable storage.
     fn sync(&self, name: &str) -> StorageResult<()>;
 
+    /// Whether `name` is currently stored. The pipelined commit's sync
+    /// job uses this to tell a pruned segment (its records are covered by
+    /// a durable snapshot — the deferred fsync is satisfied) from a real
+    /// fsync failure. The default probes via [`list`](Self::list);
+    /// backends with a cheaper membership check should override.
+    fn exists(&self, name: &str) -> StorageResult<bool> {
+        Ok(self.list()?.iter().any(|n| n == name))
+    }
+
     /// Replace `name` with `bytes` atomically (temp file + rename).
     fn write_atomic(&self, name: &str, bytes: &[u8]) -> StorageResult<()>;
 
@@ -190,6 +199,14 @@ impl StorageBackend for FsStorage {
         let file =
             fs::File::open(self.path(name)).map_err(|e| StorageError::io("sync", name, e))?;
         file.sync_all().map_err(|e| StorageError::io("sync", name, e))
+    }
+
+    fn exists(&self, name: &str) -> StorageResult<bool> {
+        match fs::metadata(self.path(name)) {
+            Ok(_) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(StorageError::io("exists", name, e)),
+        }
     }
 
     fn write_atomic(&self, name: &str, bytes: &[u8]) -> StorageResult<()> {
@@ -370,6 +387,12 @@ impl StorageBackend for MemStorage {
             return Err(StorageError::io("sync", name, "injected fsync failure"));
         }
         Ok(())
+    }
+
+    fn exists(&self, name: &str) -> StorageResult<bool> {
+        let inner = self.inner.lock().expect("storage");
+        inner.check_alive("exists", name)?;
+        Ok(inner.files.contains_key(name))
     }
 
     fn write_atomic(&self, name: &str, bytes: &[u8]) -> StorageResult<()> {

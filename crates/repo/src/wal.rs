@@ -33,13 +33,38 @@
 //! keep the plain framing, so a log written without group commit is
 //! byte-identical to one written before the mode existed.
 //!
+//! **Pipelined commit** ([`DurabilityPolicy::pipelined_commit`] /
+//! [`DurableLog::append_batch_pipelined`]) overlaps batch *k*'s append
+//! and in-memory apply with batch *k−1*'s covering fsync: the append
+//! returns as soon as the record hits the segment, and a dedicated
+//! [`WorkerPool`] sync job fsyncs the pending frames in FIFO order —
+//! one covering fsync per drained run — invoking each frame's
+//! [`DurableCallback`] only after the fsync that covers it succeeds.
+//! Acknowledgement therefore stays strictly ordered behind durability
+//! (durable-on-acknowledge unchanged); what pipelining adds is that the
+//! *mutating thread* no longer idles through fsync latency. A failed
+//! covering fsync poisons the pipeline: every pending and later frame
+//! fails (nothing acked), exactly like an inline fsync failure. A crash
+//! while frames are in flight leaves 0..n appended-but-unsynced records
+//! on disk; recovery's truncate-at-tear rule extends across them (see
+//! below), so the recovered prefix is always record-aligned, contains
+//! every acknowledged record, and never resurrects a torn one.
+//!
 //! **Recovery** ([`Repository::recover`] / [`DurableLog::open`]) replays
 //! `(latest snapshot, log suffix)` with a strict corruption posture:
 //!
-//! * an *incomplete* final record — or a checksum mismatch on the very
-//!   last record of the last segment — is a torn tail: expected after a
+//! * an *incomplete* final record is a torn tail: expected after a
 //!   crash, tolerated, and physically truncated so later appends start
 //!   from a clean boundary;
+//! * a checksum mismatch in the last segment with **no checksum-valid
+//!   record after it** (walking the record length chain) is likewise a
+//!   torn tail — with pipelined commit several unsynced frames may be
+//!   in flight at power loss, and blocks can hit disk out of order, so
+//!   the tear can start before the final record; everything from the
+//!   first damaged frame on is truncated. A valid record *after* the
+//!   mismatch proves the damage is interior (the later record was
+//!   appended — and possibly acknowledged — after the damaged one), so
+//!   it is refused instead;
 //! * any other checksum mismatch, framing violation, or sequence gap is
 //!   interior corruption of data that was once acknowledged — that is
 //!   data loss, surfaced as a typed [`WalError::Corrupt`], never a panic
@@ -60,13 +85,14 @@ use crate::fnv::Fnv1a;
 use crate::mutation::Mutation;
 use crate::pool::WorkerPool;
 use crate::repository::{policy_codec, Repository, SpecId};
-use crate::snapshot;
+use crate::snapshot::{self, ChunkRef, CowChunk, CowImage, CHUNK_SPECS};
 use crate::storage::{StorageBackend, StorageError};
 use ppwf_model::codec;
 use serde::wire;
+use std::collections::{BTreeSet, HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// A typed durability failure.
@@ -284,6 +310,45 @@ struct Replayed {
     stats: RecoveryStats,
     /// `(name, surviving bytes)` of the segment appends continue into.
     active_segment: Option<(String, u64)>,
+    /// Chunk manifest of the loaded snapshot, when it was chunked (v2):
+    /// what a re-opened log seeds its copy-on-write reuse from.
+    manifest: Option<Vec<ChunkRef>>,
+    /// Chunks touched by the replayed log suffix — dirty relative to the
+    /// loaded manifest.
+    dirty_chunks: BTreeSet<u32>,
+}
+
+/// The chunk a mutation dirties, given the repository state it applies
+/// to: an insert lands at the next dense id, the others name their spec.
+fn dirtied_chunk(repo: &Repository, mutation: &Mutation) -> u32 {
+    let id = match mutation {
+        Mutation::InsertSpec { .. } => repo.len() as u32,
+        Mutation::AddExecution { spec, .. } | Mutation::SetPolicy { spec, .. } => spec.0,
+    };
+    snapshot::chunk_of(id)
+}
+
+/// Whether any checksum-valid record exists at or after `at`, walking the
+/// record length chain. Called on a checksum mismatch in the last
+/// segment: a valid successor proves the mismatch is interior damage of
+/// once-acknowledged data; no valid successor means everything from the
+/// mismatch on is an unsynced in-flight tail a crash may legitimately
+/// tear (a garbled length field desyncs the walk onto garbage checksums,
+/// which is the same answer — truncate).
+fn tail_has_valid_successor(bytes: &[u8], mut at: usize) -> bool {
+    while at + RECORD_HEADER <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        let stored = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().expect("8 bytes"));
+        let Some(end) = (at + RECORD_HEADER).checked_add(len) else { return false };
+        if end > bytes.len() {
+            return false;
+        }
+        if checksum_of(&bytes[at + RECORD_HEADER..end]) == stored {
+            return true;
+        }
+        at = end;
+    }
+    false
 }
 
 /// Replay `(snapshot, log suffix)` from `backend`, truncating a torn
@@ -294,13 +359,15 @@ fn replay(backend: &dyn StorageBackend) -> WalResult<Replayed> {
     let mut segments: Vec<(u64, String)> =
         names.iter().filter_map(|n| parse_segment_name(n).map(|s| (s, n.clone()))).collect();
     segments.sort();
-    let (mut repo, snapshot_seq) = snapshot::load_latest(backend, &names)?;
+    let loaded = snapshot::load_latest(backend, &names)?;
+    let (mut repo, snapshot_seq, manifest) = (loaded.repo, loaded.through_seq, loaded.manifest);
     let mut stats = RecoveryStats {
         snapshot_seq,
         last_seq: snapshot_seq,
         segments: segments.len(),
         ..RecoveryStats::default()
     };
+    let mut dirty_chunks = BTreeSet::new();
     let mut expected_next: Option<u64> = None;
     let mut active_segment: Option<(String, u64)> = None;
     let last_index = segments.len().wrapping_sub(1);
@@ -330,12 +397,21 @@ fn replay(backend: &dyn StorageBackend) -> WalResult<Replayed> {
             }
             let body = &bytes[offset + RECORD_HEADER..offset + RECORD_HEADER + len];
             if checksum_of(body) != stored_sum {
-                // A bad checksum on the very last record of the log is a
-                // torn (unacknowledged) tail — e.g. blocks flushed out of
-                // order at power loss. Anywhere else it is interior
+                // A bad checksum in the last segment with no valid record
+                // after it is a torn (unacknowledged) tail — e.g. blocks
+                // flushed out of order at power loss; with pipelined
+                // commit the tear can start frames before the end, so the
+                // rule walks the length chain instead of demanding the
+                // mismatch be the final record. A valid successor — or
+                // any mismatch in a non-final segment — is interior
                 // corruption of acknowledged data.
-                if is_last_segment && offset + RECORD_HEADER + len == bytes.len() {
-                    torn_at = Some((offset, "checksum mismatch on final record".to_string()));
+                if is_last_segment
+                    && !tail_has_valid_successor(&bytes, offset + RECORD_HEADER + len)
+                {
+                    torn_at = Some((
+                        offset,
+                        "checksum mismatch with no valid successor (torn tail)".to_string(),
+                    ));
                     break;
                 }
                 return Err(WalError::Corrupt {
@@ -400,6 +476,7 @@ fn replay(backend: &dyn StorageBackend) -> WalResult<Replayed> {
                     // self-delimiting, the cursor must advance); apply
                     // only past the snapshot point.
                     if record_seq > snapshot_seq {
+                        dirty_chunks.insert(dirtied_chunk(&repo, &mutation));
                         repo.apply(mutation).map_err(|e| WalError::Replay {
                             seq: record_seq,
                             detail: e.to_string(),
@@ -432,6 +509,7 @@ fn replay(backend: &dyn StorageBackend) -> WalResult<Replayed> {
                             detail: format!("{} trailing bytes after mutation", cursor.len()),
                         });
                     }
+                    dirty_chunks.insert(dirtied_chunk(&repo, &mutation));
                     repo.apply(mutation)
                         .map_err(|e| WalError::Replay { seq, detail: e.to_string() })?;
                     stats.replayed += 1;
@@ -458,7 +536,7 @@ fn replay(backend: &dyn StorageBackend) -> WalResult<Replayed> {
             active_segment = Some((name.clone(), bytes.len() as u64));
         }
     }
-    Ok(Replayed { repo, stats, active_segment })
+    Ok(Replayed { repo, stats, active_segment, manifest, dirty_chunks })
 }
 
 impl Repository {
@@ -513,11 +591,20 @@ pub struct DurabilityPolicy {
     /// `None` (default): the per-record behavior, byte-identical logs.
     pub group_commit: Option<GroupCommit>,
     /// Write cadence snapshots on a [`WorkerPool`] job instead of the
-    /// mutating thread: the pause shrinks to one repository clone, at the
-    /// price of transient memory for the frozen image. Takes effect once
-    /// a pool is attached ([`DurableLog::set_snapshot_pool`]); without
-    /// one, snapshots stay inline.
+    /// mutating thread: the pause shrinks to a copy-on-write image of the
+    /// dirtied chunks, at the price of transient memory for the frozen
+    /// clones. Takes effect once a pool is attached
+    /// ([`DurableLog::set_snapshot_pool`]); without one, snapshots stay
+    /// inline.
     pub background_snapshots: bool,
+    /// Pipelined commit: the serving front appends through
+    /// [`DurableLog::append_batch_pipelined`], deferring the covering
+    /// fsync to a dedicated pool sync job so batch *k*'s apply overlaps
+    /// batch *k−1*'s fsync. Acknowledgement stays ordered behind the
+    /// fsync that covers each record. Takes effect once a sync pool is
+    /// attached ([`DurableLog::set_sync_pool`]); without one, the fsync
+    /// runs inline (plain group-commit behavior).
+    pub pipelined_commit: bool,
     /// Snapshot (and prune covered segments) every N appended records;
     /// 0 disables automatic snapshots.
     pub snapshot_every: u64,
@@ -531,6 +618,7 @@ impl Default for DurabilityPolicy {
             fsync_each: true,
             group_commit: None,
             background_snapshots: false,
+            pipelined_commit: false,
             snapshot_every: 256,
             segment_bytes: 64 * 1024,
         }
@@ -545,6 +633,15 @@ impl DurabilityPolicy {
             group_commit: Some(GroupCommit { max_batch, max_delay_us }),
             background_snapshots: true,
             ..DurabilityPolicy::default()
+        }
+    }
+
+    /// [`Self::grouped`] plus pipelined commit: covering fsyncs run on a
+    /// dedicated sync job so the next batch's apply overlaps them.
+    pub fn pipelined(max_batch: usize, max_delay_us: u64) -> Self {
+        DurabilityPolicy {
+            pipelined_commit: true,
+            ..DurabilityPolicy::grouped(max_batch, max_delay_us)
         }
     }
 }
@@ -597,11 +694,25 @@ pub struct DurabilityStats {
     pub last_seq: u64,
     /// Sequence number the latest snapshot covers through.
     pub snapshot_seq: u64,
+    /// Deepest the pipelined-commit sync queue has been (frames awaiting
+    /// their covering fsync, including the one being synced).
+    pub pipeline_depth_high_water: u64,
+    /// Pipelined frames enqueued while a sync job was already running —
+    /// each one is an append/apply that overlapped an in-flight fsync.
+    pub overlapped_fsyncs: u64,
+    /// Chunks serialized and written by copy-on-write snapshots.
+    pub snapshot_chunks_written: u64,
+    /// Chunks reused by reference (clean since the last snapshot, or
+    /// deduplicated by content address) across copy-on-write snapshots.
+    pub snapshot_chunks_reused: u64,
+    /// Bytes snapshots actually wrote (chunk payloads + manifests for
+    /// copy-on-write snapshots, the full image for whole-image ones).
+    pub snapshot_bytes_written: u64,
 }
 
 /// Counters a background snapshot job updates; shared between the log and
 /// its in-flight pool jobs, merged into [`DurabilityStats`] on read.
-#[derive(Debug, Default)]
+#[derive(Default)]
 struct BgSnapshot {
     /// One background snapshot at a time: set before spawning, cleared by
     /// the job. While set, due cadences are skipped (and retried later).
@@ -611,6 +722,110 @@ struct BgSnapshot {
     busy_us: AtomicU64,
     pruned: AtomicU64,
     snapshot_seq: AtomicU64,
+    chunks_written: AtomicU64,
+    chunks_reused: AtomicU64,
+    bytes_written: AtomicU64,
+    /// The finished job's verdict, harvested by the mutating thread at
+    /// the next snapshot decision ([`DurableLog::refresh_manifest`]):
+    /// `Some(Some(manifest))` — success, the new baseline; `Some(None)` —
+    /// failure, the chunks the job was flushing are still dirty.
+    outcome: Mutex<Option<Option<Vec<ChunkRef>>>>,
+}
+
+/// What each pipelined append hands the sync job: which segment's fsync
+/// covers it, how many mutations it carries (for `fsyncs_saved`), and the
+/// acknowledgement to fire once that fsync lands.
+struct PendingFrame {
+    segment: String,
+    count: u64,
+    on_durable: DurableCallback,
+}
+
+/// Fired exactly once per [`DurableLog::append_batch_pipelined`] frame,
+/// after the fsync covering it succeeds (`Ok`) or the pipeline poisons
+/// (`Err`). Runs on the sync job's thread — keep it cheap and lock-light.
+pub type DurableCallback = Box<dyn FnOnce(WalResult<()>) + Send + 'static>;
+
+#[derive(Default)]
+struct SyncQueue {
+    pending: VecDeque<PendingFrame>,
+    /// A sync job is draining the queue; new frames just enqueue.
+    job_active: bool,
+    /// A covering fsync failed: every queued and future frame fails.
+    poisoned: Option<String>,
+}
+
+/// State shared between the mutating thread and its pipelined sync jobs.
+#[derive(Default)]
+struct SyncShared {
+    queue: Mutex<SyncQueue>,
+    syncs: AtomicU64,
+    fsyncs_saved: AtomicU64,
+    overlapped: AtomicU64,
+    depth_high_water: AtomicU64,
+}
+
+/// The pipelined sync job: drain queued frames, fsync once per run of
+/// consecutive frames sharing a segment, then fire their acknowledgements
+/// in FIFO order. Loops until the queue is empty so one job covers every
+/// frame enqueued while it ran. Callbacks always run with the queue lock
+/// released.
+fn run_sync_job(backend: Arc<dyn StorageBackend>, shared: Arc<SyncShared>) {
+    loop {
+        let drained: Vec<PendingFrame> = {
+            let mut q = shared.queue.lock().expect("sync queue lock");
+            if q.pending.is_empty() {
+                q.job_active = false;
+                return;
+            }
+            q.pending.drain(..).collect()
+        };
+        let mut frames = drained.into_iter().peekable();
+        while let Some(frame) = frames.next() {
+            let mut run = vec![frame];
+            while frames.peek().is_some_and(|f| f.segment == run[0].segment) {
+                run.push(frames.next().expect("peeked"));
+            }
+            let segment = run[0].segment.clone();
+            match backend.sync(&segment) {
+                Ok(()) => {
+                    shared.syncs.fetch_add(1, Ordering::Relaxed);
+                    let saved: u64 = run.iter().map(|f| f.count.saturating_sub(1)).sum::<u64>()
+                        + (run.len() as u64 - 1);
+                    shared.fsyncs_saved.fetch_add(saved, Ordering::Relaxed);
+                    for f in run {
+                        (f.on_durable)(Ok(()));
+                    }
+                }
+                Err(e) => {
+                    // A snapshot job may have pruned the segment after its
+                    // records became durable via the snapshot itself; a
+                    // vanished file is covered, not lost.
+                    if matches!(backend.exists(&segment), Ok(false)) {
+                        for f in run {
+                            (f.on_durable)(Ok(()));
+                        }
+                        continue;
+                    }
+                    let detail = e.to_string();
+                    let stragglers: Vec<PendingFrame> = {
+                        let mut q = shared.queue.lock().expect("sync queue lock");
+                        q.poisoned = Some(detail.clone());
+                        q.job_active = false;
+                        q.pending.drain(..).collect()
+                    };
+                    let mut first = Some(WalError::Storage(e));
+                    for f in run.into_iter().chain(frames).chain(stragglers) {
+                        let err = first
+                            .take()
+                            .unwrap_or_else(|| WalError::Poisoned { detail: detail.clone() });
+                        (f.on_durable)(Err(err));
+                    }
+                    return;
+                }
+            }
+        }
+    }
 }
 
 /// The append side of the WAL: owns the backend, the active segment, the
@@ -629,6 +844,21 @@ pub struct DurableLog {
     /// opts in; see [`Self::set_snapshot_pool`].
     snapshot_pool: Option<Arc<WorkerPool>>,
     bg: Arc<BgSnapshot>,
+    /// Runs pipelined covering fsyncs when the policy opts in; see
+    /// [`Self::set_sync_pool`].
+    sync_pool: Option<Arc<WorkerPool>>,
+    pipeline: Arc<SyncShared>,
+    /// Entries the acknowledged history has produced — the id the next
+    /// `InsertSpec` lands on, which fixes the chunk it dirties.
+    entry_count: u64,
+    /// Chunks dirtied since the last successful snapshot.
+    dirty_chunks: BTreeSet<u32>,
+    /// Chunk manifest of the last successful copy-on-write snapshot;
+    /// empty after whole-image snapshots (every chunk then rewrites).
+    last_manifest: Vec<ChunkRef>,
+    /// Chunks handed to the in-flight background job: re-dirtied if it
+    /// fails, retired with it if it succeeds.
+    in_flight_dirty: Vec<u32>,
 }
 
 impl fmt::Debug for DurableLog {
@@ -661,6 +891,7 @@ impl DurableLog {
         let next_seq = replayed.stats.last_seq + 1;
         let (active, active_bytes) =
             replayed.active_segment.unwrap_or_else(|| (segment_name(next_seq), 0));
+        let entry_count = replayed.repo.len() as u64;
         let log = DurableLog {
             backend,
             policy,
@@ -676,6 +907,12 @@ impl DurableLog {
             poisoned: None,
             snapshot_pool: None,
             bg: Arc::default(),
+            sync_pool: None,
+            pipeline: Arc::default(),
+            entry_count,
+            dirty_chunks: replayed.dirty_chunks,
+            last_manifest: replayed.manifest.unwrap_or_default(),
+            in_flight_dirty: Vec::new(),
         };
         Ok(Opened { log, repository: replayed.repo, recovery: replayed.stats })
     }
@@ -742,7 +979,162 @@ impl DurableLog {
         self.stats.batch_size_counts[bucket] += 1;
         self.stats.bytes_appended += record.len() as u64;
         self.stats.last_seq = first + count - 1;
+        self.note_applied(mutations);
         Ok(first)
+    }
+
+    /// Track which copy-on-write chunks the appended mutations dirty,
+    /// mirroring the id assignment the repository will make when they
+    /// apply.
+    fn note_applied(&mut self, mutations: &[Mutation]) {
+        for m in mutations {
+            let id = match m {
+                Mutation::InsertSpec { .. } => {
+                    let id = self.entry_count as u32;
+                    self.entry_count += 1;
+                    id
+                }
+                Mutation::AddExecution { spec, .. } | Mutation::SetPolicy { spec, .. } => spec.0,
+            };
+            self.dirty_chunks.insert(snapshot::chunk_of(id));
+        }
+    }
+
+    /// [`Self::append_batch`] with the covering fsync pipelined onto the
+    /// sync pool: the record is appended (and the in-memory apply may
+    /// proceed) immediately, while `on_durable` fires — exactly once, on
+    /// the sync job's thread — only after the fsync covering this frame
+    /// succeeds. Acknowledge on the callback, never on return.
+    ///
+    /// The callback fires **exactly once on every path**, so callers can
+    /// count completions: `Err` here means the record was not appended —
+    /// fail the run inline, as with `append_batch` — and the callback
+    /// fires with a matching error before this returns. `Ok` means the
+    /// frame is in the pipeline; a later fsync failure reaches the caller
+    /// only through `on_durable(Err(_))`, poisoning the log for
+    /// subsequent appends.
+    ///
+    /// Without a sync pool (or with `fsync_each` off) this degrades to
+    /// the inline behavior and fires the callback before returning.
+    pub fn append_batch_pipelined(
+        &mut self,
+        mutations: &[Mutation],
+        on_durable: DurableCallback,
+    ) -> WalResult<u64> {
+        assert!(!mutations.is_empty(), "append_batch_pipelined needs at least one mutation");
+        if self.poisoned.is_none() {
+            let q = self.pipeline.queue.lock().expect("sync queue lock");
+            if let Some(detail) = &q.poisoned {
+                self.poisoned = Some(detail.clone());
+            }
+        }
+        if let Some(detail) = &self.poisoned {
+            let detail = detail.clone();
+            on_durable(Err(WalError::Poisoned { detail: detail.clone() }));
+            return Err(WalError::Poisoned { detail });
+        }
+        let first = self.next_seq;
+        let count = mutations.len() as u64;
+        let record = if count == 1 {
+            encode_record(first, &mutations[0])
+        } else {
+            encode_batch_record(first, mutations)
+        };
+        if self.active_bytes > 0
+            && self.active_bytes + record.len() as u64 > self.policy.segment_bytes
+        {
+            self.active = segment_name(first);
+            self.active_bytes = 0;
+            self.stats.rotations += 1;
+        }
+        if let Err(e) = self.backend.append(&self.active, &record) {
+            let detail = e.to_string();
+            self.poisoned = Some(detail.clone());
+            on_durable(Err(WalError::Poisoned { detail }));
+            return Err(e.into());
+        }
+        self.active_bytes += record.len() as u64;
+        self.next_seq = first + count;
+        self.since_snapshot += count;
+        self.stats.appends += count;
+        self.stats.records += 1;
+        let bucket = BATCH_SIZE_BOUNDS
+            .iter()
+            .position(|&bound| count <= bound)
+            .unwrap_or(BATCH_SIZE_BOUNDS.len());
+        self.stats.batch_size_counts[bucket] += 1;
+        self.stats.bytes_appended += record.len() as u64;
+        self.stats.last_seq = first + count - 1;
+        self.note_applied(mutations);
+        if !self.policy.fsync_each {
+            on_durable(Ok(()));
+            return Ok(first);
+        }
+        let Some(pool) = self.sync_pool.clone() else {
+            // Degrade to the inline covering fsync: same durability, no
+            // overlap.
+            match self.backend.sync(&self.active) {
+                Ok(()) => {
+                    self.stats.syncs += 1;
+                    self.stats.fsyncs_saved += count - 1;
+                    on_durable(Ok(()));
+                }
+                Err(e) => {
+                    self.poisoned = Some(e.to_string());
+                    on_durable(Err(e.into()));
+                }
+            }
+            return Ok(first);
+        };
+        let spawn = {
+            let mut q = self.pipeline.queue.lock().expect("sync queue lock");
+            if let Some(detail) = q.poisoned.clone() {
+                drop(q);
+                self.poisoned = Some(detail.clone());
+                on_durable(Err(WalError::Poisoned { detail }));
+                return Ok(first);
+            }
+            if q.job_active {
+                self.pipeline.overlapped.fetch_add(1, Ordering::Relaxed);
+            }
+            q.pending.push_back(PendingFrame { segment: self.active.clone(), count, on_durable });
+            self.pipeline.depth_high_water.fetch_max(q.pending.len() as u64, Ordering::Relaxed);
+            let spawn = !q.job_active;
+            q.job_active = true;
+            spawn
+        };
+        if spawn {
+            let backend = Arc::clone(&self.backend);
+            let shared = Arc::clone(&self.pipeline);
+            pool.exec(move || run_sync_job(backend, shared));
+        }
+        Ok(first)
+    }
+
+    /// Route pipelined covering fsyncs to `pool` when the policy opts in
+    /// ([`DurabilityPolicy::pipelined_commit`]): `append_batch_pipelined`
+    /// then returns before the fsync and the acknowledgement callback
+    /// fires from a pool sync job. Without a pool the fsync stays inline.
+    pub fn set_sync_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.sync_pool = Some(pool);
+    }
+
+    /// Block until no pipelined frame awaits its covering fsync, helping
+    /// the sync pool while waiting. Test/bench teardown and pre-snapshot
+    /// barriers — the append path never waits.
+    pub fn wait_for_pipeline(&self) {
+        loop {
+            {
+                let q = self.pipeline.queue.lock().expect("sync queue lock");
+                if q.pending.is_empty() && !q.job_active {
+                    return;
+                }
+            }
+            let helped = self.sync_pool.as_ref().is_some_and(|pool| pool.help_one());
+            if !helped {
+                std::thread::yield_now();
+            }
+        }
     }
 
     /// Whether the snapshot cadence says it is time to snapshot.
@@ -779,7 +1171,8 @@ impl DurableLog {
                 return false;
             }
             let t = Instant::now();
-            let spawned = self.spawn_background_snapshot(repo.clone());
+            let image = self.cow_image_of(repo);
+            let spawned = self.spawn_background_snapshot(image);
             self.stats.snapshot_pause_us += t.elapsed().as_micros() as u64;
             return spawned;
         }
@@ -788,19 +1181,121 @@ impl DurableLog {
 
     /// [`Self::snapshot_if_due`] for a caller that already assembled an
     /// owned image of the acknowledged state (the cluster re-assembles
-    /// its shards for every snapshot): background mode moves the image
-    /// into the pool job without a second clone.
+    /// its shards for every snapshot): background mode clones only the
+    /// dirtied chunks out of the image into the pool job.
     pub fn snapshot_if_due_image(&mut self, image: Repository) -> bool {
         if !self.snapshot_due() {
             return false;
         }
         if self.background_enabled() {
+            if self.bg.in_flight.load(Ordering::Acquire) {
+                return false;
+            }
+            let t = Instant::now();
+            let cow = self.cow_image_of(&image);
+            let spawned = self.spawn_background_snapshot(cow);
+            self.stats.snapshot_pause_us += t.elapsed().as_micros() as u64;
+            return spawned;
+        }
+        self.snapshot_inline_counted(&image)
+    }
+
+    /// [`Self::snapshot_if_due`] for a caller that built the
+    /// copy-on-write image itself (the cluster assembles only the chunks
+    /// [`Self::snapshot_chunk_plan`] marked dirty): background mode moves
+    /// the image into the pool job; inline mode writes the chunked
+    /// snapshot on this thread, with the usual failure counting.
+    pub fn snapshot_if_due_cow(&mut self, image: CowImage) -> bool {
+        if !self.snapshot_due() {
+            return false;
+        }
+        if self.background_enabled() {
+            if self.bg.in_flight.load(Ordering::Acquire) {
+                return false;
+            }
             let t = Instant::now();
             let spawned = self.spawn_background_snapshot(image);
             self.stats.snapshot_pause_us += t.elapsed().as_micros() as u64;
             return spawned;
         }
-        self.snapshot_inline_counted(&image)
+        let t = Instant::now();
+        let wrote = match self.snapshot_now_chunked(&image) {
+            Ok(()) => true,
+            Err(_) => {
+                self.stats.snapshot_failures += 1;
+                false
+            }
+        };
+        self.stats.snapshot_pause_us += t.elapsed().as_micros() as u64;
+        wrote
+    }
+
+    /// Harvest the outcome of a finished background snapshot job: on
+    /// success its manifest becomes the clean baseline and the chunks it
+    /// flushed stay retired; on failure those chunks return to the dirty
+    /// set so the next snapshot re-flushes them. Call only while no job
+    /// is in flight.
+    fn refresh_manifest(&mut self) {
+        let taken = self.bg.outcome.lock().expect("bg outcome lock").take();
+        match taken {
+            Some(Some(manifest)) => {
+                self.last_manifest = manifest;
+                self.in_flight_dirty.clear();
+            }
+            Some(None) => {
+                let failed = std::mem::take(&mut self.in_flight_dirty);
+                self.dirty_chunks.extend(failed);
+            }
+            None => {}
+        }
+    }
+
+    /// Which chunks the next snapshot may reuse: entry `c` is
+    /// `Some(chunk_ref)` when chunk `c` is clean since the last snapshot
+    /// (same entry population, no dirtying mutation), `None` when it must
+    /// be re-serialized. `entry_count` is the acknowledged entry total
+    /// the image will carry.
+    pub fn snapshot_chunk_plan(&mut self, entry_count: usize) -> Vec<Option<ChunkRef>> {
+        self.refresh_manifest();
+        let chunks = entry_count.div_ceil(CHUNK_SPECS);
+        (0..chunks)
+            .map(|c| {
+                let lo = c * CHUNK_SPECS;
+                let hi = entry_count.min(lo + CHUNK_SPECS);
+                match self.last_manifest.get(c) {
+                    Some(r)
+                        if !self.dirty_chunks.contains(&(c as u32))
+                            && r.entries == (hi - lo) as u32 =>
+                    {
+                        Some(*r)
+                    }
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    /// Build the copy-on-write image of `repo`: clean chunks by
+    /// reference, dirty ones cloned entry-by-entry.
+    fn cow_image_of(&mut self, repo: &Repository) -> CowImage {
+        let plan = self.snapshot_chunk_plan(repo.len());
+        let chunks = plan
+            .into_iter()
+            .enumerate()
+            .map(|(c, reuse)| match reuse {
+                Some(r) => CowChunk::Clean(r),
+                None => {
+                    let lo = c * CHUNK_SPECS;
+                    let hi = repo.len().min(lo + CHUNK_SPECS);
+                    CowChunk::Dirty(
+                        (lo..hi)
+                            .map(|id| repo.entry(SpecId(id as u32)).expect("id < len").clone())
+                            .collect(),
+                    )
+                }
+            })
+            .collect();
+        CowImage { version: repo.version(), chunks }
     }
 
     /// Inline cadence snapshot with failure counting and pause timing.
@@ -834,7 +1329,7 @@ impl DurableLog {
     /// delete those mid-flight rotations and lose acknowledged records.
     /// One job in flight at a time; failures are counted, never surfaced
     /// — the same contract as the inline [`Self::snapshot_if_due`].
-    fn spawn_background_snapshot(&mut self, image: Repository) -> bool {
+    fn spawn_background_snapshot(&mut self, image: CowImage) -> bool {
         if self.poisoned.is_some() || self.bg.in_flight.swap(true, Ordering::AcqRel) {
             return false;
         }
@@ -846,17 +1341,23 @@ impl DurableLog {
             self.stats.rotations += 1;
         }
         self.since_snapshot = 0;
+        // Hand the dirty set to the job: retired on success, returned to
+        // the dirty set on failure (see `refresh_manifest`).
+        self.in_flight_dirty = std::mem::take(&mut self.dirty_chunks).into_iter().collect();
         let backend = Arc::clone(&self.backend);
         let bg = Arc::clone(&self.bg);
         let pool = self.snapshot_pool.as_ref().expect("background_enabled checked by callers");
         pool.exec(move || {
             let t = Instant::now();
-            match snapshot::write(&*backend, through, &image) {
-                Ok(()) => {
+            match snapshot::write_chunked(&*backend, through, &image) {
+                Ok(wrote) => {
                     bg.snapshot_seq.store(through, Ordering::Release);
-                    // Prune covered segments and stale snapshots. Removal
-                    // failures leak files, never correctness: replay
-                    // skips covered records.
+                    // Prune covered segments, stale snapshots, and chunk
+                    // files the fresh manifest no longer references.
+                    // Removal failures leak files, never correctness:
+                    // replay skips covered records and ignores
+                    // unreferenced chunks.
+                    let referenced: HashSet<u64> = wrote.manifest.iter().map(|r| r.hash).collect();
                     if let Ok(names) = backend.list() {
                         for name in names {
                             if let Some(first) = parse_segment_name(&name) {
@@ -867,12 +1368,21 @@ impl DurableLog {
                                 if covered < through {
                                     let _ = backend.remove(&name);
                                 }
+                            } else if let Some(hash) = snapshot::parse_chunk_name(&name) {
+                                if !referenced.contains(&hash) {
+                                    let _ = backend.remove(&name);
+                                }
                             }
                         }
                     }
+                    bg.chunks_written.fetch_add(wrote.chunks_written, Ordering::Relaxed);
+                    bg.chunks_reused.fetch_add(wrote.chunks_reused, Ordering::Relaxed);
+                    bg.bytes_written.fetch_add(wrote.bytes_written, Ordering::Relaxed);
+                    *bg.outcome.lock().expect("bg outcome lock") = Some(Some(wrote.manifest));
                     bg.completed.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(_) => {
+                    *bg.outcome.lock().expect("bg outcome lock") = Some(None);
                     bg.failed.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -919,10 +1429,17 @@ impl DurableLog {
             return Err(WalError::Poisoned { detail: detail.clone() });
         }
         let through = self.next_seq - 1;
-        snapshot::write(&*self.backend, through, repo)?;
+        let bytes = snapshot::write(&*self.backend, through, repo)?;
         self.stats.snapshots += 1;
         self.stats.snapshot_seq = through;
+        self.stats.snapshot_bytes_written += bytes;
         self.since_snapshot = 0;
+        // A whole-image snapshot resets the copy-on-write baseline: every
+        // chunk is now clean relative to *no* manifest, so the next
+        // chunked snapshot rewrites them all.
+        self.entry_count = repo.len() as u64;
+        self.dirty_chunks.clear();
+        self.last_manifest.clear();
         // Rotate first (lazily — the file appears on the next append), so
         // every existing segment is fully covered and prunable. Removal
         // failures after a successful snapshot are non-fatal to
@@ -937,10 +1454,50 @@ impl DurableLog {
                 if covered < through {
                     self.backend.remove(&name)?;
                 }
+            } else if snapshot::parse_chunk_name(&name).is_some() {
+                // A whole-image snapshot supersedes every chunk file.
+                self.backend.remove(&name)?;
             }
         }
         self.active = fresh;
         self.active_bytes = 0;
+        Ok(())
+    }
+
+    /// [`Self::snapshot_now`] for a copy-on-write image: writes only the
+    /// dirty chunks plus a manifest, reusing clean chunks by reference.
+    fn snapshot_now_chunked(&mut self, image: &CowImage) -> WalResult<()> {
+        if let Some(detail) = &self.poisoned {
+            return Err(WalError::Poisoned { detail: detail.clone() });
+        }
+        let through = self.next_seq - 1;
+        let wrote = snapshot::write_chunked(&*self.backend, through, image)?;
+        self.stats.snapshots += 1;
+        self.stats.snapshot_seq = through;
+        self.stats.snapshot_chunks_written += wrote.chunks_written;
+        self.stats.snapshot_chunks_reused += wrote.chunks_reused;
+        self.stats.snapshot_bytes_written += wrote.bytes_written;
+        self.since_snapshot = 0;
+        self.dirty_chunks.clear();
+        let referenced: HashSet<u64> = wrote.manifest.iter().map(|r| r.hash).collect();
+        let fresh = segment_name(self.next_seq);
+        for name in self.backend.list()? {
+            if parse_segment_name(&name).is_some() && name != fresh {
+                self.backend.remove(&name)?;
+                self.stats.segments_pruned += 1;
+            } else if let Some(covered) = snapshot::parse_name(&name) {
+                if covered < through {
+                    self.backend.remove(&name)?;
+                }
+            } else if let Some(hash) = snapshot::parse_chunk_name(&name) {
+                if !referenced.contains(&hash) {
+                    self.backend.remove(&name)?;
+                }
+            }
+        }
+        self.active = fresh;
+        self.active_bytes = 0;
+        self.last_manifest = wrote.manifest;
         Ok(())
     }
 
@@ -954,6 +1511,13 @@ impl DurableLog {
         stats.segments_pruned += self.bg.pruned.load(Ordering::Relaxed);
         stats.snapshot_background_us = self.bg.busy_us.load(Ordering::Relaxed);
         stats.snapshot_seq = stats.snapshot_seq.max(self.bg.snapshot_seq.load(Ordering::Relaxed));
+        stats.snapshot_chunks_written += self.bg.chunks_written.load(Ordering::Relaxed);
+        stats.snapshot_chunks_reused += self.bg.chunks_reused.load(Ordering::Relaxed);
+        stats.snapshot_bytes_written += self.bg.bytes_written.load(Ordering::Relaxed);
+        stats.syncs += self.pipeline.syncs.load(Ordering::Relaxed);
+        stats.fsyncs_saved += self.pipeline.fsyncs_saved.load(Ordering::Relaxed);
+        stats.overlapped_fsyncs = self.pipeline.overlapped.load(Ordering::Relaxed);
+        stats.pipeline_depth_high_water = self.pipeline.depth_high_water.load(Ordering::Relaxed);
         stats
     }
 
@@ -1268,6 +1832,215 @@ mod tests {
         let (recovered, rstats) = Repository::recover(&*storage).unwrap();
         assert!(rstats.snapshot_seq >= 4);
         assert_eq!(recovered.save(), repo.save(), "snapshot + suffix replay bit-identical");
+        assert_eq!(recovered.version(), repo.version());
+    }
+
+    /// Callback sink for pipelined appends: records each frame's
+    /// durability outcome in completion order.
+    fn acked_sink() -> (Arc<Mutex<Vec<WalResult<()>>>>, impl Fn() -> DurableCallback) {
+        let acked: Arc<Mutex<Vec<WalResult<()>>>> = Arc::default();
+        let sink = Arc::clone(&acked);
+        let make = move || {
+            let sink = Arc::clone(&sink);
+            Box::new(move |r: WalResult<()>| sink.lock().unwrap().push(r)) as DurableCallback
+        };
+        (acked, make)
+    }
+
+    #[test]
+    fn pipelined_appends_overlap_one_covering_fsync() {
+        let storage = Arc::new(MemStorage::new());
+        let opened = DurableLog::open(
+            Arc::clone(&storage) as Arc<dyn StorageBackend>,
+            DurabilityPolicy { snapshot_every: 0, ..DurabilityPolicy::pipelined(8, 0) },
+        )
+        .unwrap();
+        let mut log = opened.log;
+        let mut repo = opened.repository;
+        let pool = Arc::new(WorkerPool::new(1));
+        log.set_sync_pool(Arc::clone(&pool));
+        // Plug the single pool thread so every frame queues behind one
+        // in-flight "fsync": the appends below all overlap it.
+        let gate = Arc::new(AtomicBool::new(false));
+        let plug = Arc::clone(&gate);
+        pool.exec(move || {
+            while !plug.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        });
+        let (acked, make) = acked_sink();
+        for _ in 0..4 {
+            let m = insert();
+            repo.check(&m).unwrap();
+            log.append_batch_pipelined(std::slice::from_ref(&m), make()).unwrap();
+            repo.apply(m).unwrap();
+        }
+        assert!(acked.lock().unwrap().is_empty(), "nothing acknowledged before the fsync");
+        gate.store(true, Ordering::Release);
+        log.wait_for_pipeline();
+        let outcomes = acked.lock().unwrap();
+        assert_eq!(outcomes.len(), 4, "every frame acknowledged exactly once");
+        assert!(outcomes.iter().all(|r| r.is_ok()));
+        drop(outcomes);
+        let stats = log.stats();
+        assert_eq!(stats.pipeline_depth_high_water, 4, "all four frames queued at once");
+        assert_eq!(stats.overlapped_fsyncs, 3, "frames 2..4 overlapped the in-flight job");
+        assert_eq!(stats.syncs, 1, "one covering fsync drains the whole queue");
+        assert_eq!(stats.fsyncs_saved, 3, "per-record would have cost four");
+        let (recovered, rstats) = Repository::recover(&*storage).unwrap();
+        assert_eq!(rstats.replayed, 4);
+        assert_eq!(recovered.save(), repo.save(), "pipelined replay bit-identical");
+    }
+
+    #[test]
+    fn pipelined_fsync_failure_fails_every_queued_frame_and_poisons() {
+        let storage =
+            Arc::new(MemStorage::with_faults(FaultPlan { fail_syncs: 1, ..FaultPlan::default() }));
+        let opened = DurableLog::open(
+            Arc::clone(&storage) as Arc<dyn StorageBackend>,
+            DurabilityPolicy { snapshot_every: 0, ..DurabilityPolicy::pipelined(8, 0) },
+        )
+        .unwrap();
+        let mut log = opened.log;
+        let pool = Arc::new(WorkerPool::new(1));
+        log.set_sync_pool(Arc::clone(&pool));
+        let gate = Arc::new(AtomicBool::new(false));
+        let plug = Arc::clone(&gate);
+        pool.exec(move || {
+            while !plug.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        });
+        let (acked, make) = acked_sink();
+        for _ in 0..3 {
+            log.append_batch_pipelined(&[insert()], make()).unwrap();
+        }
+        gate.store(true, Ordering::Release);
+        log.wait_for_pipeline();
+        let outcomes = acked.lock().unwrap();
+        assert_eq!(outcomes.len(), 3, "failed frames still complete their callbacks");
+        assert!(outcomes.iter().all(|r| r.is_err()), "no frame may acknowledge");
+        assert!(matches!(outcomes[0], Err(WalError::Storage(_))));
+        assert!(matches!(outcomes[1], Err(WalError::Poisoned { .. })));
+        drop(outcomes);
+        match log.append_batch_pipelined(&[insert()], Box::new(|_| {})) {
+            Err(WalError::Poisoned { .. }) => {}
+            other => panic!("expected Poisoned, got {other:?}"),
+        }
+        assert!(log.is_poisoned());
+        assert_eq!(log.stats().syncs, 0);
+    }
+
+    #[test]
+    fn pipelined_without_sync_pool_degrades_to_inline_fsync() {
+        let storage = Arc::new(MemStorage::new());
+        let opened = DurableLog::open(
+            Arc::clone(&storage) as Arc<dyn StorageBackend>,
+            DurabilityPolicy { snapshot_every: 0, ..DurabilityPolicy::pipelined(8, 0) },
+        )
+        .unwrap();
+        let mut log = opened.log;
+        let mut repo = opened.repository;
+        let (acked, make) = acked_sink();
+        let batch = vec![insert(), insert()];
+        for m in &batch {
+            repo.check(m).unwrap();
+        }
+        log.append_batch_pipelined(&batch, make()).unwrap();
+        for m in batch {
+            repo.apply(m).unwrap();
+        }
+        assert_eq!(acked.lock().unwrap().len(), 1, "callback fired before return");
+        assert!(acked.lock().unwrap()[0].is_ok());
+        let stats = log.stats();
+        assert_eq!(stats.syncs, 1, "the covering fsync ran inline");
+        assert_eq!(stats.fsyncs_saved, 1);
+        assert_eq!(stats.overlapped_fsyncs, 0, "nothing to overlap without a pool");
+        let (recovered, _) = Repository::recover(&*storage).unwrap();
+        assert_eq!(recovered.save(), repo.save());
+    }
+
+    #[test]
+    fn a_final_record_checksum_tear_truncates_but_valid_successors_mean_corruption() {
+        let storage = Arc::new(MemStorage::new());
+        let opened = DurableLog::open(
+            Arc::clone(&storage) as Arc<dyn StorageBackend>,
+            DurabilityPolicy { snapshot_every: 0, ..Default::default() },
+        )
+        .unwrap();
+        let mut log = opened.log;
+        let mut repo = opened.repository;
+        drive(&mut log, &mut repo, vec![insert(), insert(), insert()]);
+        let reference = repo.save();
+        // Compute where the LAST record begins so we can flip inside it.
+        let name = segment_name(1);
+        let bytes = storage.read(&name).unwrap().unwrap();
+        let mut offsets = Vec::new();
+        let mut at = 0usize;
+        while at + RECORD_HEADER <= bytes.len() {
+            offsets.push(at);
+            let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+            at += RECORD_HEADER + len;
+        }
+        assert_eq!(offsets.len(), 3);
+        // A checksum mismatch on the final record has no valid successor:
+        // it is a torn tail and truncates (the chain-walk rule).
+        storage.flip_byte(&name, offsets[2] + RECORD_HEADER + 1);
+        let (recovered, stats) = Repository::recover(&*storage).unwrap();
+        assert_eq!(stats.replayed, 2, "the intact prefix replays");
+        assert!(stats.truncated_bytes > 0);
+        assert_ne!(recovered.save(), reference);
+        // The same flip on an interior record has valid successors after
+        // it: real corruption, typed error (pinned by
+        // interior_corruption_is_a_typed_error).
+    }
+
+    #[test]
+    fn cow_snapshots_reuse_clean_chunks_and_recover_bit_identically() {
+        let storage = Arc::new(MemStorage::new());
+        let opened = DurableLog::open(
+            Arc::clone(&storage) as Arc<dyn StorageBackend>,
+            DurabilityPolicy {
+                background_snapshots: true,
+                snapshot_every: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut log = opened.log;
+        let mut repo = opened.repository;
+        log.set_snapshot_pool(Arc::new(WorkerPool::new(1)));
+        // Fill past one chunk (CHUNK_SPECS entries): once chunk 0 is full
+        // and untouched, later snapshots must reuse it by reference.
+        for _ in 0..(CHUNK_SPECS + 4) {
+            let m = insert();
+            repo.check(&m).unwrap();
+            log.append(&m).unwrap();
+            repo.apply(m).unwrap();
+            log.snapshot_if_due(&repo);
+            log.wait_for_background_snapshot();
+        }
+        let stats = log.stats();
+        assert!(
+            stats.background_snapshots >= CHUNK_SPECS as u64,
+            "cadence-1 snapshots each append"
+        );
+        assert!(stats.snapshot_chunks_written >= 1);
+        assert!(
+            stats.snapshot_chunks_reused >= 3,
+            "full, untouched chunk 0 reused by reference: {stats:?}"
+        );
+        // Only live chunks survive pruning: at most one per chunk range.
+        let chunks = storage
+            .list()
+            .unwrap()
+            .iter()
+            .filter(|n| snapshot::parse_chunk_name(n).is_some())
+            .count();
+        assert_eq!(chunks, 2, "stale chunk generations pruned");
+        let (recovered, rstats) = Repository::recover(&*storage).unwrap();
+        assert_eq!(rstats.snapshot_seq, (CHUNK_SPECS + 4) as u64);
+        assert_eq!(recovered.save(), repo.save(), "chunked snapshot replay bit-identical");
         assert_eq!(recovered.version(), repo.version());
     }
 

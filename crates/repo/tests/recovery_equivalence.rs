@@ -14,11 +14,13 @@
 //! scheduled offset. Small `snapshot_every` / `segment_bytes` knobs make
 //! crashes land before, inside, and after snapshots and rotations.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use ppwf_core::policy::Policy;
 use ppwf_model::exec::{Executor, HashOracle};
 use ppwf_repo::keyword_index::KeywordIndex;
+use ppwf_repo::pool::WorkerPool;
 use ppwf_repo::repository::{Repository, SpecId};
 use ppwf_repo::storage::{FaultPlan, MemStorage, StorageBackend};
 use ppwf_repo::wal::{DurabilityPolicy, DurableLog, GroupCommit, WalError};
@@ -151,6 +153,102 @@ fn batch_policy() -> DurabilityPolicy {
         group_commit: Some(GroupCommit { max_batch: 8, max_delay_us: 0 }),
         snapshot_every: 0,
         segment_bytes: u64::MAX,
+        ..DurabilityPolicy::default()
+    }
+}
+
+/// Pipelined variant of [`drive_batched`]: runs go through
+/// `append_batch_pipelined` with a dedicated sync job, and a run counts
+/// as *acknowledged* only when its durability callback fires `Ok` — the
+/// pipeline's contract, not the append's return. Returns
+/// `(acked, appended, deltas, batch_sizes)`: `appended` counts mutations
+/// whose append returned `Ok` (frames in the pipeline), `acked` the
+/// subset whose covering fsync confirmed. With a crash in flight the two
+/// legitimately differ — appended-but-unsynced frames persist in
+/// [`MemStorage`] — which is exactly the window the matrix probes.
+fn drive_pipelined(
+    storage: &Arc<MemStorage>,
+    pool: &Arc<WorkerPool>,
+    stream: &[Mutation],
+    run_lens: &[usize],
+) -> (usize, usize, Vec<u64>, Vec<usize>) {
+    let backend: Arc<dyn StorageBackend> = Arc::clone(storage) as Arc<dyn StorageBackend>;
+    let policy = DurabilityPolicy { pipelined_commit: true, ..batch_policy() };
+    let opened = DurableLog::open(backend, policy).expect("open on fresh storage");
+    let mut log = opened.log;
+    log.set_sync_pool(Arc::clone(pool));
+    let acked = Arc::new(AtomicUsize::new(0));
+    let mut appended = 0usize;
+    let mut deltas = Vec::new();
+    let mut batch_sizes = Vec::new();
+    let mut start = 0;
+    let mut run = 0;
+    while start < stream.len() {
+        let len = run_lens[run % run_lens.len()].clamp(1, stream.len() - start);
+        run += 1;
+        let before = storage.bytes_appended();
+        let acked_cb = Arc::clone(&acked);
+        let outcome = log.append_batch_pipelined(
+            &stream[start..start + len],
+            Box::new(move |verdict| {
+                if verdict.is_ok() {
+                    acked_cb.fetch_add(len, Ordering::SeqCst);
+                }
+            }),
+        );
+        if outcome.is_err() {
+            break;
+        }
+        appended += len;
+        deltas.push(storage.bytes_appended() - before);
+        batch_sizes.push(len);
+        start += len;
+    }
+    log.wait_for_pipeline();
+    (acked.load(Ordering::SeqCst), appended, deltas, batch_sizes)
+}
+
+/// Chunked copy-on-write snapshot variant of [`drive`]: a tight cadence
+/// runs a background COW snapshot (chunk blobs, then the manifest, then
+/// pruning) after nearly every append, and the driver waits the job out
+/// so every snapshot byte lands deterministically inside its mutation's
+/// delta — the crash schedule then probes mid-chunk writes, the gap
+/// between chunks and manifest, and manifests that reuse prior chunks.
+fn drive_cow(
+    storage: &Arc<MemStorage>,
+    stream: &[Mutation],
+    policy: DurabilityPolicy,
+) -> (usize, Vec<u64>) {
+    let backend: Arc<dyn StorageBackend> = Arc::clone(storage) as Arc<dyn StorageBackend>;
+    let opened = DurableLog::open(backend, policy).expect("open on fresh storage");
+    let mut log = opened.log;
+    let mut repo = opened.repository;
+    log.set_snapshot_pool(Arc::new(WorkerPool::new(1)));
+    let mut deltas = Vec::new();
+    let mut acked = 0;
+    for mutation in stream {
+        let before = storage.bytes_appended();
+        repo.check(mutation).expect("pre-validated stream");
+        if log.append(mutation).is_err() {
+            break;
+        }
+        acked += 1;
+        repo.apply(mutation.clone()).expect("checked mutation applies");
+        log.snapshot_if_due(&repo);
+        log.wait_for_background_snapshot();
+        deltas.push(storage.bytes_appended() - before);
+    }
+    (acked, deltas)
+}
+
+/// Tight COW cadence: a chunked background snapshot after every second
+/// mutation, so consecutive snapshots share (and must reuse) chunks.
+fn cow_policy() -> DurabilityPolicy {
+    DurabilityPolicy {
+        fsync_each: true,
+        background_snapshots: true,
+        snapshot_every: 2,
+        segment_bytes: 2048,
         ..DurabilityPolicy::default()
     }
 }
@@ -338,7 +436,12 @@ proptest! {
 
         let schedule = crash_schedule(
             &deltas,
-            &CrashScheduleParams { seed, interior_per_record: 4, exhaustive_max_len: 256 },
+            &CrashScheduleParams {
+                seed,
+                interior_per_record: 4,
+                exhaustive_max_len: 256,
+                ..Default::default()
+            },
         );
         for &offset in &schedule {
             let storage = Arc::new(MemStorage::with_faults(FaultPlan {
@@ -383,6 +486,151 @@ proptest! {
                     "ranked idf bits diverged on {:?} at crash byte {}", term, offset
                 );
             }
+        }
+    }
+
+    /// Pipelined-commit crash matrix: appends run ahead of their covering
+    /// fsyncs, so a crash can land between apply-of-batch-*k* and
+    /// fsync-of-batch-*k−1* — the in-flight window the schedule's
+    /// `exhaustive_tail_records` tears at every byte. The contract is
+    /// deliberately wider than the synchronous matrices: `MemStorage`
+    /// (like a real disk) may persist appended-but-unacknowledged frames,
+    /// so recovery yields `replay_prefix(n)` for some **batch-aligned**
+    /// `n` with `acked ≤ n ≤ appended` — every acknowledged write
+    /// survives, nothing torn is resurrected, and no batch ever recovers
+    /// partially.
+    #[test]
+    fn pipelined_commit_recovers_a_batch_aligned_acked_superset(
+        seed in any::<u64>(),
+        writes in proptest::collection::vec((0u8..3, any::<u64>()), 4..8),
+        run_lens in proptest::collection::vec(1usize..5, 1..4),
+    ) {
+        let stream = mutation_stream(&writes);
+        let pool = Arc::new(WorkerPool::new(1));
+
+        // Fault-free trace: everything appended is eventually acked, and
+        // the trace recovers bit-identically.
+        let trace = Arc::new(MemStorage::new());
+        let (acked, appended, deltas, batch_sizes) =
+            drive_pipelined(&trace, &pool, &stream, &run_lens);
+        prop_assert_eq!(acked, stream.len(), "fault-free pipeline must ack everything");
+        prop_assert_eq!(appended, stream.len());
+        let (trace_recovered, trace_stats) = Repository::recover(trace.as_ref()).unwrap();
+        prop_assert_eq!(trace_recovered.save(), replay_prefix(&stream, stream.len()).save());
+        prop_assert_eq!(trace_stats.last_seq, stream.len() as u64);
+
+        // Batch-boundary prefixes (in acknowledged mutation counts) are
+        // the only legal recovery points; precompute each one's reference
+        // image so the per-offset loop only compares bytes.
+        let mut aligned = vec![0usize];
+        for &size in &batch_sizes {
+            aligned.push(aligned.last().unwrap() + size);
+        }
+        let references: Vec<_> =
+            aligned.iter().map(|&n| replay_prefix(&stream, n).save()).collect();
+
+        let schedule = crash_schedule(
+            &deltas,
+            // Every byte of the final record — the deepest in-flight
+            // frame — plus sampled interiors of the rest: the nightly
+            // soak widens coverage via PROPTEST_CASES, debug tier-1
+            // keeps the matrix affordable.
+            &CrashScheduleParams {
+                seed,
+                interior_per_record: 2,
+                exhaustive_tail_records: 1,
+                ..Default::default()
+            },
+        );
+        for &offset in &schedule {
+            let storage = Arc::new(MemStorage::with_faults(FaultPlan {
+                crash_after_bytes: Some(offset),
+                ..FaultPlan::default()
+            }));
+            let (acked, appended, _, _) = drive_pipelined(&storage, &pool, &stream, &run_lens);
+            prop_assert!(acked <= appended, "crash at byte {}: acked past appended", offset);
+
+            let reopened = storage.reopen();
+            let (recovered, stats) = match Repository::recover(&reopened) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    return Err(TestCaseError::Fail(format!(
+                        "crash at byte {offset}: recovery failed: {e}"
+                    )))
+                }
+            };
+            let n = stats.last_seq as usize;
+            let Some(at) = aligned.iter().position(|&a| a == n) else {
+                return Err(TestCaseError::Fail(format!(
+                    "crash at byte {offset}: recovered {n} mutations, not a batch boundary"
+                )));
+            };
+            prop_assert!(
+                acked <= n && n <= appended,
+                "crash at byte {}: recovered {} outside acked {} ..= appended {}",
+                offset, n, acked, appended
+            );
+            prop_assert_eq!(
+                &recovered.save(), &references[at],
+                "crash at byte {}: recovered image diverges from its prefix", offset
+            );
+        }
+    }
+
+    /// Chunked COW snapshot crash matrix: with a background chunked
+    /// snapshot after every second append, the schedule's offsets land
+    /// inside chunk-blob writes, between the chunks and their manifest,
+    /// and across manifests that reuse earlier chunks. Whatever the
+    /// snapshot generation lost, the unpruned WAL suffix must restore:
+    /// recovery is bit-identical to the acknowledged prefix at every
+    /// offset (appends here are synchronous, so acked is exact).
+    #[test]
+    fn cow_snapshot_recovery_is_bit_identical_at_every_crash_offset(
+        seed in any::<u64>(),
+        writes in proptest::collection::vec((0u8..3, any::<u64>()), 4..9),
+    ) {
+        let stream = mutation_stream(&writes);
+        let policy = cow_policy();
+
+        let trace = Arc::new(MemStorage::new());
+        let (acked, deltas) = drive_cow(&trace, &stream, policy);
+        prop_assert_eq!(acked, stream.len(), "fault-free run must ack everything");
+        let (trace_recovered, trace_stats) = Repository::recover(trace.as_ref()).unwrap();
+        prop_assert_eq!(trace_recovered.save(), replay_prefix(&stream, stream.len()).save());
+        prop_assert_eq!(trace_stats.last_seq, stream.len() as u64);
+        prop_assert!(
+            trace_stats.snapshot_seq > 0,
+            "the cadence must have produced at least one chunked snapshot"
+        );
+
+        let schedule = crash_schedule(
+            &deltas,
+            &CrashScheduleParams { seed, interior_per_record: 3, ..Default::default() },
+        );
+        for &offset in &schedule {
+            let storage = Arc::new(MemStorage::with_faults(FaultPlan {
+                crash_after_bytes: Some(offset),
+                ..FaultPlan::default()
+            }));
+            let (acked, _) = drive_cow(&storage, &stream, policy);
+
+            let reopened = storage.reopen();
+            let (recovered, stats) = match Repository::recover(&reopened) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    return Err(TestCaseError::Fail(format!(
+                        "crash at byte {offset}: recovery failed: {e}"
+                    )))
+                }
+            };
+            prop_assert_eq!(
+                stats.last_seq, acked as u64,
+                "crash at byte {}: recovered seq != acknowledged count", offset
+            );
+            prop_assert_eq!(
+                recovered.save(), replay_prefix(&stream, acked).save(),
+                "crash at byte {}: recovered image diverges from reference", offset
+            );
         }
     }
 }

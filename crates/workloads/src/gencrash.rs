@@ -35,11 +35,25 @@ pub struct CrashScheduleParams {
     /// must recover exactly the previously-acked prefix. Longer records
     /// fall back to the sampled schedule. 0 (the default) disables.
     pub exhaustive_max_len: u64,
+    /// Probe **every** interior byte of the trace's last this-many
+    /// records regardless of length — the pipelined-commit in-flight
+    /// window: with apply running ahead of the covering fsync, the tail
+    /// records are exactly those whose fsync may still be outstanding at
+    /// the crash, so a tear at any byte across them (including a crash
+    /// between apply-of-batch-*k* and fsync-of-batch-*k−1*) must recover
+    /// a batch-aligned prefix of what was appended. 0 (the default)
+    /// disables.
+    pub exhaustive_tail_records: usize,
 }
 
 impl Default for CrashScheduleParams {
     fn default() -> Self {
-        CrashScheduleParams { seed: 1, interior_per_record: 2, exhaustive_max_len: 0 }
+        CrashScheduleParams {
+            seed: 1,
+            interior_per_record: 2,
+            exhaustive_max_len: 0,
+            exhaustive_tail_records: 0,
+        }
     }
 }
 
@@ -56,8 +70,9 @@ pub fn crash_schedule(record_lens: &[u64], params: &CrashScheduleParams) -> Vec<
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut offsets = vec![0u64];
     let mut cumulative = 0u64;
-    for &len in record_lens {
-        if len > 0 && len <= params.exhaustive_max_len {
+    let tail_start = record_lens.len().saturating_sub(params.exhaustive_tail_records);
+    for (i, &len) in record_lens.iter().enumerate() {
+        if len > 0 && (len <= params.exhaustive_max_len || i >= tail_start) {
             for interior in 1..len {
                 offsets.push(cumulative + interior);
             }
@@ -133,7 +148,12 @@ mod tests {
     #[test]
     fn exhaustive_mode_probes_every_interior_byte_of_small_records() {
         let lens = [6u64, 100];
-        let params = CrashScheduleParams { seed: 1, interior_per_record: 1, exhaustive_max_len: 8 };
+        let params = CrashScheduleParams {
+            seed: 1,
+            interior_per_record: 1,
+            exhaustive_max_len: 8,
+            ..Default::default()
+        };
         let schedule = crash_schedule(&lens, &params);
         // Record one (len 6 ≤ 8): offsets 0..=6 all present.
         for o in 0..=6u64 {
@@ -144,5 +164,28 @@ mod tests {
         let second_interior = schedule.iter().filter(|&&o| o > 6 && o < 106).count();
         assert!(second_interior < 99, "long record must stay sampled");
         assert!(schedule.contains(&106), "boundary always present");
+    }
+
+    #[test]
+    fn exhaustive_tail_probes_every_byte_of_in_flight_records() {
+        // Three long records; the in-flight window covers the last two.
+        let lens = [100u64, 40, 40];
+        let params = CrashScheduleParams {
+            seed: 1,
+            interior_per_record: 1,
+            exhaustive_tail_records: 2,
+            ..Default::default()
+        };
+        let schedule = crash_schedule(&lens, &params);
+        // Records two and three (offsets 100..180): every byte present.
+        for o in 100..=180u64 {
+            assert!(schedule.contains(&o), "in-flight tail missing offset {o}");
+        }
+        // Record one stays sampled.
+        let first_interior = schedule.iter().filter(|&&o| o > 0 && o < 100).count();
+        assert!(first_interior < 99, "pre-window record must stay sampled");
+        // A window wider than the trace is the fully exhaustive schedule.
+        let all = CrashScheduleParams { exhaustive_tail_records: 8, ..params };
+        assert_eq!(crash_schedule(&lens, &all).len(), 181);
     }
 }
