@@ -211,6 +211,12 @@ fn recovery_time_us(
             Mutation::SetPolicy { spec, policy } => {
                 Mutation::SetPolicy { spec: ppwf_repo::repository::SpecId(spec.0 + shift), policy }
             }
+            Mutation::DeleteSpec { spec } => {
+                Mutation::DeleteSpec { spec: ppwf_repo::repository::SpecId(spec.0 + shift) }
+            }
+            Mutation::EditSpec { spec, text } => {
+                Mutation::EditSpec { spec: ppwf_repo::repository::SpecId(spec.0 + shift), text }
+            }
         };
         repo.check(&mutation).expect("write stream valid");
         log.append(&mutation).expect("append on healthy backend");

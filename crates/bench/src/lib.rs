@@ -16,7 +16,7 @@ use ppwf_views::clustering::Clustering;
 use ppwf_workloads::genexec::generate_executions;
 use ppwf_workloads::genspec::{generate_spec, SpecParams};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 /// Spec-size sweep points used by E1/E4/E5/E9 (approximate module counts).
 pub const SIZES: [usize; 4] = [25, 50, 100, 200];
@@ -273,6 +273,42 @@ pub fn e13_write_stream(
                     policy: Policy::public(),
                 }
             }
+        })
+        .collect()
+}
+
+/// The E19 destructive write stream: `delete_pct`% spec deletes,
+/// `edit_pct`% in-place text edits, the remainder fresh spec inserts,
+/// generated against an *evolving* scratch copy seeded from
+/// `corpus` — destructive targets must be drawn from the live slots the
+/// stream itself leaves behind, so (unlike [`e13_write_stream`]) the
+/// stream is replayable only against a starting copy of the same base
+/// corpus. Target selection and degenerate cases (no live spec, no
+/// editable module) follow [`ppwf_workloads::genmutation`].
+pub fn e19_write_stream(
+    corpus: &[ppwf_model::spec::Specification],
+    writes: usize,
+    delete_pct: u32,
+    edit_pct: u32,
+    seed: u64,
+) -> Vec<ppwf_repo::mutation::Mutation> {
+    assert!(delete_pct + edit_pct <= 100, "write mix percentages exceed 100");
+    let mut scratch = e11_repo(corpus);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..writes)
+        .map(|w| {
+            let roll = rng.gen_range(0..100u32);
+            let kind = if roll < delete_pct {
+                3
+            } else if roll < delete_pct + edit_pct {
+                4
+            } else {
+                0
+            };
+            let mutation =
+                ppwf_workloads::genmutation::mutation_of(kind, rng.next_u64(), w as u64, &scratch);
+            scratch.apply(mutation.clone()).expect("generated mutation applies");
+            mutation
         })
         .collect()
 }

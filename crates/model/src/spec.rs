@@ -153,6 +153,44 @@ impl Specification {
         &self.modules[m.index()]
     }
 
+    /// Look up a module, returning `None` when the id is out of range.
+    pub fn get_module(&self, m: ModuleId) -> Option<&Module> {
+        self.modules.get(m.index())
+    }
+
+    /// Would [`Self::set_module_text`] accept this module? Checks without
+    /// mutating: the id must resolve and the module must not be a
+    /// distinguished pseudo-module (their text is structural — workflows
+    /// key their input/output on it in figures and fixtures).
+    pub fn check_module_text(&self, m: ModuleId) -> Result<()> {
+        let module = self.modules.get(m.index()).ok_or(ModelError::BadId {
+            kind: "module",
+            index: m.index(),
+            len: self.modules.len(),
+        })?;
+        if module.kind.is_distinguished() {
+            return Err(ModelError::invalid(format!(
+                "cannot edit text of distinguished module `{}`",
+                module.code
+            )));
+        }
+        Ok(())
+    }
+
+    /// Replace the display name and keyword tags of module `m` — a
+    /// text-only edit. Ids, kinds, workflow membership and edges are
+    /// untouched, so every structural invariant [`SpecBuilder::build`]
+    /// validated (DAG-ness, expansion tree, connectivity) still holds and
+    /// derived hierarchies stay valid; only keyword-search text changes.
+    /// Rejects distinguished pseudo-modules.
+    pub fn set_module_text(&mut self, m: ModuleId, name: &str, keywords: &[String]) -> Result<()> {
+        self.check_module_text(m)?;
+        let module = &mut self.modules[m.index()];
+        module.name = name.to_string();
+        module.keywords = keywords.to_vec();
+        Ok(())
+    }
+
     /// Look up an edge.
     pub fn edge(&self, e: EdgeId) -> &SpecEdge {
         &self.edges[e.index()]

@@ -55,19 +55,59 @@ use ppwf_model::exec::Execution;
 use ppwf_model::spec::Specification;
 use ppwf_model::{ModelError, Result};
 use ppwf_repo::cache::GroupCache;
+use ppwf_repo::mutation::SpecText;
 use ppwf_repo::pool::WorkerPool;
 use ppwf_repo::principals::PrincipalRegistry;
-use ppwf_repo::repository::{Repository, SpecEntry, SpecId};
+use ppwf_repo::repository::{deleted_spec_error, Repository, SpecEntry, SpecId};
 use ppwf_repo::snapshot::{CowChunk, CowImage, CHUNK_SPECS};
 use ppwf_repo::storage::StorageBackend;
 use ppwf_repo::wal::{
     DurabilityPolicy, DurabilityStats, DurableCallback, DurableLog, GroupCommit, RecoveryStats,
-    WalResult,
+    WalError, WalResult,
 };
+use std::collections::HashSet;
 use std::ops::Range;
 use std::sync::Arc;
 
 pub use ppwf_repo::mutation::{Mutation, MutationEffect};
+
+/// A router slot resolved to a shard that no longer holds the entry — an
+/// id-map/shard inconsistency that should be impossible, surfaced as a
+/// typed per-request error instead of a serving-thread panic.
+fn stale_route_error(global: SpecId) -> ModelError {
+    ModelError::invalid(format!(
+        "stale routing entry: spec {} resolves to no shard entry",
+        global.0
+    ))
+}
+
+/// The existing spec a mutation validates against, if any — the key the
+/// batch paths use to detect a pending-destructive conflict inside a run.
+fn referenced_spec(mutation: &Mutation) -> Option<SpecId> {
+    match mutation {
+        Mutation::InsertSpec { .. } => None,
+        Mutation::AddExecution { spec, .. }
+        | Mutation::SetPolicy { spec, .. }
+        | Mutation::DeleteSpec { spec }
+        | Mutation::EditSpec { spec, .. } => Some(*spec),
+    }
+}
+
+/// Whether `mutation` references a spec the pending run already touched
+/// destructively — the case where pre-run validation is unsound (a
+/// deleted target would validate as live) and the run must flush first.
+fn referenced_conflicts(mutation: &Mutation, run_destructive: &HashSet<SpecId>) -> bool {
+    !run_destructive.is_empty()
+        && referenced_spec(mutation).is_some_and(|spec| run_destructive.contains(&spec))
+}
+
+/// Record a validated mutation's destructive target, if any, in the
+/// pending run's overlay.
+fn note_destructive(mutation: &Mutation, run_destructive: &mut HashSet<SpecId>) {
+    if let Mutation::DeleteSpec { spec } | Mutation::EditSpec { spec, .. } = mutation {
+        run_destructive.insert(*spec);
+    }
+}
 
 /// A fully merged ranked answer the cluster front caches as one unit:
 /// global-id hit list plus ranking, the two halves already aligned by the
@@ -156,11 +196,29 @@ impl EngineCluster {
         let mut router = Router::new(shards, strategy);
         let mut shard_repos: Vec<Repository> = (0..shards).map(|_| Repository::new()).collect();
         // Ingest split: entries were validated when they entered `repo`, so
-        // partitioning moves them without re-deriving hierarchies.
-        for entry in repo.into_entries() {
-            let (_global, shard, local) = router.assign();
-            let assigned = shard_repos[shard].insert_entry(entry);
-            debug_assert_eq!(assigned, local, "router and shard repo must agree on local ids");
+        // partitioning moves them without re-deriving hierarchies. Slots
+        // are partitioned, not just live entries: a tombstone still burns
+        // its global id (router retires it) and its shard-local slot, so a
+        // recovered post-delete corpus re-derives the identical placement.
+        for slot in repo.into_slots() {
+            let (global, shard, local) = router.assign();
+            match slot {
+                Some(entry) => {
+                    let assigned = shard_repos[shard].insert_entry(entry);
+                    debug_assert_eq!(
+                        assigned, local,
+                        "router and shard repo must agree on local ids"
+                    );
+                }
+                None => {
+                    let assigned = shard_repos[shard].insert_tombstone();
+                    debug_assert_eq!(
+                        assigned, local,
+                        "router and shard repo must agree on local ids"
+                    );
+                    router.retire(global);
+                }
+            }
         }
         let engines = shard_repos
             .into_iter()
@@ -216,7 +274,10 @@ impl EngineCluster {
     /// the pre-log history.
     pub fn attach_durability(&mut self, mut log: DurableLog) -> WalResult<()> {
         if log.is_empty() && self.spec_count() > 0 {
-            let mut image = self.assemble_repository();
+            let mut image = self.assemble_repository().map_err(|e| WalError::Snapshot {
+                name: "<cluster assembly>".to_string(),
+                detail: e.to_string(),
+            })?;
             // The log starts at sequence 0: version then counts mutations
             // since the baseline — see [`Repository::set_version`].
             image.set_version(log.stats().last_seq);
@@ -274,15 +335,22 @@ impl EngineCluster {
     /// acknowledged sequence number ([`Repository::set_version`]) so
     /// snapshot + suffix replay ends bit-identical to a sequential replay
     /// of the whole history, and the rebuilt cluster re-partitions the
-    /// entries exactly as original construction did.
-    pub fn assemble_repository(&self) -> Repository {
+    /// entries exactly as original construction did. Retired global ids
+    /// come back as tombstone slots, preserving the id space. A router
+    /// slot that resolves to a missing shard entry (an id-map
+    /// inconsistency) surfaces as a typed error, not a panic.
+    pub fn assemble_repository(&self) -> Result<Repository> {
         let mut repo = Repository::new();
         for global in 0..self.router.spec_count() {
-            let entry =
-                self.entry(SpecId(global as u32)).expect("router-tracked id must resolve").clone();
+            let global = SpecId(global as u32);
+            if self.router.is_retired(global) {
+                repo.insert_tombstone();
+                continue;
+            }
+            let entry = self.entry(global).ok_or_else(|| stale_route_error(global))?.clone();
             repo.insert_entry(entry);
         }
-        repo
+        Ok(repo)
     }
 
     /// The cluster-wide version vector: shard `s`'s component is its
@@ -630,14 +698,19 @@ impl EngineCluster {
     /// the [`Self::front_epoch`] after that mutation) are bit-identical
     /// to calling [`Self::mutate`] once per element, in order.
     ///
-    /// Validating the whole run against the *pre-run* state is sound
-    /// because the mutation vocabulary is append-only and its checks are
-    /// monotone: an `InsertSpec` check is state-independent, and
-    /// `AddExecution` / `SetPolicy` need only entry existence and the
-    /// immutable spec structure, neither of which a predecessor can
-    /// revoke. A mutation that *fails* the pre-run check flushes the
-    /// pending run first and re-validates against the updated state —
-    /// exactly the state the sequential reference would have shown it.
+    /// Validating against the *pre-run* state is sound for the
+    /// non-destructive vocabulary: an `InsertSpec` check is
+    /// state-independent, and `AddExecution` / `SetPolicy` need only
+    /// entry existence and the immutable spec structure, neither of which
+    /// a non-destructive predecessor can revoke. `DeleteSpec` (and, kept
+    /// conservative, `EditSpec`) break that monotonicity — a record
+    /// validated while its target was still live would be unreplayable —
+    /// so the run carries a destructive overlay: a mutation referencing a
+    /// spec the pending run already deleted or edited flushes the run
+    /// first and validates against the applied state, exactly the state
+    /// the sequential reference would have shown it. A mutation that
+    /// *fails* the pre-run check likewise flushes the pending run first
+    /// and re-validates against the updated state.
     ///
     /// Without an attached log this degenerates to sequential
     /// [`Self::mutate`] calls (there is no fsync to amortize).
@@ -653,16 +726,28 @@ impl EngineCluster {
         }
         let mut out = Vec::with_capacity(mutations.len());
         let mut run: Vec<Mutation> = Vec::new();
+        let mut run_destructive: HashSet<SpecId> = HashSet::new();
         for mutation in mutations {
+            if referenced_conflicts(&mutation, &run_destructive) {
+                self.flush_run(&mut run, &mut out);
+                run_destructive.clear();
+            }
             match self.check_global(&mutation) {
-                Ok(()) => run.push(mutation),
+                Ok(()) => {
+                    note_destructive(&mutation, &mut run_destructive);
+                    run.push(mutation);
+                }
                 Err(e) => {
                     if run.is_empty() {
                         out.push((Err(e), self.front_epoch()));
                     } else {
                         self.flush_run(&mut run, &mut out);
+                        run_destructive.clear();
                         match self.check_global(&mutation) {
-                            Ok(()) => run.push(mutation),
+                            Ok(()) => {
+                                note_destructive(&mutation, &mut run_destructive);
+                                run.push(mutation);
+                            }
                             Err(e) => out.push((Err(e), self.front_epoch())),
                         }
                     }
@@ -709,16 +794,28 @@ impl EngineCluster {
         }
         let mut out = Vec::with_capacity(mutations.len());
         let mut run: Vec<Mutation> = Vec::new();
+        let mut run_destructive: HashSet<SpecId> = HashSet::new();
         for mutation in mutations {
+            if referenced_conflicts(&mutation, &run_destructive) {
+                self.flush_run_pipelined(&mut run, &mut out, &mut on_run_durable);
+                run_destructive.clear();
+            }
             match self.check_global(&mutation) {
-                Ok(()) => run.push(mutation),
+                Ok(()) => {
+                    note_destructive(&mutation, &mut run_destructive);
+                    run.push(mutation);
+                }
                 Err(e) => {
                     if run.is_empty() {
                         out.push((Err(e), self.front_epoch()));
                     } else {
                         self.flush_run_pipelined(&mut run, &mut out, &mut on_run_durable);
+                        run_destructive.clear();
                         match self.check_global(&mutation) {
-                            Ok(()) => run.push(mutation),
+                            Ok(()) => {
+                                note_destructive(&mutation, &mut run_destructive);
+                                run.push(mutation);
+                            }
                             Err(e) => out.push((Err(e), self.front_epoch())),
                         }
                     }
@@ -805,7 +902,29 @@ impl EngineCluster {
             Mutation::SetPolicy { spec, policy } => self
                 .set_policy_routed(spec, policy)
                 .map(|()| MutationEffect::PolicyChanged { spec }),
+            Mutation::DeleteSpec { spec } => {
+                self.delete_spec_routed(spec).map(|()| MutationEffect::SpecDeleted { spec })
+            }
+            Mutation::EditSpec { spec, text } => {
+                self.edit_spec_routed(spec, text).map(|()| MutationEffect::SpecEdited { spec })
+            }
         }
+    }
+
+    /// Resolve a global id that must name a live spec: retired ids report
+    /// the same "spec deleted" error a single engine's repository does
+    /// (the property harness compares error text bit-for-bit), and ids
+    /// that were never assigned report the id-space bound — which counts
+    /// tombstone slots, exactly like a repository's `len`.
+    fn locate_live(&self, spec: SpecId) -> Result<(usize, SpecId)> {
+        if self.router.is_retired(spec) {
+            return Err(deleted_spec_error(spec));
+        }
+        self.router.locate(spec).ok_or(ModelError::BadId {
+            kind: "spec",
+            index: spec.index(),
+            len: self.router.spec_count(),
+        })
     }
 
     /// Cadence snapshots for the durable write paths: build a
@@ -832,6 +951,13 @@ impl EngineCluster {
         let log = self.durability.as_mut().expect("presence checked above");
         let plan = log.snapshot_chunk_plan(spec_count);
         let version = log.stats().last_seq;
+        // Retired globals serialize as tombstone slots (flag 0), keeping
+        // chunk math aligned with the id space. A live router slot whose
+        // shard entry is missing is an id-map inconsistency: skip this
+        // cadence rather than persist a wrong image or panic the write
+        // path — the WAL already holds every record, so recovery is
+        // unaffected and a later cadence (or restart) retries.
+        let mut stale_route = false;
         let chunks: Vec<CowChunk> = plan
             .iter()
             .enumerate()
@@ -843,21 +969,27 @@ impl EngineCluster {
                     CowChunk::Dirty(
                         (lo..hi)
                             .map(|global| {
-                                let (shard, local) = self
-                                    .router
-                                    .locate(SpecId(global as u32))
-                                    .expect("router-tracked id must resolve");
-                                self.shards[shard]
-                                    .repo()
-                                    .entry(local)
-                                    .expect("routed id must resolve")
-                                    .clone()
+                                let global = SpecId(global as u32);
+                                if self.router.is_retired(global) {
+                                    return None;
+                                }
+                                let entry =
+                                    self.router.locate(global).and_then(|(shard, local)| {
+                                        self.shards[shard].repo().entry(local)
+                                    });
+                                if entry.is_none() {
+                                    stale_route = true;
+                                }
+                                entry.cloned()
                             })
                             .collect(),
                     )
                 }
             })
             .collect();
+        if stale_route {
+            return;
+        }
         let log = self.durability.as_mut().expect("presence checked above");
         log.snapshot_if_due_cow(CowImage { version, chunks });
     }
@@ -872,11 +1004,11 @@ impl EngineCluster {
             Mutation::InsertSpec { spec, policy } => policy.validate(spec),
             Mutation::AddExecution { spec, exec } => {
                 exec.check_invariants()?;
-                let entry = self.entry(*spec).ok_or(ModelError::BadId {
-                    kind: "spec",
-                    index: spec.index(),
-                    len: self.router.spec_count(),
-                })?;
+                let (shard, local) = self.locate_live(*spec)?;
+                let entry = self.shards[shard]
+                    .repo()
+                    .entry(local)
+                    .ok_or_else(|| stale_route_error(*spec))?;
                 if exec.spec_name() != entry.spec.name() {
                     return Err(ModelError::invalid(format!(
                         "execution of `{}` added under spec `{}`",
@@ -887,12 +1019,20 @@ impl EngineCluster {
                 Ok(())
             }
             Mutation::SetPolicy { spec, policy } => {
-                let entry = self.entry(*spec).ok_or(ModelError::BadId {
-                    kind: "spec",
-                    index: spec.index(),
-                    len: self.router.spec_count(),
-                })?;
+                let (shard, local) = self.locate_live(*spec)?;
+                let entry = self.shards[shard]
+                    .repo()
+                    .entry(local)
+                    .ok_or_else(|| stale_route_error(*spec))?;
                 policy.validate(&entry.spec)
+            }
+            Mutation::DeleteSpec { spec } => {
+                let (shard, local) = self.locate_live(*spec)?;
+                self.shards[shard].repo().check_delete(local)
+            }
+            Mutation::EditSpec { spec, text } => {
+                let (shard, local) = self.locate_live(*spec)?;
+                self.shards[shard].repo().check_edit(local, text)
             }
         }
     }
@@ -931,34 +1071,54 @@ impl EngineCluster {
     }
 
     fn add_execution_routed(&mut self, spec: SpecId, exec: Execution) -> Result<()> {
-        let (shard, local) = self.router.locate(spec).ok_or(ModelError::BadId {
-            kind: "spec",
-            index: spec.index(),
-            len: self.router.spec_count(),
-        })?;
+        let (shard, local) = self.locate_live(spec)?;
         let effect = self.shards[shard].mutate(Mutation::AddExecution { spec: local, exec })?;
         debug_assert!(!effect.changes_visible_state());
         Ok(())
     }
 
     fn set_policy_routed(&mut self, spec: SpecId, policy: Policy) -> Result<()> {
-        let (shard, local) = self.router.locate(spec).ok_or(ModelError::BadId {
-            kind: "spec",
-            index: spec.index(),
-            len: self.router.spec_count(),
-        })?;
+        let (shard, local) = self.locate_live(spec)?;
         self.shards[shard].mutate(Mutation::SetPolicy { spec: local, policy })?;
         Ok(())
     }
 
-    /// Post-insert registry-view maintenance — the only write that can
-    /// alter how registry overrides map onto a shard: an override keyed to
-    /// the new global id was unmapped while the spec did not exist.
-    /// Execution appends change nothing principal-visible and policy swaps
-    /// live entirely inside the repository entry, so neither write path
-    /// calls this at all; even inserts rebuild only when a matching
-    /// override exists. [`Self::registry_view_rebuilds`] counts the
-    /// rebuilds this gate lets through.
+    /// Delete the spec with global id `spec`: the owning shard retracts
+    /// its postings and tombstones the local slot, the router retires the
+    /// global id (it is never reassigned and never routes again), and —
+    /// when a registry override named the spec — the shard's registry
+    /// view is rebuilt so the override no longer maps to the dead slot.
+    /// The owning shard's version-vector component moves, so every front
+    /// cache entry merged at the old epoch is unreachable.
+    fn delete_spec_routed(&mut self, spec: SpecId) -> Result<()> {
+        let (shard, local) = self.locate_live(spec)?;
+        self.shards[shard].mutate(Mutation::DeleteSpec { spec: local })?;
+        self.router.retire(spec);
+        self.refresh_registry_view(shard, spec);
+        Ok(())
+    }
+
+    /// Revise the searchable text of the spec with global id `spec` in
+    /// place. Text lives entirely inside the owning shard's entry and
+    /// index — registry overrides key on ids, not text — so no registry
+    /// view work is needed; the shard re-indexes the spec and its
+    /// version-vector component moves.
+    fn edit_spec_routed(&mut self, spec: SpecId, text: SpecText) -> Result<()> {
+        let (shard, local) = self.locate_live(spec)?;
+        self.shards[shard].mutate(Mutation::EditSpec { spec: local, text })?;
+        Ok(())
+    }
+
+    /// Registry-view maintenance for the writes that can alter how
+    /// registry overrides map onto a shard: an insert maps an override
+    /// that was unmapped while the spec did not exist, and a delete
+    /// unmaps one (the retired id no longer routes, so the rebuilt view
+    /// drops it). Execution appends change nothing principal-visible,
+    /// and policy swaps and text edits live entirely inside the
+    /// repository entry, so those paths never call this; even inserts
+    /// and deletes rebuild only when a matching override exists.
+    /// [`Self::registry_view_rebuilds`] counts the rebuilds this gate
+    /// lets through.
     fn refresh_registry_view(&mut self, shard: usize, global: SpecId) {
         if self.registry.groups().iter().any(|g| g.overrides.contains_key(&global)) {
             let view = shard_view_of_registry(&self.registry, &self.router, shard);
@@ -1251,5 +1411,203 @@ mod tests {
         let stats_after = c.stats();
         assert_eq!(stats_after.front.hits, stats_before.front.hits, "no stale front hit");
         assert!(stats_after.front.misses > stats_before.front.misses);
+    }
+
+    fn edit_of(spec: SpecId) -> Mutation {
+        use ppwf_repo::mutation::ModuleTextEdit;
+        let (_, m) = fixtures::disease_susceptibility();
+        Mutation::EditSpec {
+            spec,
+            text: SpecText {
+                edits: vec![ModuleTextEdit {
+                    module: m.m5,
+                    name: "Sanitized".into(),
+                    keywords: vec!["redacted".into()],
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn destructive_mutations_agree_with_single_engine() {
+        let mut c = cluster(4, 3);
+        let mut single = QueryEngine::new(corpus(4), registry());
+        for m in [Mutation::DeleteSpec { spec: SpecId(1) }, edit_of(SpecId(2))] {
+            assert_eq!(c.mutate(m.clone()).unwrap(), single.mutate(m).unwrap());
+        }
+        for q in ["database", "redacted", "risk"] {
+            let clustered = c.search_as("researchers", q).unwrap();
+            let reference = single.search_as("researchers", q).unwrap();
+            assert_eq!(clustered.len(), reference.len(), "{q}");
+            for (a, b) in clustered.iter().zip(reference.iter()) {
+                assert_eq!((a.spec, &a.prefix, &a.matched), (b.spec, &b.prefix, &b.matched), "{q}");
+            }
+            let answer = c.ranked_search_as("researchers", q, RankingMode::ExactFull).unwrap();
+            let (_, ranked) =
+                single.ranked_search_as("researchers", q, RankingMode::ExactFull).unwrap();
+            assert_eq!(answer.ranked.order, ranked.order, "{q}");
+            assert_eq!(
+                answer.ranked.scores, ranked.scores,
+                "post-delete IDF must stay corpus-global: {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn retired_ids_refuse_every_routed_write_with_the_single_engine_error() {
+        let mut c = cluster(3, 2);
+        c.mutate(Mutation::DeleteSpec { spec: SpecId(0) }).unwrap();
+        let expected = deleted_spec_error(SpecId(0)).to_string();
+        let exec = {
+            let entry = c.entry(SpecId(1)).unwrap();
+            fixtures::disease_susceptibility_execution(&entry.spec)
+        };
+        let writes = [
+            Mutation::DeleteSpec { spec: SpecId(0) },
+            Mutation::AddExecution { spec: SpecId(0), exec },
+            Mutation::SetPolicy { spec: SpecId(0), policy: Policy::public() },
+            edit_of(SpecId(0)),
+        ];
+        for m in writes {
+            assert_eq!(c.mutate(m).unwrap_err().to_string(), expected);
+        }
+        // Out-of-range ids still report the full id space, tombstones
+        // included — the same `len` a single engine's repository shows.
+        match c.mutate(Mutation::DeleteSpec { spec: SpecId(99) }).unwrap_err() {
+            ModelError::BadId { len, .. } => assert_eq!(len, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assembled_repository_preserves_tombstones_and_ids_never_reroute() {
+        let mut c = cluster(4, 2);
+        c.mutate(Mutation::DeleteSpec { spec: SpecId(1) }).unwrap();
+        assert_eq!(c.router().spec_count(), 4, "retired ids keep their slots");
+        assert_eq!(c.router().live_count(), 3);
+        assert!(c.router().locate(SpecId(1)).is_none());
+        assert!(c.entry(SpecId(1)).is_none());
+
+        let repo = c.assemble_repository().expect("assembly is total on a consistent cluster");
+        assert_eq!(repo.len(), 4, "the snapshot image preserves the id space");
+        assert_eq!(repo.live_count(), 3);
+        assert!(repo.entry(SpecId(1)).is_none());
+        assert!(repo.entry(SpecId(3)).is_some());
+
+        // The retired id is never reassigned: the next insert extends the
+        // id space past it.
+        let (spec, _) = fixtures::disease_susceptibility();
+        let id = c
+            .mutate(Mutation::InsertSpec { spec, policy: Policy::public() })
+            .unwrap()
+            .inserted_id()
+            .unwrap();
+        assert_eq!(id, SpecId(4));
+    }
+
+    #[test]
+    fn delete_drops_the_registry_override_from_the_shard_view() {
+        let mut registry = registry();
+        registry.set_override(1, SpecId(1), ViewRule::RootOnly);
+        let mut c = EngineCluster::new(corpus(3), registry, 2);
+        assert_eq!(
+            c.search_as("researchers", "database")
+                .unwrap()
+                .iter()
+                .map(|h| h.spec.0)
+                .collect::<Vec<_>>(),
+            vec![0, 2],
+            "override hides spec 1's deep modules"
+        );
+        c.mutate(Mutation::DeleteSpec { spec: SpecId(1) }).unwrap();
+        assert_eq!(c.registry_view_rebuilds(), 1, "the delete must rebuild the owning view");
+        assert_eq!(
+            c.search_as("researchers", "database")
+                .unwrap()
+                .iter()
+                .map(|h| h.spec.0)
+                .collect::<Vec<_>>(),
+            vec![0, 2],
+            "survivors answer unchanged through the rebuilt view"
+        );
+        // Deletes without a matching override skip the rebuild.
+        c.mutate(Mutation::DeleteSpec { spec: SpecId(2) }).unwrap();
+        assert_eq!(c.registry_view_rebuilds(), 1);
+    }
+
+    #[test]
+    fn durable_batches_flush_on_destructive_conflicts_to_match_sequential_order() {
+        use ppwf_repo::storage::MemStorage;
+        let policy = DurabilityPolicy {
+            fsync_each: true,
+            group_commit: Some(GroupCommit { max_batch: 16, max_delay_us: 0 }),
+            ..DurabilityPolicy::default()
+        };
+        let durable = |pool: &Arc<WorkerPool>| {
+            let storage = Arc::new(MemStorage::new());
+            EngineCluster::open_durable(
+                storage as Arc<dyn StorageBackend>,
+                policy,
+                registry(),
+                2,
+                ShardStrategy::RoundRobin,
+                Arc::clone(pool),
+            )
+            .expect("open durable cluster")
+            .0
+        };
+        let pool = Arc::new(WorkerPool::new(2));
+        let mut batched = durable(&pool);
+        let mut sequential = durable(&pool);
+        for c in [&mut batched, &mut sequential] {
+            for _ in 0..2 {
+                let (spec, _) = fixtures::disease_susceptibility();
+                c.mutate(Mutation::InsertSpec { spec, policy: Policy::public() }).unwrap();
+            }
+        }
+        let exec = {
+            let entry = batched.entry(SpecId(0)).unwrap();
+            fixtures::disease_susceptibility_execution(&entry.spec)
+        };
+        let (spec, _) = fixtures::disease_susceptibility();
+        let stream = vec![
+            Mutation::InsertSpec { spec, policy: Policy::public() },
+            Mutation::DeleteSpec { spec: SpecId(0) },
+            // Conflicts with the pending delete: the run must flush and
+            // this must refuse against the *applied* state.
+            Mutation::AddExecution { spec: SpecId(0), exec },
+            Mutation::DeleteSpec { spec: SpecId(0) },
+            edit_of(SpecId(1)),
+            // Conflicts with the pending edit, then succeeds post-flush.
+            Mutation::SetPolicy { spec: SpecId(1), policy: Policy::public() },
+            Mutation::DeleteSpec { spec: SpecId(1) },
+            edit_of(SpecId(1)),
+        ];
+        let outcomes = batched.mutate_batch(stream.clone());
+        let reference: Vec<(Result<MutationEffect>, u64)> = stream
+            .into_iter()
+            .map(|m| {
+                let result = sequential.mutate(m);
+                (result, sequential.front_epoch())
+            })
+            .collect();
+        assert_eq!(outcomes.len(), reference.len());
+        for (i, ((got, got_epoch), (want, want_epoch))) in
+            outcomes.iter().zip(reference.iter()).enumerate()
+        {
+            match (got, want) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "effect diverges at {i}"),
+                (Err(a), Err(b)) => {
+                    assert_eq!(a.to_string(), b.to_string(), "error diverges at {i}")
+                }
+                other => panic!("outcome diverges at {i}: {other:?}"),
+            }
+            assert_eq!(got_epoch, want_epoch, "epoch diverges at {i}");
+        }
+        assert_eq!(batched.spec_count(), sequential.spec_count());
+        let a = batched.assemble_repository().unwrap();
+        let b = sequential.assemble_repository().unwrap();
+        assert_eq!(a.live_count(), b.live_count());
+        assert_eq!(a.len(), b.len());
     }
 }

@@ -325,7 +325,13 @@ impl QueryEngine {
     ///   and access memo drop, results invalidate;
     /// * **execution append** — zero index work, views and access memos
     ///   carry forward, and results stay *warm*: provenance is not part
-    ///   of any keyword, private or ranked answer.
+    ///   of any keyword, private or ranked answer;
+    /// * **spec delete** — the keyword index retracts exactly the retired
+    ///   spec's postings ([`KeywordIndex::delete_spec`], no rebuild), the
+    ///   touched spec's views and access memo drop, results invalidate;
+    /// * **spec edit** — the keyword index retracts and re-indexes the one
+    ///   spec in place ([`KeywordIndex::edit_spec`]), with the same
+    ///   per-spec invalidation as a delete.
     ///
     /// A failed mutation (validation error) changes nothing anywhere.
     ///
@@ -348,13 +354,20 @@ impl QueryEngine {
         }
         let effect = self.repo.apply(mutation)?;
         let version = self.repo.version();
-        // Trusted-epoch refresh: the engine owns this repository and every
-        // write is a typed mutation (checked just above when durable), so
-        // the per-write O(corpus) fingerprint verification scan is
-        // structurally redundant — `refresh_trusted` appends in O(new
-        // specs) and degrades to the verifying rebuild if the invariant is
-        // ever broken.
-        self.index.refresh_trusted(&self.repo);
+        // Index maintenance is keyed on the typed effect. Non-destructive
+        // effects take the trusted-epoch refresh: the engine owns this
+        // repository and every write is a typed mutation (checked just
+        // above when durable), so the per-write O(corpus) fingerprint
+        // verification scan is structurally redundant — `refresh_trusted`
+        // appends in O(new specs) and degrades to the verifying rebuild
+        // if the invariant is ever broken. Destructive effects route to
+        // the targeted retraction/re-index paths, which re-sync the
+        // structure epoch the trusted shortcut keys on.
+        match effect {
+            MutationEffect::SpecDeleted { spec } => self.index.delete_spec(&self.repo, spec),
+            MutationEffect::SpecEdited { spec } => self.index.edit_spec(&self.repo, spec),
+            _ => self.index.refresh_trusted(&self.repo),
+        }
         match effect {
             MutationEffect::SpecInserted { .. } => {
                 // Existing views and access prefixes read only immutable
@@ -367,7 +380,9 @@ impl QueryEngine {
                 self.views.advance(version);
                 self.access.advance(version);
             }
-            MutationEffect::PolicyChanged { spec } => {
+            MutationEffect::PolicyChanged { spec }
+            | MutationEffect::SpecDeleted { spec }
+            | MutationEffect::SpecEdited { spec } => {
                 self.views.invalidate_spec(spec, version);
                 self.access.invalidate_spec(spec, version);
                 self.results_version = version;
@@ -650,6 +665,51 @@ mod tests {
         assert!(e.stats().keyword.invalidations >= 1);
         // ...but only the swapped spec's access rule re-resolved.
         assert_eq!(e.stats().access.misses, 3, "exactly one re-resolution, not the corpus");
+    }
+
+    #[test]
+    fn destructive_mutations_use_targeted_maintenance_and_invalidate() {
+        use ppwf_repo::mutation::{ModuleTextEdit, SpecText};
+        let mut e = engine();
+        let (spec, m) = fixtures::disease_susceptibility();
+        e.mutate(Mutation::InsertSpec { spec, policy: Policy::public() }).unwrap();
+        assert_eq!(e.search_as("researchers", "database").unwrap().len(), 2);
+
+        // Edit spec 1's M5 text: targeted re-index, no rebuild, cached
+        // answers for the query drop.
+        let effect = e
+            .mutate(Mutation::EditSpec {
+                spec: SpecId(1),
+                text: SpecText {
+                    edits: vec![ModuleTextEdit {
+                        module: m.m5,
+                        name: "Sanitized".into(),
+                        keywords: vec!["redacted".into()],
+                    }],
+                },
+            })
+            .unwrap();
+        assert!(effect.is_destructive());
+        assert_eq!(e.index().full_builds(), 1, "edit must use the targeted path, not a rebuild");
+        assert_eq!(e.search_as("researchers", "database").unwrap().len(), 1);
+        assert_eq!(e.search_as("researchers", "redacted").unwrap().len(), 1);
+
+        // Delete spec 0: its postings retract, the other spec's answers
+        // survive, and the tombstone refuses further destructive writes.
+        e.mutate(Mutation::DeleteSpec { spec: SpecId(0) }).unwrap();
+        assert_eq!(e.index().full_builds(), 1, "delete must use the targeted path");
+        assert!(e.index().docs_retracted() > 0);
+        assert_eq!(e.search_as("researchers", "database").unwrap().len(), 0);
+        assert_eq!(e.search_as("researchers", "redacted").unwrap().len(), 1);
+        assert!(e.mutate(Mutation::DeleteSpec { spec: SpecId(0) }).is_err());
+
+        // A later insert still rides the trusted append shortcut: the
+        // targeted maintenance re-synced the structure epoch.
+        let trusted = e.index().trusted_refreshes();
+        let (spec, _) = fixtures::disease_susceptibility();
+        e.mutate(Mutation::InsertSpec { spec, policy: Policy::public() }).unwrap();
+        assert_eq!(e.index().trusted_refreshes(), trusted + 1);
+        assert_eq!(e.index().full_builds(), 1);
     }
 
     #[test]

@@ -34,6 +34,14 @@ impl ShardStrategy {
 }
 
 /// The global↔local spec-id mapping for one cluster.
+///
+/// Deleted specifications are **retired**, never unmapped: the
+/// global↔local tables keep their slots (ids are never reassigned, local
+/// ids stay aligned with the shard repositories' tombstone slots), and a
+/// retired bit makes [`Router::locate`] refuse the id. This is what lets
+/// the id maps survive removal — `global_of` still resolves for gather
+/// remaps, and reconstruction from a recovered global repository can
+/// re-derive the identical placement.
 #[derive(Clone, Debug)]
 pub struct Router {
     strategy: ShardStrategy,
@@ -41,13 +49,22 @@ pub struct Router {
     to_shard: Vec<(u32, u32)>,
     /// shard → local id → global id.
     to_global: Vec<Vec<SpecId>>,
+    /// global id → deleted. Aligned with `to_shard`.
+    retired: Vec<bool>,
+    retired_count: usize,
 }
 
 impl Router {
     /// An empty router over `shards` shards.
     pub fn new(shards: usize, strategy: ShardStrategy) -> Self {
         assert!(shards > 0, "need at least one shard");
-        Router { strategy, to_shard: Vec::new(), to_global: vec![Vec::new(); shards] }
+        Router {
+            strategy,
+            to_shard: Vec::new(),
+            to_global: vec![Vec::new(); shards],
+            retired: Vec::new(),
+            retired_count: 0,
+        }
     }
 
     /// Number of shards.
@@ -55,9 +72,33 @@ impl Router {
         self.to_global.len()
     }
 
-    /// Number of assigned specifications.
+    /// Number of assigned specifications, retired ones included — the
+    /// global id space (matches a tombstone-slot repository's `len`).
     pub fn spec_count(&self) -> usize {
         self.to_shard.len()
+    }
+
+    /// Number of live (never-retired) specifications.
+    pub fn live_count(&self) -> usize {
+        self.to_shard.len() - self.retired_count
+    }
+
+    /// Mark a global id as deleted. The slot survives — `global_of` still
+    /// resolves and the id is never reassigned — but [`Self::locate`]
+    /// refuses it from now on.
+    pub fn retire(&mut self, global: SpecId) {
+        let slot = &mut self.retired[global.index()];
+        debug_assert!(!*slot, "retire must be called once per global id");
+        if !*slot {
+            *slot = true;
+            self.retired_count += 1;
+        }
+    }
+
+    /// Whether a global id has been retired (out-of-range ids are not
+    /// retired — they were never assigned).
+    pub fn is_retired(&self, global: SpecId) -> bool {
+        self.retired.get(global.index()).copied().unwrap_or(false)
     }
 
     /// The placement strategy.
@@ -74,11 +115,17 @@ impl Router {
         let local = SpecId(self.to_global[shard].len() as u32);
         self.to_shard.push((shard as u32, local.0));
         self.to_global[shard].push(global);
+        self.retired.push(false);
         (global, shard, local)
     }
 
-    /// Where a global spec lives: `(shard, local id)`.
+    /// Where a global spec lives: `(shard, local id)`. `None` for ids
+    /// that were never assigned *and* for retired (deleted) ids — callers
+    /// that must distinguish the two probe [`Self::is_retired`] first.
     pub fn locate(&self, global: SpecId) -> Option<(usize, SpecId)> {
+        if self.is_retired(global) {
+            return None;
+        }
         self.to_shard.get(global.index()).map(|&(s, l)| (s as usize, SpecId(l)))
     }
 
@@ -141,5 +188,24 @@ mod tests {
     fn unknown_global_is_none() {
         let r = Router::new(2, ShardStrategy::RoundRobin);
         assert!(r.locate(SpecId(0)).is_none());
+        assert!(!r.is_retired(SpecId(0)), "unassigned ids are not retired");
+    }
+
+    #[test]
+    fn retired_ids_survive_in_the_maps_but_refuse_lookups() {
+        let mut r = Router::new(2, ShardStrategy::RoundRobin);
+        for _ in 0..4 {
+            r.assign();
+        }
+        let (shard, local) = r.locate(SpecId(1)).unwrap();
+        r.retire(SpecId(1));
+        assert!(r.is_retired(SpecId(1)));
+        assert!(r.locate(SpecId(1)).is_none(), "retired ids must not route");
+        assert_eq!(r.global_of(shard, local), SpecId(1), "gather remap survives retirement");
+        assert_eq!(r.spec_count(), 4, "the id space keeps its slots");
+        assert_eq!(r.live_count(), 3);
+        // New assignments never reuse the retired slot.
+        let (global, _, _) = r.assign();
+        assert_eq!(global, SpecId(4));
     }
 }

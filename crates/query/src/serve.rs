@@ -1245,8 +1245,8 @@ mod tests {
             })
             .collect();
         assert_eq!(epochs, reference_epochs, "batched epochs must match sequential");
-        let batched = front.with_cluster(|c| c.assemble_repository().save());
-        let sequential = reference.with_cluster(|c| c.assemble_repository().save());
+        let batched = front.with_cluster(|c| c.assemble_repository().unwrap().save());
+        let sequential = reference.with_cluster(|c| c.assemble_repository().unwrap().save());
         assert_eq!(batched, sequential, "batched apply must be bit-identical");
     }
 
@@ -1313,7 +1313,7 @@ mod tests {
             "the frame must have passed through the sync queue, got {}",
             wal.pipeline_depth_high_water
         );
-        let served = front.with_cluster(|c| c.assemble_repository().save());
+        let served = front.with_cluster(|c| c.assemble_repository().unwrap().save());
         drop(front);
         // Reopen the same storage: the acked image must recover whole.
         let pool2 = Arc::new(WorkerPool::new(1));
@@ -1327,7 +1327,7 @@ mod tests {
         )
         .expect("reopen the pipelined log");
         assert_eq!(
-            recovered.assemble_repository().save(),
+            recovered.assemble_repository().unwrap().save(),
             served,
             "recovery must be bit-identical to the acknowledged image"
         );

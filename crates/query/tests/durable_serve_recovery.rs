@@ -21,14 +21,13 @@
 use std::sync::Arc;
 
 use ppwf_core::policy::{AccessLevel, Policy};
-use ppwf_model::exec::{Executor, HashOracle};
 use ppwf_query::cluster::{EngineCluster, Mutation};
 use ppwf_query::keyword::KeywordHit;
 use ppwf_query::route::ShardStrategy;
 use ppwf_query::serve::{QueryAnswer, ServeFront, ServeRequest};
 use ppwf_repo::pool::WorkerPool;
 use ppwf_repo::principals::{PrincipalRegistry, ViewRule};
-use ppwf_repo::repository::{Repository, SpecId};
+use ppwf_repo::repository::Repository;
 use ppwf_repo::storage::{FaultPlan, MemStorage, StorageBackend};
 use ppwf_repo::wal::{DurabilityPolicy, GroupCommit};
 use ppwf_workloads::genspec::{generate_spec, SpecParams};
@@ -56,38 +55,16 @@ fn durability_policy() -> DurabilityPolicy {
     }
 }
 
-/// A deterministic mutation stream over an evolving global corpus:
-/// inserts keep the id space growing, execution appends and policy swaps
-/// hit live targets.
+/// A deterministic mutation stream over an evolving global corpus — the
+/// full vocabulary from [`ppwf_workloads::genmutation`]: inserts keep
+/// the id space growing; execution appends, policy swaps, spec deletes
+/// and in-place text edits hit live targets (destructive histories leave
+/// tombstones, so targets come from the live slots). Every WAL record
+/// kind — including `DeleteSpec` and `EditSpec` frames, alone and inside
+/// group-commit batches — therefore lands in the crash matrix below at
+/// whatever byte boundary the budget picks.
 fn mutation_stream(writes: usize, seed: u64) -> Vec<Mutation> {
-    let mut scratch = Repository::new();
-    let mut stream = Vec::with_capacity(writes);
-    for i in 0..writes as u64 {
-        let kind = if scratch.is_empty() { 0 } else { (seed.wrapping_add(i) >> 3) % 3 };
-        let mutation = match kind {
-            0 => Mutation::InsertSpec {
-                spec: generate_spec(&SpecParams {
-                    seed: seed ^ (i << 8) ^ 0xFACE,
-                    ..SpecParams::default()
-                }),
-                policy: Policy::public(),
-            },
-            1 => {
-                let target = SpecId(((seed ^ i) % scratch.len() as u64) as u32);
-                let exec = Executor::new(&scratch.entry(target).unwrap().spec)
-                    .run(&mut HashOracle)
-                    .expect("stored specs execute");
-                Mutation::AddExecution { spec: target, exec }
-            }
-            _ => Mutation::SetPolicy {
-                spec: SpecId(((seed ^ i) % scratch.len() as u64) as u32),
-                policy: Policy::public(),
-            },
-        };
-        scratch.apply(mutation.clone()).expect("generated mutation applies");
-        stream.push(mutation);
-    }
-    stream
+    ppwf_workloads::genmutation::mutation_stream_n(writes, seed)
 }
 
 fn replay_prefix(stream: &[Mutation], n: usize) -> Repository {

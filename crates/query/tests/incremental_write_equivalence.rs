@@ -26,6 +26,7 @@ use ppwf_query::cluster::{EngineCluster, Mutation, MutationEffect};
 use ppwf_query::engine::QueryEngine;
 use ppwf_query::keyword::{search_filtered, KeywordHit, KeywordQuery};
 use ppwf_repo::keyword_index::KeywordIndex;
+use ppwf_repo::mutation::{ModuleTextEdit, SpecText};
 use ppwf_repo::principals::{PrincipalRegistry, ViewRule};
 use ppwf_repo::repository::{Repository, SpecId};
 use ppwf_workloads::genspec::{generate_spec, SpecParams};
@@ -53,24 +54,50 @@ fn random_repo(seed: u64, specs: usize) -> Repository {
 }
 
 /// Materialize the `i`-th random mutation against the current repository
-/// state: 0 → insert, 1 → execution append, 2 → policy swap.
+/// state: 0 → insert, 1 → execution append, 2 → policy swap, 3 → spec
+/// delete, 4 → spec text edit. Targets are drawn from the *live* slots
+/// (destructive histories leave tombstones); with no live spec left, or
+/// no editable module on the chosen spec, the write degenerates to an
+/// insert so every stream element stays applicable.
 fn mutation_of(kind: u8, seed: u64, repo: &Repository) -> Mutation {
-    match kind % 3 {
-        0 => Mutation::InsertSpec {
-            spec: generate_spec(&SpecParams { seed: seed ^ 0xFACE, ..SpecParams::default() }),
-            policy: Policy::public(),
-        },
+    let insert = || Mutation::InsertSpec {
+        spec: generate_spec(&SpecParams { seed: seed ^ 0xFACE, ..SpecParams::default() }),
+        policy: Policy::public(),
+    };
+    let live: Vec<SpecId> =
+        repo.slots().filter_map(|(id, entry)| entry.is_some().then_some(id)).collect();
+    if live.is_empty() {
+        return insert();
+    }
+    let target = live[(seed % live.len() as u64) as usize];
+    match kind % 5 {
+        0 => insert(),
         1 => {
-            let target = SpecId((seed % repo.len() as u64) as u32);
             let exec = Executor::new(&repo.entry(target).unwrap().spec)
                 .run(&mut HashOracle)
                 .expect("stored specs execute");
             Mutation::AddExecution { spec: target, exec }
         }
-        _ => Mutation::SetPolicy {
-            spec: SpecId((seed % repo.len() as u64) as u32),
-            policy: Policy::public(),
-        },
+        2 => Mutation::SetPolicy { spec: target, policy: Policy::public() },
+        3 => Mutation::DeleteSpec { spec: target },
+        _ => {
+            let spec = &repo.entry(target).unwrap().spec;
+            let editable: Vec<_> = spec.modules().filter(|m| !m.kind.is_distinguished()).collect();
+            if editable.is_empty() {
+                return insert();
+            }
+            let module = editable[(seed % editable.len() as u64) as usize];
+            Mutation::EditSpec {
+                spec: target,
+                text: SpecText {
+                    edits: vec![ModuleTextEdit {
+                        module: module.id,
+                        name: format!("edited step {seed}"),
+                        keywords: vec![format!("kw{}", seed % 8), "edited".to_string()],
+                    }],
+                },
+            }
+        }
     }
 }
 
@@ -92,7 +119,7 @@ proptest! {
     fn incremental_index_equals_full_rebuild(
         seed in any::<u64>(),
         specs in 2usize..5,
-        writes in proptest::collection::vec((0u8..3, any::<u64>()), 1..10),
+        writes in proptest::collection::vec((0u8..5, any::<u64>()), 1..10),
     ) {
         let mut repo = random_repo(seed, specs);
         let mut idx = KeywordIndex::build(&repo);
@@ -100,10 +127,21 @@ proptest! {
 
         for &(kind, wseed) in &writes {
             let mutation = mutation_of(kind, wseed, &repo);
-            let (full_builds, docs_indexed) = (idx.full_builds(), idx.docs_indexed());
+            let (full_builds, docs_indexed, docs_retracted) =
+                (idx.full_builds(), idx.docs_indexed(), idx.docs_retracted());
             let effect = repo.apply(mutation).unwrap();
-            idx.refresh(&repo);
-            prop_assert_eq!(idx.full_builds(), full_builds, "refresh must never fully rebuild");
+            // The engine's typed dispatch: destructive effects take the
+            // targeted maintenance path, everything else refreshes.
+            match effect {
+                MutationEffect::SpecDeleted { spec } => idx.delete_spec(&repo, spec),
+                MutationEffect::SpecEdited { spec } => idx.edit_spec(&repo, spec),
+                _ => idx.refresh(&repo),
+            }
+            prop_assert_eq!(
+                idx.full_builds(),
+                full_builds,
+                "typed maintenance must never fully rebuild"
+            );
             match effect {
                 MutationEffect::SpecInserted { spec } => {
                     let added = repo
@@ -125,6 +163,37 @@ proptest! {
                         idx.docs_indexed(),
                         docs_indexed,
                         "structure-free writes must perform zero index work"
+                    );
+                }
+                MutationEffect::SpecDeleted { spec } => {
+                    prop_assert!(repo.entry(spec).is_none(), "delete leaves a tombstone");
+                    prop_assert_eq!(
+                        idx.docs_indexed(),
+                        docs_indexed,
+                        "delete must index nothing new"
+                    );
+                    prop_assert!(
+                        idx.docs_retracted() > docs_retracted,
+                        "delete must retract the spec's postings"
+                    );
+                }
+                MutationEffect::SpecEdited { spec } => {
+                    let docs = repo
+                        .entry(spec)
+                        .unwrap()
+                        .spec
+                        .modules()
+                        .filter(|m| !m.kind.is_distinguished())
+                        .count();
+                    prop_assert_eq!(
+                        idx.docs_indexed(),
+                        docs_indexed + docs,
+                        "edit must re-index exactly the edited spec"
+                    );
+                    prop_assert_eq!(
+                        idx.docs_retracted(),
+                        docs_retracted + docs,
+                        "edit must retract exactly the edited spec's old postings"
                     );
                 }
             }
@@ -157,7 +226,7 @@ proptest! {
         seed in any::<u64>(),
         specs in 2usize..5,
         shards in 2usize..4,
-        writes in proptest::collection::vec((0u8..3, any::<u64>()), 1..6),
+        writes in proptest::collection::vec((0u8..5, any::<u64>()), 1..6),
     ) {
         let mut cluster = EngineCluster::new(random_repo(seed, specs), registry(), shards);
         let mut mirror = random_repo(seed, specs);
@@ -186,7 +255,7 @@ proptest! {
                     prop_assert!(
                         hits_identical(&fresh, &served),
                         "stale front answer for group {} query {:?} after {:?} write",
-                        g, q, kind % 3
+                        g, q, kind % 5
                     );
                 }
             }

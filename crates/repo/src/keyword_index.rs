@@ -37,11 +37,12 @@ pub fn tokenize(text: &str) -> Vec<String> {
 /// A cheap identity check for one spec's *indexed text*: postings depend
 /// only on module names, keyword tags and workflow placement (executions
 /// and policies shape nothing in the index), so a matching fingerprint
-/// means every posting of that spec is still valid. Spec ids are
-/// append-only today, which makes this defensive — but
+/// means every posting of that spec is still valid.
 /// [`KeywordIndex::refresh`] verifies rather than assumes, so the
 /// fingerprint hashes the text itself, not just counts: an in-place
-/// rename that preserved every count would still be caught.
+/// rename that preserved every count (exactly what
+/// [`Mutation::EditSpec`](crate::mutation::Mutation::EditSpec) can do) is
+/// still caught.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct SpecTextFingerprint {
     modules: usize,
@@ -68,6 +69,24 @@ impl SpecTextFingerprint {
     }
 }
 
+/// The exact index keys one spec's postings live under — the reverse map
+/// that makes [`KeywordIndex::delete_spec`] /
+/// [`KeywordIndex::edit_spec`] retraction O(spec's own postings) instead
+/// of O(index): by the time a delete's maintenance runs, the repository
+/// entry is already a tombstone, so the keys cannot be recomputed from
+/// the spec text.
+#[derive(Clone, Debug, Default)]
+struct PostedTerms {
+    /// Sorted, deduplicated single-token keys the spec posted under.
+    terms: Vec<String>,
+    /// Sorted, deduplicated whole-tag phrase keys.
+    phrases: Vec<String>,
+    /// Proper modules whose name-token sequences were stored.
+    modules: Vec<ModuleId>,
+    /// Modules (documents) the spec contributed to `doc_count`.
+    docs: usize,
+}
+
 /// The index.
 #[derive(Debug, Default)]
 pub struct KeywordIndex {
@@ -79,24 +98,38 @@ pub struct KeywordIndex {
     phrases: HashMap<String, PostingList>,
     /// Name token sequences per module, for consecutive-token phrases.
     module_tokens: HashMap<(SpecId, ModuleId), Vec<String>>,
+    /// Per-live-spec reverse map of posted keys (see [`PostedTerms`]).
+    spec_posted: HashMap<SpecId, PostedTerms>,
     /// Number of indexed modules (documents) — the IDF denominator.
     doc_count: usize,
-    /// Per-spec text fingerprints, in id order — what
-    /// [`Self::refresh`]'s fast path verifies before trusting its
+    /// Per-slot text fingerprints, in id order (`None` = tombstone) —
+    /// what [`Self::refresh`]'s fast path verifies before trusting its
     /// append-only invariant.
-    fingerprints: Vec<SpecTextFingerprint>,
+    fingerprints: Vec<Option<SpecTextFingerprint>>,
     /// Lifetime count of full builds (the incrementality instrument's
     /// denominator: refreshes that could append never move it).
     full_builds: usize,
-    /// Lifetime count of modules indexed — full builds move it by the
-    /// whole corpus, appends by the new specs' modules only, and
-    /// execution appends / policy swaps not at all.
+    /// Lifetime count of modules indexed *incrementally*: the initial
+    /// build, appended specs, and targeted edit re-indexing move it;
+    /// verified full rebuilds are charged to `full_builds` alone, and
+    /// execution appends / policy swaps move nothing.
     docs_indexed: usize,
+    /// Lifetime count of module documents retracted by targeted
+    /// [`Self::delete_spec`] / [`Self::edit_spec`] maintenance — the
+    /// destructive-write instrument (E19).
+    docs_retracted: usize,
     /// Lifetime count of [`Self::refresh_trusted`] calls that skipped the
     /// fingerprint verification scan — the trusted-epoch instrument.
     trusted_refreshes: usize,
     /// Repository version this index was built at.
     built_at: u64,
+    /// Repository *structure epoch* this index last reconciled with —
+    /// bumped by the repository only on destructive mutations (delete /
+    /// edit / tombstone insert). [`Self::refresh_trusted`] keys its trust
+    /// decision on it: an epoch mismatch means the history was not
+    /// append-only since the last reconcile, so the trusted shortcut
+    /// would serve stale postings and must fall back to verification.
+    structure_epoch_at: u64,
     /// Per-query-term document-frequency memo ([`Self::df_cached`]). The
     /// postings are immutable after build, so entries are tagged only by
     /// living inside this index instance — a mutation rebuilds the index
@@ -113,15 +146,18 @@ pub struct KeywordIndex {
 const DF_MEMO_CAP: usize = 4096;
 
 /// Index every proper module of one spec into `terms`/`phrases`/
-/// `module_tokens`; returns the number of modules (documents) indexed.
-/// Shared by [`KeywordIndex::build`] (whole corpus) and
-/// [`KeywordIndex::refresh`] (appended specs only).
+/// `module_tokens`, recording the posted keys into `posted` (the reverse
+/// map targeted retraction replays later); returns the number of modules
+/// (documents) indexed. Shared by [`KeywordIndex::build`] (whole
+/// corpus), [`KeywordIndex::refresh`] (appended specs only) and
+/// [`KeywordIndex::edit_spec`] (one re-indexed spec).
 fn index_entry(
     sid: SpecId,
     entry: &SpecEntry,
     terms: &mut HashMap<String, Vec<Posting>>,
     phrases: &mut HashMap<String, Vec<Posting>>,
     module_tokens: &mut HashMap<(SpecId, ModuleId), Vec<String>>,
+    posted: &mut PostedTerms,
 ) -> usize {
     let mut docs = 0usize;
     for module in entry.spec.modules() {
@@ -147,6 +183,7 @@ fn index_entry(
                 *tf.entry(t).or_insert(0) += 1;
             }
             if !norm.is_empty() {
+                posted.phrases.push(norm.clone());
                 phrases.entry(norm).or_default().push(Posting {
                     spec: sid,
                     module: module.id,
@@ -156,6 +193,7 @@ fn index_entry(
             }
         }
         for (term, count) in tf {
+            posted.terms.push(term.clone());
             terms.entry(term).or_default().push(Posting {
                 spec: sid,
                 module: module.id,
@@ -164,21 +202,64 @@ fn index_entry(
             });
         }
         module_tokens.insert((sid, module.id), name_tokens);
+        posted.modules.push(module.id);
     }
+    posted.docs = docs;
+    posted.terms.sort();
+    posted.terms.dedup();
+    posted.phrases.sort();
+    posted.phrases.dedup();
     docs
 }
 
+/// Insert one spec's freshly sorted postings into `map[key]` at their id
+/// position. The spec's old postings were already retracted, and all the
+/// new ones share one spec id (the sort key's leading component), so a
+/// single contiguous splice at the partition point reproduces exactly the
+/// `(spec, workflow, module)` order a fresh build would emit.
+fn splice_postings(map: &mut HashMap<String, PostingList>, key: String, new: Vec<Posting>) {
+    debug_assert!(!new.is_empty());
+    match map.get(&key) {
+        None => {
+            map.insert(key, PostingList::from_postings(new));
+        }
+        Some(list) => {
+            let mut v = list.to_vec();
+            let at = v.partition_point(|p| p.spec < new[0].spec);
+            v.splice(at..at, new);
+            map.insert(key, PostingList::from_postings(v));
+        }
+    }
+}
+
 impl KeywordIndex {
-    /// Build the index over every module of every specification.
+    /// Build the index over every module of every live specification
+    /// (tombstoned slots keep their position as `None` fingerprints).
     pub fn build(repo: &Repository) -> Self {
-        let mut idx = KeywordIndex { built_at: repo.version(), ..KeywordIndex::default() };
+        let mut idx = KeywordIndex {
+            built_at: repo.version(),
+            structure_epoch_at: repo.structure_epoch(),
+            ..KeywordIndex::default()
+        };
         idx.full_builds = 1;
         let mut terms: HashMap<String, Vec<Posting>> = HashMap::new();
         let mut phrases: HashMap<String, Vec<Posting>> = HashMap::new();
-        for (sid, entry) in repo.entries() {
-            idx.doc_count +=
-                index_entry(sid, entry, &mut terms, &mut phrases, &mut idx.module_tokens);
-            idx.fingerprints.push(SpecTextFingerprint::of(entry));
+        for (sid, slot) in repo.slots() {
+            let Some(entry) = slot else {
+                idx.fingerprints.push(None);
+                continue;
+            };
+            let mut posted = PostedTerms::default();
+            idx.doc_count += index_entry(
+                sid,
+                entry,
+                &mut terms,
+                &mut phrases,
+                &mut idx.module_tokens,
+                &mut posted,
+            );
+            idx.fingerprints.push(Some(SpecTextFingerprint::of(entry)));
+            idx.spec_posted.insert(sid, posted);
         }
         idx.docs_indexed = idx.doc_count;
         // Deterministic posting order, grouped by (spec, workflow). The
@@ -196,15 +277,18 @@ impl KeywordIndex {
     /// Bring the index up to date with `repo`, incrementally when the
     /// mutation history allows it — the
     /// [`ReachIndex::refresh`](crate::reach_index::ReachIndex::refresh)
-    /// discipline applied to postings. Repository mutations are
+    /// discipline applied to postings. Most repository mutations are
     /// append-only for indexing purposes: new specs append postings (their
     /// ids sort after every existing posting, so per-term order survives
     /// concatenation), while execution appends and policy swaps leave
     /// every module's text untouched — so the common refresh appends the
     /// new specs' postings, bumps `doc_count` and re-tags `built_at`
     /// without re-tokenizing a single existing module. A full rebuild
-    /// happens only when an existing spec's text fingerprint changed (or
-    /// the repository shrank), which no current mutation can cause; the
+    /// happens when an existing slot's text fingerprint changed — which
+    /// [`Mutation::DeleteSpec`](crate::mutation::Mutation::DeleteSpec) /
+    /// [`Mutation::EditSpec`](crate::mutation::Mutation::EditSpec) *can*
+    /// now cause when their typed targeted maintenance
+    /// ([`Self::delete_spec`] / [`Self::edit_spec`]) was bypassed; the
     /// fast path *verifies* the invariant it rides on rather than
     /// assuming it.
     ///
@@ -218,21 +302,36 @@ impl KeywordIndex {
             return;
         }
         let changed = repo.len() < self.fingerprints.len()
-            || repo
-                .entries()
-                .take(self.fingerprints.len())
-                .zip(&self.fingerprints)
-                .any(|((_, e), fp)| SpecTextFingerprint::of(e) != *fp);
+            || repo.slots().take(self.fingerprints.len()).zip(&self.fingerprints).any(
+                |((_, slot), fp)| match (slot, fp) {
+                    (None, None) => false,
+                    (Some(e), Some(fp)) => SpecTextFingerprint::of(e) != *fp,
+                    _ => true,
+                },
+            );
         if changed {
-            let (full_builds, docs_indexed, trusted) =
-                (self.full_builds, self.docs_indexed, self.trusted_refreshes);
-            *self = KeywordIndex::build(repo);
-            self.full_builds += full_builds;
-            self.docs_indexed += docs_indexed;
-            self.trusted_refreshes = trusted;
+            self.rebuild(repo);
             return;
         }
         self.append_new_specs(repo);
+    }
+
+    /// The verified full-rebuild arm shared by [`Self::refresh`] and the
+    /// targeted-maintenance fallbacks: rebuild from scratch, then restore
+    /// the lifetime instruments the fresh build wiped. `full_builds`
+    /// accumulates (the rebuild *is* one more full build);
+    /// `docs_indexed`, `docs_retracted` and `trusted_refreshes` are
+    /// restored **by assignment** — a rebuild's own corpus pass is
+    /// charged to `full_builds` alone, never double-counted into the
+    /// incremental-work counter (see [`Self::docs_indexed`]).
+    fn rebuild(&mut self, repo: &Repository) {
+        let (full_builds, docs_indexed, docs_retracted, trusted) =
+            (self.full_builds, self.docs_indexed, self.docs_retracted, self.trusted_refreshes);
+        *self = KeywordIndex::build(repo);
+        self.full_builds += full_builds;
+        self.docs_indexed = docs_indexed;
+        self.docs_retracted = docs_retracted;
+        self.trusted_refreshes = trusted;
     }
 
     /// [`Self::refresh`] minus the per-write O(corpus) fingerprint
@@ -245,22 +344,32 @@ impl KeywordIndex {
     /// thing: an existing spec's indexed text changing behind the index's
     /// back. A caller that *owns* the repository and feeds it only typed
     /// [`Mutation`](crate::mutation::Mutation)s can rule that out
-    /// structurally — no mutation variant edits existing spec text — and
-    /// recovery re-establishes the same trust: every replayed record was
-    /// checksum-verified, so the rebuilt corpus is exactly a typed-write
-    /// history. Under that ownership contract this method is sound and
-    /// O(new specs) per call; without it (a repository mutated through
-    /// arbitrary `&mut` access), use `refresh`, which spends the scan to
-    /// verify instead of trusting.
+    /// *per effect*: the non-destructive variants never edit existing
+    /// spec text, and the repository's
+    /// [`structure_epoch`](Repository::structure_epoch) moves exactly
+    /// when a destructive one (delete / edit / tombstone) applies. The
+    /// trust decision is therefore keyed on the epoch, not on slot
+    /// counts: tombstones keep `repo.len()` constant across deletion, so
+    /// an equal-length destructive history is *normal* — a length guard
+    /// alone would silently serve stale postings. Recovery re-establishes
+    /// the same trust: every replayed record was checksum-verified, so
+    /// the rebuilt corpus is exactly a typed-write history. Under that
+    /// ownership contract this method is sound and O(new specs) per call;
+    /// without it (a repository mutated through arbitrary `&mut` access),
+    /// use `refresh`, which spends the scan to verify instead of trusting.
     ///
-    /// Defensively falls back to the verifying path when the repository
-    /// shrank — a state no typed mutation can produce — so misuse degrades
-    /// to a correct (full) rebuild, never to stale postings.
+    /// Falls back to the verifying path whenever the structure epoch
+    /// moved (a destructive mutation applied since the last reconcile —
+    /// the typed targeted maintenance is [`Self::delete_spec`] /
+    /// [`Self::edit_spec`], which re-sync the epoch) or the repository
+    /// shrank, so misuse degrades to a correct (full) rebuild, never to
+    /// stale postings.
     pub fn refresh_trusted(&mut self, repo: &Repository) {
         if repo.version() == self.built_at {
             return;
         }
-        if repo.len() < self.fingerprints.len() {
+        if repo.len() < self.fingerprints.len() || repo.structure_epoch() != self.structure_epoch_at
+        {
             self.refresh(repo);
             return;
         }
@@ -269,18 +378,32 @@ impl KeywordIndex {
     }
 
     /// The shared append tail of [`Self::refresh`] /
-    /// [`Self::refresh_trusted`]: index specs beyond the fingerprinted
-    /// prefix, invalidate only the df-memo entries those postings could
-    /// move, and re-tag `built_at`.
+    /// [`Self::refresh_trusted`] (and the re-tag tail of the targeted
+    /// destructive maintenance): index slots beyond the fingerprinted
+    /// prefix (tombstoned slots keep their position as `None`),
+    /// invalidate only the df-memo entries those postings could move, and
+    /// re-tag `built_at` / `structure_epoch_at`.
     fn append_new_specs(&mut self, repo: &Repository) {
         let mut new_terms: HashMap<String, Vec<Posting>> = HashMap::new();
         let mut new_phrases: HashMap<String, Vec<Posting>> = HashMap::new();
-        for (sid, entry) in repo.entries().skip(self.fingerprints.len()) {
-            let docs =
-                index_entry(sid, entry, &mut new_terms, &mut new_phrases, &mut self.module_tokens);
+        for (sid, slot) in repo.slots().skip(self.fingerprints.len()) {
+            let Some(entry) = slot else {
+                self.fingerprints.push(None);
+                continue;
+            };
+            let mut posted = PostedTerms::default();
+            let docs = index_entry(
+                sid,
+                entry,
+                &mut new_terms,
+                &mut new_phrases,
+                &mut self.module_tokens,
+                &mut posted,
+            );
             self.doc_count += docs;
             self.docs_indexed += docs;
-            self.fingerprints.push(SpecTextFingerprint::of(entry));
+            self.fingerprints.push(Some(SpecTextFingerprint::of(entry)));
+            self.spec_posted.insert(sid, posted);
         }
         if !new_terms.is_empty() || !new_phrases.is_empty() {
             // Drop only the memo entries the append could have changed: a
@@ -307,6 +430,127 @@ impl KeywordIndex {
             self.phrases.entry(phrase).or_default().append_sorted(postings);
         }
         self.built_at = repo.version();
+        self.structure_epoch_at = repo.structure_epoch();
+    }
+
+    /// Drop the memo entries whose df the given **sorted** touched key
+    /// sets could have moved — the retraction-side twin of the append
+    /// path's per-touched-term invalidation.
+    fn invalidate_df_memo_for(&self, terms: &[String], phrases: &[String]) {
+        if terms.is_empty() && phrases.is_empty() {
+            return;
+        }
+        self.df_memo.write().retain(|k, _| {
+            let tokens = tokenize(k);
+            match tokens.split_first() {
+                None => true,
+                Some((first, rest)) => {
+                    terms.binary_search(first).is_err()
+                        && (rest.is_empty() || phrases.binary_search(&tokens.join(" ")).is_err())
+                }
+            }
+        });
+    }
+
+    /// Retract every posting `spec` contributed under the keys `posted`
+    /// records: decode each touched list, drop the spec's postings,
+    /// re-seal (or remove the key outright when it empties). Posting
+    /// order is untouched for the surviving entries, so the result is
+    /// bit-identical to a fresh build over the post-retraction corpus.
+    fn retract(&mut self, spec: SpecId, posted: &PostedTerms) {
+        for key in &posted.terms {
+            let Some(list) = self.terms.get(key) else { continue };
+            let mut v = list.to_vec();
+            v.retain(|p| p.spec != spec);
+            if v.is_empty() {
+                self.terms.remove(key);
+            } else {
+                self.terms.insert(key.clone(), PostingList::from_postings(v));
+            }
+        }
+        for key in &posted.phrases {
+            let Some(list) = self.phrases.get(key) else { continue };
+            let mut v = list.to_vec();
+            v.retain(|p| p.spec != spec);
+            if v.is_empty() {
+                self.phrases.remove(key);
+            } else {
+                self.phrases.insert(key.clone(), PostingList::from_postings(v));
+            }
+        }
+        for m in &posted.modules {
+            self.module_tokens.remove(&(spec, *m));
+        }
+        self.invalidate_df_memo_for(&posted.terms, &posted.phrases);
+    }
+
+    /// Targeted maintenance for
+    /// [`MutationEffect::SpecDeleted`](crate::mutation::MutationEffect::SpecDeleted):
+    /// retract exactly the deleted spec's postings — O(its own postings),
+    /// not O(index) — using the [`PostedTerms`] reverse map (the
+    /// repository entry is already a tombstone, so the keys cannot be
+    /// recomputed from text). Falls back to the verifying [`Self::refresh`]
+    /// (which rebuilds on the fingerprint mismatch) when the index never
+    /// indexed the spec — the honest degenerate boundary E19 measures.
+    pub fn delete_spec(&mut self, repo: &Repository, spec: SpecId) {
+        let Some(posted) = self.spec_posted.remove(&spec) else {
+            self.refresh(repo);
+            return;
+        };
+        self.retract(spec, &posted);
+        self.doc_count -= posted.docs;
+        self.docs_retracted += posted.docs;
+        if let Some(fp) = self.fingerprints.get_mut(spec.0 as usize) {
+            *fp = None;
+        }
+        // Pick up any not-yet-indexed tail and re-tag built_at / epoch.
+        self.append_new_specs(repo);
+    }
+
+    /// Targeted maintenance for
+    /// [`MutationEffect::SpecEdited`](crate::mutation::MutationEffect::SpecEdited):
+    /// retract the spec's old postings and re-index its current text in
+    /// place. The re-indexed postings are spliced back at their id
+    /// position, so per-term order — and therefore every downstream
+    /// ranked score — is bit-identical to a fresh build. Falls back to
+    /// the verifying [`Self::refresh`] when the index has no record of
+    /// the spec.
+    pub fn edit_spec(&mut self, repo: &Repository, spec: SpecId) {
+        let (Some(entry), Some(old)) = (repo.entry(spec), self.spec_posted.remove(&spec)) else {
+            self.refresh(repo);
+            return;
+        };
+        self.retract(spec, &old);
+        self.doc_count -= old.docs;
+        self.docs_retracted += old.docs;
+
+        let mut new_terms: HashMap<String, Vec<Posting>> = HashMap::new();
+        let mut new_phrases: HashMap<String, Vec<Posting>> = HashMap::new();
+        let mut posted = PostedTerms::default();
+        let docs = index_entry(
+            spec,
+            entry,
+            &mut new_terms,
+            &mut new_phrases,
+            &mut self.module_tokens,
+            &mut posted,
+        );
+        self.doc_count += docs;
+        self.docs_indexed += docs;
+        self.invalidate_df_memo_for(&posted.terms, &posted.phrases);
+        for (key, mut postings) in new_terms {
+            postings.sort_by_key(|p| (p.spec, p.workflow, p.module));
+            splice_postings(&mut self.terms, key, postings);
+        }
+        for (key, mut postings) in new_phrases {
+            postings.sort_by_key(|p| (p.spec, p.workflow, p.module));
+            splice_postings(&mut self.phrases, key, postings);
+        }
+        if let Some(fp) = self.fingerprints.get_mut(spec.0 as usize) {
+            *fp = Some(SpecTextFingerprint::of(entry));
+        }
+        self.spec_posted.insert(spec, posted);
+        self.append_new_specs(repo);
     }
 
     /// Repository version the index reflects.
@@ -333,12 +577,25 @@ impl KeywordIndex {
         self.trusted_refreshes
     }
 
-    /// Lifetime count of modules indexed. A refresh that appended `k`
-    /// specs moves this by their module count, a full rebuild by the whole
-    /// corpus, and execution appends / policy swaps by exactly zero — the
-    /// "zero index work" assertion the write-path tests pin down.
+    /// Lifetime count of modules indexed *incrementally*: the initial
+    /// build moves it by the whole corpus, a refresh that appended `k`
+    /// specs by their module count, a targeted edit by the re-indexed
+    /// spec's module count — and verified full rebuilds by exactly zero
+    /// (their corpus pass is charged to [`Self::full_builds`] alone, so
+    /// the instrument never double-counts rebuild work), as are execution
+    /// appends / policy swaps — the "zero index work" assertion the
+    /// write-path tests pin down.
     pub fn docs_indexed(&self) -> usize {
         self.docs_indexed
+    }
+
+    /// Lifetime count of module documents retracted by targeted
+    /// [`Self::delete_spec`] / [`Self::edit_spec`] maintenance — the
+    /// destructive-write instrument: fallback rebuilds move
+    /// [`Self::full_builds`] instead, so the ratio of the two is exactly
+    /// E19's targeted-vs-rebuild boundary.
+    pub fn docs_retracted(&self) -> usize {
+        self.docs_retracted
     }
 
     /// Whether `term`'s document frequency is currently memoized —
@@ -852,6 +1109,141 @@ mod tests {
         assert_eq!(idx.full_builds(), 2, "shrink must fall back to the verified rebuild");
         assert_eq!(idx.trusted_refreshes(), 0, "the fallback is not a trusted refresh");
         assert_eq!(idx.doc_count(), 15);
+    }
+
+    #[test]
+    fn trusted_refresh_falls_back_on_equal_length_destructive_history() {
+        use crate::mutation::{ModuleTextEdit, SpecText};
+        let mut r = repo();
+        let (spec, _) = fixtures::disease_susceptibility();
+        r.insert_spec(spec, Policy::public()).unwrap();
+        let mut idx = KeywordIndex::build(&r);
+        // A delete leaves a tombstone, so repo.len() stays 2 — a
+        // length-only guard cannot distinguish this from an append-only
+        // history and would serve spec 1's retracted postings forever.
+        r.delete_spec(SpecId(1)).unwrap();
+        idx.refresh_trusted(&r);
+        assert_eq!(idx.trusted_refreshes(), 0, "destructive epoch must skip the trusted shortcut");
+        assert_eq!(idx.full_builds(), 2, "the fallback is the verified rebuild");
+        let fresh = KeywordIndex::build(&r);
+        assert_eq!(idx.doc_count(), fresh.doc_count());
+        assert_eq!(idx.lookup("database"), fresh.lookup("database"));
+
+        // Same for an in-place edit: length and module counts unchanged.
+        let m = fixtures::handles(&r.entry(SpecId(0)).unwrap().spec);
+        r.edit_spec(
+            SpecId(0),
+            &SpecText {
+                edits: vec![ModuleTextEdit {
+                    module: m.m5,
+                    name: "Sanitized".into(),
+                    keywords: vec!["redacted".into()],
+                }],
+            },
+        )
+        .unwrap();
+        idx.refresh_trusted(&r);
+        assert_eq!(idx.trusted_refreshes(), 0);
+        assert!(idx.lookup("database").is_empty(), "edited-away token must not linger");
+        assert_eq!(idx.lookup("redacted"), KeywordIndex::build(&r).lookup("redacted"));
+    }
+
+    #[test]
+    fn rebuild_restores_docs_indexed_without_double_counting() {
+        use crate::mutation::{ModuleTextEdit, SpecText};
+        let mut r = repo();
+        let (spec, _) = fixtures::disease_susceptibility();
+        r.insert_spec(spec, Policy::public()).unwrap();
+        let mut idx = KeywordIndex::build(&r);
+        assert_eq!(idx.docs_indexed(), 30, "the initial build is incremental work");
+        // Text changed behind the index's back: the verifying refresh
+        // must rebuild — charged to full_builds, never re-counted into
+        // docs_indexed.
+        let m = fixtures::handles(&r.entry(SpecId(0)).unwrap().spec);
+        r.edit_spec(
+            SpecId(0),
+            &SpecText {
+                edits: vec![ModuleTextEdit {
+                    module: m.m3,
+                    name: "Renamed Step".into(),
+                    keywords: vec![],
+                }],
+            },
+        )
+        .unwrap();
+        idx.refresh(&r);
+        assert_eq!(idx.full_builds(), 2);
+        assert_eq!(idx.docs_indexed(), 30, "rebuild work must not inflate the incremental counter");
+    }
+
+    #[test]
+    fn delete_spec_retracts_postings_bit_identically() {
+        let mut r = repo();
+        let (spec, _) = fixtures::disease_susceptibility();
+        r.insert_spec(spec, Policy::public()).unwrap();
+        let mut idx = KeywordIndex::build(&r);
+        idx.df_cached("database");
+        idx.df_cached("unobtainium");
+        r.delete_spec(SpecId(0)).unwrap();
+        idx.delete_spec(&r, SpecId(0));
+        assert_eq!(idx.full_builds(), 1, "targeted retraction must not rebuild");
+        assert_eq!(idx.docs_retracted(), 15);
+        assert_eq!(idx.doc_count(), 15);
+        assert!(!idx.is_stale(&r));
+        assert!(!idx.df_memoized("database"), "touched df entries die with the retraction");
+        assert!(idx.df_memoized("unobtainium"), "untouched entries survive it");
+        let fresh = KeywordIndex::build(&r);
+        assert_eq!(idx.doc_count(), fresh.doc_count());
+        assert_eq!(idx.term_count(), fresh.term_count());
+        for term in ["database", "query", "risk", "disorder risks", "expand snp"] {
+            assert_eq!(idx.lookup_query_term(term), fresh.lookup_query_term(term), "{term:?}");
+            assert_eq!(idx.df(term), fresh.df(term));
+            assert_eq!(idx.df_cached(term), fresh.df_cached(term));
+        }
+        // A later trusted refresh over an appended spec works again: the
+        // targeted maintenance re-synced the structure epoch.
+        let (spec, _) = fixtures::disease_susceptibility();
+        r.insert_spec(spec, Policy::public()).unwrap();
+        idx.refresh_trusted(&r);
+        assert_eq!(idx.trusted_refreshes(), 1, "epoch re-sync restores the trusted shortcut");
+        assert_eq!(idx.doc_count(), 30);
+    }
+
+    #[test]
+    fn edit_spec_reindexes_in_place_bit_identically() {
+        use crate::mutation::{ModuleTextEdit, SpecText};
+        let mut r = repo();
+        let (spec, _) = fixtures::disease_susceptibility();
+        r.insert_spec(spec, Policy::public()).unwrap();
+        let mut idx = KeywordIndex::build(&r);
+        let m = fixtures::handles(&r.entry(SpecId(0)).unwrap().spec);
+        r.edit_spec(
+            SpecId(0),
+            &SpecText {
+                edits: vec![ModuleTextEdit {
+                    module: m.m5,
+                    name: "Sanitized".into(),
+                    keywords: vec!["redacted".into()],
+                }],
+            },
+        )
+        .unwrap();
+        idx.edit_spec(&r, SpecId(0));
+        assert_eq!(idx.full_builds(), 1, "targeted edit must not rebuild");
+        assert_eq!(idx.docs_indexed(), 45, "edit re-indexes exactly the one spec");
+        assert_eq!(idx.docs_retracted(), 15);
+        assert!(!idx.is_stale(&r));
+        let fresh = KeywordIndex::build(&r);
+        assert_eq!(idx.doc_count(), fresh.doc_count());
+        assert_eq!(idx.term_count(), fresh.term_count());
+        for term in ["database", "redacted", "sanitized", "query", "disorder risks", "expand snp"] {
+            assert_eq!(idx.lookup_query_term(term), fresh.lookup_query_term(term), "{term:?}");
+            assert_eq!(idx.df(term), fresh.df(term));
+        }
+        // The splice lands spec 0's re-indexed postings *before* spec 1's
+        // (interior id), and spec 1's "database" posting survives.
+        assert!(idx.lookup("database").iter().any(|p| p.spec == SpecId(1)));
+        assert!(idx.lookup("database").iter().all(|p| p.spec != SpecId(0)));
     }
 
     #[test]

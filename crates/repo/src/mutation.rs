@@ -19,13 +19,51 @@
 //!   and `(group, query)` result caches all stay valid;
 //! * a **policy swap** can change privacy-filtered answers for the touched
 //!   spec but leaves index postings (classification is the owning
-//!   workflow, not the policy) and every *other* spec's state untouched.
+//!   workflow, not the policy) and every *other* spec's state untouched;
+//! * a **spec delete** retires the id as a tombstone — its postings and
+//!   closure rows retract, its cached answers die, other specs are
+//!   untouched;
+//! * a **spec edit** rewrites searchable text in place — its postings
+//!   retract and re-index, structure and provenance stay put.
+//!
+//! The last two are the paper's sanitization/retraction scenario (exposed
+//! attributes withdrawn, module descriptions revised) and are the only
+//! *destructive* effects: they break the append-only invariant the
+//! trusted-refresh fast paths ride on, which is why the effect (not the
+//! caller's discipline) decides the maintenance route.
 
 use crate::repository::{Repository, SpecId};
 use ppwf_core::policy::Policy;
 use ppwf_model::exec::Execution;
+use ppwf_model::ids::ModuleId;
 use ppwf_model::spec::Specification;
 use ppwf_model::Result;
+
+/// One module's replacement text inside a [`SpecText`] revision: the new
+/// display name and keyword tags. Text-only — module ids, kinds, workflow
+/// membership and edges are never touched by an edit, so hierarchies,
+/// policies (which reference module *ids* and channel names) and recorded
+/// executions all stay valid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModuleTextEdit {
+    /// The module whose text is replaced.
+    pub module: ModuleId,
+    /// Its new display name.
+    pub name: String,
+    /// Its new keyword tags.
+    pub keywords: Vec<String>,
+}
+
+/// A text-only specification revision — the paper's sanitization scenario
+/// (exposed attribute names get retracted, module descriptions revised)
+/// without structural surgery. Exactly the text the keyword index indexes
+/// and the spec-text fingerprint hashes; reachability and policy validity
+/// are untouched by construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecText {
+    /// Per-module replacements, applied in order.
+    pub edits: Vec<ModuleTextEdit>,
+}
 
 /// A typed repository write. All mutations — engine-level and routed
 /// cluster writes alike — flow through this vocabulary, so effects (and
@@ -53,6 +91,22 @@ pub enum Mutation {
         /// The new policy.
         policy: Policy,
     },
+    /// Remove a specification (and its executions and policy) from the
+    /// repository. The id becomes a tombstone: it is never reassigned, so
+    /// routing tables, snapshot chunk math and later log records keep
+    /// their alignment.
+    DeleteSpec {
+        /// Target spec id.
+        spec: SpecId,
+    },
+    /// Revise the searchable text of an existing spec in place (see
+    /// [`SpecText`]).
+    EditSpec {
+        /// Target spec id.
+        spec: SpecId,
+        /// The per-module text replacements.
+        text: SpecText,
+    },
 }
 
 /// What a successfully applied [`Mutation`] changed — the invalidation
@@ -78,6 +132,20 @@ pub enum MutationEffect {
         /// The spec whose policy was replaced.
         spec: SpecId,
     },
+    /// The spec no longer exists: its postings and closure rows must be
+    /// retracted, every cached answer naming it is stale, and its id is a
+    /// permanent tombstone.
+    SpecDeleted {
+        /// The retired spec id.
+        spec: SpecId,
+    },
+    /// The spec's searchable text changed in place: its postings must be
+    /// retracted and re-indexed and its cached answers are stale;
+    /// structure, hierarchy, executions and policy are untouched.
+    SpecEdited {
+        /// The spec whose text was revised.
+        spec: SpecId,
+    },
 }
 
 impl MutationEffect {
@@ -86,7 +154,9 @@ impl MutationEffect {
         match self {
             MutationEffect::SpecInserted { spec }
             | MutationEffect::ExecutionAppended { spec }
-            | MutationEffect::PolicyChanged { spec } => *spec,
+            | MutationEffect::PolicyChanged { spec }
+            | MutationEffect::SpecDeleted { spec }
+            | MutationEffect::SpecEdited { spec } => *spec,
         }
     }
 
@@ -107,6 +177,15 @@ impl MutationEffect {
     pub fn changes_visible_state(&self) -> bool {
         !matches!(self, MutationEffect::ExecutionAppended { .. })
     }
+
+    /// Whether the mutation destroyed or rewrote indexed state in place —
+    /// the effects that break the append-only invariant every trusted
+    /// refresh path rides on. Index maintenance for these must be the
+    /// typed targeted form (posting retraction / re-index) or a verified
+    /// rebuild; a trusted append would silently serve stale postings.
+    pub fn is_destructive(&self) -> bool {
+        matches!(self, MutationEffect::SpecDeleted { .. } | MutationEffect::SpecEdited { .. })
+    }
 }
 
 impl Repository {
@@ -124,6 +203,12 @@ impl Repository {
             }
             Mutation::SetPolicy { spec, policy } => {
                 self.set_policy(spec, policy).map(|()| MutationEffect::PolicyChanged { spec })
+            }
+            Mutation::DeleteSpec { spec } => {
+                self.delete_spec(spec).map(|()| MutationEffect::SpecDeleted { spec })
+            }
+            Mutation::EditSpec { spec, text } => {
+                self.edit_spec(spec, &text).map(|()| MutationEffect::SpecEdited { spec })
             }
         }
     }
@@ -154,6 +239,42 @@ mod tests {
         assert_eq!(effect, MutationEffect::PolicyChanged { spec: SpecId(0) });
         assert!(effect.changes_visible_state());
         assert_eq!(effect.spec(), SpecId(0));
+    }
+
+    #[test]
+    fn apply_reports_destructive_effects() {
+        let mut repo = Repository::new();
+        let (spec, m) = fixtures::disease_susceptibility();
+        repo.apply(Mutation::InsertSpec { spec, policy: Policy::public() }).unwrap();
+        let text = SpecText {
+            edits: vec![ModuleTextEdit {
+                module: m.m2,
+                name: "Renamed".into(),
+                keywords: vec!["tag".into()],
+            }],
+        };
+        let effect =
+            repo.apply(Mutation::EditSpec { spec: SpecId(0), text: text.clone() }).unwrap();
+        assert_eq!(effect, MutationEffect::SpecEdited { spec: SpecId(0) });
+        assert!(effect.changes_visible_state());
+        assert!(effect.is_destructive());
+        assert_eq!(effect.inserted_id(), None);
+
+        let effect = repo.apply(Mutation::DeleteSpec { spec: SpecId(0) }).unwrap();
+        assert_eq!(effect, MutationEffect::SpecDeleted { spec: SpecId(0) });
+        assert!(effect.changes_visible_state());
+        assert!(effect.is_destructive());
+
+        // Non-destructive effects say so.
+        assert!(!MutationEffect::SpecInserted { spec: SpecId(0) }.is_destructive());
+        assert!(!MutationEffect::ExecutionAppended { spec: SpecId(0) }.is_destructive());
+        assert!(!MutationEffect::PolicyChanged { spec: SpecId(0) }.is_destructive());
+
+        // Both destructive mutations fail cleanly on the tombstone.
+        let version = repo.version();
+        assert!(repo.apply(Mutation::DeleteSpec { spec: SpecId(0) }).is_err());
+        assert!(repo.apply(Mutation::EditSpec { spec: SpecId(0), text }).is_err());
+        assert_eq!(repo.version(), version);
     }
 
     #[test]

@@ -45,10 +45,30 @@ pub struct SpecEntry {
 /// The repository. `Clone` is what background snapshots freeze: the
 /// mutating thread clones the image and hands it to a pool job, trading
 /// the serialize-and-fsync pause for transient memory.
+///
+/// Storage is a slot vector: deleting a spec leaves a **tombstone** (a
+/// `None` slot) rather than compacting, so ids are never reassigned —
+/// routing tables, snapshot chunk ranges and later WAL records all key on
+/// the id and survive removal unchanged. [`Self::len`] stays the slot
+/// count (the id space); [`Self::live_count`] is the population.
 #[derive(Clone, Debug, Default)]
 pub struct Repository {
-    entries: Vec<SpecEntry>,
+    entries: Vec<Option<SpecEntry>>,
     version: u64,
+    /// Live (non-tombstone) slots.
+    live: usize,
+    /// Bumps only on destructive mutations (delete/edit) — the epoch the
+    /// index trust shortcuts key on: equal epochs prove the history since
+    /// the index last refreshed was append-only.
+    structure_epoch: u64,
+}
+
+/// The error every layer returns for operating on a tombstoned spec.
+/// Shared (rather than inlined per call site) so a single engine and a
+/// sharded cluster reject the same doomed mutation with bit-identical
+/// text — the equivalence property tests compare errors too.
+pub fn deleted_spec_error(spec: SpecId) -> ModelError {
+    ModelError::invalid(format!("spec {} deleted", spec.0))
 }
 
 impl Repository {
@@ -57,19 +77,33 @@ impl Repository {
         Repository::default()
     }
 
-    /// Number of specifications.
+    /// Number of slots — the id space, including tombstones. The next
+    /// insert gets id `len()`.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Whether the repository is empty.
+    /// Whether the repository has no slots at all (a fully deleted
+    /// repository still has tombstones and is *not* empty: its id space
+    /// and version history survive).
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
+    /// Number of live (non-deleted) specifications.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Whether `id` names a live entry (false for tombstones and
+    /// out-of-range ids alike).
+    pub fn is_live(&self, id: SpecId) -> bool {
+        matches!(self.entries.get(id.index()), Some(Some(_)))
+    }
+
     /// Total number of stored executions.
     pub fn execution_count(&self) -> usize {
-        self.entries.iter().map(|e| e.executions.len()).sum()
+        self.entries.iter().flatten().map(|e| e.executions.len()).sum()
     }
 
     /// Monotone version counter; bumps on every mutation. Caches key their
@@ -89,12 +123,43 @@ impl Repository {
         self.version = version;
     }
 
+    /// The monotone destructive-mutation counter (see the field doc).
+    pub fn structure_epoch(&self) -> u64 {
+        self.structure_epoch
+    }
+
+    /// Resolve a live entry or the typed error for why it isn't one:
+    /// out-of-range ids report `BadId`, tombstones the shared
+    /// [`deleted_spec_error`].
+    fn live_entry(&self, spec: SpecId) -> Result<&SpecEntry> {
+        match self.entries.get(spec.index()) {
+            None => Err(ModelError::BadId {
+                kind: "spec",
+                index: spec.index(),
+                len: self.entries.len(),
+            }),
+            Some(None) => Err(deleted_spec_error(spec)),
+            Some(Some(e)) => Ok(e),
+        }
+    }
+
+    /// Mutable twin of [`Self::live_entry`].
+    fn live_entry_mut(&mut self, spec: SpecId) -> Result<&mut SpecEntry> {
+        let len = self.entries.len();
+        match self.entries.get_mut(spec.index()) {
+            None => Err(ModelError::BadId { kind: "spec", index: spec.index(), len }),
+            Some(None) => Err(deleted_spec_error(spec)),
+            Some(Some(e)) => Ok(e),
+        }
+    }
+
     /// Insert a specification with its policy; validates the policy.
     pub fn insert_spec(&mut self, spec: Specification, policy: Policy) -> Result<SpecId> {
         policy.validate(&spec)?;
         let hierarchy = ExpansionHierarchy::of(&spec);
         let id = SpecId(self.entries.len() as u32);
-        self.entries.push(SpecEntry { spec, hierarchy, policy, executions: Vec::new() });
+        self.entries.push(Some(SpecEntry { spec, hierarchy, policy, executions: Vec::new() }));
+        self.live += 1;
         self.version += 1;
         Ok(id)
     }
@@ -102,12 +167,7 @@ impl Repository {
     /// Record an execution of `spec`.
     pub fn add_execution(&mut self, spec: SpecId, exec: Execution) -> Result<()> {
         exec.check_invariants()?;
-        let len = self.entries.len();
-        let entry = self.entries.get_mut(spec.index()).ok_or(ModelError::BadId {
-            kind: "spec",
-            index: spec.index(),
-            len,
-        })?;
+        let entry = self.live_entry_mut(spec)?;
         if exec.spec_name() != entry.spec.name() {
             return Err(ModelError::invalid(format!(
                 "execution of `{}` added under spec `{}`",
@@ -123,15 +183,44 @@ impl Repository {
     /// Replace the policy of a specification (bumps the version so caches
     /// and privacy-filtered answers invalidate).
     pub fn set_policy(&mut self, spec: SpecId, policy: Policy) -> Result<()> {
-        let len = self.entries.len();
-        let entry = self.entries.get_mut(spec.index()).ok_or(ModelError::BadId {
-            kind: "spec",
-            index: spec.index(),
-            len,
-        })?;
+        let entry = self.live_entry_mut(spec)?;
         policy.validate(&entry.spec)?;
         entry.policy = policy;
         self.version += 1;
+        Ok(())
+    }
+
+    /// Remove a specification, its policy and its executions. The slot
+    /// becomes a tombstone: [`Self::len`] (and therefore id assignment)
+    /// is unchanged, lookups return `None`, and every further mutation
+    /// naming the id fails with [`deleted_spec_error`]. Bumps both the
+    /// version and the structure epoch.
+    pub fn delete_spec(&mut self, spec: SpecId) -> Result<()> {
+        self.check_delete(spec)?;
+        self.entries[spec.index()] = None;
+        self.live -= 1;
+        self.version += 1;
+        self.structure_epoch += 1;
+        Ok(())
+    }
+
+    /// Revise the searchable text of a specification in place (see
+    /// [`crate::mutation::SpecText`]). Structure, hierarchy, policy and
+    /// executions are untouched by construction — only module names and
+    /// keyword tags change — so no re-validation of any of them is
+    /// needed. Bumps both the version and the structure epoch.
+    pub fn edit_spec(&mut self, spec: SpecId, text: &crate::mutation::SpecText) -> Result<()> {
+        self.check_edit(spec, text)?;
+        let entry =
+            self.entries[spec.index()].as_mut().expect("check_edit verified the slot is live");
+        for edit in &text.edits {
+            entry
+                .spec
+                .set_module_text(edit.module, &edit.name, &edit.keywords)
+                .expect("check_edit verified every module edit");
+        }
+        self.version += 1;
+        self.structure_epoch += 1;
         Ok(())
     }
 
@@ -153,11 +242,7 @@ impl Repository {
     /// mutating.
     pub fn check_execution(&self, spec: SpecId, exec: &Execution) -> Result<()> {
         exec.check_invariants()?;
-        let entry = self.entries.get(spec.index()).ok_or(ModelError::BadId {
-            kind: "spec",
-            index: spec.index(),
-            len: self.entries.len(),
-        })?;
+        let entry = self.live_entry(spec)?;
         if exec.spec_name() != entry.spec.name() {
             return Err(ModelError::invalid(format!(
                 "execution of `{}` added under spec `{}`",
@@ -171,12 +256,25 @@ impl Repository {
     /// Would [`Self::set_policy`] accept this pair? Checks without
     /// mutating.
     pub fn check_policy(&self, spec: SpecId, policy: &Policy) -> Result<()> {
-        let entry = self.entries.get(spec.index()).ok_or(ModelError::BadId {
-            kind: "spec",
-            index: spec.index(),
-            len: self.entries.len(),
-        })?;
+        let entry = self.live_entry(spec)?;
         policy.validate(&entry.spec)
+    }
+
+    /// Would [`Self::delete_spec`] accept this id? Checks without
+    /// mutating.
+    pub fn check_delete(&self, spec: SpecId) -> Result<()> {
+        self.live_entry(spec).map(|_| ())
+    }
+
+    /// Would [`Self::edit_spec`] accept this pair? Checks without
+    /// mutating: the slot must be live and every listed module must
+    /// resolve to a non-distinguished module of the spec.
+    pub fn check_edit(&self, spec: SpecId, text: &crate::mutation::SpecText) -> Result<()> {
+        let entry = self.live_entry(spec)?;
+        for edit in &text.edits {
+            entry.spec.check_module_text(edit.module)?;
+        }
+        Ok(())
     }
 
     /// Would applying this mutation (`Repository::apply`) succeed against
@@ -188,6 +286,8 @@ impl Repository {
             Mutation::InsertSpec { spec, policy } => self.check_insert(spec, policy),
             Mutation::AddExecution { spec, exec } => self.check_execution(*spec, exec),
             Mutation::SetPolicy { spec, policy } => self.check_policy(*spec, policy),
+            Mutation::DeleteSpec { spec } => self.check_delete(*spec),
+            Mutation::EditSpec { spec, text } => self.check_edit(*spec, text),
         }
     }
 
@@ -197,44 +297,87 @@ impl Repository {
     /// across shard repositories moves entries without re-deriving either.
     pub fn insert_entry(&mut self, entry: SpecEntry) -> SpecId {
         let id = SpecId(self.entries.len() as u32);
-        self.entries.push(entry);
+        self.entries.push(Some(entry));
+        self.live += 1;
         self.version += 1;
         id
     }
 
-    /// Consume the repository into its entries (ids become vector order) —
-    /// the other half of the construction/ingest split: partition the
-    /// result across shards and [`Self::insert_entry`] each piece.
+    /// Append a tombstone slot — reconstruction of a retired id during
+    /// snapshot load or shard reassembly. The id is consumed (the next
+    /// insert lands after it) but nothing is stored under it.
+    pub fn insert_tombstone(&mut self) -> SpecId {
+        let id = SpecId(self.entries.len() as u32);
+        self.entries.push(None);
+        self.version += 1;
+        self.structure_epoch += 1;
+        id
+    }
+
+    /// Consume the repository into its live entries (tombstones dropped,
+    /// so ids become vector order **only when none existed**) — the other
+    /// half of the construction/ingest split: partition the result across
+    /// shards and [`Self::insert_entry`] each piece. Shard construction
+    /// happens before any mutation, so the no-tombstone precondition holds
+    /// there; reassembly paths that must preserve id alignment use
+    /// [`Self::into_slots`].
     pub fn into_entries(self) -> Vec<SpecEntry> {
+        self.entries.into_iter().flatten().collect()
+    }
+
+    /// Consume the repository into its slots, tombstones included — ids
+    /// are exactly vector order.
+    pub fn into_slots(self) -> Vec<Option<SpecEntry>> {
         self.entries
     }
 
-    /// Look up an entry.
+    /// Look up an entry (`None` for tombstones and out-of-range ids).
     pub fn entry(&self, id: SpecId) -> Option<&SpecEntry> {
-        self.entries.get(id.index())
+        self.entries.get(id.index()).and_then(|s| s.as_ref())
     }
 
-    /// Iterate over `(id, entry)`.
+    /// Iterate over live `(id, entry)` pairs. Positional consumers that
+    /// must stay aligned with the id space (index fingerprint scans,
+    /// chunk serialization) use [`Self::slots`] instead — this iterator
+    /// *skips* tombstones.
     pub fn entries(&self) -> impl Iterator<Item = (SpecId, &SpecEntry)> {
-        self.entries.iter().enumerate().map(|(i, e)| (SpecId(i as u32), e))
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (SpecId(i as u32), e)))
+    }
+
+    /// Iterate over every slot in id order, tombstones as `None`.
+    pub fn slots(&self) -> impl Iterator<Item = (SpecId, Option<&SpecEntry>)> {
+        self.entries.iter().enumerate().map(|(i, e)| (SpecId(i as u32), e.as_ref()))
     }
 
     // -- persistence --------------------------------------------------------
 
-    /// Serialize the whole repository.
+    /// Serialize the whole repository. Format **2**: each slot is
+    /// prefixed by a live-flag byte, so tombstones round-trip
+    /// bit-identically (id space and all).
     pub fn save(&self) -> Bytes {
         let mut buf = BytesMut::new();
         buf.put_slice(b"PPWFREPO");
-        buf.put_u8(1); // version
+        buf.put_u8(2); // format version
         buf.put_u64_le(self.version);
         buf.put_u32_le(self.entries.len() as u32);
-        for e in &self.entries {
-            encode_entry(&mut buf, e);
+        for slot in &self.entries {
+            match slot {
+                Some(e) => {
+                    buf.put_u8(1);
+                    encode_entry(&mut buf, e);
+                }
+                None => buf.put_u8(0),
+            }
         }
         buf.freeze()
     }
 
-    /// Deserialize a repository, re-validating every artifact.
+    /// Deserialize a repository, re-validating every artifact. Reads both
+    /// format 2 (slot flags) and the pre-tombstone format 1 (every entry
+    /// live, no flag bytes).
     pub fn load(mut bytes: &[u8]) -> Result<Repository> {
         fn need(bytes: &[u8], n: usize) -> Result<()> {
             if bytes.len() < n {
@@ -249,7 +392,7 @@ impl Repository {
         }
         bytes.advance(8);
         let v = bytes.get_u8();
-        if v != 1 {
+        if v != 1 && v != 2 {
             return Err(ModelError::codec(format!("unsupported repository version {v}")));
         }
         need(bytes, 12)?;
@@ -257,6 +400,20 @@ impl Repository {
         let n = bytes.get_u32_le() as usize;
         let mut repo = Repository::new();
         for _ in 0..n {
+            if v >= 2 {
+                need(bytes, 1)?;
+                let live = bytes.get_u8();
+                match live {
+                    0 => {
+                        repo.insert_tombstone();
+                        continue;
+                    }
+                    1 => {}
+                    other => {
+                        return Err(ModelError::codec(format!("bad slot flag {other}")));
+                    }
+                }
+            }
             let (spec, policy, executions) = decode_entry(&mut bytes)?;
             let id = repo.insert_spec(spec, policy)?;
             for exec in executions {
@@ -517,6 +674,94 @@ mod tests {
         assert_eq!(e.executions[0].proc_count(), 15);
         // Stable bytes.
         assert_eq!(loaded.save(), bytes);
+    }
+
+    #[test]
+    fn delete_leaves_a_tombstone_and_preserves_id_space() {
+        let mut repo = sample_repo();
+        let (spec, _) = fixtures::disease_susceptibility();
+        let id1 = repo.insert_spec(spec, Policy::public()).unwrap();
+        assert_eq!((repo.len(), repo.live_count()), (2, 2));
+        let epoch = repo.structure_epoch();
+
+        repo.delete_spec(SpecId(0)).unwrap();
+        assert_eq!(repo.len(), 2, "slot count is the id space and must not shrink");
+        assert_eq!(repo.live_count(), 1);
+        assert!(repo.entry(SpecId(0)).is_none());
+        assert!(!repo.is_live(SpecId(0)));
+        assert!(repo.is_live(id1));
+        assert!(repo.structure_epoch() > epoch, "delete must bump the structure epoch");
+        assert_eq!(repo.execution_count(), 0, "the deleted spec's executions are gone");
+
+        // Further mutations on the tombstone fail with the shared error.
+        let err = repo.delete_spec(SpecId(0)).unwrap_err();
+        assert_eq!(err.to_string(), deleted_spec_error(SpecId(0)).to_string());
+        assert!(repo.set_policy(SpecId(0), Policy::public()).is_err());
+        assert!(repo.check_delete(SpecId(0)).is_err());
+
+        // The id is never reassigned: the next insert lands after it.
+        let (spec, _) = fixtures::disease_susceptibility();
+        let id2 = repo.insert_spec(spec, Policy::public()).unwrap();
+        assert_eq!(id2, SpecId(2));
+        assert_eq!(repo.entries().count(), 2, "live iteration skips the tombstone");
+        assert_eq!(repo.slots().count(), 3, "slot iteration includes it");
+    }
+
+    #[test]
+    fn edit_replaces_module_text_only() {
+        use crate::mutation::{ModuleTextEdit, SpecText};
+        let mut repo = sample_repo();
+        let entry = repo.entry(SpecId(0)).unwrap();
+        let m = fixtures::handles(&entry.spec);
+        let before_hierarchy = entry.hierarchy.clone();
+        let before_edges = entry.spec.edge_count();
+        let epoch = repo.structure_epoch();
+
+        let text = SpecText {
+            edits: vec![ModuleTextEdit {
+                module: m.m3,
+                name: "Sanitized Step".into(),
+                keywords: vec!["redacted".into()],
+            }],
+        };
+        repo.check_edit(SpecId(0), &text).unwrap();
+        repo.edit_spec(SpecId(0), &text).unwrap();
+        let entry = repo.entry(SpecId(0)).unwrap();
+        let module = entry.spec.get_module(m.m3).unwrap();
+        assert_eq!(module.name, "Sanitized Step");
+        assert_eq!(module.keywords, vec!["redacted".to_string()]);
+        assert_eq!(entry.spec.edge_count(), before_edges, "edits never touch structure");
+        assert_eq!(entry.hierarchy.len(), before_hierarchy.len());
+        assert_eq!(entry.executions.len(), 1, "provenance survives the edit");
+        assert!(repo.structure_epoch() > epoch, "edit must bump the structure epoch");
+
+        // Distinguished modules and bad ids are rejected before any change.
+        let input = entry.spec.workflow(entry.spec.root()).input;
+        let bad = SpecText {
+            edits: vec![ModuleTextEdit { module: input, name: "x".into(), keywords: vec![] }],
+        };
+        let version = repo.version();
+        assert!(repo.edit_spec(SpecId(0), &bad).is_err());
+        assert_eq!(repo.version(), version, "rejected edits must not bump the version");
+        assert!(repo.check_edit(SpecId(5), &text).is_err(), "bad spec id rejected");
+    }
+
+    #[test]
+    fn tombstones_round_trip_through_save_load() {
+        let mut repo = sample_repo();
+        for _ in 0..2 {
+            let (spec, _) = fixtures::disease_susceptibility();
+            repo.insert_spec(spec, Policy::public()).unwrap();
+        }
+        repo.delete_spec(SpecId(1)).unwrap();
+        let bytes = repo.save();
+        let loaded = Repository::load(&bytes).unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded.live_count(), 2);
+        assert!(loaded.entry(SpecId(1)).is_none());
+        assert!(loaded.entry(SpecId(2)).is_some());
+        assert_eq!(loaded.version(), repo.version());
+        assert_eq!(loaded.save(), bytes, "tombstoned repositories keep stable bytes");
     }
 
     #[test]

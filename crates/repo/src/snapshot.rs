@@ -11,15 +11,16 @@
 //! [u64 FNV-1a checksum of everything above (LE)]
 //! ```
 //!
-//! A **v2** snapshot is copy-on-write chunked: repository entries are
+//! A **v3** snapshot is copy-on-write chunked: repository id slots are
 //! partitioned into fixed runs of [`CHUNK_SPECS`] consecutive spec ids,
-//! each run serialized (entry wire format identical to the v1 image's
-//! per-entry section) into a content-addressed chunk file
-//! `chk-<fnv1a(payload):016x>.blob`. The snapshot file itself is then
-//! only a manifest:
+//! each run serialized as `run × ([u8 live flag] ++ entry bytes if live)`
+//! (entry wire format identical to the v1 image's per-entry section; a
+//! tombstoned slot is the single flag byte `0`) into a content-addressed
+//! chunk file `chk-<fnv1a(payload):016x>.blob`. The snapshot file itself
+//! is then only a manifest:
 //!
 //! ```text
-//! [b"PPWFSNAP"] [u8 version=2] [u64 through_seq (LE)] [u32 payload_len (LE)]
+//! [b"PPWFSNAP"] [u8 version=3] [u64 through_seq (LE)] [u32 payload_len (LE)]
 //! [payload = u64 repo_version (LE) ++ u32 chunk_count (LE)
 //!            ++ chunk_count × (u64 hash, u32 entry_count, u32 byte_len)]
 //! [u64 FNV-1a checksum of everything above (LE)]
@@ -46,11 +47,18 @@ use crate::fnv::Fnv1a;
 use crate::repository::{self, Repository, SpecEntry};
 use crate::storage::StorageBackend;
 use crate::wal::{WalError, WalResult};
-use bytes::BytesMut;
+use bytes::{BufMut, BytesMut};
 
 const MAGIC: &[u8; 8] = b"PPWFSNAP";
 const VERSION: u8 = 1;
-const VERSION_CHUNKED: u8 = 2;
+/// Chunked manifest format. v2 chunks held bare entries and could not
+/// represent a tombstoned slot; v3 prefixes every slot with a live flag.
+/// A v2 manifest written before destructive mutations existed describes
+/// an all-live repository, but its chunk payloads parse differently, so
+/// v2 is refused rather than guessed at (recovery falls back to the WAL
+/// via the surrounding snapshot-selection logic only across *files*, not
+/// formats — in practice v2 snapshots only exist in pre-upgrade stores).
+const VERSION_CHUNKED: u8 = 3;
 /// Magic + version + through_seq + payload length.
 const HEADER: usize = 8 + 1 + 8 + 4;
 /// Bytes of one manifest chunk record: hash + entry_count + byte_len.
@@ -72,7 +80,7 @@ pub fn chunk_of(id: u32) -> u32 {
 pub struct ChunkRef {
     /// FNV-1a of the chunk payload — also its file name.
     pub hash: u64,
-    /// Spec entries the chunk carries.
+    /// Spec id slots the chunk carries (live entries and tombstones).
     pub entries: u32,
     /// Payload length in bytes.
     pub bytes: u32,
@@ -84,8 +92,9 @@ pub struct ChunkRef {
 /// manifest's chunk (reused without touching storage).
 #[derive(Clone, Debug)]
 pub enum CowChunk {
-    /// Entries to serialize; covers one chunk-aligned id range.
-    Dirty(Vec<SpecEntry>),
+    /// Slots to serialize (`None` = tombstone); covers one chunk-aligned
+    /// id range.
+    Dirty(Vec<Option<SpecEntry>>),
     /// Untouched since the previous snapshot — reuse by reference.
     Clean(ChunkRef),
 }
@@ -187,8 +196,14 @@ pub(crate) fn write_chunked(
             }
             CowChunk::Dirty(entries) => {
                 let mut payload = BytesMut::new();
-                for e in entries {
-                    repository::encode_entry(&mut payload, e);
+                for slot in entries {
+                    match slot {
+                        Some(e) => {
+                            payload.put_u8(1);
+                            repository::encode_entry(&mut payload, e);
+                        }
+                        None => payload.put_u8(0),
+                    }
                 }
                 let payload = payload.freeze();
                 let hash = hash_of(&payload);
@@ -283,14 +298,34 @@ fn load_chunked(
         }
         let mut cursor: &[u8] = &payload;
         for k in 0..r.entries {
-            let (spec, policy, executions) = repository::decode_entry(&mut cursor)
-                .map_err(|e| corrupt(name, format!("chunk {i} entry {k} undecodable: {e}")))?;
-            let id = repo
-                .insert_spec(spec, policy)
-                .map_err(|e| corrupt(name, format!("chunk {i} entry {k} invalid: {e}")))?;
-            for exec in executions {
-                repo.add_execution(id, exec)
-                    .map_err(|e| corrupt(name, format!("chunk {i} entry {k} invalid: {e}")))?;
+            let Some((&flag, rest)) = cursor.split_first() else {
+                return Err(corrupt(name, format!("chunk {i} slot {k} missing its live flag")));
+            };
+            cursor = rest;
+            match flag {
+                0 => {
+                    repo.insert_tombstone();
+                }
+                1 => {
+                    let (spec, policy, executions) = repository::decode_entry(&mut cursor)
+                        .map_err(|e| {
+                            corrupt(name, format!("chunk {i} entry {k} undecodable: {e}"))
+                        })?;
+                    let id = repo
+                        .insert_spec(spec, policy)
+                        .map_err(|e| corrupt(name, format!("chunk {i} entry {k} invalid: {e}")))?;
+                    for exec in executions {
+                        repo.add_execution(id, exec).map_err(|e| {
+                            corrupt(name, format!("chunk {i} entry {k} invalid: {e}"))
+                        })?;
+                    }
+                }
+                other => {
+                    return Err(corrupt(
+                        name,
+                        format!("chunk {i} slot {k} has unknown live flag {other}"),
+                    ));
+                }
             }
         }
         if !cursor.is_empty() {
@@ -435,8 +470,8 @@ mod tests {
     fn all_dirty_image(repo: &Repository) -> CowImage {
         let mut chunks = Vec::new();
         let mut current = Vec::new();
-        for (_, e) in repo.entries() {
-            current.push(e.clone());
+        for (_, slot) in repo.slots() {
+            current.push(slot.cloned());
             if current.len() == CHUNK_SPECS {
                 chunks.push(CowChunk::Dirty(std::mem::take(&mut current)));
             }
@@ -461,6 +496,26 @@ mod tests {
         assert_eq!(loaded.through_seq, 5);
         assert_eq!(loaded.manifest.as_deref(), Some(&wrote.manifest[..]));
         assert_eq!(loaded.repo.save(), repo.save(), "chunked load must be bit-identical");
+    }
+
+    #[test]
+    fn chunked_round_trip_preserves_tombstones() {
+        let storage = MemStorage::new();
+        let mut repo = sample();
+        let (spec, _) = fixtures::disease_susceptibility();
+        repo.insert_spec(spec.clone(), Policy::public()).unwrap();
+        let (spec2, _) = fixtures::disease_susceptibility();
+        repo.insert_spec(spec2, Policy::public()).unwrap();
+        repo.delete_spec(crate::repository::SpecId(1)).unwrap();
+        assert_eq!(repo.len(), 3);
+        assert_eq!(repo.live_count(), 2);
+        let wrote = write_chunked(&storage, 11, &all_dirty_image(&repo)).unwrap();
+        assert_eq!(wrote.manifest[0].entries, 3, "slot count includes the tombstone");
+        let loaded = load_latest(&storage, &storage.list().unwrap()).unwrap();
+        assert_eq!(loaded.repo.len(), 3);
+        assert_eq!(loaded.repo.live_count(), 2);
+        assert!(loaded.repo.entry(crate::repository::SpecId(1)).is_none());
+        assert_eq!(loaded.repo.save(), repo.save(), "tombstoned load must be bit-identical");
     }
 
     #[test]

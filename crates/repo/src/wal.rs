@@ -82,12 +82,13 @@
 //! reported as corruption ([`WalError::Replay`]), not tolerated.
 
 use crate::fnv::Fnv1a;
-use crate::mutation::Mutation;
+use crate::mutation::{ModuleTextEdit, Mutation, SpecText};
 use crate::pool::WorkerPool;
 use crate::repository::{policy_codec, Repository, SpecId};
 use crate::snapshot::{self, ChunkRef, CowChunk, CowImage, CHUNK_SPECS};
 use crate::storage::{StorageBackend, StorageError};
 use ppwf_model::codec;
+use ppwf_model::ids::ModuleId;
 use serde::wire;
 use std::collections::{BTreeSet, HashSet, VecDeque};
 use std::fmt;
@@ -188,6 +189,12 @@ const TAG_SET_POLICY: u8 = 3;
 /// A group-commit record: `uvarint count` then `count` mutation payloads,
 /// covering sequence numbers `first_seq .. first_seq + count`.
 const TAG_BATCH: u8 = 4;
+/// A spec deletion: `uvarint spec`.
+const TAG_DELETE_SPEC: u8 = 5;
+/// A spec text revision: `uvarint spec`, `uvarint edit count`, then per
+/// edit `uvarint module`, len-prefixed UTF-8 name, `uvarint keyword
+/// count`, and len-prefixed UTF-8 keywords.
+const TAG_EDIT_SPEC: u8 = 6;
 
 fn checksum_of(body: &[u8]) -> u64 {
     let mut h = Fnv1a::new();
@@ -215,6 +222,23 @@ pub fn encode_mutation(buf: &mut Vec<u8>, mutation: &Mutation) {
             wire::put_uvarint(buf, spec.0 as u64);
             wire::put_len_prefixed(buf, &policy_codec::encode_policy(policy));
         }
+        Mutation::DeleteSpec { spec } => {
+            buf.push(TAG_DELETE_SPEC);
+            wire::put_uvarint(buf, spec.0 as u64);
+        }
+        Mutation::EditSpec { spec, text } => {
+            buf.push(TAG_EDIT_SPEC);
+            wire::put_uvarint(buf, spec.0 as u64);
+            wire::put_uvarint(buf, text.edits.len() as u64);
+            for edit in &text.edits {
+                wire::put_uvarint(buf, edit.module.0 as u64);
+                wire::put_len_prefixed(buf, edit.name.as_bytes());
+                wire::put_uvarint(buf, edit.keywords.len() as u64);
+                for kw in &edit.keywords {
+                    wire::put_len_prefixed(buf, kw.as_bytes());
+                }
+            }
+        }
     }
 }
 
@@ -239,6 +263,34 @@ pub fn decode_mutation(bytes: &mut &[u8]) -> Option<Mutation> {
             let id = wire::get_uvarint(bytes)?;
             let policy = policy_codec::decode_policy(wire::get_len_prefixed(bytes)?).ok()?;
             Some(Mutation::SetPolicy { spec: SpecId(u32::try_from(id).ok()?), policy })
+        }
+        TAG_DELETE_SPEC => {
+            let id = wire::get_uvarint(bytes)?;
+            Some(Mutation::DeleteSpec { spec: SpecId(u32::try_from(id).ok()?) })
+        }
+        TAG_EDIT_SPEC => {
+            let id = wire::get_uvarint(bytes)?;
+            let count = wire::get_uvarint(bytes)?;
+            let mut edits = Vec::with_capacity(usize::try_from(count).ok()?.min(64));
+            for _ in 0..count {
+                let module = wire::get_uvarint(bytes)?;
+                let name = String::from_utf8(wire::get_len_prefixed(bytes)?.to_vec()).ok()?;
+                let kw_count = wire::get_uvarint(bytes)?;
+                let mut keywords = Vec::with_capacity(usize::try_from(kw_count).ok()?.min(64));
+                for _ in 0..kw_count {
+                    let kw = String::from_utf8(wire::get_len_prefixed(bytes)?.to_vec()).ok()?;
+                    keywords.push(kw);
+                }
+                edits.push(ModuleTextEdit {
+                    module: ModuleId(u32::try_from(module).ok()?),
+                    name,
+                    keywords,
+                });
+            }
+            Some(Mutation::EditSpec {
+                spec: SpecId(u32::try_from(id).ok()?),
+                text: SpecText { edits },
+            })
         }
         _ => None,
     }
@@ -323,7 +375,10 @@ struct Replayed {
 fn dirtied_chunk(repo: &Repository, mutation: &Mutation) -> u32 {
     let id = match mutation {
         Mutation::InsertSpec { .. } => repo.len() as u32,
-        Mutation::AddExecution { spec, .. } | Mutation::SetPolicy { spec, .. } => spec.0,
+        Mutation::AddExecution { spec, .. }
+        | Mutation::SetPolicy { spec, .. }
+        | Mutation::DeleteSpec { spec }
+        | Mutation::EditSpec { spec, .. } => spec.0,
     };
     snapshot::chunk_of(id)
 }
@@ -994,7 +1049,10 @@ impl DurableLog {
                     self.entry_count += 1;
                     id
                 }
-                Mutation::AddExecution { spec, .. } | Mutation::SetPolicy { spec, .. } => spec.0,
+                Mutation::AddExecution { spec, .. }
+                | Mutation::SetPolicy { spec, .. }
+                | Mutation::DeleteSpec { spec }
+                | Mutation::EditSpec { spec, .. } => spec.0,
             };
             self.dirty_chunks.insert(snapshot::chunk_of(id));
         }
@@ -1288,9 +1346,7 @@ impl DurableLog {
                     let lo = c * CHUNK_SPECS;
                     let hi = repo.len().min(lo + CHUNK_SPECS);
                     CowChunk::Dirty(
-                        (lo..hi)
-                            .map(|id| repo.entry(SpecId(id as u32)).expect("id < len").clone())
-                            .collect(),
+                        (lo..hi).map(|id| repo.entry(SpecId(id as u32)).cloned()).collect(),
                     )
                 }
             })
@@ -1580,10 +1636,27 @@ mod tests {
     fn mutation_codec_round_trips() {
         let mut repo = Repository::new();
         repo.apply(insert()).unwrap();
+        repo.apply(insert()).unwrap();
+        let (_, m) = fixtures::disease_susceptibility();
         let mutations = vec![
             insert(),
             exec_for(&repo, SpecId(0)),
             Mutation::SetPolicy { spec: SpecId(0), policy: Policy::public() },
+            Mutation::EditSpec {
+                spec: SpecId(0),
+                text: SpecText {
+                    edits: vec![
+                        ModuleTextEdit {
+                            module: m.m2,
+                            name: "Sanitized step".into(),
+                            keywords: vec!["redacted".into(), "revised".into()],
+                        },
+                        ModuleTextEdit { module: m.m3, name: "Bare".into(), keywords: vec![] },
+                    ],
+                },
+            },
+            Mutation::EditSpec { spec: SpecId(1), text: SpecText { edits: vec![] } },
+            Mutation::DeleteSpec { spec: SpecId(1) },
         ];
         for m in &mutations {
             let mut buf = Vec::new();

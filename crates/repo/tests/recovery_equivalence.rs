@@ -17,16 +17,14 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use ppwf_core::policy::Policy;
-use ppwf_model::exec::{Executor, HashOracle};
 use ppwf_repo::keyword_index::KeywordIndex;
 use ppwf_repo::pool::WorkerPool;
-use ppwf_repo::repository::{Repository, SpecId};
+use ppwf_repo::repository::Repository;
 use ppwf_repo::storage::{FaultPlan, MemStorage, StorageBackend};
 use ppwf_repo::wal::{DurabilityPolicy, DurableLog, GroupCommit, WalError};
 use ppwf_repo::Mutation;
 use ppwf_workloads::gencrash::{crash_schedule, CrashScheduleParams};
-use ppwf_workloads::genspec::{generate_spec, SpecParams};
+use ppwf_workloads::genmutation::mutation_stream;
 use proptest::prelude::*;
 
 /// Generated specs draw their keywords from the `kw{rank}` vocabulary.
@@ -43,40 +41,10 @@ fn tight_policy() -> DurabilityPolicy {
     }
 }
 
-/// Materialize a deterministic mutation stream from `(kind, seed)` pairs:
-/// 0 → spec insert, 1 → execution append, 2 → policy swap, each built
-/// against the evolving state (the first write is always an insert so
-/// id-targeting kinds have a live target).
-fn mutation_stream(writes: &[(u8, u64)]) -> Vec<Mutation> {
-    let mut scratch = Repository::new();
-    let mut stream = Vec::with_capacity(writes.len());
-    for (i, &(kind, seed)) in writes.iter().enumerate() {
-        let kind = if scratch.is_empty() { 0 } else { kind % 3 };
-        let mutation = match kind {
-            0 => Mutation::InsertSpec {
-                spec: generate_spec(&SpecParams {
-                    seed: seed ^ ((i as u64) << 8) ^ 0xFACE,
-                    ..SpecParams::default()
-                }),
-                policy: Policy::public(),
-            },
-            1 => {
-                let target = SpecId((seed % scratch.len() as u64) as u32);
-                let exec = Executor::new(&scratch.entry(target).unwrap().spec)
-                    .run(&mut HashOracle)
-                    .expect("stored specs execute");
-                Mutation::AddExecution { spec: target, exec }
-            }
-            _ => Mutation::SetPolicy {
-                spec: SpecId((seed % scratch.len() as u64) as u32),
-                policy: Policy::public(),
-            },
-        };
-        scratch.apply(mutation.clone()).expect("generated mutation applies");
-        stream.push(mutation);
-    }
-    stream
-}
+// The deterministic mutation streams — full vocabulary, including the
+// `DeleteSpec`/`EditSpec` records whose frames the crash matrix tears at
+// every scheduled byte — come from [`ppwf_workloads::genmutation`]:
+// destructive kinds target only live slots, so every stream replays.
 
 /// Drive `stream` through a fresh durable log over `storage` until the
 /// backend dies (or the stream ends). Returns the acknowledged count —
@@ -273,7 +241,7 @@ proptest! {
     #[test]
     fn recovery_is_bit_identical_at_every_crash_offset(
         seed in any::<u64>(),
-        writes in proptest::collection::vec((0u8..3, any::<u64>()), 3..9),
+        writes in proptest::collection::vec((0u8..5, any::<u64>()), 3..9),
     ) {
         let stream = mutation_stream(&writes);
         let policy = tight_policy();
@@ -350,7 +318,7 @@ proptest! {
     #[test]
     fn interior_corruption_is_rejected_not_skipped(
         seed in any::<u64>(),
-        writes in proptest::collection::vec((0u8..3, any::<u64>()), 4..9),
+        writes in proptest::collection::vec((0u8..5, any::<u64>()), 4..9),
         victim in any::<u64>(),
     ) {
         let stream = mutation_stream(&writes);
@@ -419,7 +387,7 @@ proptest! {
     #[test]
     fn group_commit_recovery_has_no_partial_batches(
         seed in any::<u64>(),
-        writes in proptest::collection::vec((0u8..3, any::<u64>()), 4..8),
+        writes in proptest::collection::vec((0u8..5, any::<u64>()), 4..8),
         run_lens in proptest::collection::vec(1usize..5, 1..4),
     ) {
         let stream = mutation_stream(&writes);
@@ -502,7 +470,7 @@ proptest! {
     #[test]
     fn pipelined_commit_recovers_a_batch_aligned_acked_superset(
         seed in any::<u64>(),
-        writes in proptest::collection::vec((0u8..3, any::<u64>()), 4..8),
+        writes in proptest::collection::vec((0u8..5, any::<u64>()), 4..8),
         run_lens in proptest::collection::vec(1usize..5, 1..4),
     ) {
         let stream = mutation_stream(&writes);
@@ -587,7 +555,7 @@ proptest! {
     #[test]
     fn cow_snapshot_recovery_is_bit_identical_at_every_crash_offset(
         seed in any::<u64>(),
-        writes in proptest::collection::vec((0u8..3, any::<u64>()), 4..9),
+        writes in proptest::collection::vec((0u8..5, any::<u64>()), 4..9),
     ) {
         let stream = mutation_stream(&writes);
         let policy = cow_policy();

@@ -1,0 +1,162 @@
+//! Randomized typed-mutation streams over an evolving corpus.
+//!
+//! The write-path experiments and crash matrices all need the same thing:
+//! a deterministic stream of [`Mutation`]s that stays *applicable* — every
+//! element validates against the state left by its predecessors — while
+//! covering the full vocabulary, including the destructive kinds. The
+//! rules that make that work are subtle enough to keep in one place:
+//!
+//! * id-targeting kinds draw from the **live** slots (destructive
+//!   histories leave tombstones; a tombstoned id must never be
+//!   re-targeted),
+//! * `DeleteSpec` on the last live spec is fine, but the *next* targeted
+//!   write then has nothing to hit — it degenerates to an insert,
+//! * `EditSpec` needs an editable (non-distinguished) module on its
+//!   target, and likewise degenerates to an insert when there is none.
+//!
+//! Streams produced here push every WAL record tag — `DeleteSpec` and
+//! `EditSpec` frames included, alone and inside group-commit batch
+//! records — through whatever durability pipeline the caller drives, so
+//! [`crate::gencrash`] schedules probe the destructive records at every
+//! byte boundary too. Everything is deterministic under the caller's
+//! seeds.
+
+use crate::genspec::{generate_spec, SpecParams};
+use ppwf_core::policy::Policy;
+use ppwf_model::exec::{Executor, HashOracle};
+use ppwf_repo::mutation::{ModuleTextEdit, Mutation, SpecText};
+use ppwf_repo::repository::{Repository, SpecId};
+
+/// Materialize one random mutation against the current repository state:
+/// `kind % 5` picks 0 → spec insert, 1 → execution append, 2 → policy
+/// swap, 3 → spec delete, 4 → in-place text edit. `salt` decorrelates
+/// streams that reuse seeds (stream position is the usual choice).
+/// Kinds that need a live target (or, for edits, an editable module)
+/// degenerate to an insert when none exists, so the result always
+/// applies cleanly.
+pub fn mutation_of(kind: u8, seed: u64, salt: u64, repo: &Repository) -> Mutation {
+    let insert = || Mutation::InsertSpec {
+        spec: generate_spec(&SpecParams {
+            seed: seed ^ (salt << 8) ^ 0xFACE,
+            ..SpecParams::default()
+        }),
+        policy: Policy::public(),
+    };
+    let live: Vec<SpecId> =
+        repo.slots().filter_map(|(id, entry)| entry.is_some().then_some(id)).collect();
+    if live.is_empty() {
+        return insert();
+    }
+    let target = live[(seed % live.len() as u64) as usize];
+    match kind % 5 {
+        0 => insert(),
+        1 => {
+            let exec = Executor::new(&repo.entry(target).unwrap().spec)
+                .run(&mut HashOracle)
+                .expect("stored specs execute");
+            Mutation::AddExecution { spec: target, exec }
+        }
+        2 => Mutation::SetPolicy { spec: target, policy: Policy::public() },
+        3 => Mutation::DeleteSpec { spec: target },
+        _ => {
+            let spec = &repo.entry(target).unwrap().spec;
+            let editable: Vec<_> = spec.modules().filter(|m| !m.kind.is_distinguished()).collect();
+            if editable.is_empty() {
+                return insert();
+            }
+            let module = editable[(seed % editable.len() as u64) as usize];
+            Mutation::EditSpec {
+                spec: target,
+                text: SpecText {
+                    edits: vec![ModuleTextEdit {
+                        module: module.id,
+                        name: format!("edited step {salt}"),
+                        keywords: vec![format!("kw{}", seed % 8), "edited".to_string()],
+                    }],
+                },
+            }
+        }
+    }
+}
+
+/// Materialize a deterministic stream from explicit `(kind, seed)` pairs
+/// (the shape property-test strategies produce), each element built
+/// against — and applied to — the evolving scratch state.
+pub fn mutation_stream(writes: &[(u8, u64)]) -> Vec<Mutation> {
+    let mut scratch = Repository::new();
+    let mut stream = Vec::with_capacity(writes.len());
+    for (i, &(kind, seed)) in writes.iter().enumerate() {
+        let mutation = mutation_of(kind, seed, i as u64, &scratch);
+        scratch.apply(mutation.clone()).expect("generated mutation applies");
+        stream.push(mutation);
+    }
+    stream
+}
+
+/// Materialize a `writes`-element stream from a single seed — the shape
+/// the serving/crash drivers use. Kind and target derivation are both
+/// seeded, so equal inputs give the identical stream.
+pub fn mutation_stream_n(writes: usize, seed: u64) -> Vec<Mutation> {
+    let mut scratch = Repository::new();
+    let mut stream = Vec::with_capacity(writes);
+    for i in 0..writes as u64 {
+        let kind = ((seed.wrapping_add(i) >> 3) % 5) as u8;
+        let mutation = mutation_of(kind, seed ^ i, i, &scratch);
+        scratch.apply(mutation.clone()).expect("generated mutation applies");
+        stream.push(mutation);
+    }
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_apply_cleanly_and_cover_the_vocabulary() {
+        let stream = mutation_stream_n(64, 0xDECAF);
+        let mut repo = Repository::new();
+        let mut kinds = [0usize; 5];
+        for mutation in &stream {
+            kinds[match mutation {
+                Mutation::InsertSpec { .. } => 0,
+                Mutation::AddExecution { .. } => 1,
+                Mutation::SetPolicy { .. } => 2,
+                Mutation::DeleteSpec { .. } => 3,
+                Mutation::EditSpec { .. } => 4,
+            }] += 1;
+            repo.apply(mutation.clone()).expect("stream must replay against a fresh repository");
+        }
+        assert!(kinds.iter().all(|&n| n > 0), "all five kinds present: {kinds:?}");
+        assert!(repo.live_count() < repo.len(), "deletes must leave tombstones");
+    }
+
+    /// Kind + target of each element — the placement decisions that must
+    /// be deterministic (payload hash-map Debug order is not).
+    fn signature(stream: &[Mutation]) -> Vec<(u8, Option<u32>)> {
+        stream
+            .iter()
+            .map(|m| match m {
+                Mutation::InsertSpec { .. } => (0, None),
+                Mutation::AddExecution { spec, .. } => (1, Some(spec.0)),
+                Mutation::SetPolicy { spec, .. } => (2, Some(spec.0)),
+                Mutation::DeleteSpec { spec } => (3, Some(spec.0)),
+                Mutation::EditSpec { spec, .. } => (4, Some(spec.0)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_target_only_live_slots() {
+        assert_eq!(signature(&mutation_stream_n(32, 7)), signature(&mutation_stream_n(32, 7)));
+        let pairs: Vec<(u8, u64)> = (0..32).map(|i| (i as u8, (i as u64) * 977)).collect();
+        let stream = mutation_stream(&pairs);
+        assert_eq!(signature(&stream), signature(&mutation_stream(&pairs)));
+        // Applicability is the live-slot targeting property: a second
+        // replay can only succeed if no tombstoned id was re-targeted.
+        let mut repo = Repository::new();
+        for mutation in stream {
+            repo.apply(mutation).expect("no tombstoned id is ever re-targeted");
+        }
+    }
+}

@@ -19,18 +19,24 @@
 //!   experiment (E14),
 //! * [`gencrash`] — deterministic crash schedules (every record boundary
 //!   plus sampled interior offsets) for the durability crash-matrix and
-//!   E15 recovery experiments.
+//!   E15 recovery experiments,
+//! * [`genmutation`] — applicable typed-mutation streams over an evolving
+//!   corpus, covering the full vocabulary including `DeleteSpec` /
+//!   `EditSpec` (live-slot targeting keeps destructive histories
+//!   replayable), for the write-path and crash experiments.
 //!
 //! Everything is deterministic under a caller-provided seed.
 
 pub mod gencrash;
 pub mod genexec;
 pub mod genmodule;
+pub mod genmutation;
 pub mod genquery;
 pub mod genspec;
 pub mod zipf;
 
 pub use gencrash::{crash_schedule, CrashScheduleParams};
+pub use genmutation::{mutation_of, mutation_stream, mutation_stream_n};
 pub use genquery::{
     generate_query_log, schedule_requests, ArrivalSchedule, QueryLogParams, ScheduleParams,
     ScheduledRequest,

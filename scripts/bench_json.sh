@@ -2,7 +2,7 @@
 # Regenerate the machine-readable experiment baselines.
 #
 # Usage:
-#   scripts/bench_json.sh            # E10 + E11 + E12 + E13 + E14 + E15 + E16 + E17 + E18, defaults
+#   scripts/bench_json.sh            # E10 through E19, defaults
 #   scripts/bench_json.sh e10 [...]  # only E10; extra args passed through
 #   scripts/bench_json.sh e11 [...]  # only E11; extra args passed through
 #   scripts/bench_json.sh e12 [...]  # only E12; extra args passed through
@@ -12,6 +12,7 @@
 #   scripts/bench_json.sh e16 [...]  # only E16; extra args passed through
 #   scripts/bench_json.sh e17 [...]  # only E17; extra args passed through
 #   scripts/bench_json.sh e18 [...]  # only E18; extra args passed through
+#   scripts/bench_json.sh e19 [...]  # only E19; extra args passed through
 #
 # Every binary exits non-zero when its acceptance threshold fails (E10:
 # warm cache ≥5x uncached; E11: 4-shard cold serving above a ≥0.7x
@@ -37,8 +38,12 @@
 # matrix over every byte of the final in-flight frame recovering
 # batch-aligned acked prefixes bit-identically, and copy-on-write
 # chunked snapshots writing ≤0.5x the whole image at 12.5% dirty
-# chunks with ≥0.5 chunk reuse), so this script doubles as a perf
-# smoke test in CI.
+# chunks with ≥0.5 chunk reuse; E19: targeted DeleteSpec/EditSpec
+# index maintenance ≥5x per-write full rebuilds with the maintained
+# index bit-identical to a fresh build of the tombstoned corpus, reads
+# over the destructively grown engine within 1.2x, and the durable
+# group-committed destructive pipeline recovering bit-identically),
+# so this script doubles as a perf smoke test in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -73,11 +78,14 @@ case "$which" in
   e18)
     cargo run --release -p ppwf-bench --bin e18_pipelined_commit -- "$@"
     ;;
+  e19)
+    cargo run --release -p ppwf-bench --bin e19_destructive_writes -- "$@"
+    ;;
   all)
     # The binaries take disjoint flag sets, so 'all' accepts no
     # passthrough args — target one binary to customize a run.
     if [[ $# -gt 0 ]]; then
-      echo "extra args need an explicit target: bench_json.sh {e10|e11|e12|e13|e14|e15|e16|e17|e18} $*" >&2
+      echo "extra args need an explicit target: bench_json.sh {e10|e11|e12|e13|e14|e15|e16|e17|e18|e19} $*" >&2
       exit 2
     fi
     cargo run --release -p ppwf-bench --bin e10_query_cache
@@ -89,9 +97,10 @@ case "$which" in
     cargo run --release -p ppwf-bench --bin e16_cold_kernels
     cargo run --release -p ppwf-bench --bin e17_group_commit
     cargo run --release -p ppwf-bench --bin e18_pipelined_commit
+    cargo run --release -p ppwf-bench --bin e19_destructive_writes
     ;;
   *)
-    echo "unknown target '$which' (expected e10, e11, e12, e13, e14, e15, e16, e17, e18, or all)" >&2
+    echo "unknown target '$which' (expected e10, e11, e12, e13, e14, e15, e16, e17, e18, e19, or all)" >&2
     exit 2
     ;;
 esac
